@@ -1,0 +1,277 @@
+//! Parameterized component models.
+//!
+//! Each component exposes per-action energy (pJ) and per-instance area
+//! (µm²) derived from a [`Tech`] table. Analytical accelerator models
+//! multiply these by action counts; the sparsity-related components encode
+//! the paper's tax arguments (§5.2: mux cost linear in `Hmax`; §2.2.1:
+//! prefix-sum intersection dominating PE area in SparTen-class designs).
+
+use crate::tech::Tech;
+
+/// A 16-bit multiply-accumulate unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacUnit;
+
+impl MacUnit {
+    /// Energy of one MAC operation.
+    pub fn energy_pj(self, t: &Tech) -> f64 {
+        t.mac_pj
+    }
+
+    /// Area of one MAC instance.
+    pub fn area_um2(self, t: &Tech) -> f64 {
+        t.mac_um2
+    }
+}
+
+/// An SRAM buffer (GLB, accumulation buffer, metadata partition, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sram {
+    /// Capacity in KB.
+    pub kb: f64,
+}
+
+impl Sram {
+    /// Creates an SRAM of `kb` KB.
+    ///
+    /// # Panics
+    /// Panics if `kb` is not positive.
+    pub fn new(kb: f64) -> Self {
+        assert!(kb > 0.0, "SRAM capacity must be positive");
+        Self { kb }
+    }
+
+    /// Energy per 16-bit word access.
+    pub fn access_pj(self, t: &Tech) -> f64 {
+        t.sram_access_pj(self.kb)
+    }
+
+    /// Area of the instance.
+    pub fn area_um2(self, t: &Tech) -> f64 {
+        self.kb * t.sram_kb_um2
+    }
+}
+
+/// A small register file (per-PE-array scratch, stationary operand regs).
+///
+/// Register files are register-built, so accesses cost register energy
+/// rather than SRAM energy, and area scales with bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegFile {
+    /// Capacity in KB.
+    pub kb: f64,
+}
+
+impl RegFile {
+    /// Creates a register file of `kb` KB.
+    ///
+    /// # Panics
+    /// Panics if `kb` is not positive.
+    pub fn new(kb: f64) -> Self {
+        assert!(kb > 0.0, "register file capacity must be positive");
+        Self { kb }
+    }
+
+    /// Energy per 16-bit word access.
+    ///
+    /// Slightly above a single register access to account for addressing,
+    /// and growing gently with capacity.
+    pub fn access_pj(self, t: &Tech) -> f64 {
+        t.reg_pj * (2.0 + self.kb.sqrt())
+    }
+
+    /// Area of the instance.
+    pub fn area_um2(self, t: &Tech) -> f64 {
+        self.kb * 1024.0 * 8.0 * t.reg_bit_um2
+    }
+}
+
+/// Off-chip DRAM (LPDDR4-class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dram;
+
+impl Dram {
+    /// Energy per 16-bit word transferred.
+    pub fn access_pj(self, t: &Tech) -> f64 {
+        t.dram_pj
+    }
+}
+
+/// A skipping-SAF mux tree: `G` muxes, each `Hmax`-to-1, on a 16-bit
+/// datapath (paper Fig. 7).
+///
+/// An `H`-to-1 mux decomposes into `H − 1` two-to-one muxes, so both energy
+/// and area grow **linearly with `Hmax`** at fixed `G` — the paper's §5.2
+/// takeaway and the quantitative heart of Fig. 6(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MuxTree {
+    /// Number of parallel selections (the pattern's `G`).
+    pub g: u32,
+    /// Largest supported block shape (`Hmax`).
+    pub hmax: u32,
+}
+
+impl MuxTree {
+    /// Creates a mux tree.
+    ///
+    /// # Panics
+    /// Panics if `g == 0` or `hmax == 0`.
+    pub fn new(g: u32, hmax: u32) -> Self {
+        assert!(g > 0 && hmax > 0, "mux tree parameters must be positive");
+        Self { g, hmax }
+    }
+
+    /// Two-to-one mux count: `G · (Hmax − 1)`.
+    pub fn mux2_count(self) -> u32 {
+        self.g * (self.hmax - 1)
+    }
+
+    /// Energy of one selection step (all `G` outputs select once).
+    pub fn select_pj(self, t: &Tech) -> f64 {
+        f64::from(self.mux2_count()) * t.mux2_pj
+    }
+
+    /// Area of the instance.
+    pub fn area_um2(self, t: &Tech) -> f64 {
+        f64::from(self.mux2_count()) * 16.0 * t.mux2_bit_um2
+    }
+}
+
+/// The Variable Fetch Management Unit (paper §6.3.2, Fig. 11): a register
+/// buffer of `2·Hmax` blocks of `block_words` values plus a configurable
+/// shifter, enabling variable-length streaming access over GLB rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vfmu {
+    /// Largest supported `H` at the rank the VFMU serves.
+    pub hmax: u32,
+    /// Words per Rank0 block (`H0`).
+    pub block_words: u32,
+}
+
+impl Vfmu {
+    /// Creates a VFMU.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn new(hmax: u32, block_words: u32) -> Self {
+        assert!(hmax > 0 && block_words > 0, "VFMU parameters must be positive");
+        Self { hmax, block_words }
+    }
+
+    /// Buffer capacity in 16-bit words (`2 · Hmax` blocks).
+    pub fn capacity_words(self) -> u32 {
+        2 * self.hmax * self.block_words
+    }
+
+    /// Energy to stream one word through the VFMU (register write + shifted
+    /// read + a 4-to-2 address-select mux share).
+    pub fn word_pj(self, t: &Tech) -> f64 {
+        2.0 * t.reg_pj + 2.0 * t.mux2_pj
+    }
+
+    /// Area of the instance: buffer registers plus the shift/select network.
+    pub fn area_um2(self, t: &Tech) -> f64 {
+        let buffer = f64::from(self.capacity_words()) * 16.0 * t.reg_bit_um2;
+        let network = f64::from(self.hmax) * 16.0 * t.mux2_bit_um2 * 4.0;
+        buffer + network
+    }
+}
+
+/// A prefix-sum intersection network of the kind unstructured sparse
+/// designs use to locate effectual pairs (SparTen-class; paper §2.2.1 notes
+/// it occupies 55% of SparTen's PE area).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixSum {
+    /// Input width (bitmask length processed per step).
+    pub width: u32,
+}
+
+impl PrefixSum {
+    /// Creates a prefix-sum unit.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(width: u32) -> Self {
+        assert!(width > 0, "prefix-sum width must be positive");
+        Self { width }
+    }
+
+    /// Energy of one intersection step over the full width
+    /// (`width · log2(width)` adder-cell activations).
+    pub fn step_pj(self, t: &Tech) -> f64 {
+        let w = f64::from(self.width);
+        // Each adder cell is a few gate-equivalents; anchored at ~8x a mux2.
+        w * w.log2().max(1.0) * t.mux2_pj * 8.0
+    }
+
+    /// Area of the instance.
+    pub fn area_um2(self, t: &Tech) -> f64 {
+        let w = f64::from(self.width);
+        w * w.log2().max(1.0) * t.mux2_bit_um2 * 80.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_tree_is_linear_in_hmax() {
+        let t = Tech::n65();
+        let m8 = MuxTree::new(2, 8);
+        let m16 = MuxTree::new(2, 16);
+        assert_eq!(m8.mux2_count(), 14);
+        assert_eq!(m16.mux2_count(), 30);
+        let ratio = m16.select_pj(&t) / m8.select_pj(&t);
+        assert!((ratio - 30.0 / 14.0).abs() < 1e-12);
+        assert!(m16.area_um2(&t) > 2.0 * m8.area_um2(&t));
+    }
+
+    #[test]
+    fn fig6b_two_rank_muxing_is_cheaper_for_same_degrees() {
+        // Design S: per PE, 2 muxes of 16-to-1. Design SS: a shared rank1
+        // 8-to-1 pair per PE *array* plus per-PE 4-to-1 pairs. With 4 PEs
+        // per array, SS area is well under half of S (paper: >2x less).
+        let t = Tech::n65();
+        let pes = 4.0;
+        let s = pes * MuxTree::new(2, 16).area_um2(&t);
+        let ss = MuxTree::new(2, 8).area_um2(&t) + pes * MuxTree::new(2, 4).area_um2(&t);
+        assert!(s / ss > 2.0, "expected >2x muxing reduction, got {}", s / ss);
+    }
+
+    #[test]
+    fn vfmu_capacity_and_costs() {
+        let t = Tech::n65();
+        let v = Vfmu::new(4, 4);
+        assert_eq!(v.capacity_words(), 32);
+        // Streaming through the VFMU is far cheaper than a GLB access.
+        assert!(v.word_pj(&t) < 0.2 * t.sram_access_pj(256.0));
+        assert!(v.area_um2(&t) > 0.0);
+    }
+
+    #[test]
+    fn prefix_sum_dwarfs_structured_saf() {
+        let t = Tech::n65();
+        let ps = PrefixSum::new(64);
+        let mux = MuxTree::new(2, 4);
+        assert!(ps.step_pj(&t) > 10.0 * mux.select_pj(&t));
+        assert!(ps.area_um2(&t) > 10.0 * mux.area_um2(&t));
+    }
+
+    #[test]
+    fn storage_hierarchy_energy_ordering() {
+        let t = Tech::n65();
+        let rf = RegFile::new(2.0);
+        let glb = Sram::new(256.0);
+        assert!(t.reg_pj < rf.access_pj(&t));
+        assert!(rf.access_pj(&t) < glb.access_pj(&t));
+        assert!(glb.access_pj(&t) < Dram.access_pj(&t));
+        assert!(MacUnit.energy_pj(&t) > rf.access_pj(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_mux_params_panic() {
+        let _ = MuxTree::new(0, 8);
+    }
+}

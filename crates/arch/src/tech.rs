@@ -1,0 +1,96 @@
+/// A 65 nm-class technology table: per-action energies (picojoules) and
+/// per-instance areas (square micrometres) for the primitive components.
+///
+/// Values follow the Eyeriss/Accelergy lineage of published 65 nm numbers at
+/// 16-bit datapath width; what matters for the paper's conclusions are the
+/// *ratios* (see crate docs). All component models scale from these
+/// primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tech {
+    /// Energy of one 16-bit multiply-accumulate.
+    pub mac_pj: f64,
+    /// Energy of one 16-bit register (pipeline/stationary) access.
+    pub reg_pj: f64,
+    /// Energy coefficient for SRAM access: `sram_coeff * sqrt(KB)` pJ per
+    /// 16-bit word (CACTI-style capacity scaling).
+    pub sram_coeff_pj: f64,
+    /// Energy of one 16-bit word transferred from/to DRAM (LPDDR4-class).
+    pub dram_pj: f64,
+    /// Energy of one 2-to-1 mux switching 16 bits.
+    pub mux2_pj: f64,
+    /// Energy of one network-on-chip hop for a 16-bit word.
+    pub noc_pj: f64,
+    /// Area of one 16-bit MAC.
+    pub mac_um2: f64,
+    /// Area of one bit of register storage.
+    pub reg_bit_um2: f64,
+    /// Area of one KB of SRAM.
+    pub sram_kb_um2: f64,
+    /// Area of one 2-to-1 mux (per bit).
+    pub mux2_bit_um2: f64,
+}
+
+impl Tech {
+    /// The default 65 nm table used throughout the reproduction.
+    pub fn n65() -> Self {
+        Self {
+            mac_pj: 2.2,
+            reg_pj: 0.18,
+            // 2 KB RF -> ~0.9 pJ/word, 256 KB GLB -> ~10.2 pJ/word.
+            sram_coeff_pj: 0.64,
+            dram_pj: 128.0,
+            mux2_pj: 0.012,
+            noc_pj: 0.6,
+            mac_um2: 1800.0,
+            reg_bit_um2: 5.0,
+            sram_kb_um2: 5500.0,
+            mux2_bit_um2: 4.0,
+        }
+    }
+
+    /// SRAM access energy (pJ per 16-bit word) for a buffer of `kb` KB.
+    ///
+    /// # Panics
+    /// Panics if `kb` is not positive.
+    pub fn sram_access_pj(&self, kb: f64) -> f64 {
+        assert!(kb > 0.0, "SRAM capacity must be positive");
+        self.sram_coeff_pj * kb.sqrt()
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Self::n65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_follow_the_canonical_hierarchy() {
+        let t = Tech::n65();
+        let rf = t.sram_access_pj(2.0);
+        let glb = t.sram_access_pj(256.0);
+        // GLB ~ 6-16x RF; DRAM ~ 100-300x RF (Eyeriss-class ratios).
+        assert!(glb / rf > 5.0 && glb / rf < 16.0, "GLB/RF ratio {}", glb / rf);
+        assert!(t.dram_pj / rf > 100.0 && t.dram_pj / rf < 300.0);
+        // Mux selects are far cheaper than a MAC.
+        assert!(t.mux2_pj * 15.0 < 0.2 * t.mac_pj);
+    }
+
+    #[test]
+    fn sram_energy_scales_with_sqrt_capacity() {
+        let t = Tech::n65();
+        let e1 = t.sram_access_pj(64.0);
+        let e2 = t.sram_access_pj(256.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = Tech::n65().sram_access_pj(0.0);
+    }
+}

@@ -1,0 +1,154 @@
+use hl_arch::components::{MacUnit, MuxTree, RegFile, Sram};
+use hl_arch::{AreaBreakdown, Comp, Tech};
+use hl_sim::analytic::{meta_words, Accountant, Resources, TrafficModel};
+use hl_sim::{Accelerator, EvalResult, OperandSparsity, Unsupported, Workload};
+use hl_sparsity::families::stc_a;
+
+/// The STC-like baseline (paper §7.1.1): single-sided `G:H` structured
+/// sparse, NVIDIA sparse-tensor-core style.
+///
+/// Operand A may be dense or `C0({G≤2}:4)`; the hardware always runs the
+/// 2-of-4 lanes, so the speedup is capped at 2× regardless of how sparse A
+/// really is, and operand B sparsity is never exploited (§2.2.3). The
+/// sparsity tax is very low: 2-bit CPs per stored value and a 4-to-1 mux
+/// pair per MAC pair.
+#[derive(Debug, Clone)]
+pub struct Stc {
+    tech: Tech,
+    resources: Resources,
+}
+
+impl Default for Stc {
+    fn default() -> Self {
+        Self::new(Tech::n65())
+    }
+}
+
+impl Stc {
+    /// Creates the model with the Table 4 sparse allocation (256 + 64 KB).
+    pub fn new(tech: Tech) -> Self {
+        Self { tech, resources: Resources::tc_class(256.0, 64.0) }
+    }
+
+    /// Whether operand A's descriptor is exploited by the 2:4 hardware.
+    fn exploits_a(a: &OperandSparsity) -> bool {
+        match a {
+            OperandSparsity::Hss(p) => !p.is_dense() && stc_a().supports(p),
+            _ => false,
+        }
+    }
+}
+
+impl Accelerator for Stc {
+    fn name(&self) -> &str {
+        "STC"
+    }
+
+    fn evaluate(&self, w: &Workload) -> Result<EvalResult, Unsupported> {
+        let structured = Self::exploits_a(&w.a);
+        // The 2:4 datapath fetches G=2 lanes per 4: fixed 0.5 cycle factor
+        // when structured, dense otherwise (unstructured zeros are values).
+        let factor = if structured { 0.5 } else { 1.0 };
+        let macs = self.resources.macs as f64;
+        let cycles = (w.dense_macs() * factor / macs).ceil();
+
+        let a_stored = if structured { 0.5 } else { 1.0 };
+        let traffic = TrafficModel::new(w.shape, a_stored, 1.0, &self.resources);
+        let mut acc = Accountant::new(self.tech.clone(), self.resources);
+        // No gating: both fetched lanes multiply, zero or not.
+        acc.macs(w.dense_macs() * factor);
+        acc.rf(2.0 * w.dense_macs() * factor / self.resources.spatial_accum as f64);
+        acc.glb(traffic.a_glb_words + traffic.b_glb_words + traffic.z_glb_words);
+        acc.dram(traffic.a_dram_words + traffic.b_dram_words + traffic.z_dram_words);
+        acc.noc(traffic.a_glb_words + traffic.b_glb_words);
+        if structured {
+            // 2-bit CP per stored value; one 4-to-1 select per A-side MAC.
+            let a_meta = meta_words(w.shape.a_elems() as f64 * a_stored * 2.0);
+            acc.glb_meta(a_meta * traffic.a_reuse);
+            acc.dram(a_meta);
+            acc.mux(Comp::MuxRank0, MuxTree::new(2, 4), w.dense_macs() * factor);
+        }
+        Ok(EvalResult {
+            design: "STC".into(),
+            workload: w.name.clone(),
+            cycles,
+            energy: acc.into_energy(),
+        })
+    }
+
+    fn area(&self) -> AreaBreakdown {
+        let t = &self.tech;
+        let res = &self.resources;
+        let mut a = AreaBreakdown::new();
+        a.record(Comp::Mac, res.macs as f64 * MacUnit.area_um2(t));
+        a.record(Comp::Glb, Sram::new(res.glb_kb).area_um2(t));
+        a.record(Comp::GlbMeta, Sram::new(res.glb_meta_kb).area_um2(t));
+        a.record(Comp::RegFile, 4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t));
+        a.record(Comp::MuxRank0, res.macs as f64 / 2.0 * MuxTree::new(2, 4).area_um2(t));
+        a
+    }
+
+    fn supported_patterns(&self) -> String {
+        "A: dense; C0({G≤2}:4) | B: dense".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_sparsity::{Gh, HssPattern};
+
+    fn a_24() -> OperandSparsity {
+        OperandSparsity::Hss(HssPattern::one_rank(Gh::new(2, 4)))
+    }
+
+    #[test]
+    fn speedup_capped_at_2x() {
+        let stc = Stc::default();
+        let dense = stc
+            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .unwrap();
+        let s24 = stc.evaluate(&Workload::synthetic(a_24(), OperandSparsity::Dense)).unwrap();
+        assert!((dense.cycles / s24.cycles - 2.0).abs() < 1e-9);
+        // 1:4 (75% sparse) still only 2x — the inflexibility of Fig. 2.
+        let s14 = stc
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Hss(HssPattern::one_rank(Gh::new(1, 4))),
+                OperandSparsity::Dense,
+            ))
+            .unwrap();
+        assert_eq!(s24.cycles, s14.cycles);
+    }
+
+    #[test]
+    fn cannot_exploit_b_sparsity() {
+        let stc = Stc::default();
+        let b_dense = stc.evaluate(&Workload::synthetic(a_24(), OperandSparsity::Dense)).unwrap();
+        let b_sparse = stc
+            .evaluate(&Workload::synthetic(a_24(), OperandSparsity::unstructured(0.75)))
+            .unwrap();
+        assert_eq!(b_dense.cycles, b_sparse.cycles);
+        assert_eq!(b_dense.energy.total(), b_sparse.energy.total());
+    }
+
+    #[test]
+    fn unstructured_a_runs_dense() {
+        let stc = Stc::default();
+        let r = stc
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::unstructured(0.5),
+                OperandSparsity::Dense,
+            ))
+            .unwrap();
+        assert_eq!(r.cycles, 1024.0 * 1024.0);
+        assert_eq!(r.energy.sparsity_tax(), 0.0);
+    }
+
+    #[test]
+    fn tax_is_small_fraction_of_energy() {
+        let stc = Stc::default();
+        let r = stc.evaluate(&Workload::synthetic(a_24(), OperandSparsity::Dense)).unwrap();
+        assert!(r.energy.sparsity_tax() > 0.0);
+        assert!(r.energy.sparsity_tax() / r.energy.total() < 0.05, "STC tax must be very low");
+    }
+}

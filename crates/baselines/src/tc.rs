@@ -1,0 +1,109 @@
+use hl_arch::components::{MacUnit, RegFile, Sram};
+use hl_arch::{AreaBreakdown, Comp, Tech};
+use hl_sim::analytic::{Accountant, Resources, TrafficModel};
+use hl_sim::{Accelerator, EvalResult, Unsupported, Workload};
+
+/// The dense TC-like baseline (paper §7.1.1): oblivious to sparsity.
+///
+/// Processes every workload at dense speed and dense traffic — zeros are
+/// just values. It pays no sparsity tax (Table 4 gives it the full 320 KB
+/// GLB since no metadata partition is needed) and gains no sparsity benefit.
+#[derive(Debug, Clone)]
+pub struct Tc {
+    tech: Tech,
+    resources: Resources,
+}
+
+impl Default for Tc {
+    fn default() -> Self {
+        Self::new(Tech::n65())
+    }
+}
+
+impl Tc {
+    /// Creates the model with the Table 4 dense allocation (320 KB GLB).
+    pub fn new(tech: Tech) -> Self {
+        Self { tech, resources: Resources::tc_class(320.0, 0.0) }
+    }
+
+    /// The resource allocation.
+    pub fn resources(&self) -> &Resources {
+        &self.resources
+    }
+}
+
+impl Accelerator for Tc {
+    fn name(&self) -> &str {
+        "TC"
+    }
+
+    fn evaluate(&self, w: &Workload) -> Result<EvalResult, Unsupported> {
+        let macs = self.resources.macs as f64;
+        let cycles = (w.dense_macs() / macs).ceil();
+        let traffic = TrafficModel::new(w.shape, 1.0, 1.0, &self.resources);
+        let mut acc = Accountant::new(self.tech.clone(), self.resources);
+        acc.macs(w.dense_macs());
+        acc.rf(2.0 * w.dense_macs() / self.resources.spatial_accum as f64);
+        acc.glb(traffic.a_glb_words + traffic.b_glb_words + traffic.z_glb_words);
+        acc.dram(traffic.a_dram_words + traffic.b_dram_words + traffic.z_dram_words);
+        acc.noc(traffic.a_glb_words + traffic.b_glb_words);
+        Ok(EvalResult {
+            design: "TC".into(),
+            workload: w.name.clone(),
+            cycles,
+            energy: acc.into_energy(),
+        })
+    }
+
+    fn area(&self) -> AreaBreakdown {
+        let t = &self.tech;
+        let mut a = AreaBreakdown::new();
+        a.record(Comp::Mac, self.resources.macs as f64 * MacUnit.area_um2(t));
+        a.record(Comp::Glb, Sram::new(self.resources.glb_kb).area_um2(t));
+        a.record(Comp::RegFile, 4.0 * RegFile::new(self.resources.rf_kb / 4.0).area_um2(t));
+        a
+    }
+
+    fn supported_patterns(&self) -> String {
+        "A: dense | B: dense".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_sim::OperandSparsity;
+
+    #[test]
+    fn ignores_sparsity_entirely() {
+        let tc = Tc::default();
+        let dense = tc
+            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .unwrap();
+        let sparse = tc
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::unstructured(0.75),
+                OperandSparsity::unstructured(0.75),
+            ))
+            .unwrap();
+        assert_eq!(dense.cycles, sparse.cycles);
+        assert_eq!(dense.energy.total(), sparse.energy.total());
+        assert_eq!(dense.energy.sparsity_tax(), 0.0);
+    }
+
+    #[test]
+    fn dense_cycle_count() {
+        let tc = Tc::default();
+        let r = tc
+            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .unwrap();
+        assert_eq!(r.cycles, 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn area_has_no_tax_components() {
+        let area = Tc::default().area();
+        assert_eq!(area.sparsity_tax(), 0.0);
+        assert!(area.get(Comp::Mac) > 0.0);
+    }
+}

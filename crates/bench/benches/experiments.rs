@@ -1,0 +1,33 @@
+//! Criterion benches of the experiment harness itself: per-design analytical
+//! evaluation and the full Fig. 13 sweep. These are the entry points each
+//! table/figure binary calls, so their cost bounds experiment regeneration
+//! time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hl_bench::{designs, operand_a_for, operand_b_for, run_synthetic_sweep};
+use hl_sim::{evaluate_best, Workload};
+use std::hint::black_box;
+
+fn bench_design_evaluations(c: &mut Criterion) {
+    for d in designs() {
+        let w = Workload::synthetic(
+            operand_a_for(d.name(), 0.75),
+            operand_b_for(d.name(), 0.5),
+        );
+        c.bench_function(&format!("evaluate/{}", d.name()), |bench| {
+            bench.iter(|| black_box(evaluate_best(d.as_ref(), &w)))
+        });
+    }
+}
+
+fn bench_fig13_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("fig13-full", |bench| {
+        bench.iter(|| black_box(run_synthetic_sweep()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_design_evaluations, bench_fig13_sweep);
+criterion_main!(benches);

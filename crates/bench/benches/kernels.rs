@@ -1,0 +1,83 @@
+//! Criterion benches of the computational kernels underlying the
+//! reproduction: reference GEMM, HSS sparsification, CP compression, the
+//! functional micro-architecture simulator, and the balance model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hl_sim::balance::binomial_balance;
+use hl_sim::micro::{MicroConfig, MicroSim};
+use hl_sparsity::prune::{prune_hss, prune_unstructured};
+use hl_sparsity::{Gh, HssPattern};
+use hl_tensor::format::{HssCompressed, SparseB};
+use hl_tensor::gen;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = gen::random_unstructured(128, 128, 0.5, 1);
+    let b = gen::random_dense(128, 128, 2);
+    c.bench_function("gemm/reference-128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let dense = gen::random_dense(128, 512, 3);
+    let pattern = HssPattern::two_rank(Gh::new(4, 8), Gh::new(2, 4));
+    c.bench_function("prune/hss-two-rank-128x512", |bench| {
+        bench.iter(|| black_box(prune_hss(&dense, &pattern)))
+    });
+    c.bench_function("prune/unstructured-128x512", |bench| {
+        bench.iter(|| black_box(prune_unstructured(&dense, 0.75)))
+    });
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let pattern = [Gh::new(4, 8), Gh::new(2, 4)];
+    let a = gen::random_hss(64, 512, &pattern, 4);
+    c.bench_function("format/hss-encode-64x512", |bench| {
+        bench.iter(|| black_box(HssCompressed::encode(&a, 8, 4)))
+    });
+    let encoded = HssCompressed::encode(&a, 8, 4);
+    c.bench_function("format/hss-decode-64x512", |bench| {
+        bench.iter(|| black_box(encoded.decode()))
+    });
+    let b = gen::random_unstructured(512, 64, 0.6, 5);
+    c.bench_function("format/sparse-b-encode-512x64", |bench| {
+        bench.iter(|| black_box(SparseB::encode(&b, 8, 4)))
+    });
+}
+
+fn bench_micro_sim(c: &mut Criterion) {
+    for (label, sparse_b) in [("dense-b", false), ("sparse-b", true)] {
+        let cfg = MicroConfig::paper_downsized(4);
+        let k = cfg.group_words() * 8;
+        let a = gen::random_hss(16, k, &[cfg.rank1, cfg.rank0], 6);
+        let b = if sparse_b {
+            gen::random_unstructured(k, 16, 0.5, 7)
+        } else {
+            gen::random_dense(k, 16, 7)
+        };
+        c.bench_function(&format!("micro-sim/16x{k}x16-{label}"), |bench| {
+            bench.iter_batched(
+                || (a.clone(), b.clone()),
+                |(a, b)| black_box(MicroSim::new(cfg).run(&a, &b, sparse_b)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_balance(c: &mut Criterion) {
+    c.bench_function("balance/binomial-1024", |bench| {
+        bench.iter(|| black_box(binomial_balance(1024, 0.25, 32)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_prune,
+    bench_formats,
+    bench_micro_sim,
+    bench_balance
+);
+criterion_main!(benches);

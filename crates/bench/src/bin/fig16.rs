@@ -1,0 +1,67 @@
+//! Fig. 16: (a) per-component energy breakdown for a workload with 75%
+//! sparse operand A and dense operand B; (b) HighLight's area breakdown and
+//! SAF fraction (paper: 5.7%).
+
+use hl_arch::Comp;
+use hl_bench::{designs, operand_a_for, persist};
+use hl_sim::{evaluate_best, OperandSparsity, Workload};
+use highlight_core::HighLight;
+use hl_sim::Accelerator;
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("Fig. 16(a) — energy breakdown (mJ), A 75% sparse / B dense, 1024^3 GEMM\n\n");
+    out.push_str(&format!("{:>11}", "component"));
+    let designs = designs();
+    let results: Vec<_> = designs
+        .iter()
+        .map(|d| {
+            let w = Workload::synthetic(operand_a_for(d.name(), 0.75), OperandSparsity::Dense);
+            (d.name().to_string(), evaluate_best(d.as_ref(), &w).ok())
+        })
+        .collect();
+    for (n, _) in &results {
+        out.push_str(&format!(" {n:>10}"));
+    }
+    out.push('\n');
+    for comp in Comp::ALL {
+        let row: Vec<f64> = results
+            .iter()
+            .map(|(_, r)| r.as_ref().map_or(0.0, |r| r.energy.get(comp) * 1e-9))
+            .collect();
+        if row.iter().all(|&v| v == 0.0) {
+            continue;
+        }
+        out.push_str(&format!("{:>11}", comp.label()));
+        for v in row {
+            out.push_str(&format!(" {v:>10.4}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>11}", "TOTAL"));
+    for (_, r) in &results {
+        out.push_str(&format!(
+            " {:>10.4}",
+            r.as_ref().map_or(0.0, |r| r.energy.total() * 1e-9)
+        ));
+    }
+    out.push_str("\n\nFig. 16(b) — HighLight area breakdown\n\n");
+    let area = HighLight::default().area();
+    let total = area.total();
+    for (comp, v) in area.iter() {
+        out.push_str(&format!(
+            "{:>11}: {:>10.0} um^2  ({:>5.2}%)\n",
+            comp.label(),
+            v,
+            v / total * 100.0
+        ));
+    }
+    let saf = area.get(Comp::MuxRank0) + area.get(Comp::MuxRank1) + area.get(Comp::Vfmu);
+    out.push_str(&format!(
+        "\nSAF area fraction: {:.2}% of {:.2} mm^2 [paper: 5.7%]\n",
+        saf / total * 100.0,
+        total / 1e6
+    ));
+    print!("{out}");
+    persist("fig16.txt", &out);
+}

@@ -1,0 +1,56 @@
+//! Fig. 2: normalized EDP of STC / DSTC / HighLight on accuracy-matched
+//! pruned Transformer-Big and ResNet50 (normalized to the dense TC).
+//!
+//! Accuracy matching follows the paper's protocol: every design gets the
+//! most aggressive pruning configuration whose (surrogate) accuracy loss
+//! stays within a common budget of the 2:4 loss + 0.4 metric points
+//! ("similar accuracy, within 0.5% difference").
+
+use hl_bench::{accuracy_matched_config, designs, eval_model, persist};
+use hl_models::accuracy::{accuracy_loss, PruningConfig};
+use hl_models::zoo;
+use hl_sparsity::{Gh, HssPattern};
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("Fig. 2 — accuracy-matched whole-model EDP, normalized to TC\n\n");
+    for model in [zoo::transformer_big(), zoo::resnet50()] {
+        let budget = accuracy_loss(
+            &model,
+            &PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))),
+        ) + 0.4;
+        out.push_str(&format!(
+            "== {} (loss budget {budget:.2} {} points) ==\n",
+            model.name, model.metric
+        ));
+        let tc_edp = {
+            let tc = &designs()[0];
+            eval_model(tc.as_ref(), &model, &PruningConfig::Dense).expect("TC runs dense").edp()
+        };
+        for d in designs() {
+            if !matches!(d.name(), "TC" | "STC" | "DSTC" | "HighLight") {
+                continue; // Fig. 2 compares these four
+            }
+            match accuracy_matched_config(d.name(), &model, budget) {
+                None => out.push_str(&format!("{:>10}: no config within budget\n", d.name())),
+                Some(cfg) => {
+                    let loss = accuracy_loss(&model, &cfg);
+                    match eval_model(d.as_ref(), &model, &cfg) {
+                        None => out.push_str(&format!("{:>10}: unsupported\n", d.name())),
+                        Some(e) => out.push_str(&format!(
+                            "{:>10}: EDP {:>7.3}x TC   (weights {:>5.1}% sparse, est. loss {loss:.2})\n",
+                            d.name(),
+                            e.edp() / tc_edp,
+                            cfg.sparsity() * 100.0,
+                        )),
+                    }
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("Paper shape: STC < DSTC on Transformer-Big, DSTC < STC on ResNet50,\n");
+    out.push_str("and HighLight lowest on both.\n");
+    print!("{out}");
+    persist("fig2.txt", &out);
+}

@@ -1,0 +1,48 @@
+//! Fig. 6: one-rank design `S` vs two-rank design `SS` at equal flexibility —
+//! (a) supported degrees and normalized latency, (b) normalized muxing
+//! overhead.
+
+use hl_arch::components::MuxTree;
+use hl_arch::Tech;
+use hl_bench::persist;
+use hl_sparsity::families::{design_s, design_ss};
+
+fn main() {
+    let t = Tech::n65();
+    let s = design_s();
+    let ss = design_ss();
+
+    let mut out = String::new();
+    out.push_str("Fig. 6(a) — supported sparsity degrees (normalized latency = density)\n\n");
+    for (name, fam) in [("S (1-rank, Hmax=16)", &s), ("SS (2-rank, Hmax=8,4)", &ss)] {
+        let densities = fam.densities();
+        out.push_str(&format!("{name}: {} degrees\n  sparsity%: ", densities.len()));
+        let degs: Vec<String> = densities
+            .iter()
+            .rev()
+            .map(|d| format!("{:.1}", d.complement().to_f64() * 100.0))
+            .collect();
+        out.push_str(&degs.join(", "));
+        out.push('\n');
+        let lat: Vec<String> =
+            densities.iter().rev().map(|d| format!("{:.3}", d.to_f64())).collect();
+        out.push_str(&format!("  latency:   {}\n\n", lat.join(", ")));
+    }
+
+    // (b) Muxing overhead at equal flexibility: per-PE replication for the
+    // one-rank design vs shared Rank1 + small per-PE Rank0 for the two-rank
+    // design (4 PEs per array, G = 2).
+    let pes = 4.0;
+    let s_area = pes * MuxTree::new(2, 16).area_um2(&t);
+    let ss_area = MuxTree::new(2, 8).area_um2(&t) + pes * MuxTree::new(2, 4).area_um2(&t);
+    out.push_str("Fig. 6(b) — normalized muxing overhead (4-PE array, G = 2)\n\n");
+    out.push_str(&format!("  S : {:.2} (normalized 1.00)\n", s_area));
+    out.push_str(&format!(
+        "  SS: {:.2} (normalized {:.2}) -> {:.1}x less muxing overhead [paper: >2x]\n",
+        ss_area,
+        ss_area / s_area,
+        s_area / ss_area
+    ));
+    print!("{out}");
+    persist("fig6.txt", &out);
+}

@@ -1,0 +1,7 @@
+//! Table 1 of the paper (see `hl_bench::tables`).
+
+fn main() {
+    let text = hl_bench::tables::table1();
+    println!("{text}");
+    hl_bench::persist("table1.txt", &text);
+}

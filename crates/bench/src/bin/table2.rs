@@ -1,0 +1,7 @@
+//! Table 2 of the paper (see `hl_bench::tables`).
+
+fn main() {
+    let text = hl_bench::tables::table2();
+    println!("{text}");
+    hl_bench::persist("table2.txt", &text);
+}

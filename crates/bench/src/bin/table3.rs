@@ -1,0 +1,7 @@
+//! Table 3 of the paper (see `hl_bench::tables`).
+
+fn main() {
+    let text = hl_bench::tables::table3();
+    println!("{text}");
+    hl_bench::persist("table3.txt", &text);
+}

@@ -1,0 +1,7 @@
+//! Table 4 of the paper (see `hl_bench::tables`).
+
+fn main() {
+    let text = hl_bench::tables::table4();
+    println!("{text}");
+    hl_bench::persist("table4.txt", &text);
+}

@@ -1,0 +1,320 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `src/bin/*.rs` binary reproduces one table or figure (see
+//! `DESIGN.md` §4 for the index); this library holds the shared machinery:
+//!
+//! - [`designs`]: the evaluated design registry (TC, STC, DSTC, S2TA,
+//!   HighLight) in the paper's presentation order;
+//! - [`operand_a_for`] / [`operand_b_for`]: the co-design step — each design
+//!   is handed a workload *in the sparsity pattern it was designed for* at
+//!   the requested degree (§7.1.2: models are structured-pruned for
+//!   STC/S2TA/HighLight and unstructured-pruned for DSTC);
+//! - [`run_synthetic_sweep`]: the Fig. 13 sweep (A ∈ {0, 50, 75}%,
+//!   B ∈ {0, 25, 50, 75}% on 1024³ GEMMs);
+//! - [`eval_model`]: whole-DNN evaluation (per-layer `evaluate_best`,
+//!   energy/latency summed with layer multiplicities) for Figs. 2 and 15;
+//! - report helpers that print aligned tables and persist them under
+//!   `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tables;
+
+use std::fs;
+use std::path::Path;
+
+use hl_baselines::{Dstc, S2ta, Stc, Tc};
+use hl_models::accuracy::{accuracy_loss, PruningConfig};
+use hl_models::DnnModel;
+use hl_sim::{evaluate_best, Accelerator, EvalResult, OperandSparsity, Workload};
+use hl_sparsity::families::{highlight_a, HssFamily};
+use hl_sparsity::{Gh, HssPattern};
+use highlight_core::HighLight;
+
+/// The evaluated designs in the paper's presentation order.
+pub fn designs() -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(Tc::default()),
+        Box::new(Stc::default()),
+        Box::new(Dstc::default()),
+        Box::new(S2ta::default()),
+        Box::new(HighLight::default()),
+    ]
+}
+
+/// Design names in registry order.
+pub fn design_names() -> Vec<String> {
+    designs().iter().map(|d| d.name().to_string()).collect()
+}
+
+/// Maps a weight-sparsity degree to the operand A descriptor each design is
+/// co-designed with (§7.1.2).
+pub fn operand_a_for(design: &str, sparsity: f64) -> OperandSparsity {
+    if sparsity == 0.0 {
+        return match design {
+            // S2TA cannot express dense A; hand it the dense descriptor and
+            // let the model report Unsupported (§7.3).
+            _ => OperandSparsity::Dense,
+        };
+    }
+    match design {
+        "TC" | "DSTC" => OperandSparsity::unstructured(sparsity),
+        "STC" => {
+            // {G≤2}:4 — 50% runs 2:4, anything sparser runs 1:4.
+            let g = if sparsity <= 0.5 { 2 } else { 1 };
+            OperandSparsity::Hss(HssPattern::one_rank(Gh::new(g, 4)))
+        }
+        "S2TA" => {
+            let g = ((1.0 - sparsity) * 8.0).round().max(1.0) as u32;
+            OperandSparsity::Hss(HssPattern::one_rank(Gh::new(g.min(4), 8)))
+        }
+        "HighLight" | "DSSO" => {
+            OperandSparsity::Hss(highlight_a().closest_to_density(1.0 - sparsity))
+        }
+        other => panic!("unknown design {other}"),
+    }
+}
+
+/// Maps an activation-sparsity degree to the operand B descriptor each
+/// design consumes.
+pub fn operand_b_for(design: &str, sparsity: f64) -> OperandSparsity {
+    if sparsity == 0.0 {
+        return OperandSparsity::Dense;
+    }
+    match design {
+        "S2TA" => {
+            // Dynamic structured activation pruning to {G≤8}:8.
+            let g = ((1.0 - sparsity) * 8.0).round().clamp(1.0, 8.0) as u32;
+            OperandSparsity::Hss(HssPattern::one_rank(Gh::new(g, 8)))
+        }
+        _ => OperandSparsity::unstructured(sparsity),
+    }
+}
+
+/// One point of the Fig. 13 sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Operand A sparsity degree.
+    pub a_sparsity: f64,
+    /// Operand B sparsity degree.
+    pub b_sparsity: f64,
+    /// Per-design results in [`designs`] order; `None` = unsupported.
+    pub results: Vec<Option<EvalResult>>,
+}
+
+/// The Fig. 13 sparsity degrees: A ∈ {0, 50, 75}%, B ∈ {0, 25, 50, 75}%.
+pub fn fig13_degrees() -> (Vec<f64>, Vec<f64>) {
+    (vec![0.0, 0.5, 0.75], vec![0.0, 0.25, 0.5, 0.75])
+}
+
+/// Runs the synthetic 1024³ GEMM sweep across all designs (§7.2).
+pub fn run_synthetic_sweep() -> Vec<SweepPoint> {
+    let designs = designs();
+    let (a_degrees, b_degrees) = fig13_degrees();
+    let mut out = Vec::new();
+    for &sa in &a_degrees {
+        for &sb in &b_degrees {
+            let results = designs
+                .iter()
+                .map(|d| {
+                    let w = Workload::synthetic(
+                        operand_a_for(d.name(), sa),
+                        operand_b_for(d.name(), sb),
+                    );
+                    evaluate_best(d.as_ref(), &w).ok()
+                })
+                .collect();
+            out.push(SweepPoint { a_sparsity: sa, b_sparsity: sb, results });
+        }
+    }
+    out
+}
+
+/// Whole-model evaluation: energy and latency summed across all layers
+/// (× multiplicities), prunable layers at the design's weight pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelEval {
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// Total latency (s).
+    pub latency_s: f64,
+}
+
+impl ModelEval {
+    /// Whole-model EDP (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.latency_s
+    }
+}
+
+/// Evaluates a DNN on a design with the given weight-pruning config for
+/// prunable layers. Returns `None` if any layer is unsupported.
+pub fn eval_model(
+    design: &dyn Accelerator,
+    model: &DnnModel,
+    weights: &PruningConfig,
+) -> Option<ModelEval> {
+    let mut energy_j = 0.0;
+    let mut latency_s = 0.0;
+    for layer in &model.layers {
+        let a = if layer.prunable {
+            match weights {
+                PruningConfig::Dense => OperandSparsity::Dense,
+                PruningConfig::Unstructured { sparsity } => {
+                    operand_a_for(design.name(), *sparsity)
+                }
+                PruningConfig::Hss(p) => OperandSparsity::Hss(p.clone()),
+            }
+        } else {
+            OperandSparsity::Dense
+        };
+        let b = operand_b_for(design.name(), layer.activation_sparsity);
+        let w = Workload::new(layer.name.clone(), layer.shape, a, b);
+        let r = evaluate_best(design, &w).ok()?;
+        energy_j += r.energy_j() * f64::from(layer.count);
+        latency_s += r.latency_s() * f64::from(layer.count);
+    }
+    Some(ModelEval { energy_j, latency_s })
+}
+
+/// The per-design pruning configuration used for accuracy-matched
+/// comparisons (Fig. 2): the most aggressive config whose surrogate loss
+/// stays within `budget` metric points.
+pub fn accuracy_matched_config(
+    design: &str,
+    model: &DnnModel,
+    budget: f64,
+) -> Option<PruningConfig> {
+    match design {
+        "TC" => Some(PruningConfig::Dense),
+        "STC" => {
+            let p = PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4)));
+            (accuracy_loss(model, &p) <= budget).then_some(p)
+        }
+        "DSTC" => {
+            let mut best = None;
+            for i in 1..=18 {
+                let s = f64::from(i) * 0.05;
+                let p = PruningConfig::Unstructured { sparsity: s };
+                if accuracy_loss(model, &p) <= budget {
+                    best = Some(p);
+                }
+            }
+            best
+        }
+        "HighLight" | "DSSO" => best_in_family(&highlight_a(), model, budget),
+        "S2TA" => {
+            let fam = hl_sparsity::families::s2ta_a();
+            best_in_family(&fam, model, budget)
+        }
+        other => panic!("unknown design {other}"),
+    }
+}
+
+fn best_in_family(family: &HssFamily, model: &DnnModel, budget: f64) -> Option<PruningConfig> {
+    let mut best: Option<(f64, PruningConfig)> = None;
+    let mut seen = std::collections::BTreeSet::new();
+    for p in family.patterns() {
+        if !seen.insert(p.density()) {
+            continue;
+        }
+        let cfg = PruningConfig::Hss(p.clone());
+        let loss = accuracy_loss(model, &cfg);
+        if loss <= budget {
+            let s = p.sparsity_f64();
+            if best.as_ref().map_or(true, |(bs, _)| s > *bs) {
+                best = Some((s, cfg));
+            }
+        }
+    }
+    best.map(|(_, cfg)| cfg)
+}
+
+/// Formats a ratio as a fixed-width cell, `n/a` when absent.
+pub fn cell(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:10.3}"),
+        None => format!("{:>10}", "n/a"),
+    }
+}
+
+/// Writes a report under `results/` (best-effort; also returns the text so
+/// binaries can print it).
+pub fn persist(name: &str, text: &str) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let _ = fs::write(dir.join(name), text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_models::zoo;
+
+    #[test]
+    fn registry_order_matches_paper() {
+        assert_eq!(design_names(), vec!["TC", "STC", "DSTC", "S2TA", "HighLight"]);
+    }
+
+    #[test]
+    fn operand_mapping_densities_match_degrees() {
+        for design in design_names() {
+            for s in [0.5, 0.75] {
+                let a = operand_a_for(&design, s);
+                assert!(
+                    (a.sparsity() - s).abs() < 1e-9,
+                    "{design} A at {s}: got {}",
+                    a.sparsity()
+                );
+            }
+            let b = operand_b_for(&design, 0.25);
+            assert!((b.sparsity() - 0.25).abs() < 1e-9, "{design} B at 0.25");
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_degrees_and_marks_s2ta_dense_unsupported() {
+        let sweep = run_synthetic_sweep();
+        assert_eq!(sweep.len(), 12);
+        let names = design_names();
+        let s2ta = names.iter().position(|n| n == "S2TA").unwrap();
+        for p in &sweep {
+            if p.a_sparsity == 0.0 {
+                assert!(p.results[s2ta].is_none(), "S2TA must fail on dense A");
+            } else {
+                assert!(p.results[s2ta].is_some());
+            }
+            // TC, STC, DSTC, HighLight always run.
+            for (i, n) in names.iter().enumerate() {
+                if n != "S2TA" {
+                    assert!(p.results[i].is_some(), "{n} must run at every point");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_eval_runs_on_all_designs_for_resnet() {
+        let model = zoo::resnet50();
+        for d in designs() {
+            let cfg = accuracy_matched_config(d.name(), &model, 1.0);
+            if let Some(cfg) = cfg {
+                let r = eval_model(d.as_ref(), &model, &cfg);
+                assert!(r.is_some(), "{} failed on ResNet50", d.name());
+                assert!(r.unwrap().edp() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn s2ta_cannot_eval_models_with_dense_layers() {
+        let deit = zoo::deit_small();
+        let s2ta = S2ta::default();
+        let cfg = accuracy_matched_config("S2TA", &deit, 2.0);
+        if let Some(cfg) = cfg {
+            assert!(eval_model(&s2ta, &deit, &cfg).is_none());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+use hl_arch::components::{MacUnit, MuxTree, RegFile, Sram, Vfmu};
+use hl_arch::{AreaBreakdown, Comp, Tech};
+use hl_sim::analytic::{meta_words, Accountant, Resources, TrafficModel};
+use hl_sim::{Accelerator, EvalResult, OperandSparsity, Unsupported, Workload};
+use hl_sparsity::Gh;
+#[cfg(test)]
+use hl_sparsity::HssPattern;
+
+/// The dual-structured-sparse-operand (DSSO) design of §7.5.
+///
+/// DSSO supports dual-side HSS with **alternating dense ranks**: operand A
+/// carries `C1(dense)→C0(2:4)` (Rank0 sparse, Rank1 dense) and operand B
+/// carries `C1(2:{2≤H≤8})→C0(dense)` (Rank1 sparse, Rank0 dense). Because
+/// the operands are never sparse at the same rank, each rank's SAF performs
+/// only dense–sparse intersections, which are perfectly balanced by
+/// construction — so dual-side speedup `(H0/G0)·(H1/G1)` comes cheaply.
+///
+/// The trade-off the paper highlights (Fig. 17): 2× better processing speed
+/// than HighLight on commonly supported degrees, but fewer representable
+/// operand-B sparsity degrees (one rank must stay dense).
+#[derive(Debug, Clone)]
+pub struct Dsso {
+    tech: Tech,
+    resources: Resources,
+}
+
+impl Default for Dsso {
+    fn default() -> Self {
+        Self { tech: Tech::n65(), resources: Resources::tc_class(256.0, 64.0) }
+    }
+}
+
+impl Dsso {
+    /// Creates the model with the shared Table 4 resources.
+    pub fn new(tech: Tech) -> Self {
+        Self { tech, resources: Resources::tc_class(256.0, 64.0) }
+    }
+
+    /// Operand A density factor: dense, or Rank0-sparse `2:{2≤H≤4}` with a
+    /// dense upper rank.
+    fn resolve_a(&self, a: &OperandSparsity) -> Result<f64, Unsupported> {
+        let fail = |reason: String| Err(Unsupported { design: "DSSO".into(), reason });
+        match a {
+            OperandSparsity::Dense => Ok(1.0),
+            OperandSparsity::Unstructured { .. } => {
+                fail("operand A must be dense or Rank0-structured".into())
+            }
+            OperandSparsity::Hss(p) => match p.ranks() {
+                [] => Ok(1.0),
+                [r0] if Self::rank0_ok(*r0) => Ok(r0.density()),
+                [r1, r0] if r1.is_dense() && Self::rank0_ok(*r0) => Ok(r0.density()),
+                _ => fail(format!("operand A pattern {p} must be C1(dense)→C0(2:{{2..4}})")),
+            },
+        }
+    }
+
+    fn rank0_ok(gh: Gh) -> bool {
+        gh.g == 2 && (2..=4).contains(&gh.h)
+    }
+
+    fn rank1_ok(gh: Gh) -> bool {
+        gh.g == 2 && (2..=8).contains(&gh.h)
+    }
+
+    /// Operand B density factor: dense, or Rank1-sparse `2:{2≤H≤8}` with a
+    /// dense lower rank.
+    fn resolve_b(&self, b: &OperandSparsity) -> Result<f64, Unsupported> {
+        let fail = |reason: String| Err(Unsupported { design: "DSSO".into(), reason });
+        match b {
+            OperandSparsity::Dense => Ok(1.0),
+            OperandSparsity::Unstructured { sparsity } if *sparsity == 0.0 => Ok(1.0),
+            OperandSparsity::Unstructured { .. } => {
+                fail("operand B must be dense or Rank1-structured".into())
+            }
+            OperandSparsity::Hss(p) => match p.ranks() {
+                [] => Ok(1.0),
+                [r1, r0] if Self::rank1_ok(*r1) && r0.is_dense() => Ok(r1.density()),
+                _ => fail(format!("operand B pattern {p} must be C1(2:{{2..8}})→C0(dense)")),
+            },
+        }
+    }
+}
+
+impl Accelerator for Dsso {
+    fn name(&self) -> &str {
+        "DSSO"
+    }
+
+    fn evaluate(&self, w: &Workload) -> Result<EvalResult, Unsupported> {
+        let d_a = self.resolve_a(&w.a)?;
+        let d_b = self.resolve_b(&w.b)?;
+        let macs = self.resources.macs as f64;
+        // Dual-side skipping with perfect balance: the cycle factor is the
+        // product of both operands' structured densities.
+        let cycles = (w.dense_macs() * d_a * d_b / macs).ceil();
+
+        let traffic = TrafficModel::new(w.shape, d_a, d_b, &self.resources);
+        let mut acc = Accountant::new(self.tech.clone(), self.resources);
+
+        let effectual = w.dense_macs() * d_a * d_b;
+        acc.macs(effectual);
+        acc.rf(2.0 * effectual / self.resources.spatial_accum as f64);
+        acc.glb(traffic.a_glb_words + traffic.b_glb_words + traffic.z_glb_words);
+        acc.dram(traffic.a_dram_words + traffic.b_dram_words + traffic.z_dram_words);
+        acc.noc(traffic.a_glb_words + traffic.b_glb_words);
+
+        // Single-level metadata per operand (§7.5): A carries Rank0 offsets
+        // per value, B carries Rank1 offsets per (dense) block of H0 values.
+        if d_a < 1.0 {
+            let a_meta = meta_words(w.shape.a_elems() as f64 * d_a * 2.0);
+            acc.glb_meta(a_meta * traffic.a_reuse);
+            acc.dram(a_meta);
+            acc.mux(Comp::MuxRank0, MuxTree::new(2, 4), effectual);
+        }
+        if d_b < 1.0 {
+            let b_meta = meta_words(w.shape.b_elems() as f64 * d_b / 4.0 * 3.0);
+            acc.glb_meta(b_meta * traffic.b_reuse);
+            acc.dram(b_meta);
+            acc.mux(Comp::MuxRank1, MuxTree::new(2, 8), effectual / 2.0);
+            acc.vfmu(Vfmu::new(8, 4), traffic.b_glb_words);
+        }
+
+        Ok(EvalResult {
+            design: "DSSO".into(),
+            workload: w.name.clone(),
+            cycles,
+            energy: acc.into_energy(),
+        })
+    }
+
+    fn area(&self) -> AreaBreakdown {
+        let t = &self.tech;
+        let res = &self.resources;
+        let mut a = AreaBreakdown::new();
+        a.record(Comp::Mac, res.macs as f64 * MacUnit.area_um2(t));
+        a.record(Comp::Glb, Sram::new(res.glb_kb).area_um2(t));
+        a.record(Comp::GlbMeta, Sram::new(res.glb_meta_kb).area_um2(t));
+        a.record(Comp::RegFile, 4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t));
+        let pes = res.macs as f64 / 2.0;
+        a.record(Comp::MuxRank0, pes * MuxTree::new(2, 4).area_um2(t));
+        a.record(Comp::MuxRank1, 4.0 * MuxTree::new(2, 8).area_um2(t));
+        a.record(Comp::Vfmu, 4.0 * Vfmu::new(8, 4).area_um2(t));
+        a
+    }
+
+    fn supported_patterns(&self) -> String {
+        "A: dense; C1(dense)→C0(2:4) | B: dense; C1(2:{2≤H≤8})→C0(dense)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_24() -> OperandSparsity {
+        OperandSparsity::Hss(HssPattern::two_rank(Gh::new(4, 4), Gh::new(2, 4)))
+    }
+
+    fn b_rank1(h: u32) -> OperandSparsity {
+        OperandSparsity::Hss(HssPattern::two_rank(Gh::new(2, h), Gh::new(4, 4)))
+    }
+
+    #[test]
+    fn fig17_dual_side_speedup_is_2x_over_single_side() {
+        let d = Dsso::default();
+        let r = d.evaluate(&Workload::synthetic(a_24(), b_rank1(4))).unwrap();
+        // factor = 0.5 (A rank0) * 0.5 (B rank1) = 0.25.
+        let dense_cycles = 1024.0f64.powi(3) / 1024.0;
+        assert!((dense_cycles / r.cycles - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_scales_with_b_h1() {
+        let d = Dsso::default();
+        let dense_cycles = 1024.0f64.powi(3) / 1024.0;
+        for h in [2u32, 4, 8] {
+            let r = d.evaluate(&Workload::synthetic(a_24(), b_rank1(h))).unwrap();
+            let expect = 2.0 * f64::from(h) / 2.0;
+            assert!((dense_cycles / r.cycles - expect).abs() < 1e-9, "H1={h}");
+        }
+    }
+
+    #[test]
+    fn rejects_unstructured_and_wrong_rank_patterns() {
+        let d = Dsso::default();
+        assert!(d
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::unstructured(0.5),
+                OperandSparsity::Dense
+            ))
+            .is_err());
+        // B sparse at rank0 (not alternating) is rejected.
+        let bad_b = OperandSparsity::Hss(HssPattern::two_rank(Gh::new(4, 4), Gh::new(2, 4)));
+        assert!(d.evaluate(&Workload::synthetic(a_24(), bad_b)).is_err());
+    }
+
+    #[test]
+    fn dense_both_sides_runs_at_dense_speed() {
+        let d = Dsso::default();
+        let r = d
+            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .unwrap();
+        assert_eq!(r.cycles, 1024.0f64.powi(3) / 1024.0);
+        assert_eq!(r.energy.sparsity_tax(), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fibertree construction, transformation, specification
+/// parsing, and conformance checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FibertreeError {
+    /// Dense data length does not match the product of the shape.
+    ShapeMismatch {
+        /// Number of elements provided.
+        data_len: usize,
+        /// Number of elements the shape implies.
+        shape_len: usize,
+    },
+    /// Number of rank names does not match number of dimensions.
+    RankCountMismatch {
+        /// Ranks named.
+        names: usize,
+        /// Dimensions in the shape.
+        dims: usize,
+    },
+    /// A shape dimension was zero.
+    EmptyDimension,
+    /// A rank index was out of bounds.
+    RankOutOfBounds {
+        /// Offending rank index.
+        rank: usize,
+        /// Number of ranks in the tree.
+        ranks: usize,
+    },
+    /// Split block size must be >= 1 and <= the rank shape.
+    InvalidSplit {
+        /// Requested block size.
+        block: usize,
+        /// Shape of the rank being split.
+        shape: usize,
+    },
+    /// Reorder permutation was not a permutation of `0..ranks`.
+    InvalidPermutation,
+    /// A specification string could not be parsed.
+    SpecParse(String),
+    /// A tensor does not conform to a specification.
+    NonConformant(String),
+}
+
+impl fmt::Display for FibertreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { data_len, shape_len } => write!(
+                f,
+                "dense data has {data_len} elements but shape implies {shape_len}"
+            ),
+            Self::RankCountMismatch { names, dims } => {
+                write!(f, "{names} rank names provided for {dims} dimensions")
+            }
+            Self::EmptyDimension => write!(f, "tensor shape contains a zero dimension"),
+            Self::RankOutOfBounds { rank, ranks } => {
+                write!(f, "rank index {rank} out of bounds for tree with {ranks} ranks")
+            }
+            Self::InvalidSplit { block, shape } => {
+                write!(f, "invalid split block {block} for rank of shape {shape}")
+            }
+            Self::InvalidPermutation => write!(f, "reorder argument is not a valid permutation"),
+            Self::SpecParse(msg) => write!(f, "invalid sparsity specification: {msg}"),
+            Self::NonConformant(msg) => write!(f, "tensor does not conform to pattern: {msg}"),
+        }
+    }
+}
+
+impl Error for FibertreeError {}

@@ -1,0 +1,194 @@
+use std::fmt;
+
+/// The payload associated with a coordinate in a fiber.
+///
+/// For intermediate ranks the payload is a [`Fiber`] of the next-lower rank;
+/// for the lowest rank it is a scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A sub-fiber (intermediate ranks).
+    Fiber(Fiber),
+    /// A scalar value (lowest rank).
+    Value(f64),
+}
+
+impl Payload {
+    /// Returns the contained sub-fiber, if this payload is one.
+    pub fn as_fiber(&self) -> Option<&Fiber> {
+        match self {
+            Self::Fiber(fb) => Some(fb),
+            Self::Value(_) => None,
+        }
+    }
+
+    /// Returns the contained value, if this payload is one.
+    pub fn as_value(&self) -> Option<f64> {
+        match self {
+            Self::Fiber(_) => None,
+            Self::Value(v) => Some(*v),
+        }
+    }
+
+    /// Number of scalar values reachable from this payload.
+    pub fn value_count(&self) -> usize {
+        match self {
+            Self::Fiber(fb) => fb.value_count(),
+            Self::Value(_) => 1,
+        }
+    }
+}
+
+/// A fiber: the set of `(coordinate, payload)` pairs for one index of a rank.
+///
+/// A fiber has a *shape* (the number of possible coordinates, i.e. the
+/// dimension size) and an *occupancy* (the number of coordinates actually
+/// present, i.e. associated with nonzero content). Coordinates are kept
+/// sorted and unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fiber {
+    shape: usize,
+    elems: Vec<(usize, Payload)>,
+}
+
+impl Fiber {
+    /// Creates an empty fiber with the given shape.
+    ///
+    /// # Panics
+    /// Panics if `shape == 0`.
+    pub fn new(shape: usize) -> Self {
+        assert!(shape > 0, "fiber shape must be positive");
+        Self { shape, elems: Vec::new() }
+    }
+
+    /// The number of possible coordinates in this fiber.
+    pub fn shape(&self) -> usize {
+        self.shape
+    }
+
+    /// The number of coordinates present (associated with nonzero content).
+    pub fn occupancy(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True if no coordinates are present.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Occupancy divided by shape.
+    pub fn density(&self) -> f64 {
+        self.occupancy() as f64 / self.shape as f64
+    }
+
+    /// Inserts a payload at `coord`, keeping coordinates sorted.
+    ///
+    /// Replaces any existing payload at the same coordinate.
+    ///
+    /// # Panics
+    /// Panics if `coord >= shape`.
+    pub fn insert(&mut self, coord: usize, payload: Payload) {
+        assert!(coord < self.shape, "coordinate {coord} out of bounds for shape {}", self.shape);
+        match self.elems.binary_search_by_key(&coord, |(c, _)| *c) {
+            Ok(i) => self.elems[i] = (coord, payload),
+            Err(i) => self.elems.insert(i, (coord, payload)),
+        }
+    }
+
+    /// Returns the payload at `coord`, if present.
+    pub fn payload(&self, coord: usize) -> Option<&Payload> {
+        self.elems
+            .binary_search_by_key(&coord, |(c, _)| *c)
+            .ok()
+            .map(|i| &self.elems[i].1)
+    }
+
+    /// Iterates over `(coordinate, payload)` pairs in coordinate order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Payload)> {
+        self.elems.iter().map(|(c, p)| (*c, p))
+    }
+
+    /// The sorted list of present coordinates.
+    pub fn coords(&self) -> Vec<usize> {
+        self.elems.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Number of scalar values reachable from this fiber.
+    pub fn value_count(&self) -> usize {
+        self.elems.iter().map(|(_, p)| p.value_count()).sum()
+    }
+
+    /// Removes coordinates for which `keep` returns false, returning the
+    /// number of coordinates removed.
+    pub fn retain(&mut self, mut keep: impl FnMut(usize, &Payload) -> bool) -> usize {
+        let before = self.elems.len();
+        self.elems.retain(|(c, p)| keep(*c, p));
+        before - self.elems.len()
+    }
+}
+
+impl fmt::Display for Fiber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (c, p)) in self.elems.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match p {
+                Payload::Value(v) => write!(f, "{c}:{v}")?,
+                Payload::Fiber(fb) => write!(f, "{c}:{fb}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted_and_unique() {
+        let mut fb = Fiber::new(8);
+        fb.insert(5, Payload::Value(1.0));
+        fb.insert(2, Payload::Value(2.0));
+        fb.insert(5, Payload::Value(3.0));
+        assert_eq!(fb.coords(), vec![2, 5]);
+        assert_eq!(fb.payload(5).unwrap().as_value(), Some(3.0));
+        assert_eq!(fb.occupancy(), 2);
+        assert_eq!(fb.shape(), 8);
+    }
+
+    #[test]
+    fn density_and_value_count() {
+        let mut fb = Fiber::new(4);
+        fb.insert(0, Payload::Value(1.0));
+        fb.insert(3, Payload::Value(2.0));
+        assert!((fb.density() - 0.5).abs() < 1e-12);
+        assert_eq!(fb.value_count(), 2);
+    }
+
+    #[test]
+    fn retain_removes_and_reports() {
+        let mut fb = Fiber::new(4);
+        for c in 0..4 {
+            fb.insert(c, Payload::Value(c as f64));
+        }
+        let removed = fb.retain(|c, _| c % 2 == 0);
+        assert_eq!(removed, 2);
+        assert_eq!(fb.coords(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_bounds_panics() {
+        let mut fb = Fiber::new(2);
+        fb.insert(2, Payload::Value(1.0));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut fb = Fiber::new(4);
+        fb.insert(1, Payload::Value(2.5));
+        assert_eq!(fb.to_string(), "{1:2.5}");
+    }
+}

@@ -1,0 +1,419 @@
+//! Fibertree-based sparsity specification (paper §3.2, Table 2).
+//!
+//! A [`PatternSpec`] is an ordered list of ranks, each optionally carrying a
+//! pruning [`Rule`]. It can be parsed from / displayed in the paper's
+//! notation, e.g. `RS→C1→C0(2:4)` or `RS→C2→C1(3:4)→C0(2:4)`, and checked
+//! against a concrete [`Fibertree`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::FibertreeError;
+use crate::tree::Fibertree;
+
+/// A `G:H` structured sparsity pattern: at most `G` nonzero coordinates in
+/// every fiber (block) of shape `H`.
+///
+/// The implied fiber density is `G/H`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gh {
+    /// Maximum nonzeros per block.
+    pub g: u32,
+    /// Block shape.
+    pub h: u32,
+}
+
+impl Gh {
+    /// Creates a `G:H` pattern.
+    ///
+    /// # Panics
+    /// Panics if `g == 0`, `h == 0`, or `g > h`.
+    pub fn new(g: u32, h: u32) -> Self {
+        assert!(g > 0 && h > 0 && g <= h, "invalid G:H pattern {g}:{h}");
+        Self { g, h }
+    }
+
+    /// Density `G/H` as a float.
+    pub fn density(self) -> f64 {
+        f64::from(self.g) / f64::from(self.h)
+    }
+
+    /// Sparsity `1 - G/H` as a float.
+    pub fn sparsity(self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// True if this pattern imposes no sparsity (`G == H`).
+    pub fn is_dense(self) -> bool {
+        self.g == self.h
+    }
+
+    /// The speedup a perfectly balanced skipping SAF extracts: `H/G`.
+    pub fn ideal_speedup(self) -> f64 {
+        f64::from(self.h) / f64::from(self.g)
+    }
+}
+
+impl fmt::Display for Gh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.g, self.h)
+    }
+}
+
+impl FromStr for Gh {
+    type Err = FibertreeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (g, h) = s
+            .split_once(':')
+            .ok_or_else(|| FibertreeError::SpecParse(format!("expected G:H, got `{s}`")))?;
+        let g: u32 = g
+            .trim()
+            .parse()
+            .map_err(|_| FibertreeError::SpecParse(format!("bad G in `{s}`")))?;
+        let h: u32 = h
+            .trim()
+            .parse()
+            .map_err(|_| FibertreeError::SpecParse(format!("bad H in `{s}`")))?;
+        if g == 0 || h == 0 || g > h {
+            return Err(FibertreeError::SpecParse(format!("invalid G:H pattern `{s}`")));
+        }
+        Ok(Self { g, h })
+    }
+}
+
+/// Pruning rule assigned to one rank of a specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// No explicit pruning at this rank (displayed without parentheses).
+    None,
+    /// Arbitrary coordinates may be pruned (unstructured at this rank).
+    Unconstrained,
+    /// `G:H` structured pruning: fibers at this rank have shape `H` and at
+    /// most `G` occupied coordinates.
+    Gh(Gh),
+}
+
+impl Rule {
+    /// Density upper bound this rule implies (1.0 for `None`/`Unconstrained`).
+    pub fn density_bound(self) -> f64 {
+        match self {
+            Self::None | Self::Unconstrained => 1.0,
+            Self::Gh(gh) => gh.density(),
+        }
+    }
+}
+
+/// One rank of a [`PatternSpec`]: a name plus a pruning rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankSpec {
+    /// Rank name (e.g. `"RS"`, `"C1"`).
+    pub name: String,
+    /// Pruning rule for this rank.
+    pub rule: Rule,
+}
+
+impl RankSpec {
+    /// Creates a rank spec.
+    pub fn new(name: impl Into<String>, rule: Rule) -> Self {
+        Self { name: name.into(), rule }
+    }
+}
+
+/// A fibertree-based sparsity pattern specification: ranks ordered highest to
+/// lowest, each with a pruning rule (paper §3.2).
+///
+/// # Example
+///
+/// ```
+/// use hl_fibertree::spec::PatternSpec;
+/// let spec = PatternSpec::parse("RS→C2→C1(3:4)→C0(2:4)")?;
+/// assert_eq!(spec.rank_count(), 4);
+/// assert_eq!(spec.hss_rank_count(), 2);                 // two ranks carry G:H rules
+/// assert!((spec.density_bound() - 0.375).abs() < 1e-12); // 3/4 * 2/4
+/// # Ok::<(), hl_fibertree::FibertreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSpec {
+    ranks: Vec<RankSpec>,
+}
+
+impl PatternSpec {
+    /// Creates a specification from rank specs ordered highest to lowest.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is empty.
+    pub fn new(ranks: Vec<RankSpec>) -> Self {
+        assert!(!ranks.is_empty(), "specification needs at least one rank");
+        Self { ranks }
+    }
+
+    /// Parses the paper's notation, accepting both `→` and `->` separators.
+    ///
+    /// Rules: absent (no parentheses), `(unconstrained)`, or `(G:H)`.
+    ///
+    /// # Errors
+    /// Returns [`FibertreeError::SpecParse`] on malformed input.
+    pub fn parse(s: &str) -> Result<Self, FibertreeError> {
+        let normalized = s.replace("->", "→");
+        let mut ranks = Vec::new();
+        for part in normalized.split('→') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(FibertreeError::SpecParse(format!("empty rank in `{s}`")));
+            }
+            let (name, rule) = match part.split_once('(') {
+                None => (part.to_string(), Rule::None),
+                Some((name, rest)) => {
+                    let inner = rest.strip_suffix(')').ok_or_else(|| {
+                        FibertreeError::SpecParse(format!("missing `)` in `{part}`"))
+                    })?;
+                    let rule = if inner.eq_ignore_ascii_case("unconstrained") {
+                        Rule::Unconstrained
+                    } else {
+                        Rule::Gh(inner.parse()?)
+                    };
+                    (name.trim().to_string(), rule)
+                }
+            };
+            if name.is_empty() {
+                return Err(FibertreeError::SpecParse(format!("unnamed rank in `{s}`")));
+            }
+            ranks.push(RankSpec { name, rule });
+        }
+        if ranks.is_empty() {
+            return Err(FibertreeError::SpecParse("empty specification".into()));
+        }
+        Ok(Self { ranks })
+    }
+
+    /// The rank specs, highest to lowest.
+    pub fn ranks(&self) -> &[RankSpec] {
+        &self.ranks
+    }
+
+    /// Total number of ranks.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Number of ranks carrying `G:H` rules — the paper's `N` in "N-rank HSS".
+    pub fn hss_rank_count(&self) -> usize {
+        self.ranks.iter().filter(|r| matches!(r.rule, Rule::Gh(_))).count()
+    }
+
+    /// The `G:H` rules, ordered highest rank first.
+    pub fn gh_rules(&self) -> Vec<Gh> {
+        self.ranks
+            .iter()
+            .filter_map(|r| match r.rule {
+                Rule::Gh(gh) => Some(gh),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Density upper bound: the product of per-rank density bounds
+    /// (`sparsity = 1 − Π G_n/H_n`, paper §4.1.2).
+    pub fn density_bound(&self) -> f64 {
+        self.ranks.iter().map(|r| r.rule.density_bound()).product()
+    }
+
+    /// Sparsity lower bound implied by the `G:H` rules.
+    pub fn sparsity_bound(&self) -> f64 {
+        1.0 - self.density_bound()
+    }
+
+    /// Checks that `tree` conforms to this specification.
+    ///
+    /// Rank names and order must match; every rank with a `G:H` rule must
+    /// have fiber shape `H` and per-fiber occupancy at most `G`.
+    ///
+    /// # Errors
+    /// Returns [`FibertreeError::NonConformant`] describing the first
+    /// violation found.
+    pub fn check(&self, tree: &Fibertree) -> Result<(), FibertreeError> {
+        if tree.rank_count() != self.ranks.len() {
+            return Err(FibertreeError::NonConformant(format!(
+                "spec has {} ranks, tensor has {}",
+                self.ranks.len(),
+                tree.rank_count()
+            )));
+        }
+        for (i, (rs, ri)) in self.ranks.iter().zip(tree.ranks()).enumerate() {
+            if rs.name != ri.name {
+                return Err(FibertreeError::NonConformant(format!(
+                    "rank {i} named `{}` in spec but `{}` in tensor",
+                    rs.name, ri.name
+                )));
+            }
+            if let Rule::Gh(gh) = rs.rule {
+                if ri.shape != gh.h as usize {
+                    return Err(FibertreeError::NonConformant(format!(
+                        "rank `{}` has shape {} but rule {gh} requires fiber shape {}",
+                        rs.name, ri.shape, gh.h
+                    )));
+                }
+                for fiber in tree.fibers_at(i) {
+                    if fiber.occupancy() > gh.g as usize {
+                        return Err(FibertreeError::NonConformant(format!(
+                            "a fiber in rank `{}` has occupancy {} > G={} (rule {gh})",
+                            rs.name,
+                            fiber.occupancy(),
+                            gh.g
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The succinct form keeping only ranks that carry rules, as used in the
+    /// paper ("RS→C1→C0(2:4) is simplified to C0(2:4)").
+    pub fn succinct(&self) -> String {
+        let with_rules: Vec<String> = self
+            .ranks
+            .iter()
+            .filter(|r| r.rule != Rule::None)
+            .map(|r| format_rank(r))
+            .collect();
+        if with_rules.is_empty() {
+            "dense".to_string()
+        } else {
+            with_rules.join("→")
+        }
+    }
+}
+
+fn format_rank(r: &RankSpec) -> String {
+    match r.rule {
+        Rule::None => r.name.clone(),
+        Rule::Unconstrained => format!("{}(Unconstrained)", r.name),
+        Rule::Gh(gh) => format!("{}({gh})", r.name),
+    }
+}
+
+impl fmt::Display for PatternSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.ranks.iter().map(format_rank).collect();
+        write!(f, "{}", parts.join("→"))
+    }
+}
+
+impl FromStr for PatternSpec {
+    type Err = FibertreeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Fibertree;
+
+    #[test]
+    fn gh_basics() {
+        let gh = Gh::new(2, 4);
+        assert_eq!(gh.density(), 0.5);
+        assert_eq!(gh.ideal_speedup(), 2.0);
+        assert!(!gh.is_dense());
+        assert!(Gh::new(4, 4).is_dense());
+        assert_eq!(gh.to_string(), "2:4");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid G:H")]
+    fn gh_rejects_g_above_h() {
+        let _ = Gh::new(5, 4);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [
+            "CRS(Unconstrained)",
+            "C(Unconstrained)→R→S",
+            "RS→C1→C0(2:4)",
+            "RS→C2→C1(3:4)→C0(2:4)",
+        ] {
+            let spec = PatternSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_ascii_arrow() {
+        let a = PatternSpec::parse("RS->C1->C0(2:4)").unwrap();
+        let b = PatternSpec::parse("RS→C1→C0(2:4)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(PatternSpec::parse("").is_err());
+        assert!(PatternSpec::parse("C(2:4").is_err());
+        assert!(PatternSpec::parse("C(4:2)").is_err());
+        assert!(PatternSpec::parse("→C").is_err());
+        assert!(PatternSpec::parse("C(0:4)").is_err());
+    }
+
+    #[test]
+    fn density_bound_multiplies_fractions() {
+        let spec = PatternSpec::parse("RS→C2→C1(3:4)→C0(2:4)").unwrap();
+        assert!((spec.density_bound() - 0.375).abs() < 1e-12);
+        assert!((spec.sparsity_bound() - 0.625).abs() < 1e-12);
+        assert_eq!(spec.hss_rank_count(), 2);
+        assert_eq!(spec.gh_rules(), vec![Gh::new(3, 4), Gh::new(2, 4)]);
+    }
+
+    #[test]
+    fn succinct_drops_unruled_ranks() {
+        let spec = PatternSpec::parse("RS→C1→C0(2:4)").unwrap();
+        assert_eq!(spec.succinct(), "C0(2:4)");
+        let dense = PatternSpec::parse("M→K").unwrap();
+        assert_eq!(dense.succinct(), "dense");
+    }
+
+    fn conforming_2_4() -> Fibertree {
+        // 1x2x4: two blocks of 4, each with exactly 2 nonzeros.
+        let data = vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 4.0];
+        Fibertree::from_dense(&data, &[1, 2, 4], &["RS", "C1", "C0"]).unwrap()
+    }
+
+    #[test]
+    fn check_accepts_conforming() {
+        let spec = PatternSpec::parse("RS→C1→C0(2:4)").unwrap();
+        spec.check(&conforming_2_4()).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_overfull_fiber() {
+        let data = vec![1.0, 1.0, 2.0, 0.0, 0.0, 3.0, 0.0, 4.0];
+        let t = Fibertree::from_dense(&data, &[1, 2, 4], &["RS", "C1", "C0"]).unwrap();
+        let spec = PatternSpec::parse("RS→C1→C0(2:4)").unwrap();
+        let err = spec.check(&t).unwrap_err();
+        assert!(matches!(err, FibertreeError::NonConformant(_)));
+    }
+
+    #[test]
+    fn check_rejects_wrong_shape_or_names() {
+        let spec = PatternSpec::parse("RS→C1→C0(2:8)").unwrap();
+        assert!(spec.check(&conforming_2_4()).is_err()); // shape 4 != 8
+        let spec2 = PatternSpec::parse("RS→K1→K0(2:4)").unwrap();
+        assert!(spec2.check(&conforming_2_4()).is_err()); // names differ
+    }
+
+    #[test]
+    fn check_two_rank_hss() {
+        // RS -> C2 -> C1(1:2) -> C0(2:4): C1 fibers (shape 2) have <=1
+        // non-empty block; C0 fibers (shape 4) have <=2 values.
+        let mut data = vec![0.0; 1 * 1 * 2 * 4];
+        data[0] = 1.0;
+        data[2] = 2.0; // block 0 occupied with 2 values; block 1 empty
+        let t = Fibertree::from_dense(&data, &[1, 1, 2, 4], &["RS", "C2", "C1", "C0"]).unwrap();
+        let spec = PatternSpec::parse("RS→C2→C1(1:2)→C0(2:4)").unwrap();
+        spec.check(&t).unwrap();
+    }
+}

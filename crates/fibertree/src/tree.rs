@@ -1,0 +1,515 @@
+use crate::error::FibertreeError;
+use crate::fiber::{Fiber, Payload};
+
+/// Name and shape of one rank (tensor dimension) in a [`Fibertree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankInfo {
+    /// Rank name, e.g. `"C"`, `"RS"`, `"C0"`.
+    pub name: String,
+    /// Dimension size: the shape of every fiber in this rank.
+    pub shape: usize,
+}
+
+impl RankInfo {
+    /// Creates a new rank descriptor.
+    pub fn new(name: impl Into<String>, shape: usize) -> Self {
+        Self { name: name.into(), shape }
+    }
+}
+
+/// A fibertree: a rank-ordered, zero-free representation of a tensor.
+///
+/// The tree stores only nonzero values. Ranks are ordered highest (outermost)
+/// to lowest (innermost); the lowest rank's payloads are scalar values.
+/// Content-preserving transformations — [`reorder`](Self::reorder),
+/// [`flatten_ranks`](Self::flatten_ranks), and [`split_rank`](Self::split_rank)
+/// — implement the rank manipulations the paper's sparsity specifications are
+/// built from (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fibertree {
+    ranks: Vec<RankInfo>,
+    root: Fiber,
+}
+
+impl Fibertree {
+    /// Builds a fibertree from dense row-major data, dropping zeros.
+    ///
+    /// `shape` and `names` are ordered highest rank first (e.g. `["C","R","S"]`
+    /// for a CRS weight tensor).
+    ///
+    /// # Errors
+    /// Returns an error if the data length does not match the shape, the name
+    /// count does not match the dimension count, or any dimension is zero.
+    pub fn from_dense(
+        data: &[f64],
+        shape: &[usize],
+        names: &[&str],
+    ) -> Result<Self, FibertreeError> {
+        if shape.iter().any(|&s| s == 0) || shape.is_empty() {
+            return Err(FibertreeError::EmptyDimension);
+        }
+        if names.len() != shape.len() {
+            return Err(FibertreeError::RankCountMismatch { names: names.len(), dims: shape.len() });
+        }
+        let total: usize = shape.iter().product();
+        if data.len() != total {
+            return Err(FibertreeError::ShapeMismatch { data_len: data.len(), shape_len: total });
+        }
+        let ranks: Vec<RankInfo> =
+            names.iter().zip(shape).map(|(n, &s)| RankInfo::new(*n, s)).collect();
+        let mut tree = Self { ranks, root: Fiber::new(shape[0]) };
+        let mut coords = vec![0usize; shape.len()];
+        for (i, &v) in data.iter().enumerate() {
+            if v != 0.0 {
+                let mut rem = i;
+                for (d, &s) in shape.iter().enumerate().rev() {
+                    coords[d] = rem % s;
+                    rem /= s;
+                }
+                tree.insert(&coords, v);
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Builds an empty fibertree with the given rank descriptors.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is empty or any shape is zero.
+    pub fn empty(ranks: Vec<RankInfo>) -> Self {
+        assert!(!ranks.is_empty(), "fibertree needs at least one rank");
+        let shape0 = ranks[0].shape;
+        Self { ranks, root: Fiber::new(shape0) }
+    }
+
+    /// The rank descriptors, highest rank first.
+    pub fn ranks(&self) -> &[RankInfo] {
+        &self.ranks
+    }
+
+    /// Number of ranks (tensor dimensions).
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The root fiber (highest rank).
+    pub fn root(&self) -> &Fiber {
+        &self.root
+    }
+
+    /// Total number of possible positions (product of shapes).
+    pub fn volume(&self) -> usize {
+        self.ranks.iter().map(|r| r.shape).product()
+    }
+
+    /// Number of nonzero values stored.
+    pub fn nonzeros(&self) -> usize {
+        self.root.value_count()
+    }
+
+    /// Fraction of positions that are nonzero.
+    pub fn density(&self) -> f64 {
+        self.nonzeros() as f64 / self.volume() as f64
+    }
+
+    /// Fraction of positions that are zero (`1 - density`).
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// Inserts a nonzero value at the given coordinate tuple.
+    ///
+    /// Inserting `0.0` is ignored (fibertrees store only nonzeros).
+    ///
+    /// # Panics
+    /// Panics if `coords.len()` differs from the rank count or any coordinate
+    /// is out of bounds.
+    pub fn insert(&mut self, coords: &[usize], value: f64) {
+        assert_eq!(coords.len(), self.ranks.len(), "coordinate arity mismatch");
+        if value == 0.0 {
+            return;
+        }
+        let shapes: Vec<usize> = self.ranks.iter().map(|r| r.shape).collect();
+        Self::insert_rec(&mut self.root, &shapes, coords, value);
+    }
+
+    fn insert_rec(fiber: &mut Fiber, shapes: &[usize], coords: &[usize], value: f64) {
+        let c = coords[0];
+        if coords.len() == 1 {
+            fiber.insert(c, Payload::Value(value));
+            return;
+        }
+        // Fetch-or-create the sub-fiber, then recurse.
+        if fiber.payload(c).is_none() {
+            fiber.insert(c, Payload::Fiber(Fiber::new(shapes[1])));
+        }
+        // Re-find mutably: rebuild via retain-free approach.
+        let mut sub = match fiber.payload(c).expect("just inserted") {
+            Payload::Fiber(fb) => fb.clone(),
+            Payload::Value(_) => unreachable!("intermediate rank holds a value"),
+        };
+        Self::insert_rec(&mut sub, &shapes[1..], &coords[1..], value);
+        fiber.insert(c, Payload::Fiber(sub));
+    }
+
+    /// Returns the value at the coordinate tuple, or `0.0` if absent.
+    ///
+    /// # Panics
+    /// Panics if the coordinate arity mismatches.
+    pub fn get(&self, coords: &[usize]) -> f64 {
+        assert_eq!(coords.len(), self.ranks.len(), "coordinate arity mismatch");
+        let mut fiber = &self.root;
+        for (d, &c) in coords.iter().enumerate() {
+            match fiber.payload(c) {
+                None => return 0.0,
+                Some(Payload::Value(v)) => {
+                    debug_assert_eq!(d, coords.len() - 1);
+                    return *v;
+                }
+                Some(Payload::Fiber(fb)) => fiber = fb,
+            }
+        }
+        unreachable!("lowest rank must hold values")
+    }
+
+    /// Iterates over all `(coordinate tuple, value)` pairs in order.
+    pub fn iter(&self) -> Vec<(Vec<usize>, f64)> {
+        let mut out = Vec::with_capacity(self.nonzeros());
+        let mut prefix = Vec::with_capacity(self.ranks.len());
+        Self::walk(&self.root, &mut prefix, &mut out);
+        out
+    }
+
+    fn walk(fiber: &Fiber, prefix: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, f64)>) {
+        for (c, p) in fiber.iter() {
+            prefix.push(c);
+            match p {
+                Payload::Value(v) => out.push((prefix.clone(), *v)),
+                Payload::Fiber(fb) => Self::walk(fb, prefix, out),
+            }
+            prefix.pop();
+        }
+    }
+
+    /// Converts back to dense row-major data in the current rank order.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let shapes: Vec<usize> = self.ranks.iter().map(|r| r.shape).collect();
+        let mut out = vec![0.0; self.volume()];
+        for (coords, v) in self.iter() {
+            let mut idx = 0usize;
+            for (d, &c) in coords.iter().enumerate() {
+                idx = idx * shapes[d] + c;
+            }
+            out[idx] = v;
+        }
+        out
+    }
+
+    /// Returns a tree with ranks permuted: output rank `i` is input rank
+    /// `perm[i]`.
+    ///
+    /// # Errors
+    /// Returns an error if `perm` is not a permutation of `0..rank_count()`.
+    pub fn reorder(&self, perm: &[usize]) -> Result<Self, FibertreeError> {
+        let n = self.ranks.len();
+        let mut seen = vec![false; n];
+        if perm.len() != n {
+            return Err(FibertreeError::InvalidPermutation);
+        }
+        for &p in perm {
+            if p >= n || seen[p] {
+                return Err(FibertreeError::InvalidPermutation);
+            }
+            seen[p] = true;
+        }
+        let ranks: Vec<RankInfo> = perm.iter().map(|&p| self.ranks[p].clone()).collect();
+        let mut tree = Self::empty(ranks);
+        let mut newc = vec![0usize; n];
+        for (coords, v) in self.iter() {
+            for (i, &p) in perm.iter().enumerate() {
+                newc[i] = coords[p];
+            }
+            tree.insert(&newc, v);
+        }
+        Ok(tree)
+    }
+
+    /// Flattens adjacent ranks `rank` and `rank + 1` into one rank.
+    ///
+    /// The combined coordinate is `c_hi * shape_lo + c_lo` and the combined
+    /// name is the concatenation of the two names (e.g. `R`,`S` → `RS`).
+    ///
+    /// # Errors
+    /// Returns an error if `rank + 1` is out of bounds.
+    pub fn flatten_ranks(&self, rank: usize) -> Result<Self, FibertreeError> {
+        let n = self.ranks.len();
+        if rank + 1 >= n {
+            return Err(FibertreeError::RankOutOfBounds { rank: rank + 1, ranks: n });
+        }
+        let mut ranks = Vec::with_capacity(n - 1);
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i == rank {
+                ranks.push(RankInfo::new(
+                    format!("{}{}", r.name, self.ranks[i + 1].name),
+                    r.shape * self.ranks[i + 1].shape,
+                ));
+            } else if i != rank + 1 {
+                ranks.push(r.clone());
+            }
+        }
+        let lo_shape = self.ranks[rank + 1].shape;
+        let mut tree = Self::empty(ranks);
+        for (coords, v) in self.iter() {
+            let mut newc = Vec::with_capacity(n - 1);
+            for (i, &c) in coords.iter().enumerate() {
+                if i == rank {
+                    newc.push(c * lo_shape + coords[i + 1]);
+                } else if i != rank + 1 {
+                    newc.push(c);
+                }
+            }
+            tree.insert(&newc, v);
+        }
+        Ok(tree)
+    }
+
+    /// Splits (partitions) rank `rank` into an upper rank of blocks and a
+    /// lower rank of `block` coordinates each: `c → (c / block, c % block)`.
+    ///
+    /// Names follow the paper's convention: splitting `C` yields `C1` and
+    /// `C0`; splitting `C1` again would yield `C11`/`C10` — callers wanting
+    /// the paper's `C2→C1→C0` naming can use
+    /// [`split_rank_named`](Self::split_rank_named).
+    ///
+    /// # Errors
+    /// Returns an error if the rank is out of bounds, or `block` is zero or
+    /// larger than the rank shape, or does not divide the rank shape.
+    pub fn split_rank(&self, rank: usize, block: usize) -> Result<Self, FibertreeError> {
+        let name = match self.ranks.get(rank) {
+            Some(r) => r.name.clone(),
+            None => {
+                return Err(FibertreeError::RankOutOfBounds { rank, ranks: self.ranks.len() })
+            }
+        };
+        self.split_rank_named(rank, block, &format!("{name}1"), &format!("{name}0"))
+    }
+
+    /// Like [`split_rank`](Self::split_rank) but with explicit names for the
+    /// upper and lower result ranks.
+    ///
+    /// # Errors
+    /// Same conditions as [`split_rank`](Self::split_rank).
+    pub fn split_rank_named(
+        &self,
+        rank: usize,
+        block: usize,
+        upper: &str,
+        lower: &str,
+    ) -> Result<Self, FibertreeError> {
+        let n = self.ranks.len();
+        if rank >= n {
+            return Err(FibertreeError::RankOutOfBounds { rank, ranks: n });
+        }
+        let shape = self.ranks[rank].shape;
+        if block == 0 || block > shape || shape % block != 0 {
+            return Err(FibertreeError::InvalidSplit { block, shape });
+        }
+        let mut ranks = Vec::with_capacity(n + 1);
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i == rank {
+                ranks.push(RankInfo::new(upper, shape / block));
+                ranks.push(RankInfo::new(lower, block));
+            } else {
+                ranks.push(r.clone());
+            }
+        }
+        let mut tree = Self::empty(ranks);
+        for (coords, v) in self.iter() {
+            let mut newc = Vec::with_capacity(n + 1);
+            for (i, &c) in coords.iter().enumerate() {
+                if i == rank {
+                    newc.push(c / block);
+                    newc.push(c % block);
+                } else {
+                    newc.push(c);
+                }
+            }
+            tree.insert(&newc, v);
+        }
+        Ok(tree)
+    }
+
+    /// Collects every fiber at depth `rank` (0 = root rank).
+    ///
+    /// Only *non-empty* fibers are reachable; an absent coordinate at a higher
+    /// rank implies an all-zero (pruned) subtree.
+    pub fn fibers_at(&self, rank: usize) -> Vec<&Fiber> {
+        let mut out = Vec::new();
+        fn collect<'a>(fiber: &'a Fiber, depth: usize, target: usize, out: &mut Vec<&'a Fiber>) {
+            if depth == target {
+                out.push(fiber);
+                return;
+            }
+            for (_, p) in fiber.iter() {
+                if let Payload::Fiber(fb) = p {
+                    collect(fb, depth + 1, target, out);
+                }
+            }
+        }
+        collect(&self.root, 0, rank, &mut out);
+        out
+    }
+
+    /// Per-fiber occupancies at depth `rank`, *including* fibers that are
+    /// implicitly empty because an ancestor coordinate is pruned.
+    ///
+    /// The result always has `prod(shape[0..rank])` entries, so statistics
+    /// computed from it reflect the whole tensor.
+    pub fn occupancies_at(&self, rank: usize) -> Vec<usize> {
+        let total: usize = self.ranks[..rank].iter().map(|r| r.shape).product();
+        let mut out = vec![0usize; total];
+        let shapes: Vec<usize> = self.ranks.iter().map(|r| r.shape).collect();
+        fn collect(
+            fiber: &Fiber,
+            depth: usize,
+            target: usize,
+            index: usize,
+            shapes: &[usize],
+            out: &mut Vec<usize>,
+        ) {
+            if depth == target {
+                out[index] = fiber.occupancy();
+                return;
+            }
+            for (c, p) in fiber.iter() {
+                if let Payload::Fiber(fb) = p {
+                    collect(fb, depth + 1, target, index * shapes[depth] + c, shapes, out);
+                }
+            }
+        }
+        collect(&self.root, 0, rank, 0, &shapes, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Fibertree {
+        // 2x2x4 CRS tensor from the paper's Fig. 3 flavour.
+        #[rustfmt::skip]
+        let data = vec![
+            // c=0
+            1.0, 0.0, 2.0, 0.0,
+            0.0, 3.0, 0.0, 0.0,
+            // c=1
+            0.0, 0.0, 0.0, 0.0,
+            4.0, 5.0, 0.0, 6.0,
+        ];
+        Fibertree::from_dense(&data, &[2, 2, 4], &["C", "R", "S"]).unwrap()
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let t = sample_tree();
+        assert_eq!(t.nonzeros(), 6);
+        assert_eq!(t.volume(), 16);
+        assert!((t.density() - 6.0 / 16.0).abs() < 1e-12);
+        let dense = t.to_dense();
+        assert_eq!(dense[0], 1.0);
+        assert_eq!(dense[2], 2.0);
+        assert_eq!(dense[12], 4.0);
+        assert_eq!(dense.iter().filter(|&&v| v != 0.0).count(), 6);
+    }
+
+    #[test]
+    fn get_present_and_absent() {
+        let t = sample_tree();
+        assert_eq!(t.get(&[0, 0, 0]), 1.0);
+        assert_eq!(t.get(&[1, 1, 3]), 6.0);
+        assert_eq!(t.get(&[1, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn reorder_moves_rank() {
+        let t = sample_tree();
+        // CRS -> RSC
+        let r = t.reorder(&[1, 2, 0]).unwrap();
+        assert_eq!(r.ranks()[0].name, "R");
+        assert_eq!(r.ranks()[2].name, "C");
+        assert_eq!(r.get(&[0, 0, 0]), 1.0); // was C=0,R=0,S=0
+        assert_eq!(r.get(&[1, 3, 1]), 6.0); // was C=1,R=1,S=3
+        assert_eq!(r.nonzeros(), 6);
+    }
+
+    #[test]
+    fn reorder_rejects_bad_perm() {
+        let t = sample_tree();
+        assert!(t.reorder(&[0, 0, 1]).is_err());
+        assert!(t.reorder(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn flatten_combines_ranks() {
+        let t = sample_tree();
+        let f = t.flatten_ranks(1).unwrap(); // C, RS
+        assert_eq!(f.rank_count(), 2);
+        assert_eq!(f.ranks()[1].name, "RS");
+        assert_eq!(f.ranks()[1].shape, 8);
+        assert_eq!(f.get(&[0, 2]), 2.0); // R=0,S=2 -> RS=2
+        assert_eq!(f.get(&[1, 7]), 6.0); // R=1,S=3 -> RS=7
+    }
+
+    #[test]
+    fn split_partitions_rank() {
+        let t = sample_tree();
+        let s = t.split_rank(2, 2).unwrap(); // S -> S1 (shape 2), S0 (shape 2)
+        assert_eq!(s.rank_count(), 4);
+        assert_eq!(s.ranks()[2].name, "S1");
+        assert_eq!(s.ranks()[3].name, "S0");
+        assert_eq!(s.get(&[0, 0, 1, 0]), 2.0); // S=2 -> (1,0)
+        assert_eq!(s.get(&[1, 1, 1, 1]), 6.0); // S=3 -> (1,1)
+    }
+
+    #[test]
+    fn split_rejects_nondivisible_block() {
+        let t = sample_tree();
+        assert!(t.split_rank(2, 3).is_err());
+        assert!(t.split_rank(2, 0).is_err());
+        assert!(t.split_rank(9, 2).is_err());
+    }
+
+    #[test]
+    fn split_then_flatten_is_identity() {
+        let t = sample_tree();
+        let s = t.split_rank(2, 2).unwrap();
+        let back = s.flatten_ranks(2).unwrap();
+        assert_eq!(back.to_dense(), t.to_dense());
+    }
+
+    #[test]
+    fn fibers_at_counts() {
+        let t = sample_tree();
+        // Rank 1 (R): non-empty R-fibers: c=0 has one, c=1 has one.
+        assert_eq!(t.fibers_at(1).len(), 2);
+        // Rank 2 (S): (0,0), (0,1), (1,1) are non-empty.
+        assert_eq!(t.fibers_at(2).len(), 3);
+    }
+
+    #[test]
+    fn occupancies_include_empty_fibers() {
+        let t = sample_tree();
+        let occ = t.occupancies_at(2);
+        assert_eq!(occ.len(), 4); // C*R = 4 S-fibers
+        assert_eq!(occ, vec![2, 1, 0, 3]);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = Fibertree::empty(vec![RankInfo::new("M", 2), RankInfo::new("K", 2)]);
+        assert_eq!(t.nonzeros(), 0);
+        assert_eq!(t.get(&[1, 1]), 0.0);
+        assert_eq!(t.sparsity(), 1.0);
+    }
+}

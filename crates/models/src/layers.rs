@@ -1,0 +1,151 @@
+use std::fmt;
+
+use hl_tensor::GemmShape;
+
+/// The kind of DNN layer a GEMM came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolution, Toeplitz-expanded (Fig. 8a).
+    Conv,
+    /// Fully-connected / linear projection.
+    Linear,
+}
+
+/// One (possibly repeated) GEMM layer of a DNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Layer name for reports.
+    pub name: String,
+    /// Layer kind.
+    pub kind: LayerKind,
+    /// GEMM shape: weights are operand A (`M×K`), activations operand B
+    /// (`K×N`).
+    pub shape: GemmShape,
+    /// How many times this shape occurs in the network.
+    pub count: u32,
+    /// Whether the paper's evaluation prunes this layer's weights (§7.3).
+    pub prunable: bool,
+    /// Typical input-activation sparsity for this layer (operand B).
+    pub activation_sparsity: f64,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    ///
+    /// # Panics
+    /// Panics if `count == 0` or `activation_sparsity` is outside `[0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        kind: LayerKind,
+        shape: GemmShape,
+        count: u32,
+        prunable: bool,
+        activation_sparsity: f64,
+    ) -> Self {
+        assert!(count > 0, "layer count must be positive");
+        assert!(
+            (0.0..=1.0).contains(&activation_sparsity),
+            "activation sparsity must be in [0,1]"
+        );
+        Self { name: name.into(), kind, shape, count, prunable, activation_sparsity }
+    }
+
+    /// Dense MACs contributed by all occurrences of this layer.
+    pub fn total_macs(&self) -> f64 {
+        self.shape.macs() as f64 * f64::from(self.count)
+    }
+}
+
+/// A DNN model: a named inventory of GEMM layers plus accuracy metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnnModel {
+    /// Model name.
+    pub name: String,
+    /// Accuracy metric name (e.g. `"top-1 %"`, `"BLEU"`).
+    pub metric: &'static str,
+    /// Published dense accuracy (for context in reports).
+    pub dense_accuracy: f64,
+    /// Accuracy-loss sensitivity coefficient for the surrogate
+    /// ([`crate::accuracy`]).
+    pub sensitivity: f64,
+    /// The layers.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl DnnModel {
+    /// Total dense MACs over all layers.
+    pub fn total_macs(&self) -> f64 {
+        self.layers.iter().map(LayerSpec::total_macs).sum()
+    }
+
+    /// MACs in prunable layers only.
+    pub fn prunable_macs(&self) -> f64 {
+        self.layers.iter().filter(|l| l.prunable).map(LayerSpec::total_macs).sum()
+    }
+
+    /// Fraction of MACs in prunable layers.
+    pub fn prunable_fraction(&self) -> f64 {
+        self.prunable_macs() / self.total_macs()
+    }
+
+    /// MAC-weighted average activation sparsity.
+    pub fn avg_activation_sparsity(&self) -> f64 {
+        let weighted: f64 =
+            self.layers.iter().map(|l| l.activation_sparsity * l.total_macs()).sum();
+        weighted / self.total_macs()
+    }
+
+    /// True if some evaluated layers must stay dense (which excludes designs
+    /// that cannot process purely dense operands, §7.3).
+    pub fn has_dense_layers(&self) -> bool {
+        self.layers.iter().any(|l| !l.prunable)
+    }
+}
+
+impl fmt::Display for DnnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} layer shapes, {:.2} GMACs ({:.0}% prunable)",
+            self.name,
+            self.layers.len(),
+            self.total_macs() / 1e9,
+            self.prunable_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_macs_scale_with_count() {
+        let l = LayerSpec::new("l", LayerKind::Linear, GemmShape::new(2, 3, 4), 5, true, 0.0);
+        assert_eq!(l.total_macs(), 120.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_count_panics() {
+        let _ = LayerSpec::new("l", LayerKind::Conv, GemmShape::new(1, 1, 1), 0, true, 0.0);
+    }
+
+    #[test]
+    fn model_aggregates() {
+        let m = DnnModel {
+            name: "m".into(),
+            metric: "top-1 %",
+            dense_accuracy: 76.0,
+            sensitivity: 1.0,
+            layers: vec![
+                LayerSpec::new("a", LayerKind::Conv, GemmShape::new(10, 10, 10), 1, true, 0.6),
+                LayerSpec::new("b", LayerKind::Linear, GemmShape::new(10, 10, 10), 1, false, 0.0),
+            ],
+        };
+        assert_eq!(m.total_macs(), 2000.0);
+        assert_eq!(m.prunable_fraction(), 0.5);
+        assert!((m.avg_activation_sparsity() - 0.3).abs() < 1e-12);
+        assert!(m.has_dense_layers());
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's three representative DNNs as GEMM layer inventories
+//! (paper §7.1.2).
+//!
+//! Convolutions are recorded with their Toeplitz-expanded GEMM shapes
+//! (`M × C·R·S × P·Q`, Fig. 8a); attention models with their projection and
+//! feed-forward GEMMs. Which layers are pruned follows §7.3 exactly:
+//! everything for ResNet50; feed-forward + output projection for
+//! DeiT-small; feed-forward + all projections for Transformer-Big.
+//! Activation (operand B) sparsities reflect the paper's observations:
+//! ~60% for the ReLU-based ResNet50, <10% for the attention models.
+
+use hl_tensor::GemmShape;
+
+use crate::layers::{DnnModel, LayerKind, LayerSpec};
+
+fn conv(name: &str, m: usize, k: usize, n: usize, count: u32, act_s: f64) -> LayerSpec {
+    LayerSpec::new(name, LayerKind::Conv, GemmShape::new(m, k, n), count, true, act_s)
+}
+
+fn linear(name: &str, m: usize, k: usize, n: usize, count: u32, prunable: bool, act_s: f64) -> LayerSpec {
+    LayerSpec::new(name, LayerKind::Linear, GemmShape::new(m, k, n), count, prunable, act_s)
+}
+
+/// ResNet50 (ImageNet, 224×224 input): all convolutional and FC layers are
+/// pruned; ReLU activations average ≈60% sparsity (the first convolution
+/// sees the dense input image).
+pub fn resnet50() -> DnnModel {
+    let act = 0.6;
+    let layers = vec![
+        conv("conv1 7x7/2", 64, 3 * 49, 112 * 112, 1, 0.0),
+        // conv2_x: 3 bottlenecks at 56x56 (N = 3136).
+        conv("conv2 b1 1x1a", 64, 64, 3136, 1, act),
+        conv("conv2 1x1a", 64, 256, 3136, 2, act),
+        conv("conv2 3x3", 64, 64 * 9, 3136, 3, act),
+        conv("conv2 1x1b", 256, 64, 3136, 3, act),
+        conv("conv2 down", 256, 64, 3136, 1, act),
+        // conv3_x: 4 bottlenecks at 28x28 (N = 784).
+        conv("conv3 b1 1x1a", 128, 256, 3136, 1, act),
+        conv("conv3 1x1a", 128, 512, 784, 3, act),
+        conv("conv3 3x3", 128, 128 * 9, 784, 4, act),
+        conv("conv3 1x1b", 512, 128, 784, 4, act),
+        conv("conv3 down", 512, 256, 784, 1, act),
+        // conv4_x: 6 bottlenecks at 14x14 (N = 196).
+        conv("conv4 b1 1x1a", 256, 512, 784, 1, act),
+        conv("conv4 1x1a", 256, 1024, 196, 5, act),
+        conv("conv4 3x3", 256, 256 * 9, 196, 6, act),
+        conv("conv4 1x1b", 1024, 256, 196, 6, act),
+        conv("conv4 down", 1024, 512, 196, 1, act),
+        // conv5_x: 3 bottlenecks at 7x7 (N = 49).
+        conv("conv5 b1 1x1a", 512, 1024, 196, 1, act),
+        conv("conv5 1x1a", 512, 2048, 49, 2, act),
+        conv("conv5 3x3", 512, 512 * 9, 49, 3, act),
+        conv("conv5 1x1b", 2048, 512, 49, 3, act),
+        conv("conv5 down", 2048, 1024, 49, 1, act),
+        linear("fc", 1000, 2048, 1, 1, true, act),
+    ];
+    DnnModel {
+        name: "ResNet50".into(),
+        metric: "top-1 %",
+        dense_accuracy: 76.1,
+        sensitivity: 1.0,
+        layers,
+    }
+}
+
+/// DeiT-small (ImageNet): 12 layers, dim 384, 197 tokens. Only the
+/// feed-forward blocks and attention output projections are pruned (§7.3) —
+/// the compact parameter count makes aggressive pruning harder (higher
+/// sensitivity). GELU keeps activations essentially dense.
+pub fn deit_small() -> DnnModel {
+    let n = 197;
+    let act = 0.05;
+    let layers = vec![
+        linear("qkv proj", 1152, 384, n, 12, false, act),
+        linear("attn out proj", 384, 384, n, 12, true, act),
+        linear("ffn fc1", 1536, 384, n, 12, true, act),
+        linear("ffn fc2", 384, 1536, n, 12, true, act),
+        linear("head", 1000, 384, 1, 1, false, act),
+    ];
+    DnnModel {
+        name: "DeiT-small".into(),
+        metric: "top-1 %",
+        dense_accuracy: 79.9,
+        sensitivity: 1.6,
+        layers,
+    }
+}
+
+/// Transformer-Big (WMT16 EN-DE): d_model 1024, d_ff 4096, 6+6 layers,
+/// batched sequence of 512 tokens. Feed-forward blocks and all projection
+/// weights are pruned (§7.3); activations average <10% sparsity.
+pub fn transformer_big() -> DnnModel {
+    let n = 512;
+    let act = 0.08;
+    let layers = vec![
+        // 4 projections per attention: encoder self (6), decoder self (6),
+        // decoder cross (6) = 18 attentions -> 72 projection GEMMs.
+        linear("attn proj", 1024, 1024, n, 72, true, act),
+        linear("ffn fc1", 4096, 1024, n, 12, true, act),
+        linear("ffn fc2", 1024, 4096, n, 12, true, act),
+    ];
+    DnnModel {
+        name: "Transformer-Big".into(),
+        metric: "BLEU",
+        dense_accuracy: 28.4,
+        sensitivity: 0.8,
+        layers,
+    }
+}
+
+/// All three evaluated models.
+pub fn all_models() -> Vec<DnnModel> {
+    vec![resnet50(), deit_small(), transformer_big()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_mac_count_is_canonical() {
+        let m = resnet50();
+        // Published ResNet50: ~4.1 GMACs.
+        let gmacs = m.total_macs() / 1e9;
+        assert!((3.4..=4.6).contains(&gmacs), "ResNet50 GMACs {gmacs}");
+        assert!((m.prunable_fraction() - 1.0).abs() < 1e-12, "all layers pruned");
+        assert!(m.avg_activation_sparsity() > 0.5, "ReLU activations are sparse");
+    }
+
+    #[test]
+    fn deit_small_leaves_qkv_dense() {
+        let m = deit_small();
+        assert!(m.has_dense_layers());
+        // FFN dominates, so the prunable fraction is large but below 1.
+        assert!(m.prunable_fraction() > 0.6 && m.prunable_fraction() < 0.9);
+        assert!(m.avg_activation_sparsity() < 0.1);
+    }
+
+    #[test]
+    fn transformer_big_is_projection_heavy() {
+        let m = transformer_big();
+        let gmacs = m.total_macs() / 1e9;
+        // 72 * 1024^2 * 512 + 24 * 4096*1024*512 ≈ 90 GMACs at N=512.
+        assert!((60.0..=120.0).contains(&gmacs), "Transformer-Big GMACs {gmacs}");
+        assert!(!m.has_dense_layers());
+        assert!(m.avg_activation_sparsity() < 0.1);
+    }
+
+    #[test]
+    fn models_are_distinct_and_named() {
+        let all = all_models();
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|m| !m.layers.is_empty()));
+    }
+}

@@ -1,0 +1,268 @@
+//! Shared analytical accounting for the accelerator models.
+//!
+//! Every design in the workspace (HighLight and the four baselines) is an
+//! analytical model in the Sparseloop style: a workload is turned into
+//! per-component *action counts*, and actions into energy via the
+//! [`Tech`] table. This module centralizes the common pieces so the designs
+//! differ only where the paper says they differ:
+//!
+//! - [`Resources`]: the Table 4 resource allocation (MACs, GLB, RF) shared
+//!   across designs for fairness;
+//! - [`TrafficModel`]: output-stationary tiling traffic — operands stream
+//!   from DRAM once and from GLB once per reuse of the opposing operand's
+//!   tile; partial sums live in the RF;
+//! - [`Accountant`]: an energy ledger with one method per action type, so a
+//!   design's `evaluate` reads like its §7 description.
+
+use hl_arch::components::{Dram, MacUnit, MuxTree, RegFile, Sram, Vfmu};
+use hl_arch::{Comp, EnergyBreakdown, Tech};
+use hl_tensor::GemmShape;
+
+/// Hardware resource allocation (paper Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resources {
+    /// Total MAC units.
+    pub macs: u64,
+    /// GLB data partition capacity (KB).
+    pub glb_kb: f64,
+    /// GLB metadata partition capacity (KB); 0 for dense designs.
+    pub glb_meta_kb: f64,
+    /// Total register-file capacity (KB).
+    pub rf_kb: f64,
+    /// MACs spatially accumulating into one partial sum per cycle.
+    pub spatial_accum: u64,
+}
+
+impl Resources {
+    /// The 1024-MAC, 4-PE-array allocation shared by TC / STC / DSTC /
+    /// HighLight (Table 4: GLB split differs between dense and sparse).
+    pub fn tc_class(glb_kb: f64, glb_meta_kb: f64) -> Self {
+        Self { macs: 1024, glb_kb, glb_meta_kb, rf_kb: 8.0, spatial_accum: 4 }
+    }
+
+    /// Output tile edge sizes `(Tm, Tn)`: the largest square tile of 16-bit
+    /// partial sums that fits in the RF.
+    pub fn output_tile(&self) -> (usize, usize) {
+        let words = (self.rf_kb * 1024.0 / 2.0) as usize;
+        let edge = (words as f64).sqrt() as usize;
+        (edge.max(1), edge.max(1))
+    }
+}
+
+/// GLB / DRAM word traffic under output-stationary tiling.
+///
+/// For an `M×K×N` GEMM with output tiles `Tm×Tn`: operand A words are read
+/// from GLB once per column-tile (`⌈N/Tn⌉` times), operand B once per
+/// row-tile (`⌈M/Tm⌉` times), and each operand crosses DRAM once. Stored
+/// word counts respect compression (density < 1 ⇒ fewer words + metadata).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficModel {
+    /// Operand A words read from GLB.
+    pub a_glb_words: f64,
+    /// Operand B words read from GLB.
+    pub b_glb_words: f64,
+    /// Output words written to / drained from GLB.
+    pub z_glb_words: f64,
+    /// Operand A words crossing DRAM.
+    pub a_dram_words: f64,
+    /// Operand B words crossing DRAM.
+    pub b_dram_words: f64,
+    /// Output words crossing DRAM.
+    pub z_dram_words: f64,
+    /// A-tile reuse count (`⌈N/Tn⌉`).
+    pub a_reuse: f64,
+    /// B-tile reuse count (`⌈M/Tm⌉`).
+    pub b_reuse: f64,
+}
+
+impl TrafficModel {
+    /// Builds the traffic model.
+    ///
+    /// `a_stored_density` / `b_stored_density` are the fractions of operand
+    /// words actually stored (1.0 when uncompressed).
+    ///
+    /// # Panics
+    /// Panics if a density is outside `(0, 1]`.
+    pub fn new(
+        shape: GemmShape,
+        a_stored_density: f64,
+        b_stored_density: f64,
+        res: &Resources,
+    ) -> Self {
+        assert!(
+            a_stored_density > 0.0 && a_stored_density <= 1.0,
+            "invalid stored density {a_stored_density}"
+        );
+        assert!(
+            b_stored_density > 0.0 && b_stored_density <= 1.0,
+            "invalid stored density {b_stored_density}"
+        );
+        let (tm, tn) = res.output_tile();
+        let a_reuse = (shape.n as f64 / tn as f64).ceil().max(1.0);
+        let b_reuse = (shape.m as f64 / tm as f64).ceil().max(1.0);
+        let a_words = shape.a_elems() as f64 * a_stored_density;
+        let b_words = shape.b_elems() as f64 * b_stored_density;
+        let z_words = shape.z_elems() as f64;
+        Self {
+            a_glb_words: a_words * a_reuse,
+            b_glb_words: b_words * b_reuse,
+            z_glb_words: 2.0 * z_words, // write + drain
+            a_dram_words: a_words,
+            b_dram_words: b_words,
+            z_dram_words: z_words,
+            a_reuse,
+            b_reuse,
+        }
+    }
+}
+
+/// An energy ledger: one method per action class, accumulating into an
+/// [`EnergyBreakdown`].
+#[derive(Debug)]
+pub struct Accountant {
+    tech: Tech,
+    res: Resources,
+    energy: EnergyBreakdown,
+}
+
+impl Accountant {
+    /// Creates a ledger for a design's resources.
+    pub fn new(tech: Tech, res: Resources) -> Self {
+        Self { tech, res, energy: EnergyBreakdown::new() }
+    }
+
+    /// The technology table in use.
+    pub fn tech(&self) -> &Tech {
+        &self.tech
+    }
+
+    /// Effectual MACs: datapath energy plus the three operand/psum register
+    /// accesses each MAC performs.
+    pub fn macs(&mut self, count: f64) {
+        self.energy.record(Comp::Mac, count * MacUnit.energy_pj(&self.tech));
+        self.energy.record(Comp::Mac, count * 3.0 * self.tech.reg_pj);
+    }
+
+    /// Partial-sum RF read-modify-write traffic, `count` accesses.
+    pub fn rf(&mut self, count: f64) {
+        let rf = RegFile::new(self.res.rf_kb / 4.0); // per-array banks
+        self.energy.record(Comp::RegFile, count * rf.access_pj(&self.tech));
+    }
+
+    /// GLB data-partition word accesses.
+    pub fn glb(&mut self, words: f64) {
+        let glb = Sram::new(self.res.glb_kb);
+        self.energy.record(Comp::Glb, words * glb.access_pj(&self.tech));
+    }
+
+    /// GLB metadata-partition word accesses (+ decode at register cost).
+    pub fn glb_meta(&mut self, words: f64) {
+        let meta = Sram::new(self.res.glb_meta_kb.max(1.0));
+        self.energy.record(Comp::GlbMeta, words * meta.access_pj(&self.tech));
+        self.energy.record(Comp::MetaProc, words * self.tech.reg_pj);
+    }
+
+    /// DRAM word transfers.
+    pub fn dram(&mut self, words: f64) {
+        self.energy.record(Comp::Dram, words * Dram.access_pj(&self.tech));
+    }
+
+    /// On-chip distribution hops.
+    pub fn noc(&mut self, words: f64) {
+        self.energy.record(Comp::Noc, words * self.tech.noc_pj);
+    }
+
+    /// Skipping-SAF mux selections against `tree`, attributed to `comp`.
+    pub fn mux(&mut self, comp: Comp, tree: MuxTree, selects: f64) {
+        self.energy.record(comp, selects * tree.select_pj(&self.tech) / f64::from(tree.g));
+    }
+
+    /// Words streamed through a VFMU.
+    pub fn vfmu(&mut self, unit: Vfmu, words: f64) {
+        self.energy.record(Comp::Vfmu, words * unit.word_pj(&self.tech));
+    }
+
+    /// Accumulation-buffer accesses of an outer-product dataflow
+    /// (DSTC-style), on a buffer of `kb` KB.
+    pub fn accum_buffer(&mut self, kb: f64, accesses: f64) {
+        let buf = Sram::new(kb);
+        self.energy.record(Comp::AccumBuf, accesses * buf.access_pj(&self.tech));
+    }
+
+    /// Prefix-sum intersection steps (SparTen-class control).
+    pub fn prefix_sum(&mut self, unit: hl_arch::components::PrefixSum, steps: f64) {
+        self.energy.record(Comp::PrefixSum, steps * unit.step_pj(&self.tech));
+    }
+
+    /// Output-activation compression work, `words` processed (Fig. 10's
+    /// compression unit after the activation function).
+    pub fn compressor(&mut self, words: f64) {
+        self.energy.record(Comp::Compressor, words * 2.0 * self.tech.reg_pj);
+    }
+
+    /// Finishes the ledger.
+    pub fn into_energy(self) -> EnergyBreakdown {
+        self.energy
+    }
+}
+
+/// Converts metadata bits to 16-bit metadata words.
+pub fn meta_words(bits: f64) -> f64 {
+    bits / 16.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_tile_fits_rf() {
+        let res = Resources::tc_class(256.0, 64.0);
+        let (tm, tn) = res.output_tile();
+        assert_eq!((tm, tn), (64, 64)); // 8 KB -> 4096 psums -> 64x64
+    }
+
+    #[test]
+    fn traffic_reuse_counts() {
+        let res = Resources::tc_class(256.0, 64.0);
+        let t = TrafficModel::new(GemmShape::new(1024, 1024, 1024), 1.0, 1.0, &res);
+        assert_eq!(t.a_reuse, 16.0);
+        assert_eq!(t.b_reuse, 16.0);
+        assert_eq!(t.a_dram_words, 1024.0 * 1024.0);
+        assert_eq!(t.a_glb_words, 1024.0 * 1024.0 * 16.0);
+        assert_eq!(t.z_glb_words, 2.0 * 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn traffic_respects_compression() {
+        let res = Resources::tc_class(256.0, 64.0);
+        let dense = TrafficModel::new(GemmShape::new(256, 256, 256), 1.0, 1.0, &res);
+        let sparse = TrafficModel::new(GemmShape::new(256, 256, 256), 0.25, 1.0, &res);
+        assert!((sparse.a_glb_words - dense.a_glb_words * 0.25).abs() < 1e-9);
+        assert_eq!(sparse.b_glb_words, dense.b_glb_words);
+    }
+
+    #[test]
+    fn accountant_records_categories() {
+        let res = Resources::tc_class(256.0, 64.0);
+        let mut acc = Accountant::new(Tech::n65(), res);
+        acc.macs(1000.0);
+        acc.glb(100.0);
+        acc.dram(10.0);
+        acc.glb_meta(5.0);
+        let e = acc.into_energy();
+        assert!(e.get(Comp::Mac) > 0.0);
+        assert!(e.get(Comp::Glb) > 0.0);
+        assert!(e.get(Comp::Dram) > 0.0);
+        assert!(e.sparsity_tax() > 0.0); // metadata is tax
+        // DRAM per word costs more than GLB per word.
+        assert!(e.get(Comp::Dram) / 10.0 > e.get(Comp::Glb) / 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stored density")]
+    fn rejects_zero_density() {
+        let res = Resources::tc_class(256.0, 64.0);
+        let _ = TrafficModel::new(GemmShape::new(8, 8, 8), 0.0, 1.0, &res);
+    }
+}

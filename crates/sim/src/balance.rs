@@ -1,0 +1,131 @@
+//! Workload-balance modeling for unstructured sparse designs.
+//!
+//! Structured skipping achieves *perfect* balance: `G:H` guarantees each of
+//! the `G` lanes a nonzero (§5.1). Unstructured designs cannot — the number
+//! of effectual operations per tile is random, so `lanes`-wide hardware
+//! spends `ceil(X/lanes)` steps on a tile with `X` nonzeros and idles in the
+//! last step whenever `X mod lanes ≠ 0` (DSTC balances perfectly only when a
+//! sub-tensor's occupancy is a multiple of its 32-wide columns, §2.2.1).
+//!
+//! This module computes the exact expectation of the step count under a
+//! binomial occupancy model `X ~ Binomial(n, density)`.
+
+/// Probability mass function of `Binomial(n, p)` computed iteratively in a
+/// numerically stable way. Returns a vector of `n + 1` probabilities.
+fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut pmf = vec![0.0; n + 1];
+    if p == 0.0 {
+        pmf[0] = 1.0;
+        return pmf;
+    }
+    if p == 1.0 {
+        pmf[n] = 1.0;
+        return pmf;
+    }
+    // Log-space evaluation avoids under/overflow for n in the thousands.
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let mut log_choose = 0.0f64; // ln C(n, 0)
+    for (k, slot) in pmf.iter_mut().enumerate() {
+        *slot = (log_choose + k as f64 * lp + (n - k) as f64 * lq).exp();
+        if k < n {
+            log_choose += ((n - k) as f64).ln() - ((k + 1) as f64).ln();
+        }
+    }
+    pmf
+}
+
+/// Expected processing steps and utilization for a tile of `n` positions at
+/// the given `density`, processed by `lanes` parallel units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceModel {
+    /// Expected `ceil(X / lanes)` steps per tile.
+    pub expected_steps: f64,
+    /// Expected nonzeros per tile (`n · density`).
+    pub expected_work: f64,
+    /// Utilization: `expected_work / (lanes · expected_steps)`; 1.0 means
+    /// perfect balance.
+    pub utilization: f64,
+}
+
+/// Computes the balance model for `X ~ Binomial(n, density)` on `lanes`
+/// parallel units.
+///
+/// # Panics
+/// Panics if `lanes == 0`, `n == 0`, or `density` is outside `[0, 1]`.
+pub fn binomial_balance(n: usize, density: f64, lanes: usize) -> BalanceModel {
+    assert!(lanes > 0 && n > 0, "tile and lane counts must be positive");
+    let pmf = binomial_pmf(n, density);
+    let mut expected_steps = 0.0;
+    for (k, &pk) in pmf.iter().enumerate() {
+        expected_steps += pk * (k.div_ceil(lanes)) as f64;
+    }
+    let expected_work = n as f64 * density;
+    let utilization = if expected_steps == 0.0 {
+        1.0
+    } else {
+        expected_work / (lanes as f64 * expected_steps)
+    };
+    BalanceModel { expected_steps, expected_work, utilization }
+}
+
+/// Utilization of a *structured* `G:H` tile on `lanes` units: exactly `G`
+/// nonzeros arrive per block and `G` divides the lane count by design, so
+/// balance is perfect (§5.1).
+pub fn structured_utilization() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10usize, 0.3f64), (100, 0.5), (1000, 0.25), (64, 0.0), (64, 1.0)] {
+            let pmf = binomial_pmf(n, p);
+            let sum: f64 = pmf.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "pmf sum for n={n} p={p}: {sum}");
+            let mean: f64 = pmf.iter().enumerate().map(|(k, &pk)| k as f64 * pk).sum();
+            assert!((mean - n as f64 * p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dense_tile_is_perfectly_balanced_when_divisible() {
+        let b = binomial_balance(128, 1.0, 32);
+        assert!((b.expected_steps - 4.0).abs() < 1e-12);
+        assert!((b.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstructured_utilization_is_below_one() {
+        // 50% dense 128-wide tiles on 32 lanes: X ~ Bin(128, .5) is rarely a
+        // multiple of 32, so the last step is underfilled.
+        let b = binomial_balance(128, 0.5, 32);
+        assert!(b.utilization < 1.0);
+        assert!(b.utilization > 0.8, "utilization should be moderately high: {}", b.utilization);
+        // Lower density worsens relative imbalance.
+        let sparse = binomial_balance(128, 0.05, 32);
+        assert!(sparse.utilization < b.utilization);
+    }
+
+    #[test]
+    fn expected_steps_bounds() {
+        let b = binomial_balance(64, 0.25, 16);
+        // At least the work-limited bound, at most the dense bound.
+        assert!(b.expected_steps >= 64.0 * 0.25 / 16.0);
+        assert!(b.expected_steps <= 4.0);
+    }
+
+    #[test]
+    fn structured_is_perfect() {
+        assert_eq!(structured_utilization(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lanes_panics() {
+        let _ = binomial_balance(8, 0.5, 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Loopnest representation of accelerator dataflows (paper Fig. 8b).
+//!
+//! A dataflow defines an accelerator's scheduling of data movement and
+//! compute in space and time. Following the Timeloop/Sparseloop convention
+//! the paper uses, a dataflow is an ordered nest of loops over the GEMM
+//! dimensions `M`, `K`, `N`, each either *temporal* or *spatial* (unrolled
+//! across parallel hardware). From the nest, per-operand **temporal reuse**
+//! factors fall out mechanically: an operand is re-read once per iteration
+//! of every loop above its buffering level that does not index it.
+//!
+//! [`Loopnest::highlight`] builds the paper's HSS-operand stationary
+//! dataflow: Rank0 blocks of operand A are pinned in PE registers (the `K`
+//! spatial levels sit innermost) and reused across the `N` streaming loop,
+//! while partial sums accumulate spatially across PEs.
+
+use std::fmt;
+
+use hl_tensor::GemmShape;
+
+/// A GEMM iteration dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Output rows (indexes A and Z).
+    M,
+    /// Contraction dimension (indexes A and B).
+    K,
+    /// Output columns (indexes B and Z).
+    N,
+}
+
+impl Dim {
+    /// True if the dimension indexes the given operand.
+    pub fn indexes(self, operand: Operand) -> bool {
+        match (self, operand) {
+            (Dim::M, Operand::A | Operand::Z) => true,
+            (Dim::K, Operand::A | Operand::B) => true,
+            (Dim::N, Operand::B | Operand::Z) => true,
+            _ => false,
+        }
+    }
+}
+
+/// One of the three GEMM operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The weight-like operand (`M×K`).
+    A,
+    /// The activation-like operand (`K×N`).
+    B,
+    /// The output (`M×N`).
+    Z,
+}
+
+/// One loop level of a nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loop {
+    /// Dimension iterated at this level.
+    pub dim: Dim,
+    /// Trip count.
+    pub extent: usize,
+    /// Spatial (unrolled in hardware) vs temporal.
+    pub spatial: bool,
+}
+
+impl Loop {
+    /// A temporal loop.
+    pub fn temporal(dim: Dim, extent: usize) -> Self {
+        Self { dim, extent, spatial: false }
+    }
+
+    /// A spatial loop.
+    pub fn spatial(dim: Dim, extent: usize) -> Self {
+        Self { dim, extent, spatial: true }
+    }
+}
+
+/// An ordered loop nest, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loopnest {
+    loops: Vec<Loop>,
+}
+
+impl Loopnest {
+    /// Creates a nest from loops ordered outermost first.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero or the nest is empty.
+    pub fn new(loops: Vec<Loop>) -> Self {
+        assert!(!loops.is_empty(), "loop nest cannot be empty");
+        assert!(loops.iter().all(|l| l.extent > 0), "loop extents must be positive");
+        Self { loops }
+    }
+
+    /// HighLight's HSS-operand stationary dataflow for `shape` (Fig. 8b):
+    ///
+    /// ```text
+    /// for m1 in M/Tm:                    # temporal, DRAM->GLB tiles
+    ///   for n1 in N/Tn:                  # temporal
+    ///     for k1 in K/(H1*H0):           # temporal: Rank1 groups (VFMU walk)
+    ///       for m0 in Tm:                # temporal within the tile
+    ///         for n0 in Tn:              # temporal: B streams, A stationary
+    ///           par-for k0b in G1:       # spatial: PEs (non-empty blocks)
+    ///             par-for k0v in G0:     # spatial: MACs within a PE
+    /// ```
+    ///
+    /// The spatial `K` extent is `G1·G0` because skipping maps only the
+    /// *non-empty* block/value slots onto hardware; the temporal `K` extent
+    /// is the number of Rank1 groups, giving `M·N·K·(G1 G0)/(H1 H0)`
+    /// effectual iterations in total.
+    ///
+    /// # Panics
+    /// Panics if the tile sizes do not divide the shape or `K` is not a
+    /// multiple of `H1·H0`.
+    pub fn highlight(
+        shape: GemmShape,
+        tm: usize,
+        tn: usize,
+        g1: usize,
+        h1: usize,
+        g0: usize,
+        h0: usize,
+    ) -> Self {
+        assert!(shape.m % tm == 0 && shape.n % tn == 0, "tiles must divide the shape");
+        let group = h1 * h0;
+        assert!(shape.k % group == 0, "K must be a multiple of H1*H0");
+        Self::new(vec![
+            Loop::temporal(Dim::M, shape.m / tm),
+            Loop::temporal(Dim::N, shape.n / tn),
+            Loop::temporal(Dim::K, shape.k / group),
+            Loop::temporal(Dim::M, tm),
+            Loop::temporal(Dim::N, tn),
+            Loop::spatial(Dim::K, g1),
+            Loop::spatial(Dim::K, g0),
+        ])
+    }
+
+    /// The loops, outermost first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Product of all loop extents (total iteration-space points mapped).
+    pub fn iterations(&self) -> u64 {
+        self.loops.iter().map(|l| l.extent as u64).product()
+    }
+
+    /// Product of spatial extents: hardware units active per cycle.
+    pub fn spatial_size(&self) -> u64 {
+        self.loops.iter().filter(|l| l.spatial).map(|l| l.extent as u64).product()
+    }
+
+    /// Temporal steps (cycles) the nest takes: iterations / spatial size.
+    pub fn steps(&self) -> u64 {
+        self.iterations() / self.spatial_size()
+    }
+
+    /// Product of extents for one dimension across the nest.
+    pub fn extent_of(&self, dim: Dim) -> u64 {
+        self.loops.iter().filter(|l| l.dim == dim).map(|l| l.extent as u64).product()
+    }
+
+    /// Checks that the nest covers the GEMM (per-dimension extents multiply
+    /// to the effective dimension sizes).
+    ///
+    /// `k_effective` is the number of `K` points actually mapped — for a
+    /// skipping dataflow this is `K · density` (only non-empty slots get
+    /// hardware), for a dense dataflow it is `K`.
+    pub fn validate(&self, shape: GemmShape, k_effective: u64) -> Result<(), String> {
+        if self.extent_of(Dim::M) != shape.m as u64 {
+            return Err(format!("M coverage {} != {}", self.extent_of(Dim::M), shape.m));
+        }
+        if self.extent_of(Dim::N) != shape.n as u64 {
+            return Err(format!("N coverage {} != {}", self.extent_of(Dim::N), shape.n));
+        }
+        if self.extent_of(Dim::K) != k_effective {
+            return Err(format!("K coverage {} != {}", self.extent_of(Dim::K), k_effective));
+        }
+        Ok(())
+    }
+
+    /// Temporal reuse of an operand at loop level `level` (0 = outermost):
+    /// the product of extents of *temporal* loops at or below `level` that
+    /// do **not** index the operand. This is how many times the buffered
+    /// tile at that level is read before being replaced.
+    pub fn temporal_reuse(&self, operand: Operand, level: usize) -> u64 {
+        self.loops[level..]
+            .iter()
+            .filter(|l| !l.spatial && !l.dim.indexes(operand))
+            .map(|l| l.extent as u64)
+            .product()
+    }
+
+    /// Reuse of the operand's GLB-resident tile: temporal reuse below the
+    /// tile loops, i.e. the number of times the opposing dimension's inner
+    /// tile loop re-reads it. For the HighLight nest this reproduces the
+    /// `TrafficModel` reuse counts.
+    pub fn glb_refetches(&self, operand: Operand) -> u64 {
+        // Tiles live at the outermost level; each outer iteration of a
+        // non-indexing dimension re-streams the operand from GLB.
+        let mut refetch = 1u64;
+        for l in &self.loops {
+            if l.spatial {
+                break;
+            }
+            if !l.dim.indexes(operand) {
+                refetch *= l.extent as u64;
+                // Only the outermost non-indexing tile loop forces refetch;
+                // deeper ones hit the same resident tile.
+                break;
+            }
+        }
+        refetch
+    }
+}
+
+impl fmt::Display for Loopnest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.loops.iter().enumerate() {
+            let kind = if l.spatial { "par-for" } else { "for" };
+            writeln!(f, "{:indent$}{kind} {:?} in 0..{}", "", l.dim, l.extent, indent = i * 2)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nest() -> Loopnest {
+        // 1024^3 GEMM, 64x64 tiles, C1(4:8)->C0(2:4).
+        Loopnest::highlight(GemmShape::new(1024, 1024, 1024), 64, 64, 4, 8, 2, 4)
+    }
+
+    #[test]
+    fn covers_the_effectual_iteration_space() {
+        let n = nest();
+        // Skipping maps K*density points: 1024 * (4/8)*(2/4) = 256.
+        n.validate(GemmShape::new(1024, 1024, 1024), 256).unwrap();
+        assert_eq!(n.spatial_size(), 8); // G1*G0 MACs per PE row
+        assert_eq!(n.iterations(), 1024 * 1024 * 256);
+    }
+
+    #[test]
+    fn steps_match_the_analytical_cycle_factor() {
+        let n = nest();
+        // steps * (spatial rows per design) == analytic cycles:
+        // M*N*K/(H1*H0) steps for one PE row of G1*G0 MACs.
+        assert_eq!(n.steps(), 1024 * 1024 * (1024 / 32));
+    }
+
+    #[test]
+    fn a_is_stationary_across_the_n_stream() {
+        let n = nest();
+        // Innermost temporal loop is N (B streams while A sits in registers):
+        let innermost_temporal = n.loops().iter().rev().find(|l| !l.spatial).unwrap();
+        assert_eq!(innermost_temporal.dim, Dim::N);
+        // A's register-resident block is reused Tn times at that level.
+        assert_eq!(n.temporal_reuse(Operand::A, 4), 64);
+    }
+
+    #[test]
+    fn glb_refetches_match_traffic_model() {
+        let n = nest();
+        // A is re-streamed once per N/Tn tile, B once per M/Tm tile.
+        assert_eq!(n.glb_refetches(Operand::A), 16);
+        assert_eq!(n.glb_refetches(Operand::B), 16);
+        let res = crate::analytic::Resources::tc_class(256.0, 64.0);
+        let t = crate::analytic::TrafficModel::new(
+            GemmShape::new(1024, 1024, 1024),
+            1.0,
+            1.0,
+            &res,
+        );
+        assert_eq!(n.glb_refetches(Operand::A) as f64, t.a_reuse);
+        assert_eq!(n.glb_refetches(Operand::B) as f64, t.b_reuse);
+    }
+
+    #[test]
+    fn output_is_reused_across_k() {
+        let n = nest();
+        // Z accumulates across all K groups: temporal reuse at the psum
+        // level (below the K loop) excludes M and N.
+        assert_eq!(n.temporal_reuse(Operand::Z, 2), 32);
+    }
+
+    #[test]
+    fn display_prints_the_fig8b_nest() {
+        let text = nest().to_string();
+        assert!(text.contains("par-for K"));
+        assert!(text.lines().count() == 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_unaligned_k() {
+        let _ = Loopnest::highlight(GemmShape::new(64, 100, 64), 64, 64, 4, 8, 2, 4);
+    }
+}

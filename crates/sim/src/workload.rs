@@ -1,0 +1,182 @@
+use std::fmt;
+
+use hl_sparsity::HssPattern;
+use hl_tensor::GemmShape;
+
+/// Sparsity descriptor for one GEMM operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperandSparsity {
+    /// Fully dense.
+    Dense,
+    /// Unstructured sparsity with the given degree (fraction of zeros).
+    Unstructured {
+        /// Fraction of zeros, in `[0, 1]`.
+        sparsity: f64,
+    },
+    /// An N-rank HSS pattern (includes one-rank `G:H` patterns).
+    Hss(HssPattern),
+}
+
+impl OperandSparsity {
+    /// Convenience constructor for unstructured sparsity.
+    ///
+    /// # Panics
+    /// Panics if `sparsity` is outside `[0, 1]`.
+    pub fn unstructured(sparsity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+        Self::Unstructured { sparsity }
+    }
+
+    /// Expected fraction of nonzeros.
+    pub fn density(&self) -> f64 {
+        match self {
+            Self::Dense => 1.0,
+            Self::Unstructured { sparsity } => 1.0 - sparsity,
+            Self::Hss(p) => p.density_f64(),
+        }
+    }
+
+    /// Expected fraction of zeros.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// True if the operand carries no zeros.
+    pub fn is_dense(&self) -> bool {
+        match self {
+            Self::Dense => true,
+            Self::Unstructured { sparsity } => *sparsity == 0.0,
+            Self::Hss(p) => p.is_dense(),
+        }
+    }
+
+    /// True if the zeros are structurally constrained (HSS / `G:H`).
+    pub fn is_structured(&self) -> bool {
+        matches!(self, Self::Hss(p) if !p.is_dense())
+    }
+}
+
+impl fmt::Display for OperandSparsity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Dense => write!(f, "dense"),
+            Self::Unstructured { sparsity } => write!(f, "unstructured {:.0}%", sparsity * 100.0),
+            Self::Hss(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A GEMM workload: shape plus per-operand sparsity.
+///
+/// Operand A is the (possibly HSS-structured) weight-like operand; operand B
+/// is the activation-like operand (paper §6.1 treats them interchangeably —
+/// designs may evaluate the [`swapped`](Self::swapped) workload and report
+/// the better result).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Workload name for reports.
+    pub name: String,
+    /// GEMM dimensions.
+    pub shape: GemmShape,
+    /// Operand A sparsity.
+    pub a: OperandSparsity,
+    /// Operand B sparsity.
+    pub b: OperandSparsity,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(
+        name: impl Into<String>,
+        shape: GemmShape,
+        a: OperandSparsity,
+        b: OperandSparsity,
+    ) -> Self {
+        Self { name: name.into(), shape, a, b }
+    }
+
+    /// The synthetic 1024×1024×1024 GEMM used in §7.2.
+    pub fn synthetic(a: OperandSparsity, b: OperandSparsity) -> Self {
+        let name = format!("A[{a}] B[{b}]");
+        Self::new(name, GemmShape::new(1024, 1024, 1024), a, b)
+    }
+
+    /// Dense MAC count `M·K·N`.
+    pub fn dense_macs(&self) -> f64 {
+        self.shape.macs() as f64
+    }
+
+    /// Expected effectual MACs: `M·K·N · density(A) · density(B)`
+    /// (independence of operand nonzero positions).
+    pub fn effectual_macs(&self) -> f64 {
+        self.dense_macs() * self.a.density() * self.b.density()
+    }
+
+    /// The workload with operands A and B exchanged (and the shape
+    /// transposed accordingly).
+    pub fn swapped(&self) -> Self {
+        Self {
+            name: self.name.clone(),
+            shape: self.shape.swapped(),
+            a: self.b.clone(),
+            b: self.a.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_sparsity::Gh;
+
+    #[test]
+    fn densities() {
+        assert_eq!(OperandSparsity::Dense.density(), 1.0);
+        assert_eq!(OperandSparsity::unstructured(0.75).density(), 0.25);
+        let p = OperandSparsity::Hss(HssPattern::two_rank(Gh::new(4, 8), Gh::new(2, 4)));
+        assert_eq!(p.density(), 0.25);
+        assert!(p.is_structured());
+        assert!(!OperandSparsity::unstructured(0.5).is_structured());
+        assert!(OperandSparsity::unstructured(0.0).is_dense());
+    }
+
+    #[test]
+    fn effectual_macs_multiply_densities() {
+        let w = Workload::synthetic(
+            OperandSparsity::unstructured(0.5),
+            OperandSparsity::unstructured(0.75),
+        );
+        assert_eq!(w.dense_macs(), 1024.0 * 1024.0 * 1024.0);
+        assert!((w.effectual_macs() - w.dense_macs() * 0.125).abs() < 1.0);
+    }
+
+    #[test]
+    fn swapped_exchanges_operands_and_shape() {
+        let w = Workload::new(
+            "t",
+            GemmShape::new(2, 3, 4),
+            OperandSparsity::Dense,
+            OperandSparsity::unstructured(0.5),
+        );
+        let s = w.swapped();
+        assert_eq!(s.shape, GemmShape::new(4, 3, 2));
+        assert_eq!(s.a, OperandSparsity::unstructured(0.5));
+        assert_eq!(s.b, OperandSparsity::Dense);
+    }
+
+    #[test]
+    fn display_labels() {
+        let w = Workload::synthetic(
+            OperandSparsity::Dense,
+            OperandSparsity::unstructured(0.25),
+        );
+        assert!(w.to_string().contains("dense"));
+        assert!(w.to_string().contains("25%"));
+    }
+}

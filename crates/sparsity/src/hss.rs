@@ -1,0 +1,192 @@
+use std::fmt;
+
+use hl_fibertree::spec::{Gh, PatternSpec, RankSpec, Rule};
+
+use crate::ratio::Ratio;
+
+/// An N-rank hierarchical structured sparsity pattern (paper §4.1).
+///
+/// Ranks are ordered highest to lowest (`[rank_{N-1}, …, rank_0]`). Rank 0
+/// constrains individual values within blocks of `H_0`; rank `n` constrains
+/// which groups of the rank-`n−1` granularity are non-empty. The overall
+/// density is exactly `Π G_n/H_n`.
+///
+/// The empty rank list denotes a dense operand.
+///
+/// # Example
+///
+/// ```
+/// use hl_sparsity::{HssPattern, Gh, Ratio};
+/// let p = HssPattern::new(vec![Gh::new(3, 4), Gh::new(2, 4)]);
+/// assert_eq!(p.density(), Ratio::new(3, 8));
+/// assert!((p.sparsity_f64() - 0.625).abs() < 1e-15);
+/// assert_eq!(p.to_string(), "C1(3:4)→C0(2:4)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HssPattern {
+    ranks: Vec<Gh>,
+}
+
+impl HssPattern {
+    /// Creates an HSS pattern from per-rank `G:H` rules, highest rank first.
+    pub fn new(ranks: Vec<Gh>) -> Self {
+        Self { ranks }
+    }
+
+    /// The dense pattern (no sparse ranks).
+    pub fn dense() -> Self {
+        Self { ranks: Vec::new() }
+    }
+
+    /// A one-rank pattern (plain `G:H` structured sparsity).
+    pub fn one_rank(gh: Gh) -> Self {
+        Self { ranks: vec![gh] }
+    }
+
+    /// A two-rank pattern `C1(rank1)→C0(rank0)`.
+    pub fn two_rank(rank1: Gh, rank0: Gh) -> Self {
+        Self { ranks: vec![rank1, rank0] }
+    }
+
+    /// Per-rank rules, highest rank first.
+    pub fn ranks(&self) -> &[Gh] {
+        &self.ranks
+    }
+
+    /// Number of sparse ranks (the paper's `N`).
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True if the pattern imposes no sparsity.
+    pub fn is_dense(&self) -> bool {
+        self.ranks.iter().all(|gh| gh.is_dense())
+    }
+
+    /// Exact density `Π G_n/H_n`.
+    pub fn density(&self) -> Ratio {
+        self.ranks
+            .iter()
+            .fold(Ratio::ONE, |acc, gh| acc * Ratio::new(u64::from(gh.g), u64::from(gh.h)))
+    }
+
+    /// Exact sparsity `1 − Π G_n/H_n`.
+    pub fn sparsity(&self) -> Ratio {
+        self.density().complement()
+    }
+
+    /// Density as `f64`.
+    pub fn density_f64(&self) -> f64 {
+        self.density().to_f64()
+    }
+
+    /// Sparsity as `f64`.
+    pub fn sparsity_f64(&self) -> f64 {
+        self.sparsity().to_f64()
+    }
+
+    /// Ideal hierarchical-skipping speedup: the product of per-rank `H/G`
+    /// (paper §6.3: "HighLight's total speedup is the product of the speedup
+    /// introduced at each rank").
+    pub fn ideal_speedup(&self) -> f64 {
+        self.ranks.iter().map(|gh| gh.ideal_speedup()).product()
+    }
+
+    /// The number of values covered by one group of the highest rank:
+    /// `Π H_n`.
+    pub fn group_size(&self) -> usize {
+        self.ranks.iter().map(|gh| gh.h as usize).product()
+    }
+
+    /// The block size at rank `n` counted in values: `Π_{m<n} H_m`
+    /// (rank 0 → 1 value granularity).
+    ///
+    /// # Panics
+    /// Panics if `n >= rank_count()`.
+    pub fn granularity(&self, n: usize) -> usize {
+        assert!(n < self.ranks.len(), "rank index out of bounds");
+        // ranks are stored highest-first; rank n counts from the lowest.
+        let lowest_first_idx = self.ranks.len() - 1 - n;
+        self.ranks[lowest_first_idx + 1..].iter().map(|gh| gh.h as usize).product()
+    }
+
+    /// Converts to the fibertree specification `RS→C{N}→C{N-1}(..)→…→C0(..)`
+    /// for a weight tensor whose `RS` and upper channel ranks are unpruned.
+    pub fn to_spec(&self) -> PatternSpec {
+        let n = self.ranks.len();
+        let mut ranks = vec![RankSpec::new("RS", Rule::None), RankSpec::new(format!("C{n}"), Rule::None)];
+        for (i, gh) in self.ranks.iter().enumerate() {
+            ranks.push(RankSpec::new(format!("C{}", n - 1 - i), Rule::Gh(*gh)));
+        }
+        PatternSpec::new(ranks)
+    }
+
+    /// Succinct display used across reports: e.g. `C1(3:4)→C0(2:4)`,
+    /// `C0(2:4)`, or `dense`.
+    pub fn succinct(&self) -> String {
+        if self.ranks.is_empty() {
+            return "dense".to_string();
+        }
+        let n = self.ranks.len();
+        let parts: Vec<String> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(i, gh)| format!("C{}({gh})", n - 1 - i))
+            .collect();
+        parts.join("→")
+    }
+}
+
+impl fmt::Display for HssPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.succinct())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_multiplies_fractions() {
+        let p = HssPattern::two_rank(Gh::new(3, 4), Gh::new(2, 4));
+        assert_eq!(p.density(), Ratio::new(3, 8));
+        assert_eq!(p.sparsity(), Ratio::new(5, 8));
+        assert!((p.ideal_speedup() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_pattern() {
+        let p = HssPattern::dense();
+        assert!(p.is_dense());
+        assert_eq!(p.density(), Ratio::ONE);
+        assert_eq!(p.succinct(), "dense");
+        assert_eq!(p.ideal_speedup(), 1.0);
+        // A pattern of dense G:H rules is also dense.
+        assert!(HssPattern::two_rank(Gh::new(4, 4), Gh::new(2, 2)).is_dense());
+    }
+
+    #[test]
+    fn group_size_and_granularity() {
+        let p = HssPattern::new(vec![Gh::new(1, 2), Gh::new(3, 4), Gh::new(2, 4)]);
+        assert_eq!(p.group_size(), 32);
+        assert_eq!(p.granularity(0), 1); // rank0: values
+        assert_eq!(p.granularity(1), 4); // rank1: blocks of H0
+        assert_eq!(p.granularity(2), 16); // rank2: blocks of H1*H0
+    }
+
+    #[test]
+    fn to_spec_matches_paper_notation() {
+        let p = HssPattern::two_rank(Gh::new(3, 4), Gh::new(2, 4));
+        let spec = p.to_spec();
+        assert_eq!(spec.to_string(), "RS→C2→C1(3:4)→C0(2:4)");
+        assert_eq!(spec.hss_rank_count(), 2);
+        assert_eq!(p.to_string(), "C1(3:4)→C0(2:4)");
+    }
+
+    #[test]
+    fn one_rank_display() {
+        assert_eq!(HssPattern::one_rank(Gh::new(2, 4)).to_string(), "C0(2:4)");
+    }
+}

@@ -1,0 +1,173 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Mul;
+
+/// An exact non-negative rational number, used for sparsity/density degrees.
+///
+/// HSS composes density degrees by multiplying per-rank fractions `G/H`
+/// (paper Fig. 1, §4.1.2); exact arithmetic keeps distinct degrees distinct
+/// when enumerating design spaces.
+///
+/// # Example
+///
+/// ```
+/// use hl_sparsity::Ratio;
+/// let d = Ratio::new(3, 4) * Ratio::new(2, 4);
+/// assert_eq!(d, Ratio::new(3, 8));
+/// assert_eq!(d.to_string(), "3/8");
+/// assert!((d.to_f64() - 0.375).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl Ratio {
+    /// Creates `num/den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "denominator must be nonzero");
+        if num == 0 {
+            return Self { num: 0, den: 1 };
+        }
+        let g = gcd(num, den);
+        Self { num: num / g, den: den / g }
+    }
+
+    /// The ratio 1.
+    pub const ONE: Self = Self { num: 1, den: 1 };
+
+    /// The ratio 0.
+    pub const ZERO: Self = Self { num: 0, den: 1 };
+
+    /// Numerator in lowest terms.
+    pub fn numer(self) -> u64 {
+        self.num
+    }
+
+    /// Denominator in lowest terms.
+    pub fn denom(self) -> u64 {
+        self.den
+    }
+
+    /// Converts to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `1 - self`, saturating at zero.
+    ///
+    /// Converts a density degree into a sparsity degree.
+    pub fn complement(self) -> Self {
+        if self.num >= self.den {
+            Self::ZERO
+        } else {
+            Self::new(self.den - self.num, self.den)
+        }
+    }
+
+    /// The reciprocal `den/num`.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "cannot invert zero");
+        Self { num: self.den, den: self.num }
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        // Cross-reduce before multiplying to avoid overflow.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Self::new((self.num / g1) * (rhs.num / g2), (self.den / g2) * (rhs.den / g1))
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num as u128 * other.den as u128).cmp(&(other.num as u128 * self.den as u128))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(v: u64) -> Self {
+        Self { num: v, den: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(6, 8).numer(), 3);
+        assert_eq!(Ratio::new(6, 8).denom(), 4);
+        assert_eq!(Ratio::new(0, 7), Ratio::ZERO);
+    }
+
+    #[test]
+    fn multiplication_is_exact() {
+        let a = Ratio::new(3, 4) * Ratio::new(2, 4);
+        assert_eq!(a, Ratio::new(3, 8));
+        assert_eq!(Ratio::ONE * Ratio::new(5, 9), Ratio::new(5, 9));
+    }
+
+    #[test]
+    fn complement_and_recip() {
+        assert_eq!(Ratio::new(3, 8).complement(), Ratio::new(5, 8));
+        assert_eq!(Ratio::ONE.complement(), Ratio::ZERO);
+        assert_eq!(Ratio::new(2, 5).recip(), Ratio::new(5, 2));
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        let mut v = vec![Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(3, 4)];
+        v.sort();
+        assert_eq!(v, vec![Ratio::new(1, 3), Ratio::new(1, 2), Ratio::new(3, 4)]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ratio::new(4, 2).to_string(), "2");
+        assert_eq!(Ratio::new(5, 8).to_string(), "5/8");
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Convolution layers and their Toeplitz (im2col) expansion into GEMMs.
+//!
+//! HighLight processes convolutional layers as matrix multiplications by
+//! flattening the weight dimensions and Toeplitz-expanding the input
+//! activations (paper Fig. 8a): weights become an `M×(C·R·S)` operand A and
+//! the expanded inputs a `(C·R·S)×(P·Q)` operand B.
+
+use crate::matrix::Matrix;
+use crate::shape::GemmShape;
+
+/// A 2-D convolution layer description.
+///
+/// Dimension names follow the paper: `M` filters, `C` input channels, `R×S`
+/// kernel, `H×W` input (after padding), `P×Q` output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Layer name (for reports).
+    pub name: String,
+    /// Number of filters (output channels).
+    pub m: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Kernel height.
+    pub r: usize,
+    /// Kernel width.
+    pub s: usize,
+    /// Padded input height.
+    pub h: usize,
+    /// Padded input width.
+    pub w: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+}
+
+impl ConvLayer {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    /// Panics if any dimension or the stride is zero, or the kernel is larger
+    /// than the input.
+    pub fn new(
+        name: impl Into<String>,
+        m: usize,
+        c: usize,
+        r: usize,
+        s: usize,
+        h: usize,
+        w: usize,
+        stride: usize,
+    ) -> Self {
+        assert!(
+            m > 0 && c > 0 && r > 0 && s > 0 && h > 0 && w > 0 && stride > 0,
+            "convolution dimensions must be positive"
+        );
+        assert!(r <= h && s <= w, "kernel must fit in the (padded) input");
+        Self { name: name.into(), m, c, r, s, h, w, stride }
+    }
+
+    /// Output height `P`.
+    pub fn p(&self) -> usize {
+        (self.h - self.r) / self.stride + 1
+    }
+
+    /// Output width `Q`.
+    pub fn q(&self) -> usize {
+        (self.w - self.s) / self.stride + 1
+    }
+
+    /// The GEMM this layer lowers to: `M × (C·R·S) × (P·Q)`.
+    pub fn to_gemm(&self) -> GemmShape {
+        GemmShape::new(self.m, self.c * self.r * self.s, self.p() * self.q())
+    }
+
+    /// Flattens weights `[m][c][r][s]` (row-major over `c,r,s`) into the
+    /// `M×(C·R·S)` operand A matrix.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != m*c*r*s`.
+    pub fn flatten_weights(&self, weights: &[f32]) -> Matrix {
+        let k = self.c * self.r * self.s;
+        assert_eq!(weights.len(), self.m * k, "weight volume mismatch");
+        Matrix::from_vec(self.m, k, weights.to_vec())
+    }
+
+    /// Toeplitz-expands an input `[c][h][w]` (row-major) into the
+    /// `(C·R·S)×(P·Q)` operand B matrix.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != c*h*w`.
+    pub fn toeplitz_expand(&self, input: &[f32]) -> Matrix {
+        assert_eq!(input.len(), self.c * self.h * self.w, "input volume mismatch");
+        let (p, q) = (self.p(), self.q());
+        let mut out = Matrix::zeros(self.c * self.r * self.s, p * q);
+        for ci in 0..self.c {
+            for ri in 0..self.r {
+                for si in 0..self.s {
+                    let krow = (ci * self.r + ri) * self.s + si;
+                    for pi in 0..p {
+                        for qi in 0..q {
+                            let hy = pi * self.stride + ri;
+                            let wx = qi * self.stride + si;
+                            let v = input[(ci * self.h + hy) * self.w + wx];
+                            out.set(krow, pi * q + qi, v);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct (sliding-window) convolution reference, returning the output as
+    /// an `M×(P·Q)` matrix for comparison with the GEMM path.
+    ///
+    /// # Panics
+    /// Panics if operand volumes mismatch the layer description.
+    pub fn direct_conv(&self, weights: &[f32], input: &[f32]) -> Matrix {
+        let k = self.c * self.r * self.s;
+        assert_eq!(weights.len(), self.m * k, "weight volume mismatch");
+        assert_eq!(input.len(), self.c * self.h * self.w, "input volume mismatch");
+        let (p, q) = (self.p(), self.q());
+        let mut out = Matrix::zeros(self.m, p * q);
+        for mi in 0..self.m {
+            for pi in 0..p {
+                for qi in 0..q {
+                    let mut acc = 0.0f32;
+                    for ci in 0..self.c {
+                        for ri in 0..self.r {
+                            for si in 0..self.s {
+                                let wv = weights[((mi * self.c + ci) * self.r + ri) * self.s + si];
+                                let hy = pi * self.stride + ri;
+                                let wx = qi * self.stride + si;
+                                acc += wv * input[(ci * self.h + hy) * self.w + wx];
+                            }
+                        }
+                    }
+                    out.set(mi, pi * q + qi, acc);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new("test", 2, 3, 3, 3, 6, 6, 1)
+    }
+
+    #[test]
+    fn output_dims() {
+        let l = layer();
+        assert_eq!((l.p(), l.q()), (4, 4));
+        assert_eq!(l.to_gemm(), GemmShape::new(2, 27, 16));
+        let strided = ConvLayer::new("s2", 1, 1, 3, 3, 7, 7, 2);
+        assert_eq!((strided.p(), strided.q()), (3, 3));
+    }
+
+    #[test]
+    fn toeplitz_gemm_matches_direct_conv() {
+        let l = layer();
+        let weights: Vec<f32> =
+            (0..l.m * l.c * l.r * l.s).map(|i| ((i * 7 % 13) as f32) - 6.0).collect();
+        let input: Vec<f32> =
+            (0..l.c * l.h * l.w).map(|i| ((i * 5 % 11) as f32) - 5.0).collect();
+        let a = l.flatten_weights(&weights);
+        let b = l.toeplitz_expand(&input);
+        let gemm = a.matmul(&b);
+        let direct = l.direct_conv(&weights, &input);
+        assert!(gemm.approx_eq(&direct, 1e-3), "Toeplitz GEMM must equal direct convolution");
+    }
+
+    #[test]
+    fn toeplitz_gemm_matches_direct_conv_strided() {
+        let l = ConvLayer::new("s2", 2, 2, 3, 3, 7, 7, 2);
+        let weights: Vec<f32> = (0..l.m * l.c * l.r * l.s).map(|i| (i % 5) as f32 - 2.0).collect();
+        let input: Vec<f32> = (0..l.c * l.h * l.w).map(|i| (i % 7) as f32 - 3.0).collect();
+        let gemm = l.flatten_weights(&weights).matmul(&l.toeplitz_expand(&input));
+        assert!(gemm.approx_eq(&l.direct_conv(&weights, &input), 1e-3));
+    }
+
+    #[test]
+    fn pointwise_conv_is_plain_gemm() {
+        // 1x1 convolution: Toeplitz expansion is just a reshape.
+        let l = ConvLayer::new("pw", 4, 8, 1, 1, 5, 5, 1);
+        assert_eq!(l.to_gemm(), GemmShape::new(4, 8, 25));
+        let input: Vec<f32> = (0..8 * 25).map(|i| i as f32).collect();
+        let b = l.toeplitz_expand(&input);
+        assert_eq!(b.data(), &input[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn kernel_larger_than_input_panics() {
+        let _ = ConvLayer::new("bad", 1, 1, 8, 8, 4, 4, 1);
+    }
+}

@@ -1,0 +1,294 @@
+use std::fmt;
+
+use hl_fibertree::{Fibertree, FibertreeError};
+
+/// A dense row-major `f32` matrix.
+///
+/// This is the ground-truth representation every compressed format and every
+/// accelerator model in the workspace is checked against.
+///
+/// # Example
+///
+/// ```
+/// use hl_tensor::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "rows must have equal length");
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// The identity matrix of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The element at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A view of one row.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Number of nonzero elements.
+    pub fn nonzeros(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of elements that are nonzero.
+    pub fn density(&self) -> f64 {
+        self.nonzeros() as f64 / self.data.len() as f64
+    }
+
+    /// Fraction of elements that are zero.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Reference GEMM: `self (M×K) · rhs (K×N) → M×N`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for m in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[m * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[m * rhs.cols..(m + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise approximate equality with tolerance `eps`.
+    pub fn approx_eq(&self, other: &Self, eps: f32) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= eps)
+    }
+
+    /// Converts to a two-rank [`Fibertree`] with the given rank names.
+    ///
+    /// # Errors
+    /// Propagates construction errors (cannot occur for valid matrices).
+    pub fn to_fibertree(&self, row_name: &str, col_name: &str) -> Result<Fibertree, FibertreeError> {
+        let data: Vec<f64> = self.data.iter().map(|&v| f64::from(v)).collect();
+        Fibertree::from_dense(&data, &[self.rows, self.cols], &[row_name, col_name])
+    }
+
+    /// Effectual multiplies in `self · rhs`: pairs `(a,b)` with `a≠0 ∧ b≠0`.
+    ///
+    /// This is the quantity sparse accelerators try to reduce work to
+    /// (paper §2.1).
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn effectual_macs(&self, rhs: &Self) -> u64 {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        // For each k: (nonzeros in column k of A) * (nonzeros in row k of B).
+        let mut a_col_nnz = vec![0u64; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.data[r * self.cols + c] != 0.0 {
+                    a_col_nnz[c] += 1;
+                }
+            }
+        }
+        let mut total = 0u64;
+        for k in 0..self.cols {
+            let b_row_nnz =
+                rhs.data[k * rhs.cols..(k + 1) * rhs.cols].iter().filter(|&&v| v != 0.0).count()
+                    as u64;
+            total += a_col_nnz[k] * b_row_nnz;
+        }
+        total
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}:", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            let row: Vec<String> =
+                self.row(r).iter().take(12).map(|v| format!("{v:6.2}")).collect();
+            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 12 { ", …" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+        assert_eq!(Matrix::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn density_and_nonzeros() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        assert_eq!(m.nonzeros(), 2);
+        assert!((m.density() - 0.5).abs() < 1e-12);
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn effectual_macs_counts_nonzero_pairs() {
+        // A: 2x2 with 2 nonzeros in col 0; B: 2x2 with 1 nonzero in row 0.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 0.0], &[4.0, 5.0]]);
+        // k=0: 2 * 1 = 2; k=1: 0 * 2 = 0.
+        assert_eq!(a.effectual_macs(&b), 2);
+        // Dense case equals M*K*N.
+        let d1 = Matrix::from_fn(3, 4, |_, _| 1.0);
+        let d2 = Matrix::from_fn(4, 5, |_, _| 1.0);
+        assert_eq!(d1.effectual_macs(&d2), 3 * 4 * 5);
+    }
+
+    #[test]
+    fn fibertree_conversion_preserves_nonzeros() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0, 3.0], &[0.0, 0.0, 4.0]]);
+        let t = m.to_fibertree("M", "K").unwrap();
+        assert_eq!(t.nonzeros(), 3);
+        assert_eq!(t.get(&[0, 2]), 3.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Matrix::zeros(1, 1);
+        assert!(!m.to_string().is_empty());
+    }
+}

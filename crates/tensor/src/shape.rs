@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// A matrix-multiplication workload shape: `A (M×K) · B (K×N) → Z (M×N)`.
+///
+/// HighLight and all baselines process DNN layers as matrix multiplications
+/// (paper §6.1); convolutions reach this form through Toeplitz expansion
+/// ([`crate::conv::ConvLayer::to_gemm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of operand A / output.
+    pub m: usize,
+    /// Shared (contraction) dimension.
+    pub k: usize,
+    /// Columns of operand B / output.
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Creates a GEMM shape.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dimensions must be positive");
+        Self { m, k, n }
+    }
+
+    /// Total multiply-accumulate operations for the dense computation.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// Elements in operand A.
+    pub fn a_elems(&self) -> u64 {
+        self.m as u64 * self.k as u64
+    }
+
+    /// Elements in operand B.
+    pub fn b_elems(&self) -> u64 {
+        self.k as u64 * self.n as u64
+    }
+
+    /// Elements in the output.
+    pub fn z_elems(&self) -> u64 {
+        self.m as u64 * self.n as u64
+    }
+
+    /// Returns the shape with operands swapped (`Bᵀ·Aᵀ`), used when a design
+    /// benefits from sparsity living on a particular operand (paper §7.1.1).
+    pub fn swapped(&self) -> Self {
+        Self { m: self.n, k: self.k, n: self.m }
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}·K{}·N{}", self.m, self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_and_elem_counts() {
+        let s = GemmShape::new(2, 3, 4);
+        assert_eq!(s.macs(), 24);
+        assert_eq!(s.a_elems(), 6);
+        assert_eq!(s.b_elems(), 12);
+        assert_eq!(s.z_elems(), 8);
+    }
+
+    #[test]
+    fn swapped_exchanges_m_n() {
+        let s = GemmShape::new(2, 3, 4).swapped();
+        assert_eq!(s, GemmShape::new(4, 3, 2));
+        assert_eq!(s.macs(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn display_mentions_dims() {
+        assert_eq!(GemmShape::new(1, 2, 3).to_string(), "M1·K2·N3");
+    }
+}

@@ -1,0 +1,63 @@
+//! Explore the HSS hardware design space: how many ranks should a design
+//! support? Extends the paper's Fig. 6 comparison (one-rank `S` vs two-rank
+//! `SS`) with a three-rank design — the paper's modularity argument taken
+//! one step further.
+//!
+//! For a fixed flexibility target (degrees spanning 0%–87.5%), more ranks
+//! shrink the per-rank `Hmax` and therefore the muxing sparsity tax, at the
+//! cost of deeper metadata hierarchies.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use highlight::arch::components::MuxTree;
+use highlight::arch::Tech;
+use highlight::sparsity::families::{design_s, design_ss, GhFamily, HssFamily};
+
+fn mux_tax_um2(family: &HssFamily, pes_per_array: f64, tech: &Tech) -> f64 {
+    // Rank0 SAF is replicated per PE; higher-rank SAFs are shared per array.
+    let ranks = family.ranks();
+    let mut area = 0.0;
+    for (i, fam) in ranks.iter().enumerate() {
+        let tree = MuxTree::new(fam.g_max, fam.h_max);
+        let replication = if i == ranks.len() - 1 { pes_per_array } else { 1.0 };
+        area += replication * tree.area_um2(tech);
+    }
+    area
+}
+
+fn main() {
+    let tech = Tech::n65();
+    let three_rank = HssFamily::new(vec![
+        GhFamily::fixed_g(2, 2, 4),
+        GhFamily::fixed_g(2, 2, 4),
+        GhFamily::fixed_g(2, 2, 2),
+    ]);
+    let designs: Vec<(&str, HssFamily)> = vec![
+        ("S   (1 rank, Hmax 16)", design_s()),
+        ("SS  (2 ranks, Hmax 8,4)", design_ss()),
+        ("SSS (3 ranks, Hmax 4,4,2)", three_rank),
+    ];
+
+    println!(
+        "{:>28} {:>9} {:>12} {:>12} {:>14} {:>12}",
+        "design", "degrees", "min density", "mux um^2", "normalized", "meta ranks"
+    );
+    let base = mux_tax_um2(&designs[0].1, 4.0, &tech);
+    for (name, family) in &designs {
+        let densities = family.densities();
+        let tax = mux_tax_um2(family, 4.0, &tech);
+        println!(
+            "{:>28} {:>9} {:>12.4} {:>12.0} {:>14.3} {:>12}",
+            name,
+            densities.len(),
+            densities[0].to_f64(),
+            tax,
+            tax / base,
+            family.rank_count()
+        );
+    }
+    println!(
+        "\nMore ranks represent the same degree span with a smaller per-rank Hmax,\n\
+         cutting the muxing tax (paper §5.3) — while metadata levels grow linearly."
+    );
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the core invariants, across crates.
+
+use highlight::fibertree::Fibertree;
+use highlight::prelude::*;
+use highlight::sim::micro::{MicroConfig, MicroSim};
+use highlight::sparsity::prune::{prune_hss, prune_unstructured, retained_norm_fraction};
+use highlight::tensor::format::{Csr, HssCompressed, SparseB};
+use highlight::tensor::gen;
+use proptest::prelude::*;
+
+fn pattern_strategy() -> impl Strategy<Value = HssPattern> {
+    // Two-rank patterns with reasonable G:H.
+    ((1u32..=4, 4u32..=8), (1u32..=2, 2u32..=4)).prop_map(|((g1, h1), (g0, h0))| {
+        HssPattern::two_rank(Gh::new(g1.min(h1), h1), Gh::new(g0.min(h0), h0))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated HSS tensors have exactly the pattern density and conform.
+    #[test]
+    fn generated_hss_density_is_exact(pattern in pattern_strategy(), seed in 0u64..1000) {
+        let cols = pattern.group_size() * 2;
+        let m = gen::random_hss(4, cols, pattern.ranks(), seed);
+        prop_assert!((m.density() - pattern.density_f64()).abs() < 1e-12);
+        prop_assert_eq!(gen::check_hss(&m, pattern.ranks()), None);
+    }
+
+    /// Pruning any dense matrix to a pattern yields a conformant matrix and
+    /// the retained norm never exceeds 1.
+    #[test]
+    fn pruning_conforms_and_bounds_norm(pattern in pattern_strategy(), seed in 0u64..1000) {
+        let cols = pattern.group_size() * 2;
+        let dense = gen::random_dense(4, cols, seed);
+        let pruned = prune_hss(&dense, &pattern);
+        prop_assert_eq!(gen::check_hss(&pruned, pattern.ranks()), None);
+        let r = retained_norm_fraction(&dense, &pruned);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+        // Unstructured pruning at the same degree retains at least as much.
+        let un = prune_unstructured(&dense, pattern.sparsity_f64());
+        prop_assert!(retained_norm_fraction(&dense, &un) >= r - 1e-9);
+    }
+
+    /// All three storage formats round-trip arbitrary sparse content.
+    #[test]
+    fn formats_roundtrip(sparsity in 0.0f64..1.0, seed in 0u64..1000) {
+        let m = gen::random_unstructured(8, 32, sparsity, seed);
+        prop_assert_eq!(HssCompressed::encode(&m, 4, 4).decode(), m.clone());
+        prop_assert_eq!(Csr::encode(&m).decode(), m.clone());
+        let b = gen::random_unstructured(32, 4, sparsity, seed + 1);
+        prop_assert_eq!(SparseB::encode(&b, 4, 4).decode(), b);
+    }
+
+    /// The micro-architecture computes the exact GEMM for any supported
+    /// configuration and any B sparsity, compressed or dense.
+    #[test]
+    fn micro_sim_equals_reference(
+        h1 in 2u32..=4,
+        b_sparsity in 0.0f64..0.95,
+        sparse_b in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let cfg = MicroConfig::paper_downsized(h1);
+        let k = cfg.group_words() * 2;
+        let a = gen::random_hss(3, k, &[cfg.rank1, cfg.rank0], seed);
+        let b = gen::random_unstructured(k, 3, b_sparsity, seed + 1);
+        let report = MicroSim::new(cfg).run(&a, &b, sparse_b);
+        prop_assert!(report.output.approx_eq(&a.matmul(&b), 1e-3));
+    }
+
+    /// Fibertree transforms are content-preserving: split∘flatten = id and
+    /// reorder twice with the inverse permutation = id.
+    #[test]
+    fn fibertree_transforms_preserve_content(seed in 0u64..1000) {
+        let m = gen::random_unstructured(4, 12, 0.5, seed);
+        let data: Vec<f64> = m.data().iter().map(|&v| f64::from(v)).collect();
+        let tree = Fibertree::from_dense(&data, &[4, 3, 4], &["A", "B", "C"]).unwrap();
+        let split = tree.split_rank(2, 2).unwrap();
+        let back = split.flatten_ranks(2).unwrap();
+        prop_assert_eq!(back.to_dense(), tree.to_dense());
+        let perm = tree.reorder(&[2, 0, 1]).unwrap();
+        let inv = perm.reorder(&[1, 2, 0]).unwrap();
+        prop_assert_eq!(inv.to_dense(), tree.to_dense());
+    }
+
+    /// Workload EDP metrics are consistent: ED² = EDP · latency, and the
+    /// operand swap never makes `evaluate_best` worse.
+    #[test]
+    fn evaluation_metric_consistency(sa in 0.0f64..0.9, sb in 0.0f64..0.9) {
+        let tc = Tc::default();
+        let w = Workload::synthetic(
+            OperandSparsity::unstructured(sa),
+            OperandSparsity::unstructured(sb),
+        );
+        let direct = tc.evaluate(&w).unwrap();
+        let best = evaluate_best(&tc, &w).unwrap();
+        prop_assert!(best.edp() <= direct.edp() + 1e-30);
+        prop_assert!((best.ed2() - best.edp() * best.latency_s()).abs() <= best.ed2() * 1e-12);
+    }
+}
