@@ -154,7 +154,10 @@ impl Vfmu {
     /// # Panics
     /// Panics if either parameter is zero.
     pub fn new(hmax: u32, block_words: u32) -> Self {
-        assert!(hmax > 0 && block_words > 0, "VFMU parameters must be positive");
+        assert!(
+            hmax > 0 && block_words > 0,
+            "VFMU parameters must be positive"
+        );
         Self { hmax, block_words }
     }
 
@@ -236,7 +239,11 @@ mod tests {
         let pes = 4.0;
         let s = pes * MuxTree::new(2, 16).area_um2(&t);
         let ss = MuxTree::new(2, 8).area_um2(&t) + pes * MuxTree::new(2, 4).area_um2(&t);
-        assert!(s / ss > 2.0, "expected >2x muxing reduction, got {}", s / ss);
+        assert!(
+            s / ss > 2.0,
+            "expected >2x muxing reduction, got {}",
+            s / ss
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ mod tests {
         let rf = t.sram_access_pj(2.0);
         let glb = t.sram_access_pj(256.0);
         // GLB ~ 6-16x RF; DRAM ~ 100-300x RF (Eyeriss-class ratios).
-        assert!(glb / rf > 5.0 && glb / rf < 16.0, "GLB/RF ratio {}", glb / rf);
+        assert!(
+            glb / rf > 5.0 && glb / rf < 16.0,
+            "GLB/RF ratio {}",
+            glb / rf
+        );
         assert!(t.dram_pj / rf > 100.0 && t.dram_pj / rf < 300.0);
         // Mux selects are far cheaper than a MAC.
         assert!(t.mux2_pj * 15.0 < 0.2 * t.mac_pj);

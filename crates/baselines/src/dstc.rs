@@ -123,7 +123,10 @@ impl Accelerator for Dstc {
         a.record(Comp::Mac, res.macs as f64 * MacUnit.area_um2(t));
         a.record(Comp::Glb, Sram::new(res.glb_kb).area_um2(t));
         a.record(Comp::GlbMeta, Sram::new(res.glb_meta_kb).area_um2(t));
-        a.record(Comp::RegFile, 4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t));
+        a.record(
+            Comp::RegFile,
+            4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t),
+        );
         a.record(Comp::AccumBuf, Sram::new(self.accum_kb).area_um2(t));
         a.record(
             Comp::PrefixSum,
@@ -145,7 +148,10 @@ mod tests {
     fn exploits_both_operands_for_speed() {
         let d = Dstc::default();
         let dense = d
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
         let sparse = d
             .evaluate(&Workload::synthetic(
@@ -164,13 +170,19 @@ mod tests {
         let tc_like_energy = {
             use crate::tc::Tc;
             Tc::default()
-                .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+                .evaluate(&Workload::synthetic(
+                    OperandSparsity::Dense,
+                    OperandSparsity::Dense,
+                ))
                 .unwrap()
                 .energy
                 .total()
         };
         let r = d
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
         // Accumulation buffer makes dense DSTC several times more expensive.
         let ratio = r.energy.total() / tc_like_energy;
@@ -198,7 +210,9 @@ mod tests {
         use hl_sparsity::{Gh, HssPattern};
         let d = Dstc::default();
         let p = OperandSparsity::Hss(HssPattern::one_rank(Gh::new(2, 4)));
-        let r = d.evaluate(&Workload::synthetic(p, OperandSparsity::Dense)).unwrap();
+        let r = d
+            .evaluate(&Workload::synthetic(p, OperandSparsity::Dense))
+            .unwrap();
         assert!(r.cycles < 1024.0f64.powi(3) / 1024.0);
     }
 }

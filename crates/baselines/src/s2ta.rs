@@ -45,15 +45,16 @@ impl S2ta {
 
     fn resolve_a(&self, a: &OperandSparsity) -> Result<f64, Unsupported> {
         let fail = |reason: &str| {
-            Err(Unsupported { design: "S2TA".into(), reason: reason.to_string() })
+            Err(Unsupported {
+                design: "S2TA".into(),
+                reason: reason.to_string(),
+            })
         };
         match a {
             OperandSparsity::Dense => {
                 fail("cannot process purely dense operand A (requires {G≤4}:8)")
             }
-            OperandSparsity::Unstructured { .. } => {
-                fail("operand A must be {G≤4}:8 structured")
-            }
+            OperandSparsity::Unstructured { .. } => fail("operand A must be {G≤4}:8 structured"),
             OperandSparsity::Hss(p) => {
                 if s2ta_a().supports(p) {
                     Ok(p.density_f64())
@@ -140,8 +141,14 @@ impl Accelerator for S2ta {
         a.record(Comp::Glb, Sram::new(res.glb_kb).area_um2(t));
         a.record(Comp::GlbMeta, Sram::new(res.glb_meta_kb).area_um2(t));
         a.record(Comp::RegFile, 64.0 * RegFile::new(0.0625).area_um2(t));
-        a.record(Comp::MuxRank0, res.macs as f64 / 4.0 * MuxTree::new(4, 8).area_um2(t));
-        a.record(Comp::MuxRank1, res.macs as f64 / 8.0 * MuxTree::new(8, 8).area_um2(t));
+        a.record(
+            Comp::MuxRank0,
+            res.macs as f64 / 4.0 * MuxTree::new(4, 8).area_um2(t),
+        );
+        a.record(
+            Comp::MuxRank1,
+            res.macs as f64 / 8.0 * MuxTree::new(8, 8).area_um2(t),
+        );
         a
     }
 
@@ -167,7 +174,10 @@ mod tests {
     fn rejects_dense_a() {
         let s = S2ta::default();
         let err = s
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap_err();
         assert!(err.reason.contains("dense"));
     }
@@ -178,14 +188,20 @@ mod tests {
         let dense_cycles = 1024.0f64.powi(3) / 1024.0;
         for g in [1u32, 2, 4] {
             let r = s.evaluate(&Workload::synthetic(gh8(g), gh8(4))).unwrap();
-            assert_eq!(r.cycles, dense_cycles / 2.0, "G={g}: fixed 4-lane weight path");
+            assert_eq!(
+                r.cycles,
+                dense_cycles / 2.0,
+                "G={g}: fixed 4-lane weight path"
+            );
         }
     }
 
     #[test]
     fn activation_sparsity_saves_energy_not_cycles() {
         let s = S2ta::default();
-        let b_dense = s.evaluate(&Workload::synthetic(gh8(4), OperandSparsity::Dense)).unwrap();
+        let b_dense = s
+            .evaluate(&Workload::synthetic(gh8(4), OperandSparsity::Dense))
+            .unwrap();
         let b_sparse = s.evaluate(&Workload::synthetic(gh8(4), gh8(2))).unwrap();
         assert_eq!(b_dense.cycles, b_sparse.cycles);
         assert!(b_sparse.energy.total() < b_dense.energy.total());
@@ -205,14 +221,20 @@ mod tests {
         let s = S2ta::default();
         let r = s.evaluate(&Workload::synthetic(gh8(4), gh8(8))).unwrap();
         let frac = r.energy.sparsity_tax() / r.energy.total();
-        assert!(frac > 0.02 && frac < 0.35, "S2TA tax should be medium, got {frac:.3}");
+        assert!(
+            frac > 0.02 && frac < 0.35,
+            "S2TA tax should be medium, got {frac:.3}"
+        );
     }
 
     #[test]
     fn rejects_unstructured_operands() {
         let s = S2ta::default();
         assert!(s
-            .evaluate(&Workload::synthetic(gh8(4), OperandSparsity::unstructured(0.5)))
+            .evaluate(&Workload::synthetic(
+                gh8(4),
+                OperandSparsity::unstructured(0.5)
+            ))
             .is_err());
         assert!(s
             .evaluate(&Workload::synthetic(

@@ -27,7 +27,10 @@ impl Default for Stc {
 impl Stc {
     /// Creates the model with the Table 4 sparse allocation (256 + 64 KB).
     pub fn new(tech: Tech) -> Self {
-        Self { tech, resources: Resources::tc_class(256.0, 64.0) }
+        Self {
+            tech,
+            resources: Resources::tc_class(256.0, 64.0),
+        }
     }
 
     /// Whether operand A's descriptor is exploited by the 2:4 hardware.
@@ -83,8 +86,14 @@ impl Accelerator for Stc {
         a.record(Comp::Mac, res.macs as f64 * MacUnit.area_um2(t));
         a.record(Comp::Glb, Sram::new(res.glb_kb).area_um2(t));
         a.record(Comp::GlbMeta, Sram::new(res.glb_meta_kb).area_um2(t));
-        a.record(Comp::RegFile, 4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t));
-        a.record(Comp::MuxRank0, res.macs as f64 / 2.0 * MuxTree::new(2, 4).area_um2(t));
+        a.record(
+            Comp::RegFile,
+            4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t),
+        );
+        a.record(
+            Comp::MuxRank0,
+            res.macs as f64 / 2.0 * MuxTree::new(2, 4).area_um2(t),
+        );
         a
     }
 
@@ -106,9 +115,14 @@ mod tests {
     fn speedup_capped_at_2x() {
         let stc = Stc::default();
         let dense = stc
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
-        let s24 = stc.evaluate(&Workload::synthetic(a_24(), OperandSparsity::Dense)).unwrap();
+        let s24 = stc
+            .evaluate(&Workload::synthetic(a_24(), OperandSparsity::Dense))
+            .unwrap();
         assert!((dense.cycles / s24.cycles - 2.0).abs() < 1e-9);
         // 1:4 (75% sparse) still only 2x — the inflexibility of Fig. 2.
         let s14 = stc
@@ -123,9 +137,14 @@ mod tests {
     #[test]
     fn cannot_exploit_b_sparsity() {
         let stc = Stc::default();
-        let b_dense = stc.evaluate(&Workload::synthetic(a_24(), OperandSparsity::Dense)).unwrap();
+        let b_dense = stc
+            .evaluate(&Workload::synthetic(a_24(), OperandSparsity::Dense))
+            .unwrap();
         let b_sparse = stc
-            .evaluate(&Workload::synthetic(a_24(), OperandSparsity::unstructured(0.75)))
+            .evaluate(&Workload::synthetic(
+                a_24(),
+                OperandSparsity::unstructured(0.75),
+            ))
             .unwrap();
         assert_eq!(b_dense.cycles, b_sparse.cycles);
         assert_eq!(b_dense.energy.total(), b_sparse.energy.total());
@@ -147,8 +166,13 @@ mod tests {
     #[test]
     fn tax_is_small_fraction_of_energy() {
         let stc = Stc::default();
-        let r = stc.evaluate(&Workload::synthetic(a_24(), OperandSparsity::Dense)).unwrap();
+        let r = stc
+            .evaluate(&Workload::synthetic(a_24(), OperandSparsity::Dense))
+            .unwrap();
         assert!(r.energy.sparsity_tax() > 0.0);
-        assert!(r.energy.sparsity_tax() / r.energy.total() < 0.05, "STC tax must be very low");
+        assert!(
+            r.energy.sparsity_tax() / r.energy.total() < 0.05,
+            "STC tax must be very low"
+        );
     }
 }

@@ -23,7 +23,10 @@ impl Default for Tc {
 impl Tc {
     /// Creates the model with the Table 4 dense allocation (320 KB GLB).
     pub fn new(tech: Tech) -> Self {
-        Self { tech, resources: Resources::tc_class(320.0, 0.0) }
+        Self {
+            tech,
+            resources: Resources::tc_class(320.0, 0.0),
+        }
     }
 
     /// The resource allocation.
@@ -60,7 +63,10 @@ impl Accelerator for Tc {
         let mut a = AreaBreakdown::new();
         a.record(Comp::Mac, self.resources.macs as f64 * MacUnit.area_um2(t));
         a.record(Comp::Glb, Sram::new(self.resources.glb_kb).area_um2(t));
-        a.record(Comp::RegFile, 4.0 * RegFile::new(self.resources.rf_kb / 4.0).area_um2(t));
+        a.record(
+            Comp::RegFile,
+            4.0 * RegFile::new(self.resources.rf_kb / 4.0).area_um2(t),
+        );
         a
     }
 
@@ -78,7 +84,10 @@ mod tests {
     fn ignores_sparsity_entirely() {
         let tc = Tc::default();
         let dense = tc
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
         let sparse = tc
             .evaluate(&Workload::synthetic(
@@ -95,7 +104,10 @@ mod tests {
     fn dense_cycle_count() {
         let tc = Tc::default();
         let r = tc
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
         assert_eq!(r.cycles, 1024.0 * 1024.0);
     }

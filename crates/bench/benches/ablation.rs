@@ -6,42 +6,64 @@
 //! Rank1 skipping, Rank0 skipping, and operand-B gating/compression.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use highlight_core::{HighLight, HighLightConfig};
 use hl_bench::{operand_a_for, operand_b_for};
 use hl_sim::{evaluate_best, Workload};
-use highlight_core::{HighLight, HighLightConfig};
 use std::hint::black_box;
 
 fn variants() -> Vec<(&'static str, HighLight)> {
-    let mut out = Vec::new();
-    out.push(("full", HighLight::default()));
-    let mut cfg = HighLightConfig::default();
-    cfg.rank1_saf = false;
-    out.push(("no-rank1-saf", HighLight::new(cfg)));
-    let mut cfg = HighLightConfig::default();
-    cfg.rank0_saf = false;
-    out.push(("no-rank0-saf", HighLight::new(cfg)));
-    let mut cfg = HighLightConfig::default();
-    cfg.b_gating = false;
-    out.push(("no-b-gating", HighLight::new(cfg)));
-    let mut cfg = HighLightConfig::default();
-    cfg.rank1_saf = false;
-    cfg.rank0_saf = false;
-    cfg.b_gating = false;
-    out.push(("all-safs-off", HighLight::new(cfg)));
-    out
+    vec![
+        ("full", HighLight::default()),
+        (
+            "no-rank1-saf",
+            HighLight::new(HighLightConfig {
+                rank1_saf: false,
+                ..HighLightConfig::default()
+            }),
+        ),
+        (
+            "no-rank0-saf",
+            HighLight::new(HighLightConfig {
+                rank0_saf: false,
+                ..HighLightConfig::default()
+            }),
+        ),
+        (
+            "no-b-gating",
+            HighLight::new(HighLightConfig {
+                b_gating: false,
+                ..HighLightConfig::default()
+            }),
+        ),
+        (
+            "all-safs-off",
+            HighLight::new(HighLightConfig {
+                rank1_saf: false,
+                rank0_saf: false,
+                b_gating: false,
+                ..HighLightConfig::default()
+            }),
+        ),
+    ]
 }
 
 fn print_ablation_table() {
-    let w = Workload::synthetic(operand_a_for("HighLight", 0.75), operand_b_for("HighLight", 0.5));
+    let w = Workload::synthetic(
+        operand_a_for("HighLight", 0.75),
+        operand_b_for("HighLight", 0.5),
+    );
     let full = evaluate_best(&HighLight::default(), &w).unwrap();
     println!("\nHighLight SAF ablation on A 75% / B 50% (1024^3 GEMM):");
-    println!("{:>14} {:>12} {:>12} {:>12}", "variant", "speedup", "energy", "EDP vs full");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12}",
+        "variant", "speedup", "energy", "EDP vs full"
+    );
     for (name, hl) in variants() {
         let r = evaluate_best(&hl, &w).unwrap();
         println!(
             "{:>14} {:>11.2}x {:>11.2}x {:>12.2}",
             name,
-            full.cycles / r.cycles * (full.cycles / full.cycles),
+            full.cycles / r.cycles,
             r.energy_j() / full.energy_j(),
             r.edp() / full.edp()
         );
@@ -51,7 +73,10 @@ fn print_ablation_table() {
 
 fn bench_ablations(c: &mut Criterion) {
     print_ablation_table();
-    let w = Workload::synthetic(operand_a_for("HighLight", 0.75), operand_b_for("HighLight", 0.5));
+    let w = Workload::synthetic(
+        operand_a_for("HighLight", 0.75),
+        operand_b_for("HighLight", 0.5),
+    );
     for (name, hl) in variants() {
         c.bench_function(&format!("ablation/{name}"), |bench| {
             bench.iter(|| black_box(evaluate_best(&hl, &w)))

@@ -10,10 +10,7 @@ use std::hint::black_box;
 
 fn bench_design_evaluations(c: &mut Criterion) {
     for d in designs() {
-        let w = Workload::synthetic(
-            operand_a_for(d.name(), 0.75),
-            operand_b_for(d.name(), 0.5),
-        );
+        let w = Workload::synthetic(operand_a_for(d.name(), 0.75), operand_b_for(d.name(), 0.5));
         c.bench_function(&format!("evaluate/{}", d.name()), |bench| {
             bench.iter(|| black_box(evaluate_best(d.as_ref(), &w)))
         });

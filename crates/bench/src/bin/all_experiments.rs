@@ -6,19 +6,35 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "tables", "fig1", "fig2", "fig6", "microtrace", "fig13", "fig14", "fig15", "fig16",
+        "tables",
+        "fig1",
+        "fig2",
+        "fig6",
+        "microtrace",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
         "fig17",
     ];
     for bin in bins {
         println!("\n########## {bin} ##########\n");
-        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
-            .status();
+        let status =
+            Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin)).status();
         match status {
             Ok(s) if s.success() => {}
             other => {
                 eprintln!("{bin} failed: {other:?}; falling back to cargo run");
                 let fallback = Command::new("cargo")
-                    .args(["run", "--quiet", "--release", "-p", "hl-bench", "--bin", bin])
+                    .args([
+                        "run",
+                        "--quiet",
+                        "--release",
+                        "-p",
+                        "hl-bench",
+                        "--bin",
+                        bin,
+                    ])
                     .status()
                     .expect("cargo run");
                 assert!(fallback.success(), "{bin} failed");

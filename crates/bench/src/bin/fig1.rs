@@ -10,7 +10,10 @@ fn main() {
     let composed = compose_density_sets(&[s0.clone(), s1.clone()]);
 
     let fmt = |set: &[Ratio]| {
-        set.iter().map(|r| format!("{r} ({:.3})", r.to_f64())).collect::<Vec<_>>().join(", ")
+        set.iter()
+            .map(|r| format!("{r} ({:.3})", r.to_f64()))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let mut out = String::new();
     out.push_str("Fig. 1 — composing density-degree sets by fraction multiplication\n\n");

@@ -10,7 +10,9 @@ fn main() {
     let tc = 0; // registry order: TC first
 
     let mut out = String::new();
-    out.push_str("Fig. 13 — normalized to TC (lower is better for energy/EDP; higher for speedup)\n\n");
+    out.push_str(
+        "Fig. 13 — normalized to TC (lower is better for energy/EDP; higher for speedup)\n\n",
+    );
     for metric in ["speedup", "energy", "EDP"] {
         out.push_str(&format!("== {metric} ==\n"));
         out.push_str(&format!("{:>6} {:>6}", "A%", "B%"));

@@ -24,9 +24,15 @@ fn configs_for(design: &dyn Accelerator) -> Vec<PruningConfig> {
             PruningConfig::Hss(HssPattern::one_rank(Gh::new(1, 4))),
         ],
         "DSTC" => (1..=7)
-            .map(|i| PruningConfig::Unstructured { sparsity: f64::from(i) * 0.125 })
+            .map(|i| PruningConfig::Unstructured {
+                sparsity: f64::from(i) * 0.125,
+            })
             .collect(),
-        "S2TA" => s2ta_a().patterns().into_iter().map(PruningConfig::Hss).collect(),
+        "S2TA" => s2ta_a()
+            .patterns()
+            .into_iter()
+            .map(PruningConfig::Hss)
+            .collect(),
         "HighLight" => {
             let mut seen = std::collections::BTreeSet::new();
             highlight_a()

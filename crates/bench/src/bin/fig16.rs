@@ -2,11 +2,11 @@
 //! sparse operand A and dense operand B; (b) HighLight's area breakdown and
 //! SAF fraction (paper: 5.7%).
 
+use highlight_core::HighLight;
 use hl_arch::Comp;
 use hl_bench::{designs, operand_a_for, persist};
-use hl_sim::{evaluate_best, OperandSparsity, Workload};
-use highlight_core::HighLight;
 use hl_sim::Accelerator;
+use hl_sim::{evaluate_best, OperandSparsity, Workload};
 
 fn main() {
     let mut out = String::new();

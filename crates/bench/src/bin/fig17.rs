@@ -2,10 +2,10 @@
 //! workloads with A = C1(dense)→C0(2:4) and B = C1(2:{2≤H≤8})→C0(dense),
 //! normalized to dense processing.
 
+use highlight_core::{Dsso, HighLight};
 use hl_bench::persist;
 use hl_sim::{Accelerator, OperandSparsity, Workload};
 use hl_sparsity::{Gh, HssPattern};
-use highlight_core::{Dsso, HighLight};
 
 fn main() {
     let hl = HighLight::default();

@@ -25,7 +25,9 @@ fn main() {
         ));
         let tc_edp = {
             let tc = &designs()[0];
-            eval_model(tc.as_ref(), &model, &PruningConfig::Dense).expect("TC runs dense").edp()
+            eval_model(tc.as_ref(), &model, &PruningConfig::Dense)
+                .expect("TC runs dense")
+                .edp()
         };
         for d in designs() {
             if !matches!(d.name(), "TC" | "STC" | "DSTC" | "HighLight") {

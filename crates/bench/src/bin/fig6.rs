@@ -16,7 +16,10 @@ fn main() {
     out.push_str("Fig. 6(a) — supported sparsity degrees (normalized latency = density)\n\n");
     for (name, fam) in [("S (1-rank, Hmax=16)", &s), ("SS (2-rank, Hmax=8,4)", &ss)] {
         let densities = fam.densities();
-        out.push_str(&format!("{name}: {} degrees\n  sparsity%: ", densities.len()));
+        out.push_str(&format!(
+            "{name}: {} degrees\n  sparsity%: ",
+            densities.len()
+        ));
         let degs: Vec<String> = densities
             .iter()
             .rev()
@@ -24,8 +27,11 @@ fn main() {
             .collect();
         out.push_str(&degs.join(", "));
         out.push('\n');
-        let lat: Vec<String> =
-            densities.iter().rev().map(|d| format!("{:.3}", d.to_f64())).collect();
+        let lat: Vec<String> = densities
+            .iter()
+            .rev()
+            .map(|d| format!("{:.3}", d.to_f64()))
+            .collect();
         out.push_str(&format!("  latency:   {}\n\n", lat.join(", ")));
     }
 

@@ -22,7 +22,11 @@ fn main() {
         let reference = a.matmul(&b);
         out.push_str(&format!(
             "== C1(2:{h1})→C0(2:4), operand B {} ==\n",
-            if sparse_b { "50% unstructured (compressed, Fig. 12)" } else { "dense (Fig. 11)" }
+            if sparse_b {
+                "50% unstructured (compressed, Fig. 12)"
+            } else {
+                "dense (Fig. 11)"
+            }
         ));
         let comp = HssCompressed::encode(&a, h1 as usize, 4);
         let row = &comp.rows()[0];
@@ -39,7 +43,11 @@ fn main() {
                 t.group,
                 t.shift_words,
                 t.fetched_words,
-                if t.fetch_skipped { "  (GLB fetch skipped)" } else { "" }
+                if t.fetch_skipped {
+                    "  (GLB fetch skipped)"
+                } else {
+                    ""
+                }
             ));
         }
         out.push_str(&format!(

@@ -1,14 +1,14 @@
 //! Prints Tables 1-4 (or a single table given its number as an argument).
 
-use hl_bench::tables::{table1, table2, table3, table4};
 use hl_bench::persist;
+use hl_bench::tables::{table1, table2, table3, table4};
 
 fn main() {
     let which = std::env::args().nth(1);
     let tables: Vec<(usize, fn() -> String)> =
         vec![(1, table1), (2, table2), (3, table3), (4, table4)];
     for (i, f) in tables {
-        if which.as_deref().map_or(true, |w| w == i.to_string()) {
+        if which.as_deref().is_none_or(|w| w == i.to_string()) {
             let text = f();
             println!("{text}");
             persist(&format!("table{i}.txt"), &text);

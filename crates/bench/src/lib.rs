@@ -24,13 +24,13 @@ pub mod tables;
 use std::fs;
 use std::path::Path;
 
+use highlight_core::HighLight;
 use hl_baselines::{Dstc, S2ta, Stc, Tc};
 use hl_models::accuracy::{accuracy_loss, PruningConfig};
 use hl_models::DnnModel;
 use hl_sim::{evaluate_best, Accelerator, EvalResult, OperandSparsity, Workload};
 use hl_sparsity::families::{highlight_a, HssFamily};
 use hl_sparsity::{Gh, HssPattern};
-use highlight_core::HighLight;
 
 /// The evaluated designs in the paper's presentation order.
 pub fn designs() -> Vec<Box<dyn Accelerator>> {
@@ -52,11 +52,7 @@ pub fn design_names() -> Vec<String> {
 /// co-designed with (§7.1.2).
 pub fn operand_a_for(design: &str, sparsity: f64) -> OperandSparsity {
     if sparsity == 0.0 {
-        return match design {
-            // S2TA cannot express dense A; hand it the dense descriptor and
-            // let the model report Unsupported (§7.3).
-            _ => OperandSparsity::Dense,
-        };
+        return OperandSparsity::Dense;
     }
     match design {
         "TC" | "DSTC" => OperandSparsity::unstructured(sparsity),
@@ -125,7 +121,11 @@ pub fn run_synthetic_sweep() -> Vec<SweepPoint> {
                     evaluate_best(d.as_ref(), &w).ok()
                 })
                 .collect();
-            out.push(SweepPoint { a_sparsity: sa, b_sparsity: sb, results });
+            out.push(SweepPoint {
+                a_sparsity: sa,
+                b_sparsity: sb,
+                results,
+            });
         }
     }
     out
@@ -161,9 +161,7 @@ pub fn eval_model(
         let a = if layer.prunable {
             match weights {
                 PruningConfig::Dense => OperandSparsity::Dense,
-                PruningConfig::Unstructured { sparsity } => {
-                    operand_a_for(design.name(), *sparsity)
-                }
+                PruningConfig::Unstructured { sparsity } => operand_a_for(design.name(), *sparsity),
                 PruningConfig::Hss(p) => OperandSparsity::Hss(p.clone()),
             }
         } else {
@@ -175,7 +173,10 @@ pub fn eval_model(
         energy_j += r.energy_j() * f64::from(layer.count);
         latency_s += r.latency_s() * f64::from(layer.count);
     }
-    Some(ModelEval { energy_j, latency_s })
+    Some(ModelEval {
+        energy_j,
+        latency_s,
+    })
 }
 
 /// The per-design pruning configuration used for accuracy-matched
@@ -223,7 +224,7 @@ fn best_in_family(family: &HssFamily, model: &DnnModel, budget: f64) -> Option<P
         let loss = accuracy_loss(model, &cfg);
         if loss <= budget {
             let s = p.sparsity_f64();
-            if best.as_ref().map_or(true, |(bs, _)| s > *bs) {
+            if best.as_ref().is_none_or(|(bs, _)| s > *bs) {
                 best = Some((s, cfg));
             }
         }
@@ -255,7 +256,10 @@ mod tests {
 
     #[test]
     fn registry_order_matches_paper() {
-        assert_eq!(design_names(), vec!["TC", "STC", "DSTC", "S2TA", "HighLight"]);
+        assert_eq!(
+            design_names(),
+            vec!["TC", "STC", "DSTC", "S2TA", "HighLight"]
+        );
     }
 
     #[test]

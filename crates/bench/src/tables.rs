@@ -28,7 +28,10 @@ pub fn table1() -> String {
             "STC" => ("structured sparse", "2 (0%, 50%)".to_string()),
             "S2TA" => ("structured sparse", "4 (>=50%, eighths)".to_string()),
             "DSTC" => ("unstructured sparse", "continuous".to_string()),
-            _ => ("HSS (this work)", format!("{} exact", highlight_a().degree_count())),
+            _ => (
+                "HSS (this work)",
+                format!("{} exact", highlight_a().degree_count()),
+            ),
         };
         out.push_str(&format!(
             "{:>10} {:>22} {:>18} {:>22}\n",
@@ -43,7 +46,10 @@ pub fn table1() -> String {
 
 /// Table 2: fibertree-based sparsity specifications.
 pub fn table2() -> String {
-    format!("Table 2 — fibertree-based sparsity specifications\n\n{}", catalog::render_table2())
+    format!(
+        "Table 2 — fibertree-based sparsity specifications\n\n{}",
+        catalog::render_table2()
+    )
 }
 
 /// Table 3: supported sparsity patterns per design.
@@ -86,4 +92,3 @@ pub fn table4() -> String {
     out.push_str("\n(per-component columns in mm^2; all designs hold 1024 MACs)\n");
     out
 }
-

@@ -26,20 +26,31 @@ pub struct Dsso {
 
 impl Default for Dsso {
     fn default() -> Self {
-        Self { tech: Tech::n65(), resources: Resources::tc_class(256.0, 64.0) }
+        Self {
+            tech: Tech::n65(),
+            resources: Resources::tc_class(256.0, 64.0),
+        }
     }
 }
 
 impl Dsso {
     /// Creates the model with the shared Table 4 resources.
     pub fn new(tech: Tech) -> Self {
-        Self { tech, resources: Resources::tc_class(256.0, 64.0) }
+        Self {
+            tech,
+            resources: Resources::tc_class(256.0, 64.0),
+        }
     }
 
     /// Operand A density factor: dense, or Rank0-sparse `2:{2≤H≤4}` with a
     /// dense upper rank.
     fn resolve_a(&self, a: &OperandSparsity) -> Result<f64, Unsupported> {
-        let fail = |reason: String| Err(Unsupported { design: "DSSO".into(), reason });
+        let fail = |reason: String| {
+            Err(Unsupported {
+                design: "DSSO".into(),
+                reason,
+            })
+        };
         match a {
             OperandSparsity::Dense => Ok(1.0),
             OperandSparsity::Unstructured { .. } => {
@@ -49,7 +60,9 @@ impl Dsso {
                 [] => Ok(1.0),
                 [r0] if Self::rank0_ok(*r0) => Ok(r0.density()),
                 [r1, r0] if r1.is_dense() && Self::rank0_ok(*r0) => Ok(r0.density()),
-                _ => fail(format!("operand A pattern {p} must be C1(dense)→C0(2:{{2..4}})")),
+                _ => fail(format!(
+                    "operand A pattern {p} must be C1(dense)→C0(2:{{2..4}})"
+                )),
             },
         }
     }
@@ -65,7 +78,12 @@ impl Dsso {
     /// Operand B density factor: dense, or Rank1-sparse `2:{2≤H≤8}` with a
     /// dense lower rank.
     fn resolve_b(&self, b: &OperandSparsity) -> Result<f64, Unsupported> {
-        let fail = |reason: String| Err(Unsupported { design: "DSSO".into(), reason });
+        let fail = |reason: String| {
+            Err(Unsupported {
+                design: "DSSO".into(),
+                reason,
+            })
+        };
         match b {
             OperandSparsity::Dense => Ok(1.0),
             OperandSparsity::Unstructured { sparsity } if *sparsity == 0.0 => Ok(1.0),
@@ -75,7 +93,9 @@ impl Dsso {
             OperandSparsity::Hss(p) => match p.ranks() {
                 [] => Ok(1.0),
                 [r1, r0] if Self::rank1_ok(*r1) && r0.is_dense() => Ok(r1.density()),
-                _ => fail(format!("operand B pattern {p} must be C1(2:{{2..8}})→C0(dense)")),
+                _ => fail(format!(
+                    "operand B pattern {p} must be C1(2:{{2..8}})→C0(dense)"
+                )),
             },
         }
     }
@@ -135,7 +155,10 @@ impl Accelerator for Dsso {
         a.record(Comp::Mac, res.macs as f64 * MacUnit.area_um2(t));
         a.record(Comp::Glb, Sram::new(res.glb_kb).area_um2(t));
         a.record(Comp::GlbMeta, Sram::new(res.glb_meta_kb).area_um2(t));
-        a.record(Comp::RegFile, 4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t));
+        a.record(
+            Comp::RegFile,
+            4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t),
+        );
         let pes = res.macs as f64 / 2.0;
         a.record(Comp::MuxRank0, pes * MuxTree::new(2, 4).area_um2(t));
         a.record(Comp::MuxRank1, 4.0 * MuxTree::new(2, 8).area_um2(t));
@@ -163,7 +186,9 @@ mod tests {
     #[test]
     fn fig17_dual_side_speedup_is_2x_over_single_side() {
         let d = Dsso::default();
-        let r = d.evaluate(&Workload::synthetic(a_24(), b_rank1(4))).unwrap();
+        let r = d
+            .evaluate(&Workload::synthetic(a_24(), b_rank1(4)))
+            .unwrap();
         // factor = 0.5 (A rank0) * 0.5 (B rank1) = 0.25.
         let dense_cycles = 1024.0f64.powi(3) / 1024.0;
         assert!((dense_cycles / r.cycles - 4.0).abs() < 1e-9);
@@ -174,7 +199,9 @@ mod tests {
         let d = Dsso::default();
         let dense_cycles = 1024.0f64.powi(3) / 1024.0;
         for h in [2u32, 4, 8] {
-            let r = d.evaluate(&Workload::synthetic(a_24(), b_rank1(h))).unwrap();
+            let r = d
+                .evaluate(&Workload::synthetic(a_24(), b_rank1(h)))
+                .unwrap();
             let expect = 2.0 * f64::from(h) / 2.0;
             assert!((dense_cycles / r.cycles - expect).abs() < 1e-9, "H1={h}");
         }
@@ -198,7 +225,10 @@ mod tests {
     fn dense_both_sides_runs_at_dense_speed() {
         let d = Dsso::default();
         let r = d
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
         assert_eq!(r.cycles, 1024.0f64.powi(3) / 1024.0);
         assert_eq!(r.energy.sparsity_tax(), 0.0);

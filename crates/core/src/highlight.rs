@@ -57,7 +57,10 @@ impl Default for HighLight {
 impl HighLight {
     /// Creates a model from a configuration.
     pub fn new(config: HighLightConfig) -> Self {
-        Self { config, name: "HighLight".to_string() }
+        Self {
+            config,
+            name: "HighLight".to_string(),
+        }
     }
 
     /// The configuration in use.
@@ -197,7 +200,11 @@ impl Accelerator for HighLight {
                 acc.mux(Comp::MuxRank0, MuxTree::new(2, 4), w.dense_macs() * d_a);
             }
             if cfg.rank1_saf {
-                acc.mux(Comp::MuxRank1, MuxTree::new(4, 8), w.dense_macs() * d_a / 2.0);
+                acc.mux(
+                    Comp::MuxRank1,
+                    MuxTree::new(4, 8),
+                    w.dense_macs() * d_a / 2.0,
+                );
             }
         }
 
@@ -216,7 +223,10 @@ impl Accelerator for HighLight {
         a.record(Comp::Mac, res.macs as f64 * MacUnit.area_um2(t));
         a.record(Comp::Glb, Sram::new(res.glb_kb).area_um2(t));
         a.record(Comp::GlbMeta, Sram::new(res.glb_meta_kb).area_um2(t));
-        a.record(Comp::RegFile, 4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t));
+        a.record(
+            Comp::RegFile,
+            4.0 * RegFile::new(res.rf_kb / 4.0).area_um2(t),
+        );
         // SAFs: a Rank0 mux pair per PE (G0 = 2 MACs per PE), a Rank1 mux
         // block + VFMU per PE array (4 arrays).
         let pes = res.macs as f64 / 2.0;
@@ -255,10 +265,15 @@ mod tests {
     fn structured_a_gets_exact_speedup() {
         let hl = HighLight::default();
         let dense = hl
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
         for s in [0.5, 0.75] {
-            let r = hl.evaluate(&Workload::synthetic(hss(s), OperandSparsity::Dense)).unwrap();
+            let r = hl
+                .evaluate(&Workload::synthetic(hss(s), OperandSparsity::Dense))
+                .unwrap();
             let speedup = dense.cycles / r.cycles;
             assert!(
                 (speedup - 1.0 / (1.0 - s)).abs() < 1e-6,
@@ -271,9 +286,14 @@ mod tests {
     #[test]
     fn b_sparsity_saves_energy_not_cycles() {
         let hl = HighLight::default();
-        let base = hl.evaluate(&Workload::synthetic(hss(0.5), OperandSparsity::Dense)).unwrap();
+        let base = hl
+            .evaluate(&Workload::synthetic(hss(0.5), OperandSparsity::Dense))
+            .unwrap();
         let gated = hl
-            .evaluate(&Workload::synthetic(hss(0.5), OperandSparsity::unstructured(0.5)))
+            .evaluate(&Workload::synthetic(
+                hss(0.5),
+                OperandSparsity::unstructured(0.5),
+            ))
             .unwrap();
         assert_eq!(base.cycles, gated.cycles, "gating must not change cycles");
         assert!(gated.energy.total() < base.energy.total());
@@ -284,8 +304,10 @@ mod tests {
         let hl = HighLight::default();
         let w25 = Workload::synthetic(hss(0.5), OperandSparsity::unstructured(0.25));
         let r25 = hl.evaluate(&w25).unwrap();
-        let mut cfg = HighLightConfig::default();
-        cfg.conservative_b = false;
+        let cfg = HighLightConfig {
+            conservative_b: false,
+            ..HighLightConfig::default()
+        };
         let exact = HighLight::new(cfg).evaluate(&w25).unwrap();
         // Conservative estimation exploits less B sparsity -> more energy.
         assert!(r25.energy.total() > exact.energy.total());
@@ -301,7 +323,10 @@ mod tests {
             ))
             .unwrap();
         let dense = hl
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
         assert_eq!(r.cycles, dense.cycles);
     }
@@ -311,10 +336,14 @@ mod tests {
         let hl = HighLight::default();
         // 7:8 density (12.5% sparsity) is not in the family.
         let p = OperandSparsity::Hss(HssPattern::one_rank(Gh::new(7, 8)));
-        assert!(hl.evaluate(&Workload::synthetic(p, OperandSparsity::Dense)).is_err());
+        assert!(hl
+            .evaluate(&Workload::synthetic(p, OperandSparsity::Dense))
+            .is_err());
         // Equal-density fallback: one-rank 1:4 maps to a two-rank member.
         let q = OperandSparsity::Hss(HssPattern::one_rank(Gh::new(1, 4)));
-        assert!(hl.evaluate(&Workload::synthetic(q, OperandSparsity::Dense)).is_ok());
+        assert!(hl
+            .evaluate(&Workload::synthetic(q, OperandSparsity::Dense))
+            .is_ok());
     }
 
     #[test]
@@ -323,20 +352,28 @@ mod tests {
         let area = hl.area();
         let saf = area.get(Comp::MuxRank0) + area.get(Comp::MuxRank1) + area.get(Comp::Vfmu);
         let frac = saf / area.total();
-        assert!(frac < 0.12, "SAF area fraction should be small, got {frac:.3}");
+        assert!(
+            frac < 0.12,
+            "SAF area fraction should be small, got {frac:.3}"
+        );
         assert!(frac > 0.01, "SAF area must be accounted, got {frac:.4}");
     }
 
     #[test]
     fn ablation_hooks_reduce_speedup() {
-        let mut cfg = HighLightConfig::default();
-        cfg.rank1_saf = false;
+        let cfg = HighLightConfig {
+            rank1_saf: false,
+            ..HighLightConfig::default()
+        };
         let hl = HighLight::new(cfg);
         let w = Workload::synthetic(hss(0.75), OperandSparsity::Dense);
         let r = hl.evaluate(&w).unwrap();
         // Only rank0's 2x remains out of the 4x.
         let dense = hl
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
         assert!((dense.cycles / r.cycles - 2.0).abs() < 1e-9);
     }

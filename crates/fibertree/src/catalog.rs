@@ -100,8 +100,10 @@ mod tests {
         assert_eq!(entries.len(), 7);
         // Three distinct patterns share the `Sub-channel` conventional name
         // (plus the HSS example) — the precise specs must all differ.
-        let sub: Vec<_> =
-            entries.iter().filter(|e| e.conventional == "Sub-channel").collect();
+        let sub: Vec<_> = entries
+            .iter()
+            .filter(|e| e.conventional == "Sub-channel")
+            .collect();
         assert!(sub.len() >= 3);
         for i in 0..sub.len() {
             for j in i + 1..sub.len() {

@@ -47,7 +47,10 @@ pub enum FibertreeError {
 impl fmt::Display for FibertreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ShapeMismatch { data_len, shape_len } => write!(
+            Self::ShapeMismatch {
+                data_len,
+                shape_len,
+            } => write!(
                 f,
                 "dense data has {data_len} elements but shape implies {shape_len}"
             ),
@@ -56,7 +59,10 @@ impl fmt::Display for FibertreeError {
             }
             Self::EmptyDimension => write!(f, "tensor shape contains a zero dimension"),
             Self::RankOutOfBounds { rank, ranks } => {
-                write!(f, "rank index {rank} out of bounds for tree with {ranks} ranks")
+                write!(
+                    f,
+                    "rank index {rank} out of bounds for tree with {ranks} ranks"
+                )
             }
             Self::InvalidSplit { block, shape } => {
                 write!(f, "invalid split block {block} for rank of shape {shape}")

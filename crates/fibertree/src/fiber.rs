@@ -57,7 +57,10 @@ impl Fiber {
     /// Panics if `shape == 0`.
     pub fn new(shape: usize) -> Self {
         assert!(shape > 0, "fiber shape must be positive");
-        Self { shape, elems: Vec::new() }
+        Self {
+            shape,
+            elems: Vec::new(),
+        }
     }
 
     /// The number of possible coordinates in this fiber.
@@ -87,7 +90,11 @@ impl Fiber {
     /// # Panics
     /// Panics if `coord >= shape`.
     pub fn insert(&mut self, coord: usize, payload: Payload) {
-        assert!(coord < self.shape, "coordinate {coord} out of bounds for shape {}", self.shape);
+        assert!(
+            coord < self.shape,
+            "coordinate {coord} out of bounds for shape {}",
+            self.shape
+        );
         match self.elems.binary_search_by_key(&coord, |(c, _)| *c) {
             Ok(i) => self.elems[i] = (coord, payload),
             Err(i) => self.elems.insert(i, (coord, payload)),

@@ -76,7 +76,9 @@ impl FromStr for Gh {
             .parse()
             .map_err(|_| FibertreeError::SpecParse(format!("bad H in `{s}`")))?;
         if g == 0 || h == 0 || g > h {
-            return Err(FibertreeError::SpecParse(format!("invalid G:H pattern `{s}`")));
+            return Err(FibertreeError::SpecParse(format!(
+                "invalid G:H pattern `{s}`"
+            )));
         }
         Ok(Self { g, h })
     }
@@ -116,7 +118,10 @@ pub struct RankSpec {
 impl RankSpec {
     /// Creates a rank spec.
     pub fn new(name: impl Into<String>, rule: Rule) -> Self {
-        Self { name: name.into(), rule }
+        Self {
+            name: name.into(),
+            rule,
+        }
     }
 }
 
@@ -199,7 +204,10 @@ impl PatternSpec {
 
     /// Number of ranks carrying `G:H` rules — the paper's `N` in "N-rank HSS".
     pub fn hss_rank_count(&self) -> usize {
-        self.ranks.iter().filter(|r| matches!(r.rule, Rule::Gh(_))).count()
+        self.ranks
+            .iter()
+            .filter(|r| matches!(r.rule, Rule::Gh(_)))
+            .count()
     }
 
     /// The `G:H` rules, ordered highest rank first.
@@ -276,7 +284,7 @@ impl PatternSpec {
             .ranks
             .iter()
             .filter(|r| r.rule != Rule::None)
-            .map(|r| format_rank(r))
+            .map(format_rank)
             .collect();
         if with_rules.is_empty() {
             "dense".to_string()
@@ -409,7 +417,7 @@ mod tests {
     fn check_two_rank_hss() {
         // RS -> C2 -> C1(1:2) -> C0(2:4): C1 fibers (shape 2) have <=1
         // non-empty block; C0 fibers (shape 4) have <=2 values.
-        let mut data = vec![0.0; 1 * 1 * 2 * 4];
+        let mut data = vec![0.0; 2 * 4];
         data[0] = 1.0;
         data[2] = 2.0; // block 0 occupied with 2 values; block 1 empty
         let t = Fibertree::from_dense(&data, &[1, 1, 2, 4], &["RS", "C2", "C1", "C0"]).unwrap();

@@ -13,7 +13,10 @@ pub struct RankInfo {
 impl RankInfo {
     /// Creates a new rank descriptor.
     pub fn new(name: impl Into<String>, shape: usize) -> Self {
-        Self { name: name.into(), shape }
+        Self {
+            name: name.into(),
+            shape,
+        }
     }
 }
 
@@ -45,19 +48,31 @@ impl Fibertree {
         shape: &[usize],
         names: &[&str],
     ) -> Result<Self, FibertreeError> {
-        if shape.iter().any(|&s| s == 0) || shape.is_empty() {
+        if shape.contains(&0) || shape.is_empty() {
             return Err(FibertreeError::EmptyDimension);
         }
         if names.len() != shape.len() {
-            return Err(FibertreeError::RankCountMismatch { names: names.len(), dims: shape.len() });
+            return Err(FibertreeError::RankCountMismatch {
+                names: names.len(),
+                dims: shape.len(),
+            });
         }
         let total: usize = shape.iter().product();
         if data.len() != total {
-            return Err(FibertreeError::ShapeMismatch { data_len: data.len(), shape_len: total });
+            return Err(FibertreeError::ShapeMismatch {
+                data_len: data.len(),
+                shape_len: total,
+            });
         }
-        let ranks: Vec<RankInfo> =
-            names.iter().zip(shape).map(|(n, &s)| RankInfo::new(*n, s)).collect();
-        let mut tree = Self { ranks, root: Fiber::new(shape[0]) };
+        let ranks: Vec<RankInfo> = names
+            .iter()
+            .zip(shape)
+            .map(|(n, &s)| RankInfo::new(*n, s))
+            .collect();
+        let mut tree = Self {
+            ranks,
+            root: Fiber::new(shape[0]),
+        };
         let mut coords = vec![0usize; shape.len()];
         for (i, &v) in data.iter().enumerate() {
             if v != 0.0 {
@@ -79,7 +94,10 @@ impl Fibertree {
     pub fn empty(ranks: Vec<RankInfo>) -> Self {
         assert!(!ranks.is_empty(), "fibertree needs at least one rank");
         let shape0 = ranks[0].shape;
-        Self { ranks, root: Fiber::new(shape0) }
+        Self {
+            ranks,
+            root: Fiber::new(shape0),
+        }
     }
 
     /// The rank descriptors, highest rank first.
@@ -244,7 +262,10 @@ impl Fibertree {
     pub fn flatten_ranks(&self, rank: usize) -> Result<Self, FibertreeError> {
         let n = self.ranks.len();
         if rank + 1 >= n {
-            return Err(FibertreeError::RankOutOfBounds { rank: rank + 1, ranks: n });
+            return Err(FibertreeError::RankOutOfBounds {
+                rank: rank + 1,
+                ranks: n,
+            });
         }
         let mut ranks = Vec::with_capacity(n - 1);
         for (i, r) in self.ranks.iter().enumerate() {
@@ -288,7 +309,10 @@ impl Fibertree {
         let name = match self.ranks.get(rank) {
             Some(r) => r.name.clone(),
             None => {
-                return Err(FibertreeError::RankOutOfBounds { rank, ranks: self.ranks.len() })
+                return Err(FibertreeError::RankOutOfBounds {
+                    rank,
+                    ranks: self.ranks.len(),
+                })
             }
         };
         self.split_rank_named(rank, block, &format!("{name}1"), &format!("{name}0"))
@@ -311,7 +335,7 @@ impl Fibertree {
             return Err(FibertreeError::RankOutOfBounds { rank, ranks: n });
         }
         let shape = self.ranks[rank].shape;
-        if block == 0 || block > shape || shape % block != 0 {
+        if block == 0 || block > shape || !shape.is_multiple_of(block) {
             return Err(FibertreeError::InvalidSplit { block, shape });
         }
         let mut ranks = Vec::with_capacity(n + 1);
@@ -383,7 +407,14 @@ impl Fibertree {
             }
             for (c, p) in fiber.iter() {
                 if let Payload::Fiber(fb) = p {
-                    collect(fb, depth + 1, target, index * shapes[depth] + c, shapes, out);
+                    collect(
+                        fb,
+                        depth + 1,
+                        target,
+                        index * shapes[depth] + c,
+                        shapes,
+                        out,
+                    );
                 }
             }
         }

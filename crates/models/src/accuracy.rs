@@ -85,8 +85,7 @@ pub fn model_retention(model: &DnnModel, config: &PruningConfig) -> f64 {
     let mut total = 0.0;
     for (i, layer) in model.layers.iter().filter(|l| l.prunable).enumerate() {
         let macs = layer.total_macs();
-        weighted +=
-            macs * layer_retention(layer.shape.m, layer.shape.k, config, 0xACC0 + i as u64);
+        weighted += macs * layer_retention(layer.shape.m, layer.shape.k, config, 0xACC0 + i as u64);
         total += macs;
     }
     if total == 0.0 {
@@ -121,8 +120,7 @@ mod tests {
     #[test]
     fn resnet_2_4_anchor_point() {
         let m = zoo::resnet50();
-        let loss =
-            accuracy_loss(&m, &PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))));
+        let loss = accuracy_loss(&m, &PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))));
         // Published: ~0.1-0.5 top-1 points for 2:4 on ResNet50.
         assert!((0.05..=0.6).contains(&loss), "2:4 anchor loss {loss}");
     }
@@ -144,9 +142,11 @@ mod tests {
             &m,
             &PruningConfig::Hss(HssPattern::two_rank(Gh::new(4, 8), Gh::new(2, 4))),
         );
-        let coarse =
-            accuracy_loss(&m, &PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 8))));
-        assert!(unstructured < hss, "unstructured ({unstructured}) < HSS ({hss})");
+        let coarse = accuracy_loss(&m, &PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 8))));
+        assert!(
+            unstructured < hss,
+            "unstructured ({unstructured}) < HSS ({hss})"
+        );
         assert!(unstructured < coarse);
         // All three stay within a usable range at 75%.
         assert!(hss < 5.0, "HSS 75% loss should stay moderate, got {hss}");

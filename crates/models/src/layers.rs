@@ -47,7 +47,14 @@ impl LayerSpec {
             (0.0..=1.0).contains(&activation_sparsity),
             "activation sparsity must be in [0,1]"
         );
-        Self { name: name.into(), kind, shape, count, prunable, activation_sparsity }
+        Self {
+            name: name.into(),
+            kind,
+            shape,
+            count,
+            prunable,
+            activation_sparsity,
+        }
     }
 
     /// Dense MACs contributed by all occurrences of this layer.
@@ -80,7 +87,11 @@ impl DnnModel {
 
     /// MACs in prunable layers only.
     pub fn prunable_macs(&self) -> f64 {
-        self.layers.iter().filter(|l| l.prunable).map(LayerSpec::total_macs).sum()
+        self.layers
+            .iter()
+            .filter(|l| l.prunable)
+            .map(LayerSpec::total_macs)
+            .sum()
     }
 
     /// Fraction of MACs in prunable layers.
@@ -90,8 +101,11 @@ impl DnnModel {
 
     /// MAC-weighted average activation sparsity.
     pub fn avg_activation_sparsity(&self) -> f64 {
-        let weighted: f64 =
-            self.layers.iter().map(|l| l.activation_sparsity * l.total_macs()).sum();
+        let weighted: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.activation_sparsity * l.total_macs())
+            .sum();
         weighted / self.total_macs()
     }
 
@@ -121,7 +135,14 @@ mod tests {
 
     #[test]
     fn layer_macs_scale_with_count() {
-        let l = LayerSpec::new("l", LayerKind::Linear, GemmShape::new(2, 3, 4), 5, true, 0.0);
+        let l = LayerSpec::new(
+            "l",
+            LayerKind::Linear,
+            GemmShape::new(2, 3, 4),
+            5,
+            true,
+            0.0,
+        );
         assert_eq!(l.total_macs(), 120.0);
     }
 
@@ -139,8 +160,22 @@ mod tests {
             dense_accuracy: 76.0,
             sensitivity: 1.0,
             layers: vec![
-                LayerSpec::new("a", LayerKind::Conv, GemmShape::new(10, 10, 10), 1, true, 0.6),
-                LayerSpec::new("b", LayerKind::Linear, GemmShape::new(10, 10, 10), 1, false, 0.0),
+                LayerSpec::new(
+                    "a",
+                    LayerKind::Conv,
+                    GemmShape::new(10, 10, 10),
+                    1,
+                    true,
+                    0.6,
+                ),
+                LayerSpec::new(
+                    "b",
+                    LayerKind::Linear,
+                    GemmShape::new(10, 10, 10),
+                    1,
+                    false,
+                    0.0,
+                ),
             ],
         };
         assert_eq!(m.total_macs(), 2000.0);

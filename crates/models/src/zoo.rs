@@ -14,11 +14,33 @@ use hl_tensor::GemmShape;
 use crate::layers::{DnnModel, LayerKind, LayerSpec};
 
 fn conv(name: &str, m: usize, k: usize, n: usize, count: u32, act_s: f64) -> LayerSpec {
-    LayerSpec::new(name, LayerKind::Conv, GemmShape::new(m, k, n), count, true, act_s)
+    LayerSpec::new(
+        name,
+        LayerKind::Conv,
+        GemmShape::new(m, k, n),
+        count,
+        true,
+        act_s,
+    )
 }
 
-fn linear(name: &str, m: usize, k: usize, n: usize, count: u32, prunable: bool, act_s: f64) -> LayerSpec {
-    LayerSpec::new(name, LayerKind::Linear, GemmShape::new(m, k, n), count, prunable, act_s)
+fn linear(
+    name: &str,
+    m: usize,
+    k: usize,
+    n: usize,
+    count: u32,
+    prunable: bool,
+    act_s: f64,
+) -> LayerSpec {
+    LayerSpec::new(
+        name,
+        LayerKind::Linear,
+        GemmShape::new(m, k, n),
+        count,
+        prunable,
+        act_s,
+    )
 }
 
 /// ResNet50 (ImageNet, 224×224 input): all convolutional and FC layers are
@@ -123,8 +145,14 @@ mod tests {
         // Published ResNet50: ~4.1 GMACs.
         let gmacs = m.total_macs() / 1e9;
         assert!((3.4..=4.6).contains(&gmacs), "ResNet50 GMACs {gmacs}");
-        assert!((m.prunable_fraction() - 1.0).abs() < 1e-12, "all layers pruned");
-        assert!(m.avg_activation_sparsity() > 0.5, "ReLU activations are sparse");
+        assert!(
+            (m.prunable_fraction() - 1.0).abs() < 1e-12,
+            "all layers pruned"
+        );
+        assert!(
+            m.avg_activation_sparsity() > 0.5,
+            "ReLU activations are sparse"
+        );
     }
 
     #[test]
@@ -141,7 +169,10 @@ mod tests {
         let m = transformer_big();
         let gmacs = m.total_macs() / 1e9;
         // 72 * 1024^2 * 512 + 24 * 4096*1024*512 ≈ 90 GMACs at N=512.
-        assert!((60.0..=120.0).contains(&gmacs), "Transformer-Big GMACs {gmacs}");
+        assert!(
+            (60.0..=120.0).contains(&gmacs),
+            "Transformer-Big GMACs {gmacs}"
+        );
         assert!(!m.has_dense_layers());
         assert!(m.avg_activation_sparsity() < 0.1);
     }

@@ -37,7 +37,13 @@ impl Resources {
     /// The 1024-MAC, 4-PE-array allocation shared by TC / STC / DSTC /
     /// HighLight (Table 4: GLB split differs between dense and sparse).
     pub fn tc_class(glb_kb: f64, glb_meta_kb: f64) -> Self {
-        Self { macs: 1024, glb_kb, glb_meta_kb, rf_kb: 8.0, spatial_accum: 4 }
+        Self {
+            macs: 1024,
+            glb_kb,
+            glb_meta_kb,
+            rf_kb: 8.0,
+            spatial_accum: 4,
+        }
     }
 
     /// Output tile edge sizes `(Tm, Tn)`: the largest square tile of 16-bit
@@ -128,7 +134,11 @@ pub struct Accountant {
 impl Accountant {
     /// Creates a ledger for a design's resources.
     pub fn new(tech: Tech, res: Resources) -> Self {
-        Self { tech, res, energy: EnergyBreakdown::new() }
+        Self {
+            tech,
+            res,
+            energy: EnergyBreakdown::new(),
+        }
     }
 
     /// The technology table in use.
@@ -139,32 +149,38 @@ impl Accountant {
     /// Effectual MACs: datapath energy plus the three operand/psum register
     /// accesses each MAC performs.
     pub fn macs(&mut self, count: f64) {
-        self.energy.record(Comp::Mac, count * MacUnit.energy_pj(&self.tech));
-        self.energy.record(Comp::Mac, count * 3.0 * self.tech.reg_pj);
+        self.energy
+            .record(Comp::Mac, count * MacUnit.energy_pj(&self.tech));
+        self.energy
+            .record(Comp::Mac, count * 3.0 * self.tech.reg_pj);
     }
 
     /// Partial-sum RF read-modify-write traffic, `count` accesses.
     pub fn rf(&mut self, count: f64) {
         let rf = RegFile::new(self.res.rf_kb / 4.0); // per-array banks
-        self.energy.record(Comp::RegFile, count * rf.access_pj(&self.tech));
+        self.energy
+            .record(Comp::RegFile, count * rf.access_pj(&self.tech));
     }
 
     /// GLB data-partition word accesses.
     pub fn glb(&mut self, words: f64) {
         let glb = Sram::new(self.res.glb_kb);
-        self.energy.record(Comp::Glb, words * glb.access_pj(&self.tech));
+        self.energy
+            .record(Comp::Glb, words * glb.access_pj(&self.tech));
     }
 
     /// GLB metadata-partition word accesses (+ decode at register cost).
     pub fn glb_meta(&mut self, words: f64) {
         let meta = Sram::new(self.res.glb_meta_kb.max(1.0));
-        self.energy.record(Comp::GlbMeta, words * meta.access_pj(&self.tech));
+        self.energy
+            .record(Comp::GlbMeta, words * meta.access_pj(&self.tech));
         self.energy.record(Comp::MetaProc, words * self.tech.reg_pj);
     }
 
     /// DRAM word transfers.
     pub fn dram(&mut self, words: f64) {
-        self.energy.record(Comp::Dram, words * Dram.access_pj(&self.tech));
+        self.energy
+            .record(Comp::Dram, words * Dram.access_pj(&self.tech));
     }
 
     /// On-chip distribution hops.
@@ -174,30 +190,37 @@ impl Accountant {
 
     /// Skipping-SAF mux selections against `tree`, attributed to `comp`.
     pub fn mux(&mut self, comp: Comp, tree: MuxTree, selects: f64) {
-        self.energy.record(comp, selects * tree.select_pj(&self.tech) / f64::from(tree.g));
+        self.energy.record(
+            comp,
+            selects * tree.select_pj(&self.tech) / f64::from(tree.g),
+        );
     }
 
     /// Words streamed through a VFMU.
     pub fn vfmu(&mut self, unit: Vfmu, words: f64) {
-        self.energy.record(Comp::Vfmu, words * unit.word_pj(&self.tech));
+        self.energy
+            .record(Comp::Vfmu, words * unit.word_pj(&self.tech));
     }
 
     /// Accumulation-buffer accesses of an outer-product dataflow
     /// (DSTC-style), on a buffer of `kb` KB.
     pub fn accum_buffer(&mut self, kb: f64, accesses: f64) {
         let buf = Sram::new(kb);
-        self.energy.record(Comp::AccumBuf, accesses * buf.access_pj(&self.tech));
+        self.energy
+            .record(Comp::AccumBuf, accesses * buf.access_pj(&self.tech));
     }
 
     /// Prefix-sum intersection steps (SparTen-class control).
     pub fn prefix_sum(&mut self, unit: hl_arch::components::PrefixSum, steps: f64) {
-        self.energy.record(Comp::PrefixSum, steps * unit.step_pj(&self.tech));
+        self.energy
+            .record(Comp::PrefixSum, steps * unit.step_pj(&self.tech));
     }
 
     /// Output-activation compression work, `words` processed (Fig. 10's
     /// compression unit after the activation function).
     pub fn compressor(&mut self, words: f64) {
-        self.energy.record(Comp::Compressor, words * 2.0 * self.tech.reg_pj);
+        self.energy
+            .record(Comp::Compressor, words * 2.0 * self.tech.reg_pj);
     }
 
     /// Finishes the ledger.
@@ -255,7 +278,7 @@ mod tests {
         assert!(e.get(Comp::Glb) > 0.0);
         assert!(e.get(Comp::Dram) > 0.0);
         assert!(e.sparsity_tax() > 0.0); // metadata is tax
-        // DRAM per word costs more than GLB per word.
+                                         // DRAM per word costs more than GLB per word.
         assert!(e.get(Comp::Dram) / 10.0 > e.get(Comp::Glb) / 100.0);
     }
 

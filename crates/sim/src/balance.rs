@@ -66,7 +66,11 @@ pub fn binomial_balance(n: usize, density: f64, lanes: usize) -> BalanceModel {
     } else {
         expected_work / (lanes as f64 * expected_steps)
     };
-    BalanceModel { expected_steps, expected_work, utilization }
+    BalanceModel {
+        expected_steps,
+        expected_work,
+        utilization,
+    }
 }
 
 /// Utilization of a *structured* `G:H` tile on `lanes` units: exactly `G`
@@ -82,7 +86,13 @@ mod tests {
 
     #[test]
     fn pmf_sums_to_one() {
-        for &(n, p) in &[(10usize, 0.3f64), (100, 0.5), (1000, 0.25), (64, 0.0), (64, 1.0)] {
+        for &(n, p) in &[
+            (10usize, 0.3f64),
+            (100, 0.5),
+            (1000, 0.25),
+            (64, 0.0),
+            (64, 1.0),
+        ] {
             let pmf = binomial_pmf(n, p);
             let sum: f64 = pmf.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "pmf sum for n={n} p={p}: {sum}");
@@ -104,7 +114,11 @@ mod tests {
         // multiple of 32, so the last step is underfilled.
         let b = binomial_balance(128, 0.5, 32);
         assert!(b.utilization < 1.0);
-        assert!(b.utilization > 0.8, "utilization should be moderately high: {}", b.utilization);
+        assert!(
+            b.utilization > 0.8,
+            "utilization should be moderately high: {}",
+            b.utilization
+        );
         // Lower density worsens relative imbalance.
         let sparse = binomial_balance(128, 0.05, 32);
         assert!(sparse.utilization < b.utilization);

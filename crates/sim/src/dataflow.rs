@@ -31,12 +31,12 @@ pub enum Dim {
 impl Dim {
     /// True if the dimension indexes the given operand.
     pub fn indexes(self, operand: Operand) -> bool {
-        match (self, operand) {
-            (Dim::M, Operand::A | Operand::Z) => true,
-            (Dim::K, Operand::A | Operand::B) => true,
-            (Dim::N, Operand::B | Operand::Z) => true,
-            _ => false,
-        }
+        matches!(
+            (self, operand),
+            (Dim::M, Operand::A | Operand::Z)
+                | (Dim::K, Operand::A | Operand::B)
+                | (Dim::N, Operand::B | Operand::Z)
+        )
     }
 }
 
@@ -65,12 +65,20 @@ pub struct Loop {
 impl Loop {
     /// A temporal loop.
     pub fn temporal(dim: Dim, extent: usize) -> Self {
-        Self { dim, extent, spatial: false }
+        Self {
+            dim,
+            extent,
+            spatial: false,
+        }
     }
 
     /// A spatial loop.
     pub fn spatial(dim: Dim, extent: usize) -> Self {
-        Self { dim, extent, spatial: true }
+        Self {
+            dim,
+            extent,
+            spatial: true,
+        }
     }
 }
 
@@ -87,7 +95,10 @@ impl Loopnest {
     /// Panics if any extent is zero or the nest is empty.
     pub fn new(loops: Vec<Loop>) -> Self {
         assert!(!loops.is_empty(), "loop nest cannot be empty");
-        assert!(loops.iter().all(|l| l.extent > 0), "loop extents must be positive");
+        assert!(
+            loops.iter().all(|l| l.extent > 0),
+            "loop extents must be positive"
+        );
         Self { loops }
     }
 
@@ -120,9 +131,15 @@ impl Loopnest {
         g0: usize,
         h0: usize,
     ) -> Self {
-        assert!(shape.m % tm == 0 && shape.n % tn == 0, "tiles must divide the shape");
+        assert!(
+            shape.m.is_multiple_of(tm) && shape.n.is_multiple_of(tn),
+            "tiles must divide the shape"
+        );
         let group = h1 * h0;
-        assert!(shape.k % group == 0, "K must be a multiple of H1*H0");
+        assert!(
+            shape.k.is_multiple_of(group),
+            "K must be a multiple of H1*H0"
+        );
         Self::new(vec![
             Loop::temporal(Dim::M, shape.m / tm),
             Loop::temporal(Dim::N, shape.n / tn),
@@ -146,7 +163,11 @@ impl Loopnest {
 
     /// Product of spatial extents: hardware units active per cycle.
     pub fn spatial_size(&self) -> u64 {
-        self.loops.iter().filter(|l| l.spatial).map(|l| l.extent as u64).product()
+        self.loops
+            .iter()
+            .filter(|l| l.spatial)
+            .map(|l| l.extent as u64)
+            .product()
     }
 
     /// Temporal steps (cycles) the nest takes: iterations / spatial size.
@@ -156,7 +177,11 @@ impl Loopnest {
 
     /// Product of extents for one dimension across the nest.
     pub fn extent_of(&self, dim: Dim) -> u64 {
-        self.loops.iter().filter(|l| l.dim == dim).map(|l| l.extent as u64).product()
+        self.loops
+            .iter()
+            .filter(|l| l.dim == dim)
+            .map(|l| l.extent as u64)
+            .product()
     }
 
     /// Checks that the nest covers the GEMM (per-dimension extents multiply
@@ -167,13 +192,25 @@ impl Loopnest {
     /// hardware), for a dense dataflow it is `K`.
     pub fn validate(&self, shape: GemmShape, k_effective: u64) -> Result<(), String> {
         if self.extent_of(Dim::M) != shape.m as u64 {
-            return Err(format!("M coverage {} != {}", self.extent_of(Dim::M), shape.m));
+            return Err(format!(
+                "M coverage {} != {}",
+                self.extent_of(Dim::M),
+                shape.m
+            ));
         }
         if self.extent_of(Dim::N) != shape.n as u64 {
-            return Err(format!("N coverage {} != {}", self.extent_of(Dim::N), shape.n));
+            return Err(format!(
+                "N coverage {} != {}",
+                self.extent_of(Dim::N),
+                shape.n
+            ));
         }
         if self.extent_of(Dim::K) != k_effective {
-            return Err(format!("K coverage {} != {}", self.extent_of(Dim::K), k_effective));
+            return Err(format!(
+                "K coverage {} != {}",
+                self.extent_of(Dim::K),
+                k_effective
+            ));
         }
         Ok(())
     }
@@ -217,7 +254,14 @@ impl fmt::Display for Loopnest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, l) in self.loops.iter().enumerate() {
             let kind = if l.spatial { "par-for" } else { "for" };
-            writeln!(f, "{:indent$}{kind} {:?} in 0..{}", "", l.dim, l.extent, indent = i * 2)?;
+            writeln!(
+                f,
+                "{:indent$}{kind} {:?} in 0..{}",
+                "",
+                l.dim,
+                l.extent,
+                indent = i * 2
+            )?;
         }
         Ok(())
     }
@@ -266,12 +310,8 @@ mod tests {
         assert_eq!(n.glb_refetches(Operand::A), 16);
         assert_eq!(n.glb_refetches(Operand::B), 16);
         let res = crate::analytic::Resources::tc_class(256.0, 64.0);
-        let t = crate::analytic::TrafficModel::new(
-            GemmShape::new(1024, 1024, 1024),
-            1.0,
-            1.0,
-            &res,
-        );
+        let t =
+            crate::analytic::TrafficModel::new(GemmShape::new(1024, 1024, 1024), 1.0, 1.0, &res);
         assert_eq!(n.glb_refetches(Operand::A) as f64, t.a_reuse);
         assert_eq!(n.glb_refetches(Operand::B) as f64, t.b_reuse);
     }

@@ -57,7 +57,11 @@ pub struct Unsupported {
 
 impl fmt::Display for Unsupported {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} cannot process this workload: {}", self.design, self.reason)
+        write!(
+            f,
+            "{} cannot process this workload: {}",
+            self.design, self.reason
+        )
     }
 }
 
@@ -122,7 +126,10 @@ pub fn geomean(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    assert!(values.iter().all(|&v| v > 0.0), "geomean requires positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geomean requires positive values"
+    );
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     Some((log_sum / values.len() as f64).exp())
 }
@@ -130,14 +137,19 @@ pub fn geomean(values: &[f64]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::OperandSparsity;
     use hl_arch::Comp;
     use hl_tensor::GemmShape;
-    use crate::workload::OperandSparsity;
 
     fn result(cycles: f64, pj: f64) -> EvalResult {
         let mut e = EnergyBreakdown::new();
         e.record(Comp::Mac, pj);
-        EvalResult { design: "t".into(), workload: "w".into(), cycles, energy: e }
+        EvalResult {
+            design: "t".into(),
+            workload: "w".into(),
+            cycles,
+            energy: e,
+        }
     }
 
     #[test]
@@ -167,7 +179,10 @@ mod tests {
         fn evaluate(&self, w: &Workload) -> Result<EvalResult, Unsupported> {
             // Only supports sparse operand A; dense-A workloads fail.
             if w.a.is_dense() {
-                return Err(Unsupported { design: self.name().into(), reason: "dense A".into() });
+                return Err(Unsupported {
+                    design: self.name().into(),
+                    reason: "dense A".into(),
+                });
             }
             Ok(result(w.shape.m as f64, 1e6))
         }
@@ -191,7 +206,12 @@ mod tests {
         let r = evaluate_best(&SwapSensitive, &w).unwrap();
         assert_eq!(r.cycles, 2.0);
         // Both-dense fails both ways.
-        let wd = Workload::new("d", GemmShape::new(2, 2, 2), OperandSparsity::Dense, OperandSparsity::Dense);
+        let wd = Workload::new(
+            "d",
+            GemmShape::new(2, 2, 2),
+            OperandSparsity::Dense,
+            OperandSparsity::Dense,
+        );
         assert!(evaluate_best(&SwapSensitive, &wd).is_err());
     }
 }

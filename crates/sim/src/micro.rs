@@ -59,8 +59,16 @@ impl MicroConfig {
     /// # Panics
     /// Panics if `rank1.h > hmax1`.
     pub fn new(rank1: Gh, rank0: Gh, hmax1: u32) -> Self {
-        assert!(rank1.h <= hmax1, "H1 ({}) exceeds hardware Hmax ({hmax1})", rank1.h);
-        Self { rank1, rank0, hmax1 }
+        assert!(
+            rank1.h <= hmax1,
+            "H1 ({}) exceeds hardware Hmax ({hmax1})",
+            rank1.h
+        );
+        Self {
+            rank1,
+            rank0,
+            hmax1,
+        }
     }
 
     /// The §6 walkthrough configuration with the given `H1 ∈ [2,4]`.
@@ -68,7 +76,10 @@ impl MicroConfig {
     /// # Panics
     /// Panics if `h1` is outside `[2, 4]`.
     pub fn paper_downsized(h1: u32) -> Self {
-        assert!((2..=4).contains(&h1), "the down-sized design supports 2 <= H1 <= 4");
+        assert!(
+            (2..=4).contains(&h1),
+            "the down-sized design supports 2 <= H1 <= 4"
+        );
         Self::new(Gh::new(2, h1), Gh::new(2, 4), 4)
     }
 
@@ -165,7 +176,11 @@ struct VfmuState {
 
 impl VfmuState {
     fn new(stream_len: usize) -> Self {
-        Self { valid: 0, fetch_pos: 0, stream_len }
+        Self {
+            valid: 0,
+            fetch_pos: 0,
+            stream_len,
+        }
     }
 
     /// Ensures `needed` valid words, fetching aligned 16-word rows.
@@ -181,7 +196,10 @@ impl VfmuState {
             self.valid += row;
             fetched += row;
         }
-        assert!(self.valid >= needed, "GLB stream exhausted before the walk completed");
+        assert!(
+            self.valid >= needed,
+            "GLB stream exhausted before the walk completed"
+        );
         (fetched, false)
     }
 
@@ -224,7 +242,10 @@ impl MicroSim {
         );
         let (h1, h0) = (cfg.rank1.h as usize, cfg.rank0.h as usize);
         let group_words = cfg.group_words();
-        assert!(a.cols() % group_words == 0, "K must be a multiple of H1*H0");
+        assert!(
+            a.cols().is_multiple_of(group_words),
+            "K must be a multiple of H1*H0"
+        );
         let groups = a.cols() / group_words;
         let (m_dim, n_dim) = (a.rows(), b.cols());
 
@@ -293,7 +314,9 @@ impl MicroSim {
                         counts.mux_r1_selects += 1;
                         let nnz = arow.block_nnz[block_cursor + pe] as usize;
                         let vbase: usize = value_cursor
-                            + (0..pe).map(|i| arow.block_nnz[block_cursor + i] as usize).sum::<usize>();
+                            + (0..pe)
+                                .map(|i| arow.block_nnz[block_cursor + i] as usize)
+                                .sum::<usize>();
                         // --- Rank0 SAF: each MAC selects its B operand.
                         for j in 0..nnz {
                             let a_val = arow.values[vbase + j];
@@ -310,7 +333,8 @@ impl MicroSim {
                             }
                         }
                         // Unused MAC slots in an under-full block are gated.
-                        counts.gated_macs += (cfg.macs_per_pe() - nnz.min(cfg.macs_per_pe())) as u64;
+                        counts.gated_macs +=
+                            (cfg.macs_per_pe() - nnz.min(cfg.macs_per_pe())) as u64;
                     }
                     let consumed_values: usize = (0..nblocks)
                         .map(|i| arow.block_nnz[block_cursor + i] as usize)
@@ -333,7 +357,11 @@ impl MicroSim {
             counts.glb_b_meta_reads += offs * m_dim as u64;
         }
 
-        MicroReport { output, counts, first_walk }
+        MicroReport {
+            output,
+            counts,
+            first_walk,
+        }
     }
 }
 
@@ -405,7 +433,10 @@ mod tests {
         let b = gen::random_unstructured(k, 4, 0.5, 12);
         let dense_run = MicroSim::new(cfg).run(&a, &gen::random_dense(k, 4, 13), false);
         let sparse_run = MicroSim::new(cfg).run(&a, &b, true);
-        assert_eq!(dense_run.counts.cycles, sparse_run.counts.cycles, "gating keeps cycles");
+        assert_eq!(
+            dense_run.counts.cycles, sparse_run.counts.cycles,
+            "gating keeps cycles"
+        );
         assert!(sparse_run.counts.gated_macs > 0);
         assert_eq!(
             sparse_run.counts.macs + sparse_run.counts.gated_macs,

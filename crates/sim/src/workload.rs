@@ -92,7 +92,12 @@ impl Workload {
         a: OperandSparsity,
         b: OperandSparsity,
     ) -> Self {
-        Self { name: name.into(), shape, a, b }
+        Self {
+            name: name.into(),
+            shape,
+            a,
+            b,
+        }
     }
 
     /// The synthetic 1024×1024×1024 GEMM used in §7.2.
@@ -172,10 +177,7 @@ mod tests {
 
     #[test]
     fn display_labels() {
-        let w = Workload::synthetic(
-            OperandSparsity::Dense,
-            OperandSparsity::unstructured(0.25),
-        );
+        let w = Workload::synthetic(OperandSparsity::Dense, OperandSparsity::unstructured(0.25));
         assert!(w.to_string().contains("dense"));
         assert!(w.to_string().contains("25%"));
     }

@@ -50,7 +50,12 @@ impl GhFamily {
         assert!(g_min >= 1 && g_min <= g_max, "invalid G range");
         assert!(h_min >= 1 && h_min <= h_max, "invalid H range");
         assert!(g_min <= h_max, "G range must intersect H range");
-        Self { g_min, g_max, h_min, h_max }
+        Self {
+            g_min,
+            g_max,
+            h_min,
+            h_max,
+        }
     }
 
     /// All valid `G:H` members (`g ≤ h`).
@@ -137,7 +142,11 @@ impl HssFamily {
             return self.ranks.iter().all(GhFamily::contains_dense);
         }
         pattern.rank_count() == self.ranks.len()
-            && pattern.ranks().iter().zip(&self.ranks).all(|(gh, fam)| fam.contains(*gh))
+            && pattern
+                .ranks()
+                .iter()
+                .zip(&self.ranks)
+                .all(|(gh, fam)| fam.contains(*gh))
     }
 
     /// The member whose density is closest to `target` (ties broken toward
@@ -231,7 +240,10 @@ mod tests {
     #[test]
     fn family_members_and_membership() {
         let f = GhFamily::fixed_g(2, 2, 4);
-        assert_eq!(f.patterns(), vec![Gh::new(2, 2), Gh::new(2, 3), Gh::new(2, 4)]);
+        assert_eq!(
+            f.patterns(),
+            vec![Gh::new(2, 2), Gh::new(2, 3), Gh::new(2, 4)]
+        );
         assert!(f.contains(Gh::new(2, 3)));
         assert!(!f.contains(Gh::new(1, 4)));
         assert!(f.contains_dense());
@@ -275,7 +287,11 @@ mod tests {
         // Same extremes as S with Hmax (8, 4) instead of 16.
         assert_eq!(d[0], Ratio::new(1, 8));
         assert_eq!(*d.last().unwrap(), Ratio::ONE);
-        assert!(d.len() >= 15, "SS must represent at least 15 degrees, got {}", d.len());
+        assert!(
+            d.len() >= 15,
+            "SS must represent at least 15 degrees, got {}",
+            d.len()
+        );
         assert_eq!(ss.h_maxes(), vec![8, 4]);
     }
 

@@ -45,7 +45,9 @@ impl HssPattern {
 
     /// A two-rank pattern `C1(rank1)→C0(rank0)`.
     pub fn two_rank(rank1: Gh, rank0: Gh) -> Self {
-        Self { ranks: vec![rank1, rank0] }
+        Self {
+            ranks: vec![rank1, rank0],
+        }
     }
 
     /// Per-rank rules, highest rank first.
@@ -65,9 +67,9 @@ impl HssPattern {
 
     /// Exact density `Π G_n/H_n`.
     pub fn density(&self) -> Ratio {
-        self.ranks
-            .iter()
-            .fold(Ratio::ONE, |acc, gh| acc * Ratio::new(u64::from(gh.g), u64::from(gh.h)))
+        self.ranks.iter().fold(Ratio::ONE, |acc, gh| {
+            acc * Ratio::new(u64::from(gh.g), u64::from(gh.h))
+        })
     }
 
     /// Exact sparsity `1 − Π G_n/H_n`.
@@ -107,14 +109,20 @@ impl HssPattern {
         assert!(n < self.ranks.len(), "rank index out of bounds");
         // ranks are stored highest-first; rank n counts from the lowest.
         let lowest_first_idx = self.ranks.len() - 1 - n;
-        self.ranks[lowest_first_idx + 1..].iter().map(|gh| gh.h as usize).product()
+        self.ranks[lowest_first_idx + 1..]
+            .iter()
+            .map(|gh| gh.h as usize)
+            .product()
     }
 
     /// Converts to the fibertree specification `RS→C{N}→C{N-1}(..)→…→C0(..)`
     /// for a weight tensor whose `RS` and upper channel ranks are unpruned.
     pub fn to_spec(&self) -> PatternSpec {
         let n = self.ranks.len();
-        let mut ranks = vec![RankSpec::new("RS", Rule::None), RankSpec::new(format!("C{n}"), Rule::None)];
+        let mut ranks = vec![
+            RankSpec::new("RS", Rule::None),
+            RankSpec::new(format!("C{n}"), Rule::None),
+        ];
         for (i, gh) in self.ranks.iter().enumerate() {
             ranks.push(RankSpec::new(format!("C{}", n - 1 - i), Rule::Gh(*gh)));
         }

@@ -60,7 +60,7 @@ pub fn prune_lowest_rank(m: &Matrix, gh: Gh) -> Matrix {
 pub fn prune_rank(m: &Matrix, gh: Gh, granularity: usize) -> Matrix {
     let group = gh.h as usize * granularity;
     assert!(
-        m.cols() % group == 0,
+        m.cols().is_multiple_of(group),
         "cols ({}) must be a multiple of H * granularity ({group})",
         m.cols()
     );
@@ -102,8 +102,10 @@ pub fn prune_hss(m: &Matrix, pattern: &HssPattern) -> Matrix {
     let n = pattern.rank_count();
     // ranks() is highest-first; iterate lowest-first.
     for (i, gh) in pattern.ranks().iter().rev().enumerate() {
-        let granularity: usize =
-            pattern.ranks()[n - i..].iter().map(|r| r.h as usize).product();
+        let granularity: usize = pattern.ranks()[n - i..]
+            .iter()
+            .map(|r| r.h as usize)
+            .product();
         out = prune_rank(&out, *gh, granularity);
     }
     out
@@ -141,11 +143,19 @@ pub fn prune_unstructured(m: &Matrix, sparsity: f64) -> Matrix {
 pub fn retained_norm_fraction(original: &Matrix, pruned: &Matrix) -> f64 {
     assert_eq!(original.rows(), pruned.rows(), "shape mismatch");
     assert_eq!(original.cols(), pruned.cols(), "shape mismatch");
-    let total: f64 = original.data().iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+    let total: f64 = original
+        .data()
+        .iter()
+        .map(|&v| f64::from(v) * f64::from(v))
+        .sum();
     if total == 0.0 {
         return 1.0;
     }
-    let kept: f64 = pruned.data().iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+    let kept: f64 = pruned
+        .data()
+        .iter()
+        .map(|&v| f64::from(v) * f64::from(v))
+        .sum();
     kept / total
 }
 
@@ -174,8 +184,7 @@ mod tests {
     #[test]
     fn prune_three_rank_conformant() {
         let m = gen::random_dense(4, 64, 5);
-        let pattern =
-            HssPattern::new(vec![Gh::new(1, 2), Gh::new(3, 4), Gh::new(2, 4)]);
+        let pattern = HssPattern::new(vec![Gh::new(1, 2), Gh::new(3, 4), Gh::new(2, 4)]);
         let p = prune_hss(&m, &pattern);
         assert_eq!(gen::check_hss(&p, pattern.ranks()), None);
     }
@@ -199,7 +208,10 @@ mod tests {
         let coarse = prune_rank(&m, Gh::new(1, 2), 16);
         let rf = retained_norm_fraction(&m, &fine);
         let rc = retained_norm_fraction(&m, &coarse);
-        assert!(rf > rc, "fine-grained pruning must retain more norm ({rf} vs {rc})");
+        assert!(
+            rf > rc,
+            "fine-grained pruning must retain more norm ({rf} vs {rc})"
+        );
         // Unstructured pruning retains the most.
         let un = prune_unstructured(&m, 0.5);
         assert!(retained_norm_fraction(&m, &un) >= rf);

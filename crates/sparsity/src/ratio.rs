@@ -42,7 +42,10 @@ impl Ratio {
             return Self { num: 0, den: 1 };
         }
         let g = gcd(num, den);
-        Self { num: num / g, den: den / g }
+        Self {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// The ratio 1.
@@ -83,7 +86,10 @@ impl Ratio {
     /// Panics if `self` is zero.
     pub fn recip(self) -> Self {
         assert!(self.num != 0, "cannot invert zero");
-        Self { num: self.den, den: self.num }
+        Self {
+            num: self.den,
+            den: self.num,
+        }
     }
 }
 
@@ -94,7 +100,10 @@ impl Mul for Ratio {
         // Cross-reduce before multiplying to avoid overflow.
         let g1 = gcd(self.num, rhs.den).max(1);
         let g2 = gcd(rhs.num, self.den).max(1);
-        Self::new((self.num / g1) * (rhs.num / g2), (self.den / g2) * (rhs.den / g1))
+        Self::new(
+            (self.num / g1) * (rhs.num / g2),
+            (self.den / g2) * (rhs.den / g1),
+        )
     }
 }
 
@@ -156,7 +165,10 @@ mod tests {
     fn ordering_is_by_value() {
         let mut v = vec![Ratio::new(1, 2), Ratio::new(1, 3), Ratio::new(3, 4)];
         v.sort();
-        assert_eq!(v, vec![Ratio::new(1, 3), Ratio::new(1, 2), Ratio::new(3, 4)]);
+        assert_eq!(
+            v,
+            vec![Ratio::new(1, 3), Ratio::new(1, 2), Ratio::new(3, 4)]
+        );
     }
 
     #[test]

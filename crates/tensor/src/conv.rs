@@ -38,6 +38,7 @@ impl ConvLayer {
     /// # Panics
     /// Panics if any dimension or the stride is zero, or the kernel is larger
     /// than the input.
+    #[allow(clippy::too_many_arguments)] // the seven conv dims are positional by convention
     pub fn new(
         name: impl Into<String>,
         m: usize,
@@ -53,7 +54,16 @@ impl ConvLayer {
             "convolution dimensions must be positive"
         );
         assert!(r <= h && s <= w, "kernel must fit in the (padded) input");
-        Self { name: name.into(), m, c, r, s, h, w, stride }
+        Self {
+            name: name.into(),
+            m,
+            c,
+            r,
+            s,
+            h,
+            w,
+            stride,
+        }
     }
 
     /// Output height `P`.
@@ -88,7 +98,11 @@ impl ConvLayer {
     /// # Panics
     /// Panics if `input.len() != c*h*w`.
     pub fn toeplitz_expand(&self, input: &[f32]) -> Matrix {
-        assert_eq!(input.len(), self.c * self.h * self.w, "input volume mismatch");
+        assert_eq!(
+            input.len(),
+            self.c * self.h * self.w,
+            "input volume mismatch"
+        );
         let (p, q) = (self.p(), self.q());
         let mut out = Matrix::zeros(self.c * self.r * self.s, p * q);
         for ci in 0..self.c {
@@ -117,7 +131,11 @@ impl ConvLayer {
     pub fn direct_conv(&self, weights: &[f32], input: &[f32]) -> Matrix {
         let k = self.c * self.r * self.s;
         assert_eq!(weights.len(), self.m * k, "weight volume mismatch");
-        assert_eq!(input.len(), self.c * self.h * self.w, "input volume mismatch");
+        assert_eq!(
+            input.len(),
+            self.c * self.h * self.w,
+            "input volume mismatch"
+        );
         let (p, q) = (self.p(), self.q());
         let mut out = Matrix::zeros(self.m, p * q);
         for mi in 0..self.m {
@@ -162,23 +180,32 @@ mod tests {
     #[test]
     fn toeplitz_gemm_matches_direct_conv() {
         let l = layer();
-        let weights: Vec<f32> =
-            (0..l.m * l.c * l.r * l.s).map(|i| ((i * 7 % 13) as f32) - 6.0).collect();
-        let input: Vec<f32> =
-            (0..l.c * l.h * l.w).map(|i| ((i * 5 % 11) as f32) - 5.0).collect();
+        let weights: Vec<f32> = (0..l.m * l.c * l.r * l.s)
+            .map(|i| ((i * 7 % 13) as f32) - 6.0)
+            .collect();
+        let input: Vec<f32> = (0..l.c * l.h * l.w)
+            .map(|i| ((i * 5 % 11) as f32) - 5.0)
+            .collect();
         let a = l.flatten_weights(&weights);
         let b = l.toeplitz_expand(&input);
         let gemm = a.matmul(&b);
         let direct = l.direct_conv(&weights, &input);
-        assert!(gemm.approx_eq(&direct, 1e-3), "Toeplitz GEMM must equal direct convolution");
+        assert!(
+            gemm.approx_eq(&direct, 1e-3),
+            "Toeplitz GEMM must equal direct convolution"
+        );
     }
 
     #[test]
     fn toeplitz_gemm_matches_direct_conv_strided() {
         let l = ConvLayer::new("s2", 2, 2, 3, 3, 7, 7, 2);
-        let weights: Vec<f32> = (0..l.m * l.c * l.r * l.s).map(|i| (i % 5) as f32 - 2.0).collect();
+        let weights: Vec<f32> = (0..l.m * l.c * l.r * l.s)
+            .map(|i| (i % 5) as f32 - 2.0)
+            .collect();
         let input: Vec<f32> = (0..l.c * l.h * l.w).map(|i| (i % 7) as f32 - 3.0).collect();
-        let gemm = l.flatten_weights(&weights).matmul(&l.toeplitz_expand(&input));
+        let gemm = l
+            .flatten_weights(&weights)
+            .matmul(&l.toeplitz_expand(&input));
         assert!(gemm.approx_eq(&l.direct_conv(&weights, &input), 1e-3));
     }
 

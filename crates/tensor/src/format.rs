@@ -81,8 +81,14 @@ impl HssCompressed {
     /// 256 (CPs are stored in a byte).
     pub fn encode(m: &Matrix, h1: usize, h0: usize) -> Self {
         let group = h1 * h0;
-        assert!(h0 >= 1 && h1 >= 1 && h0 <= 256 && h1 <= 256, "H out of supported range");
-        assert!(m.cols() % group == 0, "cols must be a multiple of H1*H0");
+        assert!(
+            h0 >= 1 && h1 >= 1 && h0 <= 256 && h1 <= 256,
+            "H out of supported range"
+        );
+        assert!(
+            m.cols().is_multiple_of(group),
+            "cols must be a multiple of H1*H0"
+        );
         let mut data = Vec::with_capacity(m.rows());
         for r in 0..m.rows() {
             let mut row = HssRow {
@@ -115,7 +121,13 @@ impl HssCompressed {
             }
             data.push(row);
         }
-        Self { rows: m.rows(), cols: m.cols(), h0, h1, data }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            h0,
+            h1,
+            data,
+        }
     }
 
     /// Decodes back to the dense matrix.
@@ -221,7 +233,10 @@ impl SparseB {
     pub fn encode(m: &Matrix, h1: usize, h0: usize) -> Self {
         let group = h1 * h0;
         assert!(h0 >= 1 && h1 >= 1 && h0 <= 256, "H out of supported range");
-        assert!(m.rows() % group == 0, "K must be a multiple of H1*H0");
+        assert!(
+            m.rows().is_multiple_of(group),
+            "K must be a multiple of H1*H0"
+        );
         let (k, n) = (m.rows(), m.cols());
         let mut cols = Vec::with_capacity(n);
         for c in 0..n {
@@ -341,7 +356,13 @@ impl Csr {
             }
             row_ptr.push(values.len() as u32);
         }
-        Self { rows: m.rows(), cols: m.cols(), row_ptr, col_idx, values }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Decodes back to the dense matrix.

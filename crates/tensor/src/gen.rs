@@ -72,7 +72,7 @@ pub fn random_hss(rows: usize, cols: usize, ranks: &[Gh], seed: u64) -> Matrix {
     assert!(!ranks.is_empty(), "need at least one rank");
     let group: usize = ranks.iter().map(|gh| gh.h as usize).product();
     assert!(
-        cols % group == 0,
+        cols.is_multiple_of(group),
         "cols ({cols}) must be a multiple of the pattern group size ({group})"
     );
     let mut rng = StdRng::seed_from_u64(seed);
@@ -106,7 +106,7 @@ fn fill_group(m: &mut Matrix, row: usize, start: usize, ranks: &[Gh], rng: &mut 
 /// as `(row, rank_index_from_highest, group_start)` or `None` if conformant.
 pub fn check_hss(m: &Matrix, ranks: &[Gh]) -> Option<(usize, usize, usize)> {
     let group: usize = ranks.iter().map(|gh| gh.h as usize).product();
-    if m.cols() % group != 0 {
+    if !m.cols().is_multiple_of(group) {
         return Some((0, 0, 0));
     }
     for row in 0..m.rows() {
@@ -164,8 +164,14 @@ mod tests {
 
     #[test]
     fn unstructured_is_deterministic_per_seed() {
-        assert_eq!(random_unstructured(8, 8, 0.5, 9), random_unstructured(8, 8, 0.5, 9));
-        assert_ne!(random_unstructured(8, 8, 0.5, 9), random_unstructured(8, 8, 0.5, 10));
+        assert_eq!(
+            random_unstructured(8, 8, 0.5, 9),
+            random_unstructured(8, 8, 0.5, 9)
+        );
+        assert_ne!(
+            random_unstructured(8, 8, 0.5, 9),
+            random_unstructured(8, 8, 0.5, 10)
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at every position.
@@ -53,9 +57,16 @@ impl Matrix {
     pub fn from_rows(rows: &[&[f32]]) -> Self {
         assert!(!rows.is_empty(), "matrix needs at least one row");
         let cols = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == cols), "rows must have equal length");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "rows must have equal length"
+        );
         let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix from row-major data.
@@ -97,7 +108,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -107,7 +121,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -167,14 +184,22 @@ impl Matrix {
     pub fn approx_eq(&self, other: &Self, eps: f32) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
-            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= eps)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= eps)
     }
 
     /// Converts to a two-rank [`Fibertree`] with the given rank names.
     ///
     /// # Errors
     /// Propagates construction errors (cannot occur for valid matrices).
-    pub fn to_fibertree(&self, row_name: &str, col_name: &str) -> Result<Fibertree, FibertreeError> {
+    pub fn to_fibertree(
+        &self,
+        row_name: &str,
+        col_name: &str,
+    ) -> Result<Fibertree, FibertreeError> {
         let data: Vec<f64> = self.data.iter().map(|&v| f64::from(v)).collect();
         Fibertree::from_dense(&data, &[self.rows, self.cols], &[row_name, col_name])
     }
@@ -190,21 +215,18 @@ impl Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         // For each k: (nonzeros in column k of A) * (nonzeros in row k of B).
         let mut a_col_nnz = vec![0u64; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                if self.data[r * self.cols + c] != 0.0 {
-                    a_col_nnz[c] += 1;
+        for row in self.data.chunks_exact(self.cols) {
+            for (nnz, &v) in a_col_nnz.iter_mut().zip(row) {
+                if v != 0.0 {
+                    *nnz += 1;
                 }
             }
         }
-        let mut total = 0u64;
-        for k in 0..self.cols {
-            let b_row_nnz =
-                rhs.data[k * rhs.cols..(k + 1) * rhs.cols].iter().filter(|&&v| v != 0.0).count()
-                    as u64;
-            total += a_col_nnz[k] * b_row_nnz;
-        }
-        total
+        a_col_nnz
+            .iter()
+            .zip(rhs.data.chunks_exact(rhs.cols))
+            .map(|(&a_nnz, b_row)| a_nnz * b_row.iter().filter(|&&v| v != 0.0).count() as u64)
+            .sum()
     }
 }
 
@@ -212,9 +234,18 @@ impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{}:", self.rows, self.cols)?;
         for r in 0..self.rows.min(8) {
-            let row: Vec<String> =
-                self.row(r).iter().take(12).map(|v| format!("{v:6.2}")).collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 12 { ", …" } else { "" })?;
+            let row: Vec<String> = self
+                .row(r)
+                .iter()
+                .take(12)
+                .map(|v| format!("{v:6.2}"))
+                .collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.cols > 12 { ", …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;

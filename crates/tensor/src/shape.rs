@@ -48,7 +48,11 @@ impl GemmShape {
     /// Returns the shape with operands swapped (`Bᵀ·Aᵀ`), used when a design
     /// benefits from sparsity living on a particular operand (paper §7.1.1).
     pub fn swapped(&self) -> Self {
-        Self { m: self.n, k: self.k, n: self.m }
+        Self {
+            m: self.n,
+            k: self.k,
+            n: self.m,
+        }
     }
 }
 

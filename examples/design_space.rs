@@ -19,7 +19,11 @@ fn mux_tax_um2(family: &HssFamily, pes_per_array: f64, tech: &Tech) -> f64 {
     let mut area = 0.0;
     for (i, fam) in ranks.iter().enumerate() {
         let tree = MuxTree::new(fam.g_max, fam.h_max);
-        let replication = if i == ranks.len() - 1 { pes_per_array } else { 1.0 };
+        let replication = if i == ranks.len() - 1 {
+            pes_per_array
+        } else {
+            1.0
+        };
         area += replication * tree.area_um2(tech);
     }
     area

@@ -31,17 +31,30 @@ fn main() {
             t.group,
             t.shift_words,
             t.fetched_words,
-            if t.fetch_skipped { "  <- GLB fetch skipped (enough valid words)" } else { "" }
+            if t.fetch_skipped {
+                "  <- GLB fetch skipped (enough valid words)"
+            } else {
+                ""
+            }
         );
     }
 
     let c = &report.counts;
     println!("\ncycles            : {}", c.cycles);
     println!("effectual MACs    : {}", c.macs);
-    println!("gated MAC slots   : {} (B zeros, energy saved, cycles unchanged)", c.gated_macs);
-    println!("GLB B words       : {} (compressed stream)", c.glb_b_word_reads);
+    println!(
+        "gated MAC slots   : {} (B zeros, energy saved, cycles unchanged)",
+        c.gated_macs
+    );
+    println!(
+        "GLB B words       : {} (compressed stream)",
+        c.glb_b_word_reads
+    );
     println!("fetches skipped   : {}", c.fetches_skipped);
-    println!("rank1/rank0 muxes : {} / {}", c.mux_r1_selects, c.mux_r0_selects);
+    println!(
+        "rank1/rank0 muxes : {} / {}",
+        c.mux_r1_selects, c.mux_r0_selects
+    );
 
     let reference = a.matmul(&b);
     assert!(report.output.approx_eq(&reference, 1e-3));

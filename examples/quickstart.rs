@@ -14,8 +14,15 @@ fn main() {
     //    from two simple G:H patterns (the paper's key idea).
     let pattern = HssPattern::two_rank(Gh::new(4, 8), Gh::new(2, 4));
     println!("pattern      : {pattern}");
-    println!("density      : {} = {:.3}", pattern.density(), pattern.density_f64());
-    println!("ideal speedup: {:.1}x (product of per-rank H/G)", pattern.ideal_speedup());
+    println!(
+        "density      : {} = {:.3}",
+        pattern.density(),
+        pattern.density_f64()
+    );
+    println!(
+        "ideal speedup: {:.1}x (product of per-rank H/G)",
+        pattern.ideal_speedup()
+    );
     println!("fibertree    : {}", pattern.to_spec());
 
     // 2. Sparsify a dense matrix rank-by-rank (magnitude at Rank0,
@@ -27,7 +34,11 @@ fn main() {
         pruned.sparsity() * 100.0,
         retained_norm_fraction(&dense, &pruned) * 100.0
     );
-    assert_eq!(gen::check_hss(&pruned, pattern.ranks()), None, "conformant by construction");
+    assert_eq!(
+        gen::check_hss(&pruned, pattern.ranks()),
+        None,
+        "conformant by construction"
+    );
 
     // 3. Compress with the hierarchical CP format (Fig. 9) — lossless.
     let compressed = HssCompressed::encode(&pruned, 8, 4);

@@ -13,7 +13,10 @@ use highlight::prelude::*;
 fn main() {
     let model = zoo::resnet50();
     println!("{model}");
-    println!("avg activation sparsity: {:.0}%\n", model.avg_activation_sparsity() * 100.0);
+    println!(
+        "avg activation sparsity: {:.0}%\n",
+        model.avg_activation_sparsity() * 100.0
+    );
 
     let hl = HighLight::default();
     let tc = Tc::default();
@@ -52,7 +55,7 @@ fn main() {
         .into_iter()
         .filter(|p| seen.insert(p.density()))
         .collect();
-    patterns.sort_by(|a, b| b.density().cmp(&a.density()));
+    patterns.sort_by_key(|p| std::cmp::Reverse(p.density()));
     for p in patterns {
         let cfg = PruningConfig::Hss(p.clone());
         let loss = accuracy_loss(&model, &cfg);

@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the API subset the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BenchmarkGroup`],
+//! [`criterion_group!`] and [`criterion_main!`] — as a simple wall-clock
+//! harness. Each benchmark warms up briefly, then runs timed batches for a
+//! fixed measurement window and reports the mean time per iteration. It has
+//! no statistical analysis, plotting or baseline comparison; swap in the
+//! real criterion once registry access is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` for benches that import it
+/// from here rather than `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The shim times routine calls
+/// individually, so the variants only tune the batch length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: batches of many iterations.
+    SmallInput,
+    /// Large routine input: moderate batches.
+    LargeInput,
+    /// Setup re-run for every single iteration.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// The benchmark driver handed to every registered bench function.
+pub struct Criterion {
+    /// Nominal sample count (API compatibility; the shim measures by
+    /// wall-clock window rather than sample count).
+    pub sample_size: usize,
+    /// Wall-clock measurement window per benchmark.
+    pub measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some((iters, total)) => {
+                let per_iter = total / iters.max(1) as u32;
+                println!(
+                    "bench {id:<44} {:>12} / iter ({iters} iters)",
+                    fmt_duration(per_iter)
+                );
+            }
+            None => println!("bench {id:<44} (no measurement)"),
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (kept for API compatibility; the shim
+    /// measures by wall-clock window, not sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures; handed to the user callback by [`Criterion::bench_function`].
+pub struct Bencher {
+    measurement_time: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement window elapses.
+    ///
+    /// Calls are timed in batches sized so each batch spans well over a
+    /// clock-read, keeping `Instant` overhead out of the per-iteration
+    /// figure even for nanosecond-scale routines.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + batch calibration: grow the batch until one timed
+        // batch takes at least ~20 µs (hundreds of clock-read costs).
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_micros(20) || batch >= (1 << 20) {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while total < self.measurement_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.report = Some((iters, total));
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        let batch = size.batch_len();
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while total < self.measurement_time {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            total += start.elapsed();
+            iters += batch as u64;
+        }
+        self.report = Some((iters, total));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke/iter", |b| b.iter(|| std_black_box(2 + 2)));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 8],
+                |v| {
+                    ran = true;
+                    v.iter().sum::<u32>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| std_black_box(1)));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(4)), "4.00 s");
+    }
+}

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use highlight_core as core;
 pub use hl_arch as arch;
 pub use hl_baselines as baselines;
 pub use hl_fibertree as fibertree;
@@ -50,10 +51,10 @@ pub use hl_models as models;
 pub use hl_sim as sim;
 pub use hl_sparsity as sparsity;
 pub use hl_tensor as tensor;
-pub use highlight_core as core;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use highlight_core::{Dsso, HighLight, HighLightConfig};
     pub use hl_baselines::{Dstc, S2ta, Stc, Tc};
     pub use hl_fibertree::spec::{Gh, PatternSpec};
     pub use hl_fibertree::Fibertree;
@@ -62,7 +63,6 @@ pub mod prelude {
     };
     pub use hl_sparsity::{HssPattern, Ratio};
     pub use hl_tensor::{GemmShape, Matrix};
-    pub use highlight_core::{Dsso, HighLight, HighLightConfig};
 
     /// HighLight's supported operand A family
     /// ([`hl_sparsity::families::highlight_a`]).

@@ -3,11 +3,11 @@
 
 use highlight::fibertree::spec::{PatternSpec, Rule};
 use highlight::prelude::*;
+use highlight::sim::micro::{MicroConfig, MicroSim};
 use highlight::sparsity::prune::prune_hss;
 use highlight::tensor::conv::ConvLayer;
 use highlight::tensor::format::{HssCompressed, SparseB};
 use highlight::tensor::gen;
-use highlight::sim::micro::{MicroConfig, MicroSim};
 
 /// Dense weights → HSS sparsification → fibertree conformance check against
 /// the paper-notation specification.
@@ -22,7 +22,8 @@ fn pruned_tensor_conforms_to_its_fibertree_spec() {
     let split_outer = tree.split_rank_named(1, 16, "K2x", "Klow").unwrap();
     let split_inner = split_outer.split_rank_named(2, 4, "K1", "K0").unwrap();
     let spec = PatternSpec::parse("M→K2x→K1(3:4)→K0(2:4)").unwrap();
-    spec.check(&split_inner).expect("pruned tensor must conform to its spec");
+    spec.check(&split_inner)
+        .expect("pruned tensor must conform to its spec");
 
     // And a too-tight spec must fail.
     let tight = PatternSpec::parse("M→K2x→K1(3:4)→K0(1:4)").unwrap();
@@ -77,7 +78,10 @@ fn sparsity_degree_agrees_across_layers_of_the_stack() {
     let pruned = prune_hss(&gen::random_dense(16, 64, 5), &pattern);
     assert!((pruned.density() - pattern.density_f64()).abs() < 1e-12);
 
-    let w = Workload::synthetic(OperandSparsity::Hss(pattern.clone()), OperandSparsity::Dense);
+    let w = Workload::synthetic(
+        OperandSparsity::Hss(pattern.clone()),
+        OperandSparsity::Dense,
+    );
     let hl = HighLight::default();
     let r = evaluate_best(&hl, &w).unwrap();
     let dense = evaluate_best(

@@ -25,11 +25,17 @@ fn cycle_factors_agree_between_models() {
         // density mapped into HighLight's supported family.
         let density = cfg.pattern().density_f64();
         let pattern = highlight_family().closest_to_density(density);
-        assert!((pattern.density_f64() - density).abs() < 1e-9, "density {density} representable");
+        assert!(
+            (pattern.density_f64() - density).abs() < 1e-9,
+            "density {density} representable"
+        );
         let w = Workload::synthetic(OperandSparsity::Hss(pattern), OperandSparsity::Dense);
         let hl = HighLight::default().evaluate(&w).unwrap();
         let dense = HighLight::default()
-            .evaluate(&Workload::synthetic(OperandSparsity::Dense, OperandSparsity::Dense))
+            .evaluate(&Workload::synthetic(
+                OperandSparsity::Dense,
+                OperandSparsity::Dense,
+            ))
             .unwrap();
         let analytic_factor = hl.cycles / dense.cycles;
 

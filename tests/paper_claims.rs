@@ -3,9 +3,9 @@
 //! These tests pin the *shape* of the paper's results — who wins, where, by
 //! roughly what factor — so regressions in any model surface immediately.
 
+use highlight::prelude::*;
 use hl_bench::{design_names, run_synthetic_sweep};
 use hl_sim::geomean;
-use highlight::prelude::*;
 
 fn sweep_index(name: &str) -> usize {
     design_names().iter().position(|n| n == name).unwrap()
@@ -50,8 +50,14 @@ fn highlight_vs_dense_geomean_and_parity() {
         .collect();
     let gm = geomean(&ratios).unwrap();
     let max = ratios.iter().cloned().fold(0.0, f64::max);
-    assert!((3.0..=10.0).contains(&gm), "geomean vs TC {gm} (paper: 6.4)");
-    assert!((10.0..=30.0).contains(&max), "max vs TC {max} (paper: 20.4)");
+    assert!(
+        (3.0..=10.0).contains(&gm),
+        "geomean vs TC {gm} (paper: 6.4)"
+    );
+    assert!(
+        (10.0..=30.0).contains(&max),
+        "max vs TC {max} (paper: 20.4)"
+    );
 
     let dense_point = sweep
         .iter()
@@ -59,7 +65,10 @@ fn highlight_vs_dense_geomean_and_parity() {
         .unwrap();
     let parity = dense_point.results[tc].as_ref().unwrap().edp()
         / dense_point.results[hl].as_ref().unwrap().edp();
-    assert!((0.85..=1.18).contains(&parity), "dense parity ratio {parity}");
+    assert!(
+        (0.85..=1.18).contains(&parity),
+        "dense parity ratio {parity}"
+    );
 }
 
 /// "Compared to sparse accelerators, HighLight achieves a geomean of 2.7x
@@ -80,8 +89,14 @@ fn highlight_vs_sparse_baselines() {
             .collect();
         let gm = geomean(&ratios).unwrap();
         let max = ratios.iter().cloned().fold(0.0, f64::max);
-        assert!((1.2..=4.5).contains(&gm), "geomean vs {name}: {gm} (paper: 2.7 overall)");
-        assert!(max <= 8.0, "max vs {name}: {max} (paper: up to 5.9 overall)");
+        assert!(
+            (1.2..=4.5).contains(&gm),
+            "geomean vs {name}: {gm} (paper: 2.7 overall)"
+        );
+        assert!(
+            max <= 8.0,
+            "max vs {name}: {max} (paper: up to 5.9 overall)"
+        );
     }
 }
 
@@ -92,14 +107,12 @@ fn highlight_vs_sparse_baselines() {
 /// HighLight).
 #[test]
 fn fig2_crossover_shape() {
-    use hl_bench::eval_model;
     use highlight::models::accuracy::PruningConfig;
     use highlight::models::zoo;
+    use hl_bench::eval_model;
 
     let designs = hl_bench::designs();
-    let by_name = |n: &str| {
-        designs.iter().find(|d| d.name() == n).unwrap().as_ref()
-    };
+    let by_name = |n: &str| designs.iter().find(|d| d.name() == n).unwrap().as_ref();
     for (model, dstc_sparsity, expect_stc_wins) in [
         (zoo::transformer_big(), 0.75, true),
         (zoo::resnet50(), 0.70, false),
@@ -113,7 +126,9 @@ fn fig2_crossover_shape() {
         let dstc = eval_model(
             by_name("DSTC"),
             &model,
-            &PruningConfig::Unstructured { sparsity: dstc_sparsity },
+            &PruningConfig::Unstructured {
+                sparsity: dstc_sparsity,
+            },
         )
         .unwrap();
         // The accuracy-matched HighLight pattern (see the fig2 binary):
@@ -125,11 +140,23 @@ fn fig2_crossover_shape() {
         )
         .unwrap();
         if expect_stc_wins {
-            assert!(stc.edp() < dstc.edp(), "{}: STC should beat DSTC", model.name);
+            assert!(
+                stc.edp() < dstc.edp(),
+                "{}: STC should beat DSTC",
+                model.name
+            );
         } else {
-            assert!(dstc.edp() < stc.edp(), "{}: DSTC should beat STC", model.name);
+            assert!(
+                dstc.edp() < stc.edp(),
+                "{}: DSTC should beat STC",
+                model.name
+            );
         }
-        assert!(hl.edp() < stc.edp() && hl.edp() < dstc.edp(), "{}: HighLight lowest", model.name);
+        assert!(
+            hl.edp() < stc.edp() && hl.edp() < dstc.edp(),
+            "{}: HighLight lowest",
+            model.name
+        );
     }
 }
 
@@ -146,5 +173,8 @@ fn dsso_dual_side_speed_claim() {
         .evaluate(&Workload::synthetic(a, OperandSparsity::unstructured(0.5)))
         .unwrap();
     let ratio = hl.cycles / dsso.cycles;
-    assert!((ratio - 2.0).abs() < 1e-9, "DSSO should be exactly 2x faster, got {ratio}");
+    assert!(
+        (ratio - 2.0).abs() < 1e-9,
+        "DSSO should be exactly 2x faster, got {ratio}"
+    );
 }
