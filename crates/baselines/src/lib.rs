@@ -27,3 +27,22 @@ pub use dstc::Dstc;
 pub use s2ta::S2ta;
 pub use stc::Stc;
 pub use tc::Tc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The [`hl_sim::Accelerator`] trait requires `Send + Sync` so the
+    /// engine can share the design registry across its worker pool; every
+    /// baseline must satisfy the bound structurally (pure-data configs, no
+    /// interior mutability).
+    #[test]
+    fn baselines_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tc>();
+        assert_send_sync::<Stc>();
+        assert_send_sync::<S2ta>();
+        assert_send_sync::<Dstc>();
+        assert_send_sync::<Box<dyn hl_sim::Accelerator>>();
+    }
+}

@@ -1,0 +1,74 @@
+//! Times the Fig. 2 / Fig. 15 design-space sweeps end-to-end — the
+//! uncached serial baseline against the parallel engine at 1, 2, and N
+//! worker threads — and records the result in `BENCH_sweeps.json`, seeding
+//! the repo's performance trajectory.
+//!
+//! Every engine run uses a **fresh** context (empty memo tables), so the
+//! measured speedup is what one cold sweep gains from intra-run
+//! memoization plus the worker pool — not warm-cache replay. The harness
+//! also cross-checks that every engine run produces results identical to
+//! the serial baseline (the engine's determinism guarantee).
+
+use std::time::Instant;
+
+use hl_bench::{fig15_points, fig2_data, Fig2Model, ParetoPoint, SweepContext};
+use hl_models::zoo;
+use hl_sim::engine::{default_threads, Engine};
+
+/// One full pass over the Fig. 2 and Fig. 15 sweeps.
+fn run_sweeps(ctx: &SweepContext) -> (Vec<Fig2Model>, Vec<Vec<ParetoPoint>>) {
+    let fig2 = fig2_data(ctx);
+    let fig15 = zoo::all_models()
+        .iter()
+        .map(|m| fig15_points(ctx, m))
+        .collect();
+    (fig2, fig15)
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("bench_sweeps — Fig. 2 + Fig. 15 sweeps, serial vs engine ({cpus} CPU(s))\n");
+
+    let t0 = Instant::now();
+    let baseline = run_sweeps(&SweepContext::serial_baseline());
+    let serial_s = t0.elapsed().as_secs_f64();
+    println!("{:>22}: {serial_s:8.3} s", "serial baseline");
+
+    let mut thread_counts = vec![1, 2, 4];
+    let default = default_threads();
+    if !thread_counts.contains(&default) {
+        thread_counts.push(default);
+    }
+
+    let mut rows = String::new();
+    let mut identical = true;
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        // Fresh context per run: cold caches, explicitly sized pool.
+        let ctx = SweepContext::with_engine(Engine::with_threads(threads));
+        let t0 = Instant::now();
+        let out = run_sweeps(&ctx);
+        let s = t0.elapsed().as_secs_f64();
+        let same = out == baseline;
+        identical &= same;
+        let speedup = serial_s / s;
+        println!(
+            "{:>15} ({threads}T): {s:8.3} s   {speedup:5.2}x vs serial   identical: {same}",
+            "engine"
+        );
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"threads\": {threads}, \"seconds\": {s:.4}, \"speedup_vs_serial\": {speedup:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig2+fig15 design-space sweeps\",\n  \
+         \"cpus\": {cpus},\n  \"serial_seconds\": {serial_s:.4},\n  \
+         \"engine\": [\n{rows}\n  ],\n  \"outputs_identical\": {identical}\n}}\n"
+    );
+    std::fs::write("BENCH_sweeps.json", &json).expect("write BENCH_sweeps.json");
+    println!("\nwrote BENCH_sweeps.json");
+    assert!(identical, "engine output diverged from the serial baseline");
+}

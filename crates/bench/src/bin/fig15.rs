@@ -1,80 +1,20 @@
 //! Fig. 15: EDP vs accuracy-loss trade-off points for ResNet50,
 //! Transformer-Big, and DeiT-small across all co-design approaches, plus the
 //! Pareto-frontier check ("HighLight always sits on the Pareto frontier").
+//!
+//! The per-model point sweep lives in [`hl_bench::fig15_points`] and runs
+//! on the parallel engine (`HL_THREADS` sizes the pool).
 
-use hl_bench::{designs, eval_model, persist};
-use hl_models::accuracy::{accuracy_loss, PruningConfig};
+use hl_bench::{fig15_points, persist, SweepContext};
 use hl_models::zoo;
-use hl_sim::Accelerator;
-use hl_sparsity::families::{highlight_a, s2ta_a};
-use hl_sparsity::{Gh, HssPattern};
-
-struct Point {
-    design: String,
-    config: String,
-    loss: f64,
-    edp: f64,
-}
-
-fn configs_for(design: &dyn Accelerator) -> Vec<PruningConfig> {
-    match design.name() {
-        "TC" => vec![PruningConfig::Dense],
-        "STC" => vec![
-            PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))),
-            PruningConfig::Hss(HssPattern::one_rank(Gh::new(1, 4))),
-        ],
-        "DSTC" => (1..=7)
-            .map(|i| PruningConfig::Unstructured {
-                sparsity: f64::from(i) * 0.125,
-            })
-            .collect(),
-        "S2TA" => s2ta_a()
-            .patterns()
-            .into_iter()
-            .map(PruningConfig::Hss)
-            .collect(),
-        "HighLight" => {
-            let mut seen = std::collections::BTreeSet::new();
-            highlight_a()
-                .patterns()
-                .into_iter()
-                .filter(|p| seen.insert(p.density()))
-                .map(PruningConfig::Hss)
-                .collect()
-        }
-        other => panic!("unknown design {other}"),
-    }
-}
 
 fn main() {
+    let ctx = SweepContext::new();
     let mut out = String::new();
     out.push_str("Fig. 15 — EDP vs accuracy loss (EDP normalized to dense TC)\n");
     for model in zoo::all_models() {
         out.push_str(&format!("\n== {} ({}) ==\n", model.name, model.metric));
-        let tc_edp = eval_model(designs()[0].as_ref(), &model, &PruningConfig::Dense)
-            .expect("TC runs dense")
-            .edp();
-        let mut points: Vec<Point> = Vec::new();
-        for d in designs() {
-            for cfg in configs_for(d.as_ref()) {
-                let loss = accuracy_loss(&model, &cfg);
-                if let Some(e) = eval_model(d.as_ref(), &model, &cfg) {
-                    let label = match &cfg {
-                        PruningConfig::Dense => "dense".to_string(),
-                        PruningConfig::Unstructured { sparsity } => {
-                            format!("unstructured {:.1}%", sparsity * 100.0)
-                        }
-                        PruningConfig::Hss(p) => p.to_string(),
-                    };
-                    points.push(Point {
-                        design: d.name().to_string(),
-                        config: label,
-                        loss,
-                        edp: e.edp() / tc_edp,
-                    });
-                }
-            }
-        }
+        let mut points = fig15_points(&ctx, &model);
         points.sort_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap());
         // Pareto frontier: points not dominated in (loss, EDP).
         let on_frontier: Vec<bool> = points

@@ -4,22 +4,20 @@
 
 use highlight_core::HighLight;
 use hl_arch::Comp;
-use hl_bench::{designs, operand_a_for, persist};
+use hl_bench::{designs, operand_a_for, persist, SweepContext};
 use hl_sim::Accelerator;
-use hl_sim::{evaluate_best, OperandSparsity, Workload};
+use hl_sim::{OperandSparsity, Workload};
 
 fn main() {
+    let ctx = SweepContext::new();
     let mut out = String::new();
     out.push_str("Fig. 16(a) — energy breakdown (mJ), A 75% sparse / B dense, 1024^3 GEMM\n\n");
     out.push_str(&format!("{:>11}", "component"));
     let designs = designs();
-    let results: Vec<_> = designs
-        .iter()
-        .map(|d| {
-            let w = Workload::synthetic(operand_a_for(d.name(), 0.75), OperandSparsity::Dense);
-            (d.name().to_string(), evaluate_best(d.as_ref(), &w).ok())
-        })
-        .collect();
+    let results: Vec<_> = ctx.map(&designs, |d| {
+        let w = Workload::synthetic(operand_a_for(d.name(), 0.75), OperandSparsity::Dense);
+        (d.name().to_string(), ctx.evaluate_best(d.as_ref(), &w).ok())
+    });
     for (n, _) in &results {
         out.push_str(&format!(" {n:>10}"));
     }

@@ -5,48 +5,39 @@
 //! most aggressive pruning configuration whose (surrogate) accuracy loss
 //! stays within a common budget of the 2:4 loss + 0.4 metric points
 //! ("similar accuracy, within 0.5% difference").
+//!
+//! The sweep itself lives in [`hl_bench::fig2_data`] and runs on the
+//! parallel engine (`HL_THREADS` sizes the pool).
 
-use hl_bench::{accuracy_matched_config, designs, eval_model, persist};
-use hl_models::accuracy::{accuracy_loss, PruningConfig};
-use hl_models::zoo;
-use hl_sparsity::{Gh, HssPattern};
+use hl_bench::{fig2_data, persist, Fig2Outcome, SweepContext};
 
 fn main() {
+    let ctx = SweepContext::new();
     let mut out = String::new();
     out.push_str("Fig. 2 — accuracy-matched whole-model EDP, normalized to TC\n\n");
-    for model in [zoo::transformer_big(), zoo::resnet50()] {
-        let budget = accuracy_loss(
-            &model,
-            &PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))),
-        ) + 0.4;
+    for model in fig2_data(&ctx) {
         out.push_str(&format!(
-            "== {} (loss budget {budget:.2} {} points) ==\n",
-            model.name, model.metric
+            "== {} (loss budget {:.2} {} points) ==\n",
+            model.model, model.budget, model.metric
         ));
-        let tc_edp = {
-            let tc = &designs()[0];
-            eval_model(tc.as_ref(), &model, &PruningConfig::Dense)
-                .expect("TC runs dense")
-                .edp()
-        };
-        for d in designs() {
-            if !matches!(d.name(), "TC" | "STC" | "DSTC" | "HighLight") {
-                continue; // Fig. 2 compares these four
-            }
-            match accuracy_matched_config(d.name(), &model, budget) {
-                None => out.push_str(&format!("{:>10}: no config within budget\n", d.name())),
-                Some(cfg) => {
-                    let loss = accuracy_loss(&model, &cfg);
-                    match eval_model(d.as_ref(), &model, &cfg) {
-                        None => out.push_str(&format!("{:>10}: unsupported\n", d.name())),
-                        Some(e) => out.push_str(&format!(
-                            "{:>10}: EDP {:>7.3}x TC   (weights {:>5.1}% sparse, est. loss {loss:.2})\n",
-                            d.name(),
-                            e.edp() / tc_edp,
-                            cfg.sparsity() * 100.0,
-                        )),
-                    }
+        for row in &model.rows {
+            match &row.outcome {
+                Fig2Outcome::NoConfig => {
+                    out.push_str(&format!("{:>10}: no config within budget\n", row.design))
                 }
+                Fig2Outcome::Unsupported => {
+                    out.push_str(&format!("{:>10}: unsupported\n", row.design))
+                }
+                Fig2Outcome::Matched {
+                    edp_ratio,
+                    weight_sparsity,
+                    loss,
+                } => out.push_str(&format!(
+                    "{:>10}: EDP {:>7.3}x TC   (weights {:>5.1}% sparse, est. loss {loss:.2})\n",
+                    row.design,
+                    edp_ratio,
+                    weight_sparsity * 100.0,
+                )),
             }
         }
         out.push('\n');

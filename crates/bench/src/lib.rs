@@ -9,10 +9,21 @@
 //!   is handed a workload *in the sparsity pattern it was designed for* at
 //!   the requested degree (§7.1.2: models are structured-pruned for
 //!   STC/S2TA/HighLight and unstructured-pruned for DSTC);
+//! - [`SweepContext`]: the evaluation front-end every sweep runs through.
+//!   [`SweepContext::new`] uses the parallel engine
+//!   ([`hl_sim::engine`]) — `(design, workload)` cells fan out across a
+//!   worker pool (`HL_THREADS` override) and repeated pure evaluations
+//!   (accelerator results, surrogate weight synthesis, per-layer
+//!   retention) are memoized. [`SweepContext::serial_baseline`] runs the
+//!   same code single-threaded and uncached — the reference the engine is
+//!   benchmarked against (`bench_sweeps`) and must match byte-for-byte;
 //! - [`run_synthetic_sweep`]: the Fig. 13 sweep (A ∈ {0, 50, 75}%,
-//!   B ∈ {0, 25, 50, 75}% on 1024³ GEMMs);
-//! - [`eval_model`]: whole-DNN evaluation (per-layer `evaluate_best`,
-//!   energy/latency summed with layer multiplicities) for Figs. 2 and 15;
+//!   B ∈ {0, 25, 50, 75}% on 1024³ GEMMs), a [`SweepGrid`] under the hood;
+//! - [`eval_model`] / [`SweepContext::eval_model`]: whole-DNN evaluation
+//!   (per-layer `evaluate_best`, energy/latency summed with layer
+//!   multiplicities) for Figs. 2 and 15;
+//! - [`fig2_data`] / [`fig15_points`]: the Fig. 2 / Fig. 15 sweep cores,
+//!   shared by the figure binaries and the `bench_sweeps` perf harness;
 //! - report helpers that print aligned tables and persist them under
 //!   `results/`.
 
@@ -26,9 +37,10 @@ use std::path::Path;
 
 use highlight_core::HighLight;
 use hl_baselines::{Dstc, S2ta, Stc, Tc};
-use hl_models::accuracy::{accuracy_loss, PruningConfig};
+use hl_models::accuracy::{accuracy_loss, accuracy_loss_cached, PruningConfig, RetentionCache};
 use hl_models::DnnModel;
-use hl_sim::{evaluate_best, Accelerator, EvalResult, OperandSparsity, Workload};
+use hl_sim::engine::{Engine, SweepGrid};
+use hl_sim::{evaluate_best, Accelerator, EvalResult, OperandSparsity, Unsupported, Workload};
 use hl_sparsity::families::{highlight_a, HssFamily};
 use hl_sparsity::{Gh, HssPattern};
 
@@ -88,8 +100,188 @@ pub fn operand_b_for(design: &str, sparsity: f64) -> OperandSparsity {
     }
 }
 
+/// The evaluation front-end shared by every sweep: either the parallel
+/// engine with memoized pure evaluations, or the uncached single-threaded
+/// baseline. Both modes run the *same* sweep code and produce identical
+/// results (asserted by the `determinism` integration tests); the engine is
+/// just faster.
+pub struct SweepContext {
+    engine: Engine,
+    retention: RetentionCache,
+    cached: bool,
+}
+
+impl Default for SweepContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepContext {
+    /// An engine-backed context sized by `HL_THREADS` / available
+    /// parallelism, with memoization enabled.
+    pub fn new() -> Self {
+        Self::with_engine(Engine::new())
+    }
+
+    /// An engine-backed context with an explicit worker pool.
+    pub fn with_engine(engine: Engine) -> Self {
+        Self {
+            engine,
+            retention: RetentionCache::new(),
+            cached: true,
+        }
+    }
+
+    /// The single-threaded, *uncached* reference: exactly the work the
+    /// pre-engine harness performed. Used as the timing baseline and the
+    /// determinism oracle.
+    pub fn serial_baseline() -> Self {
+        Self {
+            engine: Engine::serial(),
+            retention: RetentionCache::new(),
+            cached: false,
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Maps `f` over `items` on the context's pool, results in input order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.engine.map(items, f)
+    }
+
+    /// `evaluate_best` through the context (memoized in engine mode).
+    ///
+    /// # Errors
+    /// Exactly the errors of [`evaluate_best`].
+    pub fn evaluate_best(
+        &self,
+        design: &dyn Accelerator,
+        workload: &Workload,
+    ) -> Result<EvalResult, Unsupported> {
+        if self.cached {
+            self.engine.evaluate_best(design, workload)
+        } else {
+            evaluate_best(design, workload)
+        }
+    }
+
+    /// Surrogate accuracy loss through the context (memoized in engine
+    /// mode).
+    pub fn accuracy_loss(&self, model: &DnnModel, config: &PruningConfig) -> f64 {
+        if self.cached {
+            accuracy_loss_cached(model, config, &self.retention)
+        } else {
+            accuracy_loss(model, config)
+        }
+    }
+
+    /// Whole-model evaluation: energy and latency summed across all layers
+    /// (× multiplicities), prunable layers at the design's weight pattern.
+    /// Returns `None` if any layer is unsupported.
+    pub fn eval_model(
+        &self,
+        design: &dyn Accelerator,
+        model: &DnnModel,
+        weights: &PruningConfig,
+    ) -> Option<ModelEval> {
+        let mut energy_j = 0.0;
+        let mut latency_s = 0.0;
+        for layer in &model.layers {
+            let a = if layer.prunable {
+                match weights {
+                    PruningConfig::Dense => OperandSparsity::Dense,
+                    PruningConfig::Unstructured { sparsity } => {
+                        operand_a_for(design.name(), *sparsity)
+                    }
+                    PruningConfig::Hss(p) => OperandSparsity::Hss(p.clone()),
+                }
+            } else {
+                OperandSparsity::Dense
+            };
+            let b = operand_b_for(design.name(), layer.activation_sparsity);
+            let w = Workload::new(layer.name.clone(), layer.shape, a, b);
+            let r = self.evaluate_best(design, &w).ok()?;
+            energy_j += r.energy_j() * f64::from(layer.count);
+            latency_s += r.latency_s() * f64::from(layer.count);
+        }
+        Some(ModelEval {
+            energy_j,
+            latency_s,
+        })
+    }
+
+    /// The per-design pruning configuration used for accuracy-matched
+    /// comparisons (Fig. 2): the most aggressive config whose surrogate
+    /// loss stays within `budget` metric points.
+    pub fn accuracy_matched_config(
+        &self,
+        design: &str,
+        model: &DnnModel,
+        budget: f64,
+    ) -> Option<PruningConfig> {
+        match design {
+            "TC" => Some(PruningConfig::Dense),
+            "STC" => {
+                let p = PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4)));
+                (self.accuracy_loss(model, &p) <= budget).then_some(p)
+            }
+            "DSTC" => {
+                let mut best = None;
+                for i in 1..=18 {
+                    let s = f64::from(i) * 0.05;
+                    let p = PruningConfig::Unstructured { sparsity: s };
+                    if self.accuracy_loss(model, &p) <= budget {
+                        best = Some(p);
+                    }
+                }
+                best
+            }
+            "HighLight" | "DSSO" => self.best_in_family(&highlight_a(), model, budget),
+            "S2TA" => {
+                let fam = hl_sparsity::families::s2ta_a();
+                self.best_in_family(&fam, model, budget)
+            }
+            other => panic!("unknown design {other}"),
+        }
+    }
+
+    fn best_in_family(
+        &self,
+        family: &HssFamily,
+        model: &DnnModel,
+        budget: f64,
+    ) -> Option<PruningConfig> {
+        let mut best: Option<(f64, PruningConfig)> = None;
+        let mut seen = std::collections::BTreeSet::new();
+        for p in family.patterns() {
+            if !seen.insert(p.density()) {
+                continue;
+            }
+            let cfg = PruningConfig::Hss(p.clone());
+            let loss = self.accuracy_loss(model, &cfg);
+            if loss <= budget {
+                let s = p.sparsity_f64();
+                if best.as_ref().is_none_or(|(bs, _)| s > *bs) {
+                    best = Some((s, cfg));
+                }
+            }
+        }
+        best.map(|(_, cfg)| cfg)
+    }
+}
+
 /// One point of the Fig. 13 sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Operand A sparsity degree.
     pub a_sparsity: f64,
@@ -104,31 +296,44 @@ pub fn fig13_degrees() -> (Vec<f64>, Vec<f64>) {
     (vec![0.0, 0.5, 0.75], vec![0.0, 0.25, 0.5, 0.75])
 }
 
-/// Runs the synthetic 1024³ GEMM sweep across all designs (§7.2).
+/// Runs the synthetic 1024³ GEMM sweep across all designs (§7.2) on the
+/// default engine-backed context.
 pub fn run_synthetic_sweep() -> Vec<SweepPoint> {
+    run_synthetic_sweep_with(&SweepContext::new())
+}
+
+/// [`run_synthetic_sweep`] on an explicit context: the sweep is a
+/// [`SweepGrid`] of co-designed `(design, workload)` cells fanned out
+/// across the context's pool.
+pub fn run_synthetic_sweep_with(ctx: &SweepContext) -> Vec<SweepPoint> {
     let designs = designs();
     let (a_degrees, b_degrees) = fig13_degrees();
-    let mut out = Vec::new();
+    let mut grid = SweepGrid::new(&designs);
+    let mut degrees = Vec::new();
     for &sa in &a_degrees {
         for &sb in &b_degrees {
-            let results = designs
-                .iter()
-                .map(|d| {
-                    let w = Workload::synthetic(
-                        operand_a_for(d.name(), sa),
-                        operand_b_for(d.name(), sb),
-                    );
-                    evaluate_best(d.as_ref(), &w).ok()
-                })
-                .collect();
-            out.push(SweepPoint {
-                a_sparsity: sa,
-                b_sparsity: sb,
-                results,
+            degrees.push((sa, sb));
+            grid.push_row_with(|d| {
+                Workload::synthetic(operand_a_for(d.name(), sa), operand_b_for(d.name(), sb))
             });
         }
     }
-    out
+    // Both modes sweep exactly the cells the grid declared; only the
+    // evaluation path (pool + memo vs plain inline) differs.
+    let rows = if ctx.cached {
+        grid.run(ctx.engine())
+    } else {
+        grid.run_serial()
+    };
+    degrees
+        .into_iter()
+        .zip(rows)
+        .map(|((sa, sb), results)| SweepPoint {
+            a_sparsity: sa,
+            b_sparsity: sb,
+            results,
+        })
+        .collect()
 }
 
 /// Whole-model evaluation: energy and latency summed across all layers
@@ -150,86 +355,204 @@ impl ModelEval {
 
 /// Evaluates a DNN on a design with the given weight-pruning config for
 /// prunable layers. Returns `None` if any layer is unsupported.
+///
+/// Free-function form of [`SweepContext::eval_model`] on the uncached
+/// serial baseline.
 pub fn eval_model(
     design: &dyn Accelerator,
     model: &DnnModel,
     weights: &PruningConfig,
 ) -> Option<ModelEval> {
-    let mut energy_j = 0.0;
-    let mut latency_s = 0.0;
-    for layer in &model.layers {
-        let a = if layer.prunable {
-            match weights {
-                PruningConfig::Dense => OperandSparsity::Dense,
-                PruningConfig::Unstructured { sparsity } => operand_a_for(design.name(), *sparsity),
-                PruningConfig::Hss(p) => OperandSparsity::Hss(p.clone()),
-            }
-        } else {
-            OperandSparsity::Dense
-        };
-        let b = operand_b_for(design.name(), layer.activation_sparsity);
-        let w = Workload::new(layer.name.clone(), layer.shape, a, b);
-        let r = evaluate_best(design, &w).ok()?;
-        energy_j += r.energy_j() * f64::from(layer.count);
-        latency_s += r.latency_s() * f64::from(layer.count);
-    }
-    Some(ModelEval {
-        energy_j,
-        latency_s,
-    })
+    SweepContext::serial_baseline().eval_model(design, model, weights)
 }
 
 /// The per-design pruning configuration used for accuracy-matched
 /// comparisons (Fig. 2): the most aggressive config whose surrogate loss
 /// stays within `budget` metric points.
+///
+/// Free-function form of [`SweepContext::accuracy_matched_config`] on the
+/// uncached serial baseline.
 pub fn accuracy_matched_config(
     design: &str,
     model: &DnnModel,
     budget: f64,
 ) -> Option<PruningConfig> {
-    match design {
-        "TC" => Some(PruningConfig::Dense),
-        "STC" => {
-            let p = PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4)));
-            (accuracy_loss(model, &p) <= budget).then_some(p)
-        }
-        "DSTC" => {
-            let mut best = None;
-            for i in 1..=18 {
-                let s = f64::from(i) * 0.05;
-                let p = PruningConfig::Unstructured { sparsity: s };
-                if accuracy_loss(model, &p) <= budget {
-                    best = Some(p);
+    SweepContext::serial_baseline().accuracy_matched_config(design, model, budget)
+}
+
+/// Outcome of one Fig. 2 design row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fig2Outcome {
+    /// No pruning configuration stays within the accuracy budget.
+    NoConfig,
+    /// A configuration exists but the design cannot run the model.
+    Unsupported,
+    /// The accuracy-matched evaluation.
+    Matched {
+        /// Whole-model EDP normalized to the dense TC.
+        edp_ratio: f64,
+        /// Weight sparsity of the matched configuration (fraction).
+        weight_sparsity: f64,
+        /// Estimated accuracy loss of the matched configuration.
+        loss: f64,
+    },
+}
+
+/// One Fig. 2 design row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// Design name.
+    pub design: String,
+    /// Row outcome.
+    pub outcome: Fig2Outcome,
+}
+
+/// Fig. 2 results for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Model {
+    /// Model name.
+    pub model: String,
+    /// Accuracy metric name.
+    pub metric: &'static str,
+    /// The common accuracy-loss budget (2:4 loss + 0.4 points).
+    pub budget: f64,
+    /// Rows for TC / STC / DSTC / HighLight, in registry order.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// The Fig. 2 sweep core: accuracy-matched whole-model EDP of TC / STC /
+/// DSTC / HighLight on Transformer-Big and ResNet50, normalized to the
+/// dense TC. Design rows fan out across the context's pool.
+pub fn fig2_data(ctx: &SweepContext) -> Vec<Fig2Model> {
+    let mut out = Vec::new();
+    for model in [
+        hl_models::zoo::transformer_big(),
+        hl_models::zoo::resnet50(),
+    ] {
+        let budget = ctx.accuracy_loss(
+            &model,
+            &PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))),
+        ) + 0.4;
+        let tc_edp = {
+            let tc = &designs()[0];
+            ctx.eval_model(tc.as_ref(), &model, &PruningConfig::Dense)
+                .expect("TC runs dense")
+                .edp()
+        };
+        let fig2_designs: Vec<Box<dyn Accelerator>> = designs()
+            .into_iter()
+            .filter(|d| matches!(d.name(), "TC" | "STC" | "DSTC" | "HighLight"))
+            .collect();
+        let rows = ctx.map(&fig2_designs, |d| {
+            let outcome = match ctx.accuracy_matched_config(d.name(), &model, budget) {
+                None => Fig2Outcome::NoConfig,
+                Some(cfg) => {
+                    let loss = ctx.accuracy_loss(&model, &cfg);
+                    match ctx.eval_model(d.as_ref(), &model, &cfg) {
+                        None => Fig2Outcome::Unsupported,
+                        Some(e) => Fig2Outcome::Matched {
+                            edp_ratio: e.edp() / tc_edp,
+                            weight_sparsity: cfg.sparsity(),
+                            loss,
+                        },
+                    }
                 }
+            };
+            Fig2Row {
+                design: d.name().to_string(),
+                outcome,
             }
-            best
-        }
-        "HighLight" | "DSSO" => best_in_family(&highlight_a(), model, budget),
-        "S2TA" => {
-            let fam = hl_sparsity::families::s2ta_a();
-            best_in_family(&fam, model, budget)
+        });
+        out.push(Fig2Model {
+            model: model.name.clone(),
+            metric: model.metric,
+            budget,
+            rows,
+        });
+    }
+    out
+}
+
+/// One Fig. 15 trade-off point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Design name.
+    pub design: String,
+    /// Human-readable pruning-configuration label.
+    pub config: String,
+    /// Estimated accuracy loss (metric points).
+    pub loss: f64,
+    /// Whole-model EDP normalized to the dense TC.
+    pub edp: f64,
+}
+
+/// The pruning configurations each design contributes to Fig. 15.
+pub fn fig15_configs(design: &str) -> Vec<PruningConfig> {
+    match design {
+        "TC" => vec![PruningConfig::Dense],
+        "STC" => vec![
+            PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))),
+            PruningConfig::Hss(HssPattern::one_rank(Gh::new(1, 4))),
+        ],
+        "DSTC" => (1..=7)
+            .map(|i| PruningConfig::Unstructured {
+                sparsity: f64::from(i) * 0.125,
+            })
+            .collect(),
+        "S2TA" => hl_sparsity::families::s2ta_a()
+            .patterns()
+            .into_iter()
+            .map(PruningConfig::Hss)
+            .collect(),
+        "HighLight" => {
+            let mut seen = std::collections::BTreeSet::new();
+            highlight_a()
+                .patterns()
+                .into_iter()
+                .filter(|p| seen.insert(p.density()))
+                .map(PruningConfig::Hss)
+                .collect()
         }
         other => panic!("unknown design {other}"),
     }
 }
 
-fn best_in_family(family: &HssFamily, model: &DnnModel, budget: f64) -> Option<PruningConfig> {
-    let mut best: Option<(f64, PruningConfig)> = None;
-    let mut seen = std::collections::BTreeSet::new();
-    for p in family.patterns() {
-        if !seen.insert(p.density()) {
-            continue;
-        }
-        let cfg = PruningConfig::Hss(p.clone());
-        let loss = accuracy_loss(model, &cfg);
-        if loss <= budget {
-            let s = p.sparsity_f64();
-            if best.as_ref().is_none_or(|(bs, _)| s > *bs) {
-                best = Some((s, cfg));
+/// The Fig. 15 sweep core for one model: every `(design, config)` EDP /
+/// accuracy-loss point (EDP normalized to the dense TC), in registry-then-
+/// config order. Cells fan out across the context's pool.
+pub fn fig15_points(ctx: &SweepContext, model: &DnnModel) -> Vec<ParetoPoint> {
+    let designs = designs();
+    let tc_edp = ctx
+        .eval_model(designs[0].as_ref(), model, &PruningConfig::Dense)
+        .expect("TC runs dense")
+        .edp();
+    let cells: Vec<(usize, PruningConfig)> = designs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, d)| fig15_configs(d.name()).into_iter().map(move |cfg| (i, cfg)))
+        .collect();
+    ctx.map(&cells, |(i, cfg)| {
+        let d = designs[*i].as_ref();
+        let loss = ctx.accuracy_loss(model, cfg);
+        ctx.eval_model(d, model, cfg).map(|e| {
+            let label = match cfg {
+                PruningConfig::Dense => "dense".to_string(),
+                PruningConfig::Unstructured { sparsity } => {
+                    format!("unstructured {:.1}%", sparsity * 100.0)
+                }
+                PruningConfig::Hss(p) => p.to_string(),
+            };
+            ParetoPoint {
+                design: d.name().to_string(),
+                config: label,
+                loss,
+                edp: e.edp() / tc_edp,
             }
-        }
-    }
-    best.map(|(_, cfg)| cfg)
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Formats a ratio as a fixed-width cell, `n/a` when absent.

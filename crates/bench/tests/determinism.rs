@@ -1,0 +1,44 @@
+//! The engine's determinism guarantee: sweeps fanned out across the worker
+//! pool, with memoization enabled, produce results identical to the
+//! single-threaded uncached baseline — for any thread count.
+
+use hl_bench::{fig15_points, run_synthetic_sweep_with, SweepContext};
+use hl_models::zoo;
+use hl_sim::engine::Engine;
+
+/// The full Fig. 13 design × degree grid: engine output at several thread
+/// counts must equal the serial baseline exactly (cycles, every energy
+/// component, names — [`hl_sim::EvalResult`] equality is structural).
+#[test]
+fn synthetic_grid_engine_equals_serial_baseline() {
+    let serial = run_synthetic_sweep_with(&SweepContext::serial_baseline());
+    assert_eq!(serial.len(), 12, "3 × 4 degree grid");
+    for threads in [1, 2, 4, 8] {
+        let ctx = SweepContext::with_engine(Engine::with_threads(threads));
+        let parallel = run_synthetic_sweep_with(&ctx);
+        assert_eq!(
+            serial, parallel,
+            "engine at {threads} threads diverged from the serial baseline"
+        );
+    }
+}
+
+/// The accuracy-surrogate path (weight synthesis, pruning, retention, all
+/// memoized in engine mode) is deterministic too: Fig. 15 points for the
+/// smallest model agree across the baseline and engine contexts, and
+/// replaying on a warm cache changes nothing.
+#[test]
+fn fig15_points_engine_equals_serial_baseline() {
+    let model = zoo::deit_small();
+    let serial = fig15_points(&SweepContext::serial_baseline(), &model);
+    assert!(!serial.is_empty());
+    let ctx = SweepContext::with_engine(Engine::with_threads(4));
+    let cold = fig15_points(&ctx, &model);
+    assert_eq!(serial, cold, "cold engine run diverged");
+    let warm = fig15_points(&ctx, &model);
+    assert_eq!(serial, warm, "warm (memo-replay) run diverged");
+    assert!(
+        ctx.engine().eval_cache().hits() > 0,
+        "warm run must replay from the evaluation memo"
+    );
+}

@@ -36,3 +36,18 @@ mod highlight;
 
 pub use dsso::Dsso;
 pub use highlight::{HighLight, HighLightConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `Send + Sync` is required by the [`hl_sim::Accelerator`] supertrait
+    /// so the engine can evaluate HighLight/DSSO cells from its worker pool.
+    #[test]
+    fn models_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HighLight>();
+        assert_send_sync::<Dsso>();
+        assert_send_sync::<HighLightConfig>();
+    }
+}

@@ -18,7 +18,13 @@
 //! the *orderings* Fig. 15 relies on hold by construction: loss grows with
 //! sparsity, and finer-grained patterns lose less at equal sparsity.
 
-use hl_sparsity::prune::{prune_hss, prune_unstructured, retained_norm_fraction};
+use std::sync::Arc;
+
+use hl_sim::engine::Memo;
+use hl_sparsity::prune::{
+    magnitude_order, prune_hss, prune_unstructured, prune_unstructured_ordered,
+    retained_norm_fraction,
+};
 use hl_sparsity::HssPattern;
 use hl_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -51,6 +57,59 @@ impl PruningConfig {
     }
 }
 
+/// Hashable identity of a [`PruningConfig`] (`f64` degrees are keyed by
+/// their exact bit pattern), used by [`RetentionCache`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ConfigKey {
+    Dense,
+    Unstructured(u64),
+    Hss(HssPattern),
+}
+
+impl From<&PruningConfig> for ConfigKey {
+    fn from(cfg: &PruningConfig) -> Self {
+        match cfg {
+            PruningConfig::Dense => Self::Dense,
+            PruningConfig::Unstructured { sparsity } => Self::Unstructured(sparsity.to_bits()),
+            PruningConfig::Hss(p) => Self::Hss(p.clone()),
+        }
+    }
+}
+
+/// Memo tables over the surrogate's pure evaluations.
+///
+/// Design-space sweeps re-estimate the same model under dozens of pruning
+/// configurations; without memoization every estimate re-synthesizes the
+/// same seeded weight matrices (the dominant cost: four RNG draws per
+/// element) and re-prunes layers whose `(shape, config, seed)` triple was
+/// already scored. The cache keys carry *every* input the evaluation
+/// reads, so cached and uncached results are identical — the property the
+/// workspace's memoization property test asserts.
+#[derive(Debug, Default)]
+pub struct RetentionCache {
+    /// Synthesized weight matrices keyed on `(rows, cols, seed)`.
+    weights: Memo<(usize, usize, u64), Arc<Matrix>>,
+    /// Magnitude pruning orders keyed like `weights`: the argsort is
+    /// degree-independent, so a sweep pruning one matrix at many
+    /// unstructured degrees sorts it once.
+    orders: Memo<(usize, usize, u64), Arc<Vec<u32>>>,
+    /// Per-layer retained-norm fractions keyed on
+    /// `(rows, cols, config, seed)`.
+    retention: Memo<(usize, usize, ConfigKey, u64), f64>,
+}
+
+impl RetentionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses)` of the per-layer retention memo.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.retention.hits(), self.retention.misses())
+    }
+}
+
 /// Synthesizes approximately normal weights (Irwin–Hall of four uniforms):
 /// realistic mass near zero so magnitude pruning retains most of the norm.
 pub fn synthetic_weights(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -61,8 +120,15 @@ pub fn synthetic_weights(rows: usize, cols: usize, seed: u64) -> Matrix {
 }
 
 /// Retained squared-norm fraction of one representative layer under the
-/// configuration.
-fn layer_retention(rows: usize, cols: usize, config: &PruningConfig, seed: u64) -> f64 {
+/// configuration. `cache` deduplicates both the weight synthesis and the
+/// pruning itself across repeated `(shape, config, seed)` evaluations.
+fn layer_retention(
+    rows: usize,
+    cols: usize,
+    config: &PruningConfig,
+    seed: u64,
+    cache: Option<&RetentionCache>,
+) -> f64 {
     let group = match config {
         PruningConfig::Hss(p) => p.group_size().max(1),
         _ => 1,
@@ -70,22 +136,61 @@ fn layer_retention(rows: usize, cols: usize, config: &PruningConfig, seed: u64) 
     // Representative proxy: cap size for speed, align K to the group.
     let r = rows.min(64);
     let c = (cols.min(1024) / group).max(1) * group;
-    let w = synthetic_weights(r, c, seed);
-    let pruned = match config {
-        PruningConfig::Dense => return 1.0,
-        PruningConfig::Unstructured { sparsity } => prune_unstructured(&w, *sparsity),
-        PruningConfig::Hss(p) => prune_hss(&w, p),
-    };
-    retained_norm_fraction(&w, &pruned)
+    if matches!(config, PruningConfig::Dense) {
+        return 1.0;
+    }
+    match cache {
+        None => {
+            let w = synthetic_weights(r, c, seed);
+            let pruned = match config {
+                PruningConfig::Dense => unreachable!("handled above"),
+                PruningConfig::Unstructured { sparsity } => prune_unstructured(&w, *sparsity),
+                PruningConfig::Hss(p) => prune_hss(&w, p),
+            };
+            retained_norm_fraction(&w, &pruned)
+        }
+        Some(cache) => {
+            let key = (r, c, ConfigKey::from(config), seed);
+            cache.retention.get_or_insert_with(&key, || {
+                let wkey = (r, c, seed);
+                let w = cache
+                    .weights
+                    .get_or_insert_with(&wkey, || Arc::new(synthetic_weights(r, c, seed)));
+                let pruned = match config {
+                    PruningConfig::Dense => unreachable!("handled above"),
+                    PruningConfig::Unstructured { sparsity } => {
+                        // The argsort is shared across every degree pruning
+                        // this matrix; only the zeroing depends on `sparsity`.
+                        let order = cache
+                            .orders
+                            .get_or_insert_with(&wkey, || Arc::new(magnitude_order(&w)));
+                        prune_unstructured_ordered(&w, *sparsity, &order)
+                    }
+                    PruningConfig::Hss(p) => prune_hss(&w, p),
+                };
+                retained_norm_fraction(&w, &pruned)
+            })
+        }
+    }
 }
 
-/// MAC-weighted retained-norm fraction over a model's prunable layers.
-pub fn model_retention(model: &DnnModel, config: &PruningConfig) -> f64 {
+fn model_retention_impl(
+    model: &DnnModel,
+    config: &PruningConfig,
+    cache: Option<&RetentionCache>,
+) -> f64 {
     let mut weighted = 0.0;
     let mut total = 0.0;
     for (i, layer) in model.layers.iter().filter(|l| l.prunable).enumerate() {
         let macs = layer.total_macs();
-        weighted += macs * layer_retention(layer.shape.m, layer.shape.k, config, 0xACC0 + i as u64);
+        weighted += macs
+            * layer_retention(
+                layer.shape.m,
+                layer.shape.k,
+                config,
+                0xACC0 + i as u64,
+                cache,
+            );
         total += macs;
     }
     if total == 0.0 {
@@ -95,14 +200,47 @@ pub fn model_retention(model: &DnnModel, config: &PruningConfig) -> f64 {
     }
 }
 
-/// Estimated accuracy loss in metric points (top-1 % or BLEU) for pruning
-/// `model`'s prunable weights with `config`.
-pub fn accuracy_loss(model: &DnnModel, config: &PruningConfig) -> f64 {
+/// MAC-weighted retained-norm fraction over a model's prunable layers.
+pub fn model_retention(model: &DnnModel, config: &PruningConfig) -> f64 {
+    model_retention_impl(model, config, None)
+}
+
+/// [`model_retention`] with repeated pure evaluations memoized in `cache`.
+pub fn model_retention_cached(
+    model: &DnnModel,
+    config: &PruningConfig,
+    cache: &RetentionCache,
+) -> f64 {
+    model_retention_impl(model, config, Some(cache))
+}
+
+fn accuracy_loss_impl(
+    model: &DnnModel,
+    config: &PruningConfig,
+    cache: Option<&RetentionCache>,
+) -> f64 {
     if matches!(config, PruningConfig::Dense) {
         return 0.0;
     }
-    let retained = model_retention(model, config);
+    let retained = model_retention_impl(model, config, cache);
     model.sensitivity * model.prunable_fraction() * 3.5 * (1.0 - retained).powf(1.3)
+}
+
+/// Estimated accuracy loss in metric points (top-1 % or BLEU) for pruning
+/// `model`'s prunable weights with `config`.
+pub fn accuracy_loss(model: &DnnModel, config: &PruningConfig) -> f64 {
+    accuracy_loss_impl(model, config, None)
+}
+
+/// [`accuracy_loss`] with repeated pure evaluations memoized in `cache`:
+/// sweeps that score the same model under many configurations synthesize
+/// each layer's weights once and re-score each `(layer, config)` pair once.
+pub fn accuracy_loss_cached(
+    model: &DnnModel,
+    config: &PruningConfig,
+    cache: &RetentionCache,
+) -> f64 {
+    accuracy_loss_impl(model, config, Some(cache))
 }
 
 #[cfg(test)]
@@ -162,6 +300,30 @@ mod tests {
         let per_unit_deit = accuracy_loss(&deit, &p) / deit.prunable_fraction();
         let per_unit_resnet = accuracy_loss(&resnet, &p) / resnet.prunable_fraction();
         assert!(per_unit_deit > per_unit_resnet);
+    }
+
+    #[test]
+    fn cached_and_uncached_losses_agree_exactly() {
+        let cache = RetentionCache::new();
+        let m = zoo::resnet50();
+        let configs = [
+            PruningConfig::Unstructured { sparsity: 0.5 },
+            PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))),
+            PruningConfig::Hss(HssPattern::two_rank(Gh::new(4, 8), Gh::new(2, 4))),
+        ];
+        for cfg in &configs {
+            let plain = accuracy_loss(&m, cfg);
+            let cached = accuracy_loss_cached(&m, cfg, &cache);
+            assert_eq!(plain, cached, "first (miss) evaluation must be identical");
+            let replay = accuracy_loss_cached(&m, cfg, &cache);
+            assert_eq!(plain, replay, "replay (hit) must be identical");
+        }
+        let (hits, misses) = cache.stats();
+        assert!(hits > 0 && misses > 0);
+        assert_eq!(
+            model_retention(&m, &configs[0]),
+            model_retention_cached(&m, &configs[0], &cache)
+        );
     }
 
     #[test]

@@ -73,7 +73,15 @@ impl Error for Unsupported {}
 /// resources) and translate a [`Workload`] into cycles and per-component
 /// energy. Functional correctness of the modeled dataflows is established
 /// separately ([`crate::micro`] for HighLight; unit tests for baselines).
-pub trait Accelerator {
+///
+/// Implementations must be `Send + Sync`: evaluation is a pure function of
+/// the configuration, and the [`crate::engine`] fans `(design, workload)`
+/// cells out across a worker pool sharing the design registry. They must
+/// also be `Debug`, and the `Debug` form must cover every configuration
+/// field `evaluate` reads — the engine's memo key fingerprints designs
+/// with it, so two same-name instances with different configurations
+/// (e.g. ablation variants) never share cached results.
+pub trait Accelerator: fmt::Debug + Send + Sync {
     /// Design name (e.g. `"HighLight"`).
     fn name(&self) -> &str;
 
@@ -170,6 +178,7 @@ mod tests {
         assert!((g - 2.0).abs() < 1e-12);
     }
 
+    #[derive(Debug)]
     struct SwapSensitive;
 
     impl Accelerator for SwapSensitive {

@@ -11,6 +11,10 @@
 //! - [`balance`]: the workload-balance model for unstructured designs —
 //!   exact expectation of per-tile step counts under binomial occupancy,
 //!   reproducing DSTC's imbalance penalty (§2.2.1, §7.2);
+//! - [`engine`]: the parallel design-space evaluation engine — a scoped
+//!   worker pool with a deterministic ordered collect, memoization of
+//!   repeated pure evaluations, and the [`engine::SweepGrid`] abstraction
+//!   over `(design, workload)` sweep cells;
 //! - [`micro`]: a **functional** cycle-counting simulator of the down-sized
 //!   HighLight micro-architecture of §6 (Figs. 9–12): hierarchical CP
 //!   metadata decode, Rank1 skipping with a VFMU performing variable-length
@@ -27,6 +31,7 @@
 pub mod analytic;
 pub mod balance;
 pub mod dataflow;
+pub mod engine;
 pub mod micro;
 
 mod eval;

@@ -249,8 +249,36 @@ impl MicroSim {
         let groups = a.cols() / group_words;
         let (m_dim, n_dim) = (a.rows(), b.cols());
 
+        // Both operand encodes happen exactly once, outside the (m, n)
+        // loops; every walk reads the flat compressed buffers.
         let a_comp = HssCompressed::encode(a, h1, h0);
         let b_comp = sparse_b.then(|| SparseB::encode(b, h1, h0));
+
+        // Flat-buffer fast path: per-row prefix sums over A's block and
+        // value counts, computed once and shared by all N walks of the row.
+        // Each step then indexes `rank1_cp`/`values` directly instead of
+        // re-summing `block_nnz` per PE (which is quadratic in G1).
+        let row_starts: Vec<(Vec<u32>, Vec<u32>)> = a_comp
+            .rows()
+            .iter()
+            .map(|row| {
+                let mut block_start = Vec::with_capacity(groups + 1);
+                let mut acc = 0u32;
+                block_start.push(0);
+                for &nb in &row.group_blocks {
+                    acc += u32::from(nb);
+                    block_start.push(acc);
+                }
+                let mut value_start = Vec::with_capacity(row.block_nnz.len() + 1);
+                let mut acc = 0u32;
+                value_start.push(0);
+                for &nnz in &row.block_nnz {
+                    acc += u32::from(nnz);
+                    value_start.push(acc);
+                }
+                (block_start, value_start)
+            })
+            .collect();
 
         let mut counts = MicroCounts::default();
         let mut output = Matrix::zeros(m_dim, n_dim);
@@ -264,27 +292,25 @@ impl MicroSim {
                 (row.rank0_cp.len() + row.rank1_cp.len() + row.group_blocks.len()) as u64;
         }
 
-        for m in 0..m_dim {
-            let arow = &a_comp.rows()[m];
+        for (m, (arow, (block_start, value_start))) in
+            a_comp.rows().iter().zip(&row_starts).enumerate()
+        {
             for n in 0..n_dim {
                 let record_trace = m == 0 && n == 0;
-                let stream_len = match &b_comp {
+                let bcol = b_comp.as_ref().map(|sb| &sb.columns()[n]);
+                let stream_len = match &bcol {
                     None => b.rows(), // dense column: K words
-                    Some(sb) => sb.columns()[n].values.len(),
+                    Some(col) => col.values.len(),
                 };
                 let mut vfmu = VfmuState::new(stream_len);
 
-                // Per-walk cursors into A's compressed row.
-                let mut block_cursor = 0usize; // index into rank1_cp/block_nnz
-                let mut value_cursor = 0usize; // index into values/rank0_cp
-
-                for g in 0..groups {
+                for (g, &group_start) in block_start.iter().take(groups).enumerate() {
                     // --- VFMU: determine the shift and perform the fetch.
-                    let (needed, meta_reads) = match &b_comp {
+                    let (needed, meta_reads) = match &bcol {
                         None => (group_words, 0u64),
-                        Some(sb) => {
+                        Some(col) => {
                             // Level-1 metadata: nonzeros in this group's blocks.
-                            (sb.columns()[n].group_nnz[g] as usize, 1u64)
+                            (col.group_nnz[g] as usize, 1u64)
                         }
                     };
                     counts.glb_b_meta_reads += meta_reads;
@@ -308,15 +334,13 @@ impl MicroSim {
 
                     // --- Rank1 SAF: distribute non-empty blocks to PEs.
                     let nblocks = arow.group_blocks[g] as usize;
+                    let bc = group_start as usize;
                     let mut acc = 0.0f32;
                     for pe in 0..nblocks {
-                        let cp1 = arow.rank1_cp[block_cursor + pe] as usize;
+                        let cp1 = arow.rank1_cp[bc + pe] as usize;
                         counts.mux_r1_selects += 1;
-                        let nnz = arow.block_nnz[block_cursor + pe] as usize;
-                        let vbase: usize = value_cursor
-                            + (0..pe)
-                                .map(|i| arow.block_nnz[block_cursor + i] as usize)
-                                .sum::<usize>();
+                        let nnz = arow.block_nnz[bc + pe] as usize;
+                        let vbase = value_start[bc + pe] as usize;
                         // --- Rank0 SAF: each MAC selects its B operand.
                         for j in 0..nnz {
                             let a_val = arow.values[vbase + j];
@@ -336,11 +360,6 @@ impl MicroSim {
                         counts.gated_macs +=
                             (cfg.macs_per_pe() - nnz.min(cfg.macs_per_pe())) as u64;
                     }
-                    let consumed_values: usize = (0..nblocks)
-                        .map(|i| arow.block_nnz[block_cursor + i] as usize)
-                        .sum();
-                    block_cursor += nblocks;
-                    value_cursor += consumed_values;
 
                     // --- Spatial accumulation + RF update (1 read + 1 write).
                     let cur = output.get(m, n);

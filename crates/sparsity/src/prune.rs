@@ -30,15 +30,6 @@ pub fn scaled_l2(values: &[f32]) -> f64 {
     (sum / values.len() as f64).sqrt()
 }
 
-/// Indices of the `keep` largest scores (ties keep the lower index), sorted.
-fn top_k_indices(scores: &[f64], keep: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
-    let mut kept: Vec<usize> = idx.into_iter().take(keep).collect();
-    kept.sort_unstable();
-    kept
-}
-
 /// Prunes the lowest rank: within every aligned block of `gh.h` values in
 /// each row, keeps the `gh.g` values of largest magnitude and zeroes the
 /// rest.
@@ -58,34 +49,53 @@ pub fn prune_lowest_rank(m: &Matrix, gh: Gh) -> Matrix {
 /// # Panics
 /// Panics if the column count is not a multiple of `gh.h * granularity`.
 pub fn prune_rank(m: &Matrix, gh: Gh, granularity: usize) -> Matrix {
+    let mut out = m.clone();
+    prune_rank_in_place(&mut out, gh, granularity);
+    out
+}
+
+/// In-place single-rank pruning — the hot loop under [`prune_hss`], which
+/// pruning runs once per pattern per sweep cell. Scoring and selection use
+/// scratch buffers allocated once per call, not per group, and the matrix
+/// is mutated directly instead of cloned per rank.
+///
+/// Groups are disjoint and each group is fully scored before any of its
+/// blocks is zeroed, so operating in place scores exactly the values the
+/// out-of-place version scored.
+fn prune_rank_in_place(m: &mut Matrix, gh: Gh, granularity: usize) {
     let group = gh.h as usize * granularity;
     assert!(
         m.cols().is_multiple_of(group),
         "cols ({}) must be a multiple of H * granularity ({group})",
         m.cols()
     );
-    let mut out = m.clone();
+    let h = gh.h as usize;
+    let keep = (gh.g as usize).min(h);
+    let mut scores = vec![0.0f64; h];
+    let mut order: Vec<usize> = Vec::with_capacity(h);
     for r in 0..m.rows() {
         for g in 0..m.cols() / group {
             let start = g * group;
-            let scores: Vec<f64> = (0..gh.h as usize)
-                .map(|b| {
-                    let lo = start + b * granularity;
-                    scaled_l2(&m.row(r)[lo..lo + granularity])
-                })
-                .collect();
-            let keep = top_k_indices(&scores, gh.g as usize);
-            for b in 0..gh.h as usize {
-                if !keep.contains(&b) {
-                    let lo = start + b * granularity;
-                    for c in lo..lo + granularity {
-                        out.set(r, c, 0.0);
-                    }
+            for (b, score) in scores.iter_mut().enumerate() {
+                let lo = start + b * granularity;
+                *score = scaled_l2(&m.row(r)[lo..lo + granularity]);
+            }
+            // Rank blocks by (score desc, index asc); the first `keep`
+            // survive — the same selection `top-k with ties to the lower
+            // index` the paper's procedure prescribes.
+            order.clear();
+            order.extend(0..h);
+            order.sort_unstable_by(|&a, &b| {
+                scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+            });
+            for &b in &order[keep..] {
+                let lo = start + b * granularity;
+                for c in lo..lo + granularity {
+                    m.set(r, c, 0.0);
                 }
             }
         }
     }
-    out
 }
 
 /// Sparsifies a dense matrix to an N-rank HSS pattern, rank-by-rank in
@@ -94,6 +104,9 @@ pub fn prune_rank(m: &Matrix, gh: Gh, granularity: usize) -> Matrix {
 /// Intermediate-rank scores are computed on the already-pruned payloads, so
 /// a block that lost its large values at a lower rank is judged by what
 /// survives — exactly the chained procedure the paper describes.
+///
+/// The input is cloned once; every rank then prunes the same buffer in
+/// place.
 ///
 /// # Panics
 /// Panics if the column count is not a multiple of the pattern group size.
@@ -106,7 +119,50 @@ pub fn prune_hss(m: &Matrix, pattern: &HssPattern) -> Matrix {
             .iter()
             .map(|r| r.h as usize)
             .product();
-        out = prune_rank(&out, *gh, granularity);
+        prune_rank_in_place(&mut out, *gh, granularity);
+    }
+    out
+}
+
+/// Flat indices of `m` ordered by ascending magnitude (ties keep the lower
+/// index) — the pruning order [`prune_unstructured`] consumes.
+///
+/// The order depends only on the matrix, not on the sparsity degree, so
+/// sweeps that prune the same matrix at many degrees can compute it once
+/// and replay it through [`prune_unstructured_ordered`].
+///
+/// # Panics
+/// Panics if the matrix holds `u32::MAX` or more elements (the order is
+/// stored as `u32` indices to halve its cache footprint).
+pub fn magnitude_order(m: &Matrix) -> Vec<u32> {
+    let total = m.rows() * m.cols();
+    assert!(
+        total < u32::MAX as usize,
+        "matrix too large for u32 pruning order ({total} elements)"
+    );
+    let mut idx: Vec<u32> = (0..total as u32).collect();
+    idx.sort_by(|&a, &b| {
+        let ma = m.data()[a as usize].abs();
+        let mb = m.data()[b as usize].abs();
+        ma.partial_cmp(&mb).unwrap().then(a.cmp(&b))
+    });
+    idx
+}
+
+/// [`prune_unstructured`] with a precomputed [`magnitude_order`]: zeroes
+/// the `round(sparsity · len)` first entries of `order`.
+///
+/// # Panics
+/// Panics if `sparsity` is outside `[0, 1]` or `order` does not cover `m`.
+pub fn prune_unstructured_ordered(m: &Matrix, sparsity: f64, order: &[u32]) -> Matrix {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let total = m.rows() * m.cols();
+    assert_eq!(order.len(), total, "order must cover every element");
+    let remove = (sparsity * total as f64).round() as usize;
+    let mut out = m.clone();
+    for &i in &order[..remove] {
+        let i = i as usize;
+        out.set(i / m.cols(), i % m.cols(), 0.0);
     }
     out
 }
@@ -117,20 +173,7 @@ pub fn prune_hss(m: &Matrix, pattern: &HssPattern) -> Matrix {
 /// # Panics
 /// Panics if `sparsity` is outside `[0, 1]`.
 pub fn prune_unstructured(m: &Matrix, sparsity: f64) -> Matrix {
-    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
-    let total = m.rows() * m.cols();
-    let remove = (sparsity * total as f64).round() as usize;
-    let mut idx: Vec<usize> = (0..total).collect();
-    idx.sort_by(|&a, &b| {
-        let ma = m.data()[a].abs();
-        let mb = m.data()[b].abs();
-        ma.partial_cmp(&mb).unwrap().then(a.cmp(&b))
-    });
-    let mut out = m.clone();
-    for &i in idx.iter().take(remove) {
-        out.set(i / m.cols(), i % m.cols(), 0.0);
-    }
-    out
+    prune_unstructured_ordered(m, sparsity, &magnitude_order(m))
 }
 
 /// Fraction of the squared-magnitude (energy) of `original` retained by

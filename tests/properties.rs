@@ -98,4 +98,75 @@ proptest! {
         prop_assert!(best.edp() <= direct.edp() + 1e-30);
         prop_assert!((best.ed2() - best.edp() * best.latency_s()).abs() <= best.ed2() * 1e-12);
     }
+
+    /// Memoized and unmemoized accelerator evaluations agree exactly: the
+    /// engine's cached `evaluate_best` returns the same result as the plain
+    /// call, on both the cold (miss) and warm (hit) path, for arbitrary
+    /// workloads and designs.
+    #[test]
+    fn engine_memoization_is_transparent(
+        sa in 0.0f64..0.9,
+        sb in 0.0f64..0.9,
+        pattern in pattern_strategy(),
+        structured in any::<bool>(),
+    ) {
+        let engine = highlight::sim::engine::Engine::serial();
+        let a = if structured {
+            OperandSparsity::Hss(pattern)
+        } else {
+            OperandSparsity::unstructured(sa)
+        };
+        let w = Workload::synthetic(a, OperandSparsity::unstructured(sb));
+        let designs: Vec<Box<dyn Accelerator>> =
+            vec![Box::new(Tc::default()), Box::new(HighLight::default())];
+        for d in &designs {
+            let plain = evaluate_best(d.as_ref(), &w);
+            let cold = engine.evaluate_best(d.as_ref(), &w);
+            let warm = engine.evaluate_best(d.as_ref(), &w);
+            prop_assert_eq!(plain.clone().ok(), cold.ok());
+            prop_assert_eq!(plain.ok(), warm.ok());
+        }
+    }
+
+    /// Memoized and unmemoized accuracy-surrogate evaluations agree
+    /// exactly: weight synthesis, magnitude-order, and retention caches are
+    /// all keyed on every input the evaluation reads.
+    #[test]
+    fn retention_memoization_is_transparent(
+        pattern in pattern_strategy(),
+        sparsity in 0.0f64..0.95,
+        structured in any::<bool>(),
+        k in 1usize..8,
+    ) {
+        use highlight::models::accuracy::{
+            accuracy_loss, accuracy_loss_cached, PruningConfig, RetentionCache,
+        };
+        use highlight::models::{DnnModel, LayerKind, LayerSpec};
+
+        let cfg = if structured {
+            PruningConfig::Hss(pattern)
+        } else {
+            PruningConfig::Unstructured { sparsity }
+        };
+        let model = DnnModel {
+            name: "prop".into(),
+            metric: "top-1 %",
+            dense_accuracy: 70.0,
+            sensitivity: 1.0,
+            layers: vec![LayerSpec::new(
+                "l",
+                LayerKind::Linear,
+                GemmShape::new(16, k * 64, 8),
+                1,
+                true,
+                0.0,
+            )],
+        };
+        let cache = RetentionCache::new();
+        let plain = accuracy_loss(&model, &cfg);
+        let cold = accuracy_loss_cached(&model, &cfg, &cache);
+        let warm = accuracy_loss_cached(&model, &cfg, &cache);
+        prop_assert_eq!(plain, cold);
+        prop_assert_eq!(plain, warm);
+    }
 }
