@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use hl_bench::{fig15_points, fig2_data, Fig2Model, ParetoPoint, SweepContext};
+use hl_bench::{bench_out_path, fig15_points, fig2_data, Fig2Model, ParetoPoint, SweepContext};
 use hl_models::zoo;
 use hl_sim::engine::{default_threads, Engine};
 
@@ -68,7 +68,8 @@ fn main() {
          \"cpus\": {cpus},\n  \"serial_seconds\": {serial_s:.4},\n  \
          \"engine\": [\n{rows}\n  ],\n  \"outputs_identical\": {identical}\n}}\n"
     );
-    std::fs::write("BENCH_sweeps.json", &json).expect("write BENCH_sweeps.json");
-    println!("\nwrote BENCH_sweeps.json");
+    let out = bench_out_path("BENCH_sweeps.json");
+    std::fs::write(&out, &json).expect("write BENCH_sweeps.json");
+    println!("\nwrote {}", out.display());
     assert!(identical, "engine output diverged from the serial baseline");
 }

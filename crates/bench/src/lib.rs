@@ -30,10 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod registry;
 pub mod tables;
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+pub use registry::{design_by_name, registered_names, DesignId, UnknownDesign};
 
 use highlight_core::HighLight;
 use hl_baselines::{Dstc, S2ta, Stc, Tc};
@@ -62,26 +65,38 @@ pub fn design_names() -> Vec<String> {
 
 /// Maps a weight-sparsity degree to the operand A descriptor each design is
 /// co-designed with (§7.1.2).
+///
+/// # Panics
+/// Panics on a name the [`registry`] does not know; fallible front-ends
+/// (the `hl-serve` API) use [`try_operand_a_for`].
 pub fn operand_a_for(design: &str, sparsity: f64) -> OperandSparsity {
+    try_operand_a_for(design, sparsity).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`operand_a_for`].
+///
+/// # Errors
+/// [`UnknownDesign`] when the name is not registered.
+pub fn try_operand_a_for(design: &str, sparsity: f64) -> Result<OperandSparsity, UnknownDesign> {
+    let id: DesignId = design.parse()?;
     if sparsity == 0.0 {
-        return OperandSparsity::Dense;
+        return Ok(OperandSparsity::Dense);
     }
-    match design {
-        "TC" | "DSTC" => OperandSparsity::unstructured(sparsity),
-        "STC" => {
+    Ok(match id {
+        DesignId::Tc | DesignId::Dstc => OperandSparsity::unstructured(sparsity),
+        DesignId::Stc => {
             // {G≤2}:4 — 50% runs 2:4, anything sparser runs 1:4.
             let g = if sparsity <= 0.5 { 2 } else { 1 };
             OperandSparsity::Hss(HssPattern::one_rank(Gh::new(g, 4)))
         }
-        "S2TA" => {
+        DesignId::S2ta => {
             let g = ((1.0 - sparsity) * 8.0).round().max(1.0) as u32;
             OperandSparsity::Hss(HssPattern::one_rank(Gh::new(g.min(4), 8)))
         }
-        "HighLight" | "DSSO" => {
+        DesignId::HighLight | DesignId::Dsso => {
             OperandSparsity::Hss(highlight_a().closest_to_density(1.0 - sparsity))
         }
-        other => panic!("unknown design {other}"),
-    }
+    })
 }
 
 /// Maps an activation-sparsity degree to the operand B descriptor each
@@ -223,19 +238,38 @@ impl SweepContext {
     /// The per-design pruning configuration used for accuracy-matched
     /// comparisons (Fig. 2): the most aggressive config whose surrogate
     /// loss stays within `budget` metric points.
+    ///
+    /// # Panics
+    /// Panics on a name the [`registry`] does not know; fallible
+    /// front-ends use [`SweepContext::try_accuracy_matched_config`].
     pub fn accuracy_matched_config(
         &self,
         design: &str,
         model: &DnnModel,
         budget: f64,
     ) -> Option<PruningConfig> {
-        match design {
-            "TC" => Some(PruningConfig::Dense),
-            "STC" => {
+        self.try_accuracy_matched_config(design, model, budget)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SweepContext::accuracy_matched_config`].
+    ///
+    /// # Errors
+    /// [`UnknownDesign`] when the name is not registered.
+    pub fn try_accuracy_matched_config(
+        &self,
+        design: &str,
+        model: &DnnModel,
+        budget: f64,
+    ) -> Result<Option<PruningConfig>, UnknownDesign> {
+        let id: DesignId = design.parse()?;
+        Ok(match id {
+            DesignId::Tc => Some(PruningConfig::Dense),
+            DesignId::Stc => {
                 let p = PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4)));
                 (self.accuracy_loss(model, &p) <= budget).then_some(p)
             }
-            "DSTC" => {
+            DesignId::Dstc => {
                 let mut best = None;
                 for i in 1..=18 {
                     let s = f64::from(i) * 0.05;
@@ -246,13 +280,14 @@ impl SweepContext {
                 }
                 best
             }
-            "HighLight" | "DSSO" => self.best_in_family(&highlight_a(), model, budget),
-            "S2TA" => {
+            DesignId::HighLight | DesignId::Dsso => {
+                self.best_in_family(&highlight_a(), model, budget)
+            }
+            DesignId::S2ta => {
                 let fam = hl_sparsity::families::s2ta_a();
                 self.best_in_family(&fam, model, budget)
             }
-            other => panic!("unknown design {other}"),
-        }
+        })
     }
 
     fn best_in_family(
@@ -487,24 +522,39 @@ pub struct ParetoPoint {
 }
 
 /// The pruning configurations each design contributes to Fig. 15.
+///
+/// # Panics
+/// Panics on a name the [`registry`] does not know; fallible front-ends
+/// use [`try_fig15_configs`].
 pub fn fig15_configs(design: &str) -> Vec<PruningConfig> {
-    match design {
-        "TC" => vec![PruningConfig::Dense],
-        "STC" => vec![
+    try_fig15_configs(design).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`fig15_configs`].
+///
+/// # Errors
+/// [`UnknownDesign`] when the name is not registered.
+pub fn try_fig15_configs(design: &str) -> Result<Vec<PruningConfig>, UnknownDesign> {
+    let id: DesignId = design.parse()?;
+    Ok(match id {
+        DesignId::Tc => vec![PruningConfig::Dense],
+        DesignId::Stc => vec![
             PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))),
             PruningConfig::Hss(HssPattern::one_rank(Gh::new(1, 4))),
         ],
-        "DSTC" => (1..=7)
+        DesignId::Dstc => (1..=7)
             .map(|i| PruningConfig::Unstructured {
                 sparsity: f64::from(i) * 0.125,
             })
             .collect(),
-        "S2TA" => hl_sparsity::families::s2ta_a()
+        DesignId::S2ta => hl_sparsity::families::s2ta_a()
             .patterns()
             .into_iter()
             .map(PruningConfig::Hss)
             .collect(),
-        "HighLight" => {
+        // DSSO shares HighLight's operand-A family (§7.5), as in
+        // `operand_a_for` / `accuracy_matched_config`.
+        DesignId::HighLight | DesignId::Dsso => {
             let mut seen = std::collections::BTreeSet::new();
             highlight_a()
                 .patterns()
@@ -513,8 +563,7 @@ pub fn fig15_configs(design: &str) -> Vec<PruningConfig> {
                 .map(PruningConfig::Hss)
                 .collect()
         }
-        other => panic!("unknown design {other}"),
-    }
+    })
 }
 
 /// The Fig. 15 sweep core for one model: every `(design, config)` EDP /
@@ -560,6 +609,24 @@ pub fn cell(v: Option<f64>) -> String {
     match v {
         Some(v) => format!("{v:10.3}"),
         None => format!("{:>10}", "n/a"),
+    }
+}
+
+/// Environment variable naming the directory benchmark JSON artifacts
+/// (`BENCH_sweeps.json`, `BENCH_serve.json`) are written into.
+pub const HL_BENCH_OUT_ENV: &str = "HL_BENCH_OUT";
+
+/// Resolves where a benchmark artifact named `file` should be written:
+/// inside the `HL_BENCH_OUT` directory when the variable is set (created
+/// if missing), otherwise the current working directory.
+pub fn bench_out_path(file: &str) -> PathBuf {
+    match std::env::var(HL_BENCH_OUT_ENV) {
+        Ok(dir) if !dir.trim().is_empty() => {
+            let dir = PathBuf::from(dir);
+            let _ = fs::create_dir_all(&dir);
+            dir.join(file)
+        }
+        _ => PathBuf::from(file),
     }
 }
 

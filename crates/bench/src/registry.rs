@@ -1,0 +1,154 @@
+//! The workspace-wide named design registry.
+//!
+//! Every front-end that accepts a design *name* — the fig/table binaries,
+//! the `hl-serve` HTTP API, the `hl-client` CLI — resolves it through this
+//! one fallible registry instead of hand-rolled `match`/`panic!` string
+//! dispatch. [`DesignId`] is the parsed identity (so downstream `match`es
+//! are exhaustive and cannot silently miss a design), [`design_by_name`]
+//! the `Result`-returning constructor, and [`UnknownDesign`] the error a
+//! server can map to a 4xx instead of a crash.
+
+use std::fmt;
+use std::str::FromStr;
+
+use hl_sim::Accelerator;
+
+/// Parsed identity of a registered design name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignId {
+    /// Dense tensor-core baseline.
+    Tc,
+    /// Sparse-tensor-core baseline (single-sided structured).
+    Stc,
+    /// Dual-sided unstructured baseline.
+    Dstc,
+    /// Dual-sided structured baseline.
+    S2ta,
+    /// The HighLight accelerator (paper §5–6).
+    HighLight,
+    /// The dual-structured-sparse-operand variant (paper §7.5).
+    Dsso,
+}
+
+impl DesignId {
+    /// Every registered design, in the paper's presentation order
+    /// (the five evaluated designs, then the DSSO variant).
+    pub const ALL: [DesignId; 6] = [
+        DesignId::Tc,
+        DesignId::Stc,
+        DesignId::Dstc,
+        DesignId::S2ta,
+        DesignId::HighLight,
+        DesignId::Dsso,
+    ];
+
+    /// The canonical registry name (what [`Accelerator::name`] returns).
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignId::Tc => "TC",
+            DesignId::Stc => "STC",
+            DesignId::Dstc => "DSTC",
+            DesignId::S2ta => "S2TA",
+            DesignId::HighLight => "HighLight",
+            DesignId::Dsso => "DSSO",
+        }
+    }
+
+    /// Constructs the default-configured accelerator for this id,
+    /// delegating to the owning crate's by-name constructor.
+    pub fn build(self) -> Box<dyn Accelerator> {
+        hl_baselines::baseline_by_name(self.name())
+            .or_else(|| highlight_core::design_by_name(self.name()))
+            .expect("every DesignId is constructible by its owning crate")
+    }
+}
+
+impl fmt::Display for DesignId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DesignId {
+    type Err = UnknownDesign;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DesignId::ALL
+            .into_iter()
+            .find(|d| d.name() == s)
+            .ok_or_else(|| UnknownDesign::new(s))
+    }
+}
+
+/// A design name the registry does not know.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownDesign {
+    /// The rejected name.
+    pub name: String,
+}
+
+impl UnknownDesign {
+    /// An error for the rejected `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl fmt::Display for UnknownDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown design {} (known: ", self.name)?;
+        for (i, d) in DesignId::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(d.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for UnknownDesign {}
+
+/// Constructs a default-configured design by its registry name.
+///
+/// # Errors
+/// [`UnknownDesign`] when no crate registers the name.
+pub fn design_by_name(name: &str) -> Result<Box<dyn Accelerator>, UnknownDesign> {
+    name.parse::<DesignId>().map(DesignId::build)
+}
+
+/// Every registered design name, in [`DesignId::ALL`] order.
+pub fn registered_names() -> Vec<&'static str> {
+    DesignId::ALL.iter().map(|d| d.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_parses_builds_and_matches_its_name() {
+        for id in DesignId::ALL {
+            assert_eq!(id.name().parse::<DesignId>(), Ok(id));
+            let built = id.build();
+            assert_eq!(built.name(), id.name(), "constructor name must agree");
+            let by_name = design_by_name(id.name()).expect("registered");
+            assert_eq!(by_name.name(), id.name());
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_the_known_list() {
+        let err = design_by_name("TPU").unwrap_err();
+        assert_eq!(err.name, "TPU");
+        let msg = err.to_string();
+        for name in registered_names() {
+            assert!(msg.contains(name), "{msg} must list {name}");
+        }
+        assert!("".parse::<DesignId>().is_err());
+        assert!(
+            "tc".parse::<DesignId>().is_err(),
+            "names are case-sensitive"
+        );
+    }
+}

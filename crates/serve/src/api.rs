@@ -1,0 +1,724 @@
+//! The HTTP API over the sweep engine: route dispatch and handlers.
+//!
+//! [`App`] owns the long-lived evaluation state — one
+//! [`SweepContext`] whose [`hl_sim::engine::EvalCache`] and retention
+//! cache are shared by every request the worker pool handles, so repeated
+//! `/evaluate` queries replay from the memo instead of recomputing (the
+//! rising hit rate is visible in `/metrics`). Handlers are pure
+//! request → [`Json`] functions; [`ApiError`] carries the 4xx/5xx mapping
+//! and panics are caught and answered with a 500 so one bad request can
+//! never take a worker down.
+//!
+//! Endpoints: `GET /healthz`, `GET /designs`, `GET /metrics`,
+//! `POST /evaluate`, `POST /sweep`.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
+
+use hl_bench::{design_names, operand_b_for, registered_names, try_operand_a_for, SweepContext};
+use hl_sim::engine::SweepGrid;
+use hl_sim::{Accelerator, EvalResult, Workload};
+use hl_tensor::GemmShape;
+
+use crate::http::{ParseError, Request, Response};
+use crate::json::Json;
+use crate::metrics::{Metrics, Route};
+
+/// Largest accepted GEMM dimension (the analytical models are closed-form,
+/// but keep request shapes sane).
+pub const MAX_DIM: usize = 1 << 26;
+
+/// Largest accepted dense MAC count `m·k·n` (2⁵³, the last f64-exact
+/// integer): per-dimension caps alone would let the product overflow the
+/// `u64` MAC arithmetic and serve garbage results.
+pub const MAX_MACS: u128 = 1 << 53;
+
+/// Largest accepted sparsity degree (HighLight's co-design family tops out
+/// at 93.75%; leave headroom without allowing degenerate fully-empty
+/// operands).
+pub const MAX_DEGREE: f64 = 0.99;
+
+/// Hard server-side cap on `/sweep` result rows; requests may lower it
+/// with `"limit"` but never raise it.
+pub const MAX_SWEEP_ROWS: usize = 256;
+
+/// The long-lived serving state shared across the worker pool.
+#[derive(Default)]
+pub struct App {
+    ctx: SweepContext,
+    metrics: Metrics,
+}
+
+impl App {
+    /// An app over a fresh engine-backed [`SweepContext`] (pool sized by
+    /// `HL_THREADS` / available parallelism, memoization on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An app over an explicit context (tests pin thread counts with it).
+    pub fn with_context(ctx: SweepContext) -> Self {
+        Self {
+            ctx,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The shared evaluation context.
+    pub fn context(&self) -> &SweepContext {
+        &self.ctx
+    }
+
+    /// The server metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Handles one parsed request: dispatch, panic containment, metrics.
+    pub fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        let route = Route::of(&req.path);
+        let resp = match panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(req))) {
+            Ok(Ok(json)) => Response::json(200, json.encode()),
+            Ok(Err(e)) => e.into_response(),
+            Err(_) => ApiError::internal("handler panicked").into_response(),
+        };
+        self.metrics.record(route, resp.status, t0.elapsed());
+        resp
+    }
+
+    /// Answers a request that failed HTTP parsing (counted, but kept out
+    /// of the latency histogram — no handler ran).
+    pub fn handle_parse_error(&self, err: &ParseError) -> Response {
+        let resp = ApiError {
+            status: err.status,
+            message: err.reason.clone(),
+        }
+        .into_response();
+        self.metrics.record_unmeasured(Route::Other, resp.status);
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Result<Json, ApiError> {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Ok(self.healthz()),
+            ("GET", "/designs") => Ok(designs_json()),
+            ("GET", "/metrics") => Ok(self.metrics_json()),
+            ("POST", "/evaluate") => self.evaluate(&req.body),
+            ("POST", "/sweep") => self.sweep(&req.body),
+            (_, "/healthz" | "/designs" | "/metrics") => Err(ApiError::method_not_allowed("GET")),
+            (_, "/evaluate" | "/sweep") => Err(ApiError::method_not_allowed("POST")),
+            _ => Err(ApiError::not_found(&req.path)),
+        }
+    }
+
+    fn healthz(&self) -> Json {
+        Json::Obj(vec![
+            ("status".into(), Json::str("ok")),
+            ("uptime_s".into(), Json::Num(self.metrics.uptime_s())),
+            (
+                "threads".into(),
+                Json::Num(self.ctx.engine().threads() as f64),
+            ),
+            ("designs".into(), Json::Num(registered_names().len() as f64)),
+        ])
+    }
+
+    fn metrics_json(&self) -> Json {
+        let mut requests = vec![(
+            "total".into(),
+            Json::Num(self.metrics.total_requests() as f64),
+        )];
+        for r in Route::ALL {
+            requests.push((
+                r.label().into(),
+                Json::Num(self.metrics.requests_for(r) as f64),
+            ));
+        }
+        let (s2, s4, s5) = self.metrics.status_counts();
+        let cache = self.ctx.engine().eval_cache();
+        let (hits, misses) = (cache.hits(), cache.misses());
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        let lat = self.metrics.latency();
+        Json::Obj(vec![
+            ("uptime_s".into(), Json::Num(self.metrics.uptime_s())),
+            (
+                "threads".into(),
+                Json::Num(self.ctx.engine().threads() as f64),
+            ),
+            ("requests".into(), Json::Obj(requests)),
+            (
+                "responses".into(),
+                Json::Obj(vec![
+                    ("2xx".into(), Json::Num(s2 as f64)),
+                    ("4xx".into(), Json::Num(s4 as f64)),
+                    ("5xx".into(), Json::Num(s5 as f64)),
+                    (
+                        "rejected_busy".into(),
+                        Json::Num(self.metrics.busy_rejections() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "eval_cache".into(),
+                Json::Obj(vec![
+                    ("entries".into(), Json::Num(cache.len() as f64)),
+                    ("hits".into(), Json::Num(hits as f64)),
+                    ("misses".into(), Json::Num(misses as f64)),
+                    ("hit_rate".into(), Json::Num(hit_rate)),
+                ]),
+            ),
+            (
+                "latency_ms".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(lat.count() as f64)),
+                    ("mean".into(), Json::Num(lat.mean_ms())),
+                    ("p50".into(), Json::Num(lat.quantile_ms(0.50))),
+                    ("p90".into(), Json::Num(lat.quantile_ms(0.90))),
+                    ("p99".into(), Json::Num(lat.quantile_ms(0.99))),
+                ]),
+            ),
+        ])
+    }
+
+    fn evaluate(&self, body: &[u8]) -> Result<Json, ApiError> {
+        let obj = parse_body(body, &["design", "m", "k", "n", "a_sparsity", "b_sparsity"])?;
+        let design_name = obj
+            .get("design")
+            .ok_or_else(|| ApiError::bad_request("missing required field \"design\""))?
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request("\"design\" must be a string"))?;
+        let design = hl_bench::design_by_name(design_name)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let shape = shape_from(&obj)?;
+        let sa = degree_from(&obj, "a_sparsity")?;
+        let sb = degree_from(&obj, "b_sparsity")?;
+        let workload = build_workload(design.name(), shape, sa, sb)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+
+        let mut members = vec![
+            ("design".into(), Json::str(design.name())),
+            ("workload".into(), Json::str(&workload.name)),
+            ("shape".into(), shape_json(shape)),
+            ("a".into(), Json::str(workload.a.to_string())),
+            ("b".into(), Json::str(workload.b.to_string())),
+        ];
+        match self.ctx.evaluate_best(design.as_ref(), &workload) {
+            Ok(result) => {
+                members.push(("supported".into(), Json::Bool(true)));
+                members.push(("result".into(), eval_result_json(&result)));
+            }
+            Err(unsupported) => {
+                members.push(("supported".into(), Json::Bool(false)));
+                members.push(("reason".into(), Json::str(unsupported.to_string())));
+            }
+        }
+        Ok(Json::Obj(members))
+    }
+
+    fn sweep(&self, body: &[u8]) -> Result<Json, ApiError> {
+        let obj = parse_body(
+            body,
+            &["designs", "a_degrees", "b_degrees", "m", "k", "n", "limit"],
+        )?;
+        let names: Vec<String> = match obj.get("designs") {
+            None => design_names(),
+            Some(v) => {
+                let arr = v
+                    .as_arr()
+                    .ok_or_else(|| ApiError::bad_request("\"designs\" must be an array"))?;
+                if arr.is_empty() {
+                    return Err(ApiError::bad_request("\"designs\" must not be empty"));
+                }
+                arr.iter()
+                    .map(|d| {
+                        d.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| ApiError::bad_request("design names must be strings"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+        };
+        let designs: Vec<Box<dyn Accelerator>> = names
+            .iter()
+            .map(|n| hl_bench::design_by_name(n).map_err(|e| ApiError::bad_request(e.to_string())))
+            .collect::<Result<_, _>>()?;
+        let a_degrees = degrees_from(&obj, "a_degrees", || hl_bench::fig13_degrees().0)?;
+        let b_degrees = degrees_from(&obj, "b_degrees", || hl_bench::fig13_degrees().1)?;
+        let shape = shape_from(&obj)?;
+        let limit = match obj.get("limit") {
+            None => MAX_SWEEP_ROWS,
+            Some(v) => {
+                let n = int_from(v, "limit")?;
+                if n == 0 {
+                    return Err(ApiError::bad_request("\"limit\" must be at least 1"));
+                }
+                n.min(MAX_SWEEP_ROWS)
+            }
+        };
+
+        let mut grid = SweepGrid::new(&designs);
+        let mut degrees = Vec::new();
+        'outer: for &sa in &a_degrees {
+            for &sb in &b_degrees {
+                if degrees.len() == limit {
+                    break 'outer;
+                }
+                degrees.push((sa, sb));
+                grid.push_row_with(|d| {
+                    build_workload(d.name(), shape, sa, sb).expect("design names validated above")
+                });
+            }
+        }
+        let rows_total = a_degrees.len() * b_degrees.len();
+        let rows = grid.run(self.ctx.engine());
+
+        let row_objs: Vec<Json> = degrees
+            .iter()
+            .zip(&rows)
+            .map(|((sa, sb), results)| {
+                Json::Obj(vec![
+                    ("a_sparsity".into(), Json::Num(*sa)),
+                    ("b_sparsity".into(), Json::Num(*sb)),
+                    (
+                        "results".into(),
+                        Json::Arr(
+                            results
+                                .iter()
+                                .map(|r| r.as_ref().map_or(Json::Null, eval_result_json))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(Json::Obj(vec![
+            ("shape".into(), shape_json(shape)),
+            (
+                "designs".into(),
+                Json::Arr(names.iter().map(Json::str).collect()),
+            ),
+            ("rows_total".into(), Json::Num(rows_total as f64)),
+            ("rows_returned".into(), Json::Num(row_objs.len() as f64)),
+            ("truncated".into(), Json::Bool(row_objs.len() < rows_total)),
+            ("rows".into(), Json::Arr(row_objs)),
+        ]))
+    }
+}
+
+/// The `GET /designs` payload: every registered design with its Table 3/4
+/// identity.
+pub fn designs_json() -> Json {
+    let designs: Vec<Json> = registered_names()
+        .iter()
+        .map(|name| {
+            let d = hl_bench::design_by_name(name).expect("registered");
+            let area = d.area();
+            Json::Obj(vec![
+                ("name".into(), Json::str(d.name())),
+                (
+                    "supported_patterns".into(),
+                    Json::str(d.supported_patterns()),
+                ),
+                ("swappable".into(), Json::Bool(d.swappable())),
+                ("area_mm2".into(), Json::Num(area.total() / 1e6)),
+                (
+                    "sparsity_tax_mm2".into(),
+                    Json::Num(area.sparsity_tax() / 1e6),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("designs".into(), Json::Arr(designs))])
+}
+
+/// The canonical JSON view of one [`EvalResult`] — shared by `/evaluate`,
+/// `/sweep`, and the offline byte-identity acceptance test.
+pub fn eval_result_json(r: &EvalResult) -> Json {
+    Json::Obj(vec![
+        ("design".into(), Json::str(&r.design)),
+        ("workload".into(), Json::str(&r.workload)),
+        ("cycles".into(), Json::Num(r.cycles)),
+        ("latency_s".into(), Json::Num(r.latency_s())),
+        ("energy_j".into(), Json::Num(r.energy_j())),
+        ("edp".into(), Json::Num(r.edp())),
+        (
+            "energy_pj".into(),
+            Json::Obj(
+                r.energy
+                    .iter()
+                    .map(|(c, pj)| (c.label().to_string(), Json::Num(pj)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Builds the co-designed workload for one `(design, shape, degrees)`
+/// point, named exactly like [`Workload::synthetic`] labels its points.
+///
+/// # Errors
+/// [`hl_bench::UnknownDesign`] when the name is not registered.
+pub fn build_workload(
+    design: &str,
+    shape: GemmShape,
+    a_sparsity: f64,
+    b_sparsity: f64,
+) -> Result<Workload, hl_bench::UnknownDesign> {
+    let a = try_operand_a_for(design, a_sparsity)?;
+    let b = operand_b_for(design, b_sparsity);
+    let name = format!("A[{a}] B[{b}]");
+    Ok(Workload::new(name, shape, a, b))
+}
+
+fn shape_json(shape: GemmShape) -> Json {
+    Json::Obj(vec![
+        ("m".into(), Json::Num(shape.m as f64)),
+        ("k".into(), Json::Num(shape.k as f64)),
+        ("n".into(), Json::Num(shape.n as f64)),
+    ])
+}
+
+/// An API failure: status code plus message, rendered as
+/// `{"error": "..."}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ApiError {
+    /// 400 with a message.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// 404 listing the available routes.
+    pub fn not_found(path: &str) -> Self {
+        Self {
+            status: 404,
+            message: format!(
+                "no route {path}; available: GET /healthz, GET /designs, \
+                 GET /metrics, POST /evaluate, POST /sweep"
+            ),
+        }
+    }
+
+    /// 405 naming the allowed method.
+    pub fn method_not_allowed(allowed: &str) -> Self {
+        Self {
+            status: 405,
+            message: format!("method not allowed; use {allowed}"),
+        }
+    }
+
+    /// 500 with a message.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            message: message.into(),
+        }
+    }
+
+    /// The JSON error response.
+    pub fn into_response(self) -> Response {
+        let body = Json::Obj(vec![("error".into(), Json::str(self.message))]).encode();
+        Response::json(self.status, body)
+    }
+}
+
+fn parse_body(body: &[u8], allowed: &[&str]) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not valid UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(ApiError::bad_request("request body must be a JSON object"));
+    }
+    let v = Json::parse(text).map_err(|e| ApiError::bad_request(e.to_string()))?;
+    let Json::Obj(members) = &v else {
+        return Err(ApiError::bad_request("request body must be a JSON object"));
+    };
+    for (k, _) in members {
+        if !allowed.contains(&k.as_str()) {
+            return Err(ApiError::bad_request(format!(
+                "unknown field {k:?}; allowed: {}",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(v)
+}
+
+fn int_from(v: &Json, key: &str) -> Result<usize, ApiError> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| ApiError::bad_request(format!("\"{key}\" must be a number")))?;
+    if n.fract() != 0.0 || n < 0.0 || n > MAX_DIM as f64 {
+        return Err(ApiError::bad_request(format!(
+            "\"{key}\" must be an integer in [0, {MAX_DIM}], got {n}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn shape_from(obj: &Json) -> Result<GemmShape, ApiError> {
+    let mut dims = [1024usize; 3];
+    for (i, key) in ["m", "k", "n"].iter().enumerate() {
+        if let Some(v) = obj.get(key) {
+            let n = int_from(v, key)?;
+            if n == 0 {
+                return Err(ApiError::bad_request(format!(
+                    "\"{key}\" must be at least 1"
+                )));
+            }
+            dims[i] = n;
+        }
+    }
+    let macs = dims.iter().map(|&d| d as u128).product::<u128>();
+    if macs > MAX_MACS {
+        return Err(ApiError::bad_request(format!(
+            "m*k*n = {macs} dense MACs exceeds the {MAX_MACS} limit"
+        )));
+    }
+    Ok(GemmShape::new(dims[0], dims[1], dims[2]))
+}
+
+fn check_degree(n: f64, key: &str) -> Result<f64, ApiError> {
+    if !(0.0..=MAX_DEGREE).contains(&n) {
+        return Err(ApiError::bad_request(format!(
+            "\"{key}\" must be a sparsity degree in [0, {MAX_DEGREE}], got {n}"
+        )));
+    }
+    Ok(n)
+}
+
+fn degree_from(obj: &Json, key: &str) -> Result<f64, ApiError> {
+    match obj.get(key) {
+        None => Ok(0.0),
+        Some(v) => check_degree(
+            v.as_f64()
+                .ok_or_else(|| ApiError::bad_request(format!("\"{key}\" must be a number")))?,
+            key,
+        ),
+    }
+}
+
+fn degrees_from(
+    obj: &Json,
+    key: &str,
+    default: impl FnOnce() -> Vec<f64>,
+) -> Result<Vec<f64>, ApiError> {
+    match obj.get(key) {
+        None => Ok(default()),
+        Some(v) => {
+            let arr = v
+                .as_arr()
+                .ok_or_else(|| ApiError::bad_request(format!("\"{key}\" must be an array")))?;
+            if arr.is_empty() {
+                return Err(ApiError::bad_request(format!(
+                    "\"{key}\" must not be empty"
+                )));
+            }
+            arr.iter()
+                .map(|d| {
+                    check_degree(
+                        d.as_f64().ok_or_else(|| {
+                            ApiError::bad_request(format!("\"{key}\" entries must be numbers"))
+                        })?,
+                        key,
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(app: &App, path: &str, body: &str) -> (u16, Json) {
+        let req = Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: String::new(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        };
+        let resp = app.handle(&req);
+        let json = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, json)
+    }
+
+    fn get(app: &App, path: &str) -> (u16, Json) {
+        let req = Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: String::new(),
+            headers: vec![],
+            body: vec![],
+        };
+        let resp = app.handle(&req);
+        let json = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, json)
+    }
+
+    fn test_app() -> App {
+        App::with_context(SweepContext::with_engine(hl_sim::engine::Engine::serial()))
+    }
+
+    #[test]
+    fn healthz_and_designs() {
+        let app = test_app();
+        let (status, v) = get(&app, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        let (status, v) = get(&app, "/designs");
+        assert_eq!(status, 200);
+        let designs = v.get("designs").and_then(Json::as_arr).unwrap();
+        assert_eq!(designs.len(), registered_names().len());
+        assert_eq!(
+            designs[0].get("name").and_then(Json::as_str),
+            Some("TC"),
+            "registry order"
+        );
+    }
+
+    #[test]
+    fn evaluate_matches_offline_and_hits_cache() {
+        let app = test_app();
+        let body = r#"{"design":"HighLight","a_sparsity":0.5,"b_sparsity":0.25}"#;
+        let (status, v) = post(&app, "/evaluate", body);
+        assert_eq!(status, 200);
+        assert_eq!(v.get("supported").and_then(Json::as_bool), Some(true));
+        // Byte-identical to the offline evaluation through the same view.
+        let design = hl_bench::design_by_name("HighLight").unwrap();
+        let w = build_workload("HighLight", GemmShape::new(1024, 1024, 1024), 0.5, 0.25).unwrap();
+        let offline = hl_sim::evaluate_best(design.as_ref(), &w).unwrap();
+        assert_eq!(
+            v.get("result").unwrap().encode(),
+            eval_result_json(&offline).encode()
+        );
+        // Second identical request must hit the shared cache.
+        let misses_before = app.context().engine().eval_cache().misses();
+        let hits_before = app.context().engine().eval_cache().hits();
+        let (status, v2) = post(&app, "/evaluate", body);
+        assert_eq!(status, 200);
+        assert_eq!(v2.encode(), v.encode(), "replayed response is identical");
+        assert_eq!(app.context().engine().eval_cache().misses(), misses_before);
+        assert!(app.context().engine().eval_cache().hits() > hits_before);
+    }
+
+    #[test]
+    fn evaluate_reports_unsupported_workloads() {
+        let app = test_app();
+        // S2TA cannot run a dense operand A.
+        let (status, v) = post(&app, "/evaluate", r#"{"design":"S2TA"}"#);
+        assert_eq!(status, 200);
+        assert_eq!(v.get("supported").and_then(Json::as_bool), Some(false));
+        assert!(v.get("reason").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_requests() {
+        let app = test_app();
+        for (body, needle) in [
+            ("", "JSON object"),
+            ("[1,2]", "JSON object"),
+            ("{\"design\":\"TC\"", "invalid JSON"),
+            ("{}", "missing required field"),
+            (r#"{"design":"TPU"}"#, "unknown design"),
+            (r#"{"design":42}"#, "must be a string"),
+            (r#"{"design":"TC","a_sparsity":1.5}"#, "sparsity degree"),
+            (r#"{"design":"TC","a_sparsity":-0.5}"#, "sparsity degree"),
+            (r#"{"design":"TC","m":0}"#, "at least 1"),
+            (r#"{"design":"TC","m":2.5}"#, "integer"),
+            (
+                // Each dimension passes the per-dim cap, but the MAC
+                // product would overflow u64 arithmetic.
+                r#"{"design":"TC","m":67108864,"k":67108864,"n":67108864}"#,
+                "dense MACs",
+            ),
+            (r#"{"design":"TC","bogus":1}"#, "unknown field"),
+        ] {
+            let (status, v) = post(&app, "/evaluate", body);
+            assert_eq!(status, 400, "{body}");
+            let msg = v.get("error").and_then(Json::as_str).unwrap();
+            assert!(msg.contains(needle), "{body}: {msg}");
+        }
+    }
+
+    #[test]
+    fn sweep_runs_truncates_and_validates() {
+        let app = test_app();
+        let (status, v) = post(
+            &app,
+            "/sweep",
+            r#"{"designs":["TC","HighLight"],"a_degrees":[0,0.5],"b_degrees":[0,0.5],"limit":3,"m":64,"k":64,"n":64}"#,
+        );
+        assert_eq!(status, 200);
+        assert_eq!(v.get("rows_total").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(v.get("rows_returned").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("truncated").and_then(Json::as_bool), Some(true));
+        let rows = v.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            let results = row.get("results").and_then(Json::as_arr).unwrap();
+            assert_eq!(results.len(), 2, "one result per design");
+        }
+        // Defaults: all five paper designs over the Fig. 13 degrees.
+        let (status, v) = post(&app, "/sweep", r#"{"m":32,"k":32,"n":32}"#);
+        assert_eq!(status, 200);
+        assert_eq!(v.get("rows_total").and_then(Json::as_f64), Some(12.0));
+        assert_eq!(v.get("truncated").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            v.get("designs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(5)
+        );
+        // Validation failures.
+        for body in [
+            r#"{"designs":[]}"#,
+            r#"{"designs":["TPU"]}"#,
+            r#"{"a_degrees":[]}"#,
+            r#"{"a_degrees":[2.0]}"#,
+            r#"{"limit":0}"#,
+            r#"{"limit":"all"}"#,
+        ] {
+            let (status, _) = post(&app, "/sweep", body);
+            assert_eq!(status, 400, "{body}");
+        }
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_mapped() {
+        let app = test_app();
+        let (status, v) = get(&app, "/nope");
+        assert_eq!(status, 404);
+        assert!(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("/healthz"));
+        let (status, _) = post(&app, "/healthz", "");
+        assert_eq!(status, 405);
+        let (status, _) = get(&app, "/evaluate");
+        assert_eq!(status, 405);
+        // All of the above were counted (the in-flight /metrics request
+        // itself is recorded only after its response is built).
+        let (_, m) = get(&app, "/metrics");
+        let total = m
+            .get("requests")
+            .and_then(|r| r.get("total"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(total, 3.0);
+    }
+}

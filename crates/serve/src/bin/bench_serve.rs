@@ -1,0 +1,169 @@
+//! `bench_serve` — in-process load generator for the `hl-serve` API.
+//!
+//! Boots a server on an ephemeral port, warms the shared `EvalCache` with
+//! one pass over the request mix, then fires concurrent clients at
+//! `/evaluate` (with a periodic `/healthz`) measuring per-request latency
+//! from the client side. Records p50/p90/p99/max latency, throughput, and
+//! the server-side cache hit rate to `BENCH_serve.json` (honoring
+//! `HL_BENCH_OUT`, like `bench_sweeps`).
+//!
+//! Environment knobs: `HL_SERVE_BENCH_CLIENTS` (default 4) and
+//! `HL_SERVE_BENCH_REQS` (requests per client, default 150).
+
+use std::time::Instant;
+
+use hl_bench::bench_out_path;
+use hl_serve::api::App;
+use hl_serve::client::{get_json, post_json};
+use hl_serve::json::Json;
+use hl_serve::server::{Server, ServerConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// The `/evaluate` request mix: every paper design over three degree
+/// pairs (so repeats replay from the shared cache, as production clients
+/// polling a design space would).
+fn request_mix() -> Vec<Json> {
+    let mut mix = Vec::new();
+    for design in hl_bench::design_names() {
+        for (sa, sb) in [(0.5, 0.0), (0.5, 0.5), (0.75, 0.25)] {
+            mix.push(Json::Obj(vec![
+                ("design".into(), Json::str(&design)),
+                ("a_sparsity".into(), Json::Num(sa)),
+                ("b_sparsity".into(), Json::Num(sb)),
+            ]));
+        }
+    }
+    mix
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let clients = env_usize("HL_SERVE_BENCH_CLIENTS", 4);
+    let per_client = env_usize("HL_SERVE_BENCH_REQS", 150);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    };
+    let workers = config.workers;
+    let handle = Server::bind(config, App::new())
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server");
+    let addr = handle.addr().to_string();
+    println!(
+        "bench_serve — {clients} clients x {per_client} requests against {addr} \
+         ({workers} workers, {cpus} CPU(s))"
+    );
+
+    // Warmup: populate the cache with every distinct point, untimed.
+    let mix = request_mix();
+    for body in &mix {
+        let (status, _) = post_json(&addr, "/evaluate", body).expect("warmup request");
+        assert_eq!(status, 200, "warmup must succeed");
+    }
+
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = &addr;
+                let mix = &mix;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut errs = 0u64;
+                    for i in 0..per_client {
+                        let t = Instant::now();
+                        let status = if i % 8 == 7 {
+                            get_json(addr, "/healthz").map(|(s, _)| s)
+                        } else {
+                            let body = &mix[(c + i * clients) % mix.len()];
+                            post_json(addr, "/evaluate", body).map(|(s, _)| s)
+                        };
+                        latencies.push(t.elapsed().as_secs_f64() * 1000.0);
+                        if status.ok() != Some(200) {
+                            errs += 1;
+                        }
+                    }
+                    (latencies, errs)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, errs) = h.join().expect("client thread panicked");
+            all_latencies.extend(lat);
+            errors += errs;
+        }
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    let total = all_latencies.len();
+    all_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let throughput = total as f64 / seconds;
+    let (p50, p90, p99) = (
+        quantile(&all_latencies, 0.50),
+        quantile(&all_latencies, 0.90),
+        quantile(&all_latencies, 0.99),
+    );
+    let max = all_latencies.last().copied().unwrap_or(0.0);
+    let mean = all_latencies.iter().sum::<f64>() / total.max(1) as f64;
+
+    let (status, metrics) = get_json(&addr, "/metrics").expect("final /metrics");
+    assert_eq!(status, 200);
+    let cache = metrics.get("eval_cache").cloned().unwrap_or(Json::Null);
+
+    println!("{total:>7} requests in {seconds:.3} s  ({throughput:.0} req/s, {errors} errors)");
+    println!("latency p50 {p50:.3} ms   p90 {p90:.3} ms   p99 {p99:.3} ms   max {max:.3} ms");
+    println!("eval cache: {}", cache.encode());
+
+    let report = Json::Obj(vec![
+        ("benchmark".into(), Json::str("hl-serve load")),
+        ("cpus".into(), Json::Num(cpus as f64)),
+        ("workers".into(), Json::Num(workers as f64)),
+        ("clients".into(), Json::Num(clients as f64)),
+        ("requests".into(), Json::Num(total as f64)),
+        ("errors".into(), Json::Num(errors as f64)),
+        ("seconds".into(), Json::Num((seconds * 1e4).round() / 1e4)),
+        (
+            "throughput_rps".into(),
+            Json::Num((throughput * 10.0).round() / 10.0),
+        ),
+        (
+            "latency_ms".into(),
+            Json::Obj(
+                [
+                    ("p50", p50),
+                    ("p90", p90),
+                    ("p99", p99),
+                    ("max", max),
+                    ("mean", mean),
+                ]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), Json::Num((v * 1e4).round() / 1e4)))
+                .collect(),
+            ),
+        ),
+        ("eval_cache".into(), cache),
+    ]);
+    let out = bench_out_path("BENCH_serve.json");
+    std::fs::write(&out, report.encode() + "\n").expect("write BENCH_serve.json");
+    println!("wrote {}", out.display());
+
+    handle.stop().expect("graceful shutdown");
+    assert_eq!(errors, 0, "load run hit non-200 responses");
+}

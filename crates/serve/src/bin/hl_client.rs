@@ -1,0 +1,290 @@
+//! `hl-client` — a CLI for the `hl-serve` API that renders responses as
+//! aligned tables.
+//!
+//! ```text
+//! hl-client [--addr HOST:PORT] health
+//! hl-client [--addr HOST:PORT] designs
+//! hl-client [--addr HOST:PORT] metrics
+//! hl-client [--addr HOST:PORT] evaluate --design D [--m M --k K --n N] [--a S] [--b S]
+//! hl-client [--addr HOST:PORT] sweep [--designs A,B] [--a 0,0.5] [--b 0,0.25]
+//!                                    [--m M --k K --n N] [--limit N]
+//! ```
+
+use std::process::ExitCode;
+
+use hl_serve::client::{get_json, post_json};
+use hl_serve::json::Json;
+use hl_serve::DEFAULT_ADDR;
+
+const USAGE: &str =
+    "usage: hl-client [--addr HOST:PORT] <health|designs|metrics|evaluate|sweep> [options]
+  evaluate --design D [--m M --k K --n N] [--a SPARSITY] [--b SPARSITY]
+  sweep [--designs A,B,...] [--a D1,D2,...] [--b D1,D2,...] [--m M --k K --n N] [--limit N]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("hl-client: {msg}");
+    ExitCode::FAILURE
+}
+
+fn num(v: Option<&Json>) -> f64 {
+    v.and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut command = None;
+    let mut options: Vec<(String, String)> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if name == "help" {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            let Some(value) = it.next() else {
+                return fail(&format!("--{name} needs a value\n{USAGE}"));
+            };
+            if name == "addr" {
+                addr = value;
+            } else {
+                options.push((name.to_string(), value));
+            }
+        } else if command.is_none() {
+            command = Some(arg);
+        } else {
+            return fail(&format!("unexpected argument {arg:?}\n{USAGE}"));
+        }
+    }
+    let Some(command) = command else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let opt = |name: &str| {
+        options
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    let result = match command.as_str() {
+        "health" => get_json(&addr, "/healthz").map(|(s, v)| (s, render_kv(&v))),
+        "metrics" => get_json(&addr, "/metrics").map(|(s, v)| (s, render_metrics(&v))),
+        "designs" => get_json(&addr, "/designs").map(|(s, v)| (s, render_designs(&v))),
+        "evaluate" => {
+            let mut body = Vec::new();
+            match opt("design") {
+                Some(d) => body.push(("design".to_string(), Json::str(d))),
+                None => return fail(&format!("evaluate requires --design\n{USAGE}")),
+            }
+            for (flag, field) in [
+                ("m", "m"),
+                ("k", "k"),
+                ("n", "n"),
+                ("a", "a_sparsity"),
+                ("b", "b_sparsity"),
+            ] {
+                if let Some(v) = opt(flag) {
+                    let Ok(n) = v.parse::<f64>() else {
+                        return fail(&format!("--{flag} must be a number, got {v:?}"));
+                    };
+                    body.push((field.to_string(), Json::Num(n)));
+                }
+            }
+            post_json(&addr, "/evaluate", &Json::Obj(body)).map(|(s, v)| (s, render_evaluate(&v)))
+        }
+        "sweep" => {
+            let mut body = Vec::new();
+            if let Some(list) = opt("designs") {
+                body.push((
+                    "designs".to_string(),
+                    Json::Arr(list.split(',').map(Json::str).collect()),
+                ));
+            }
+            for (flag, field) in [("a", "a_degrees"), ("b", "b_degrees")] {
+                if let Some(list) = opt(flag) {
+                    let mut degrees = Vec::new();
+                    for part in list.split(',') {
+                        let Ok(n) = part.parse::<f64>() else {
+                            return fail(&format!(
+                                "--{flag} entries must be numbers, got {part:?}"
+                            ));
+                        };
+                        degrees.push(Json::Num(n));
+                    }
+                    body.push((field.to_string(), Json::Arr(degrees)));
+                }
+            }
+            for flag in ["m", "k", "n", "limit"] {
+                if let Some(v) = opt(flag) {
+                    let Ok(n) = v.parse::<f64>() else {
+                        return fail(&format!("--{flag} must be a number, got {v:?}"));
+                    };
+                    body.push((flag.to_string(), Json::Num(n)));
+                }
+            }
+            post_json(&addr, "/sweep", &Json::Obj(body)).map(|(s, v)| (s, render_sweep(&v)))
+        }
+        other => return fail(&format!("unknown command {other:?}\n{USAGE}")),
+    };
+
+    match result {
+        Ok((200, text)) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok((status, text)) => {
+            eprintln!("hl-client: HTTP {status}\n{text}");
+            ExitCode::FAILURE
+        }
+        Err(e) => fail(&format!("request to {addr} failed: {e}")),
+    }
+}
+
+/// Key/value lines for flat objects (health).
+fn render_kv(v: &Json) -> String {
+    let Json::Obj(members) = v else {
+        return v.encode();
+    };
+    let width = members.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    members
+        .iter()
+        .map(|(k, val)| format!("{k:>width$}  {}", render_scalar(val)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn render_scalar(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.encode(),
+    }
+}
+
+fn render_metrics(v: &Json) -> String {
+    let Json::Obj(members) = v else {
+        return v.encode();
+    };
+    let mut out = String::new();
+    for (section, val) in members {
+        match val {
+            Json::Obj(_) => {
+                out.push_str(&format!("[{section}]\n{}\n\n", render_kv(val)));
+            }
+            _ => out.push_str(&format!("{section}: {}\n\n", render_scalar(val))),
+        }
+    }
+    out.trim_end().to_string()
+}
+
+fn render_designs(v: &Json) -> String {
+    let empty = Vec::new();
+    let designs = v.get("designs").and_then(Json::as_arr).unwrap_or(&empty);
+    let mut out = format!(
+        "{:<10} {:>9} {:>9} {:>8}  {}\n",
+        "design", "area_mm2", "tax_mm2", "swap", "supported patterns"
+    );
+    for d in designs {
+        out.push_str(&format!(
+            "{:<10} {:>9.3} {:>9.3} {:>8}  {}\n",
+            d.get("name").and_then(Json::as_str).unwrap_or("?"),
+            num(d.get("area_mm2")),
+            num(d.get("sparsity_tax_mm2")),
+            if d.get("swappable").and_then(Json::as_bool).unwrap_or(false) {
+                "yes"
+            } else {
+                "no"
+            },
+            d.get("supported_patterns")
+                .and_then(Json::as_str)
+                .unwrap_or("?"),
+        ));
+    }
+    out.trim_end().to_string()
+}
+
+fn render_evaluate(v: &Json) -> String {
+    let mut out = String::new();
+    for key in ["design", "workload", "a", "b"] {
+        out.push_str(&format!(
+            "{key:>10}  {}\n",
+            v.get(key).and_then(Json::as_str).unwrap_or("?")
+        ));
+    }
+    if v.get("supported").and_then(Json::as_bool) != Some(true) {
+        out.push_str(&format!(
+            "{:>10}  {}\n",
+            "reason",
+            v.get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unsupported")
+        ));
+        return out.trim_end().to_string();
+    }
+    let Some(r) = v.get("result") else {
+        return out.trim_end().to_string();
+    };
+    out.push_str(&format!("{:>10}  {:.4e}\n", "cycles", num(r.get("cycles"))));
+    out.push_str(&format!(
+        "{:>10}  {:.4e} s\n",
+        "latency",
+        num(r.get("latency_s"))
+    ));
+    out.push_str(&format!(
+        "{:>10}  {:.4e} J\n",
+        "energy",
+        num(r.get("energy_j"))
+    ));
+    out.push_str(&format!("{:>10}  {:.4e} J*s\n", "EDP", num(r.get("edp"))));
+    if let Some(Json::Obj(parts)) = r.get("energy_pj") {
+        out.push_str("energy breakdown (pJ):\n");
+        for (comp, pj) in parts {
+            out.push_str(&format!(
+                "{comp:>12}  {:.4e}\n",
+                pj.as_f64().unwrap_or(f64::NAN)
+            ));
+        }
+    }
+    out.trim_end().to_string()
+}
+
+fn render_sweep(v: &Json) -> String {
+    let empty = Vec::new();
+    let names: Vec<&str> = v
+        .get("designs")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty)
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    let rows = v.get("rows").and_then(Json::as_arr).unwrap_or(&empty);
+    let mut out = format!("EDP (J*s) per design; {} rows\n", rows.len());
+    out.push_str(&format!("{:>6} {:>6}", "A%", "B%"));
+    for n in &names {
+        out.push_str(&format!(" {n:>12}"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "{:>6.1} {:>6.1}",
+            num(row.get("a_sparsity")) * 100.0,
+            num(row.get("b_sparsity")) * 100.0
+        ));
+        for cell in row.get("results").and_then(Json::as_arr).unwrap_or(&empty) {
+            match cell.get("edp").and_then(Json::as_f64) {
+                Some(edp) => out.push_str(&format!(" {edp:>12.4e}")),
+                None => out.push_str(&format!(" {:>12}", "n/a")),
+            }
+        }
+        out.push('\n');
+    }
+    if v.get("truncated").and_then(Json::as_bool) == Some(true) {
+        out.push_str(&format!(
+            "(truncated: {} of {} rows)\n",
+            rows.len(),
+            num(v.get("rows_total")) as usize
+        ));
+    }
+    out.trim_end().to_string()
+}

@@ -1,0 +1,96 @@
+//! `hl-serve` — the HTTP evaluation server binary.
+//!
+//! ```text
+//! hl-serve [--addr HOST:PORT] [--workers N]
+//! ```
+//!
+//! The worker pool (and the shared sweep engine) default to `HL_THREADS`
+//! when set, otherwise the machine's available parallelism. SIGTERM and
+//! ctrl-c drain in-flight requests before the process exits.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hl_serve::api::App;
+use hl_serve::server::{Server, ServerConfig};
+use hl_serve::signal;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: hl-serve [--addr HOST:PORT] [--workers N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => config.addr = v,
+                None => return usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {
+                    config.workers = n;
+                    config.backlog = n * 4;
+                }
+                _ => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: hl-serve [--addr HOST:PORT] [--workers N]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let server = match Server::bind(config.clone(), App::new()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hl-serve: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hl-serve: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "hl-serve listening on http://{addr} ({} workers)",
+        config.workers
+    );
+    println!("endpoints: GET /healthz  GET /designs  GET /metrics  POST /evaluate  POST /sweep");
+
+    signal::install_handlers();
+    let shutdown = match server.shutdown_switch() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hl-serve: no shutdown switch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let watcher = std::thread::spawn(move || {
+        while !signal::shutdown_requested() && !shutdown.is_triggered() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        shutdown.trigger();
+    });
+
+    let result = server.run();
+    // run() only returns once shutdown is flagged; the watcher exits with it.
+    signal::request_shutdown();
+    let _ = watcher.join();
+    match result {
+        Ok(()) => {
+            println!("hl-serve: drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hl-serve: server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

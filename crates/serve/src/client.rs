@@ -1,0 +1,126 @@
+//! A minimal blocking HTTP/1.1 client for the API — used by the
+//! `hl-client` CLI, the load bench, and the end-to-end tests.
+//!
+//! Speaks exactly the slice of HTTP the server emits: status line +
+//! headers, then either a `Content-Length` body or chunked transfer
+//! encoding.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Client-side I/O timeout.
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+/// Connection/I/O failures, and malformed responses as
+/// [`io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let payload = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    )?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid(format!("malformed status line {status_line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(value.parse().map_err(|_| invalid("bad Content-Length"))?);
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| invalid(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                let mut trailer = String::new();
+                reader.read_line(&mut trailer)?;
+                break;
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            reader.read_exact(&mut body[start..])?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else if let Some(n) = content_length {
+        body.resize(n, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    let text = String::from_utf8(body).map_err(|_| invalid("response body is not UTF-8"))?;
+    Ok((status, text))
+}
+
+/// `GET path`, parsing the JSON body.
+///
+/// # Errors
+/// As [`request`], plus JSON parse failures as
+/// [`io::ErrorKind::InvalidData`].
+pub fn get_json(addr: &str, path: &str) -> io::Result<(u16, Json)> {
+    let (status, text) = request(addr, "GET", path, None)?;
+    Ok((
+        status,
+        Json::parse(&text).map_err(|e| invalid(e.to_string()))?,
+    ))
+}
+
+/// `POST path` with a JSON body, parsing the JSON response.
+///
+/// # Errors
+/// As [`request`], plus JSON parse failures as
+/// [`io::ErrorKind::InvalidData`].
+pub fn post_json(addr: &str, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+    let (status, text) = request(addr, "POST", path, Some(&body.encode()))?;
+    Ok((
+        status,
+        Json::parse(&text).map_err(|e| invalid(e.to_string()))?,
+    ))
+}

@@ -1,0 +1,542 @@
+//! Minimal HTTP/1.1 on top of `std::io` — request parsing, response
+//! writing, and the error → status-code mapping.
+//!
+//! The server speaks a deliberately small slice of the protocol, enough
+//! for JSON API clients and `curl`:
+//!
+//! - one request per connection (`Connection: close` on every response);
+//! - request bodies are sized by `Content-Length` and capped at
+//!   [`MAX_BODY_BYTES`] (oversized → 413 *before* reading the payload);
+//!   chunked **request** bodies are rejected with 411;
+//! - response bodies above [`CHUNK_THRESHOLD`] are sent with
+//!   `Transfer-Encoding: chunked` (large `/sweep` results stream in
+//!   [`CHUNK_SIZE`]-byte chunks), smaller ones with `Content-Length` —
+//!   which is why only HTTP/1.1 is spoken: an HTTP/1.0 client cannot
+//!   parse chunked responses, so `HTTP/1.0` request lines get a 505;
+//! - a stalled client cannot pin a worker: the server arms per-read
+//!   socket timeouts **and** [`read_request`] enforces a whole-request
+//!   deadline, so trickling one byte per read never extends the budget
+//!   (both map to 408 best-effort).
+
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
+
+/// Maximum accepted request-body size in bytes.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// Maximum accepted total request-head (request line + headers) size.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Response bodies above this size are sent chunked.
+pub const CHUNK_THRESHOLD: usize = 8 * 1024;
+
+/// Chunk payload size for chunked responses.
+pub const CHUNK_SIZE: usize = 4 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercase as sent.
+    pub method: String,
+    /// Request path, without the query string.
+    pub path: String,
+    /// Query string (may be empty; no decoding is applied).
+    pub query: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed, carrying the status code the
+/// connection should answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// HTTP status to answer with (4xx).
+    pub status: u16,
+    /// Human-readable reason (becomes the JSON error body).
+    pub reason: String,
+}
+
+impl ParseError {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        Self {
+            status,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status,
+            reason_phrase(self.status),
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The outcome of reading one request off a connection.
+pub enum Parsed {
+    /// A complete request.
+    Ok(Request),
+    /// The request is malformed; answer with this error.
+    Bad(ParseError),
+    /// The client closed the connection (or timed out) before sending a
+    /// complete request head; nothing to answer.
+    Closed,
+}
+
+/// Maps an I/O failure while reading the head: stalled sockets (the
+/// server arms a read timeout) get a best-effort 408, anything else is a
+/// peer that went away.
+fn io_outcome(e: &io::Error) -> Parsed {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    ) {
+        Parsed::Bad(ParseError::new(408, "timed out reading the request"))
+    } else {
+        Parsed::Closed
+    }
+}
+
+/// Reads and parses one request from `reader`, giving up with a 408 once
+/// `deadline` passes (checked between reads, so the worst case is one
+/// socket-level read timeout past the deadline — a trickling client
+/// cannot stretch its welcome byte by byte).
+///
+/// I/O errors while reading the head are treated as [`Parsed::Closed`]
+/// (there is no one to answer) except read timeouts (408); errors after a
+/// syntactically valid head map to 4xx via [`Parsed::Bad`].
+pub fn read_request(reader: &mut impl BufRead, deadline: Instant) -> Parsed {
+    let mut line = String::new();
+    match read_crlf_line(reader, &mut line, MAX_HEAD_BYTES, deadline) {
+        Ok(0) => return Parsed::Closed,
+        Ok(_) => {}
+        Err(LineError::TooLong) => {
+            return Parsed::Bad(ParseError::new(431, "request line too long"));
+        }
+        Err(LineError::Deadline) => return deadline_exceeded(),
+        Err(LineError::Io(e)) => return io_outcome(&e),
+    }
+    let (method, path, query) = match parse_request_line(line.trim_end_matches(['\r', '\n'])) {
+        Ok(t) => t,
+        Err(e) => return Parsed::Bad(e),
+    };
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut h = String::new();
+        match read_crlf_line(reader, &mut h, MAX_HEAD_BYTES, deadline) {
+            Ok(0) => return Parsed::Closed,
+            Ok(n) => head_bytes += n,
+            Err(LineError::TooLong) => {
+                return Parsed::Bad(ParseError::new(431, "header line too long"));
+            }
+            Err(LineError::Deadline) => return deadline_exceeded(),
+            Err(LineError::Io(e)) => return io_outcome(&e),
+        }
+        if head_bytes > MAX_HEAD_BYTES {
+            return Parsed::Bad(ParseError::new(431, "request head too large"));
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            return Parsed::Bad(ParseError::new(400, format!("malformed header line {h:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Parsed::Bad(ParseError::new(
+                400,
+                format!("malformed header name {name:?}"),
+            ));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    if let Some(te) = req.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Parsed::Bad(ParseError::new(
+                411,
+                "chunked request bodies are not supported; send Content-Length",
+            ));
+        }
+    }
+    let len = match req.header("content-length") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Parsed::Bad(ParseError::new(400, format!("bad Content-Length {v:?}")));
+            }
+        },
+    };
+    if len > MAX_BODY_BYTES {
+        return Parsed::Bad(ParseError::new(
+            413,
+            format!("body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+        ));
+    }
+    if len > 0 {
+        let mut body = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            if Instant::now() >= deadline {
+                return deadline_exceeded();
+            }
+            match reader.read(&mut body[filled..]) {
+                Ok(0) => {
+                    return Parsed::Bad(ParseError::new(400, "connection closed mid-body"));
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return io_outcome(&e),
+            }
+        }
+        req.body = body;
+    }
+    Parsed::Ok(req)
+}
+
+fn deadline_exceeded() -> Parsed {
+    Parsed::Bad(ParseError::new(
+        408,
+        "request took too long to arrive in full",
+    ))
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, String), ParseError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::new(
+            400,
+            format!("malformed request line {line:?}"),
+        ));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::new(400, format!("malformed method {method:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::new(
+            400,
+            format!("target must be absolute, got {target:?}"),
+        ));
+    }
+    // HTTP/1.0 is rejected too: large responses are chunked, which a
+    // 1.0 client cannot parse.
+    if version != "HTTP/1.1" {
+        return Err(ParseError::new(
+            505,
+            format!("unsupported version {version:?}; use HTTP/1.1"),
+        ));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok((method.to_string(), path, query))
+}
+
+enum LineError {
+    TooLong,
+    Deadline,
+    Io(io::Error),
+}
+
+/// Reads one `\n`-terminated line (CRLF tolerated) with a length cap and
+/// a whole-request deadline, returning the number of bytes consumed
+/// (0 on a clean EOF).
+fn read_crlf_line(
+    reader: &mut impl BufRead,
+    out: &mut String,
+    max: usize,
+    deadline: Instant,
+) -> Result<usize, LineError> {
+    let mut bytes = Vec::new();
+    loop {
+        if Instant::now() >= deadline {
+            return Err(LineError::Deadline);
+        }
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                bytes.push(byte[0]);
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if bytes.len() > max {
+                    return Err(LineError::TooLong);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(LineError::Io(e)),
+        }
+    }
+    let n = bytes.len();
+    out.push_str(&String::from_utf8_lossy(&bytes));
+    Ok(n)
+}
+
+/// A response ready to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Writes the response; bodies above [`CHUNK_THRESHOLD`] are sent with
+    /// chunked transfer encoding. Output is buffered, so a response costs
+    /// one or two `write` syscalls instead of several per chunk.
+    ///
+    /// # Errors
+    /// Propagates socket write errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut w = io::BufWriter::with_capacity(16 * 1024, w);
+        let w = &mut w;
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+        );
+        w.write_all(head.as_bytes())?;
+        if self.body.len() > CHUNK_THRESHOLD {
+            w.write_all(b"Transfer-Encoding: chunked\r\n\r\n")?;
+            for chunk in self.body.chunks(CHUNK_SIZE) {
+                write!(w, "{:x}\r\n", chunk.len())?;
+                w.write_all(chunk)?;
+                w.write_all(b"\r\n")?;
+            }
+            w.write_all(b"0\r\n\r\n")?;
+        } else {
+            write!(w, "Content-Length: {}\r\n\r\n", self.body.len())?;
+            w.write_all(&self.body)?;
+        }
+        w.flush()
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn far_deadline() -> Instant {
+        Instant::now() + std::time::Duration::from_secs(30)
+    }
+
+    fn parse(raw: &str) -> Parsed {
+        read_request(&mut BufReader::new(raw.as_bytes()), far_deadline())
+    }
+
+    fn parse_ok(raw: &str) -> Request {
+        match parse(raw) {
+            Parsed::Ok(r) => r,
+            Parsed::Bad(e) => panic!("expected ok, got {e}"),
+            Parsed::Closed => panic!("expected ok, got closed"),
+        }
+    }
+
+    fn parse_bad(raw: &str) -> ParseError {
+        match parse(raw) {
+            Parsed::Bad(e) => e,
+            Parsed::Ok(r) => panic!("expected error, got {r:?}"),
+            Parsed::Closed => panic!("expected error, got closed"),
+        }
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let r = parse_ok("GET /designs?x=1&y=2 HTTP/1.1\r\nHost: a\r\nX-Th: 3\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/designs");
+        assert_eq!(r.query, "x=1&y=2");
+        assert_eq!(r.header("host"), Some("a"));
+        assert_eq!(
+            r.header("X-TH"),
+            Some("3"),
+            "header lookup is case-insensitive"
+        );
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let r = parse_ok("POST /evaluate HTTP/1.1\r\nContent-Length: 4\r\n\r\n{} \nEXTRA");
+        assert_eq!(r.body, b"{} \n");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for (raw, status) in [
+            ("\r\n\r\n", 400),
+            ("GARBAGE\r\n\r\n", 400),
+            ("GET /x\r\n\r\n", 400),
+            ("GET /x HTTP/1.1 extra\r\n\r\n", 400),
+            ("get /x HTTP/1.1\r\n\r\n", 400),
+            ("GET x HTTP/1.1\r\n\r\n", 400),
+            ("GET /x HTTP/2\r\n\r\n", 505),
+            ("GET /x HTTP/1.0\r\n\r\n", 505),
+            ("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+            ("GET /x HTTP/1.1\r\nbad name: v\r\n\r\n", 400),
+            ("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                411,
+            ),
+            ("POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort", 400),
+        ] {
+            let e = parse_bad(raw);
+            assert_eq!(e.status, status, "{raw:?} → {}", e.reason);
+        }
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected_before_reading() {
+        let e = parse_bad(&format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        ));
+        assert_eq!(e.status, 413);
+        let long = "a".repeat(MAX_HEAD_BYTES + 2);
+        let e = parse_bad(&format!("GET /{long} HTTP/1.1\r\n\r\n"));
+        assert_eq!(e.status, 431);
+        let e = parse_bad(&format!("GET /x HTTP/1.1\r\nH: {long}\r\n\r\n"));
+        assert_eq!(e.status, 431);
+    }
+
+    #[test]
+    fn eof_before_a_request_is_closed_not_an_error() {
+        assert!(matches!(parse(""), Parsed::Closed));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nHost: a"),
+            Parsed::Closed
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_maps_to_408() {
+        // An already-expired deadline must abort immediately (the check
+        // sits between reads, so a trickling client cannot stretch the
+        // request budget byte by byte).
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        for raw in ["GET /x HTTP/1.1\r\n\r\n", "POST /x"] {
+            let e = match read_request(&mut BufReader::new(raw.as_bytes()), past) {
+                Parsed::Bad(e) => e,
+                _ => panic!("expected 408 for {raw:?}"),
+            };
+            assert_eq!(e.status, 408);
+        }
+    }
+
+    #[test]
+    fn small_responses_use_content_length() {
+        let mut out = Vec::new();
+        Response::json(200, r#"{"ok":true}"#)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn large_responses_are_chunked() {
+        let body = vec![b'x'; CHUNK_THRESHOLD + CHUNK_SIZE + 17];
+        let mut out = Vec::new();
+        Response::json(200, body.clone())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.ends_with("0\r\n\r\n"));
+        // Reassemble the chunks and compare.
+        let payload = text.split_once("\r\n\r\n").unwrap().1;
+        let mut rest = payload;
+        let mut reassembled = Vec::new();
+        loop {
+            let (size, tail) = rest.split_once("\r\n").unwrap();
+            let n = usize::from_str_radix(size, 16).unwrap();
+            if n == 0 {
+                break;
+            }
+            reassembled.extend_from_slice(&tail.as_bytes()[..n]);
+            rest = &tail[n + 2..];
+        }
+        assert_eq!(reassembled, body);
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for code in [200, 400, 404, 405, 408, 411, 413, 422, 431, 500, 503, 505] {
+            assert_ne!(reason_phrase(code), "Unknown", "{code}");
+        }
+        assert_eq!(reason_phrase(418), "Unknown");
+    }
+}

@@ -1,0 +1,55 @@
+//! `hl-serve` — a dependency-free HTTP/1.1 JSON service over the
+//! HighLight evaluation stack.
+//!
+//! The fig/table binaries answer design-space questions in batch; this
+//! crate serves the same evaluation stack as a long-lived API so external
+//! co-design clients (hardware-aware sparsity search, accelerator
+//! comparisons) can query *"evaluate design D on workload W at sparsity
+//! S"* interactively. All requests share one [`hl_bench::SweepContext`]:
+//! the parallel engine plus its [`hl_sim::engine::EvalCache`], so
+//! repeated queries replay from the memo and `/metrics` exposes the hit
+//! rate.
+//!
+//! There is no crates.io access in this workspace, so everything is
+//! hand-rolled on `std`: [`json`] (codec with escaping and a nesting
+//! cap), [`http`] (request parsing, chunked responses, 4xx/5xx mapping),
+//! [`server`] (bounded worker pool on `std::net::TcpListener`,
+//! cooperative shutdown), [`signal`] (SIGTERM/ctrl-c → shutdown flag),
+//! [`api`] (the endpoint handlers), [`metrics`] (lock-free counters +
+//! latency histogram), and [`client`] (the blocking client the
+//! `hl-client` CLI, the load bench, and the e2e tests use).
+//!
+//! # Example
+//!
+//! ```
+//! use hl_serve::api::App;
+//! use hl_serve::server::{Server, ServerConfig};
+//!
+//! let config = ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     workers: 2,
+//!     ..ServerConfig::default()
+//! };
+//! let handle = Server::bind(config, App::new()).unwrap().spawn().unwrap();
+//! let addr = handle.addr().to_string();
+//!
+//! let (status, health) = hl_serve::client::get_json(&addr, "/healthz").unwrap();
+//! assert_eq!(status, 200);
+//! assert_eq!(health.get("status").and_then(|s| s.as_str()), Some("ok"));
+//! handle.stop().unwrap();
+//! ```
+
+#![deny(unsafe_code)] // `signal` opts back in for the libc signal(2) binding.
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+
+pub use api::App;
+pub use json::Json;
+pub use server::{Server, ServerConfig, ServerHandle, DEFAULT_ADDR};

@@ -1,0 +1,303 @@
+//! Lock-free request metrics: per-route counters, status-class counters,
+//! and a log₂-bucketed latency histogram with quantile estimation.
+//!
+//! Everything is plain atomics, so recording from the worker pool never
+//! contends — `/metrics` reads are racy snapshots, which is fine for
+//! monitoring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The routes the server tracks individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /designs`.
+    Designs,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /evaluate`.
+    Evaluate,
+    /// `POST /sweep`.
+    Sweep,
+    /// Anything else (404s, parse failures, …).
+    Other,
+}
+
+impl Route {
+    /// All tracked routes, in display order.
+    pub const ALL: [Route; 6] = [
+        Route::Healthz,
+        Route::Designs,
+        Route::Metrics,
+        Route::Evaluate,
+        Route::Sweep,
+        Route::Other,
+    ];
+
+    /// The route for a request path.
+    pub fn of(path: &str) -> Route {
+        match path {
+            "/healthz" => Route::Healthz,
+            "/designs" => Route::Designs,
+            "/metrics" => Route::Metrics,
+            "/evaluate" => Route::Evaluate,
+            "/sweep" => Route::Sweep,
+            _ => Route::Other,
+        }
+    }
+
+    /// Display label (the path, or `other`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Healthz => "/healthz",
+            Route::Designs => "/designs",
+            Route::Metrics => "/metrics",
+            Route::Evaluate => "/evaluate",
+            Route::Sweep => "/sweep",
+            Route::Other => "other",
+        }
+    }
+}
+
+/// Number of log₂ latency buckets: bucket `i` counts requests with
+/// latency in `[2^i, 2^(i+1))` microseconds; the last bucket is open.
+pub const LATENCY_BUCKETS: usize = 26;
+
+/// A log₂-bucketed latency histogram (microsecond resolution).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64 / 1000.0
+    }
+
+    /// Estimated latency quantile in milliseconds: the upper edge of the
+    /// first bucket whose cumulative count reaches `q · total` (0 when
+    /// empty). `q` is clamped to `[0, 1]`.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Upper edge of bucket i: 2^(i+1) µs.
+                return (1u64 << (i + 1)) as f64 / 1000.0;
+            }
+        }
+        (1u64 << LATENCY_BUCKETS) as f64 / 1000.0
+    }
+
+    /// Snapshot of the non-empty buckets as `(upper_edge_ms, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some(((1u64 << (i + 1)) as f64 / 1000.0, n))
+            })
+            .collect()
+    }
+}
+
+/// Server-wide metrics shared across the worker pool.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    requests: [AtomicU64; Route::ALL.len()],
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    rejected_busy: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics; uptime counts from now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: Default::default(),
+            status_2xx: AtomicU64::new(0),
+            status_4xx: AtomicU64::new(0),
+            status_5xx: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Seconds since the metrics (≈ the server) started.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, route: Route, status: u16, latency: Duration) {
+        self.count_request(route, status);
+        self.latency.record(latency);
+    }
+
+    /// Records a request with no meaningful latency measurement (protocol
+    /// parse failures) — counted, but kept out of the latency histogram
+    /// so probe/garbage traffic cannot skew the service's p50.
+    pub fn record_unmeasured(&self, route: Route, status: u16) {
+        self.count_request(route, status);
+    }
+
+    fn count_request(&self, route: Route, status: u16) {
+        let idx = Route::ALL
+            .iter()
+            .position(|r| *r == route)
+            .expect("route in ALL");
+        self.requests[idx].fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed with 503 because the accept queue was full.
+    pub fn record_busy_rejection(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests handled for one route.
+    pub fn requests_for(&self, route: Route) -> u64 {
+        let idx = Route::ALL
+            .iter()
+            .position(|r| *r == route)
+            .expect("route in ALL");
+        self.requests[idx].load(Ordering::Relaxed)
+    }
+
+    /// Total requests handled.
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// `(2xx, 4xx, 5xx)` response counts.
+    pub fn status_counts(&self) -> (u64, u64, u64) {
+        (
+            self.status_2xx.load(Ordering::Relaxed),
+            self.status_4xx.load(Ordering::Relaxed),
+            self.status_5xx.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Connections shed with 503.
+    pub fn busy_rejections(&self) -> u64 {
+        self.rejected_busy.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_map_paths_and_labels() {
+        assert_eq!(Route::of("/healthz"), Route::Healthz);
+        assert_eq!(Route::of("/evaluate"), Route::Evaluate);
+        assert_eq!(Route::of("/nope"), Route::Other);
+        for r in Route::ALL {
+            assert!(!r.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        // 90 fast requests (~8 µs), 10 slow (~16 ms).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(8));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(16_000));
+        }
+        assert_eq!(h.count(), 100);
+        // p50 lands in the 8 µs bucket (upper edge 16 µs = 0.016 ms).
+        assert!(h.quantile_ms(0.5) <= 0.016 + 1e-12);
+        // p99 lands in the slow bucket (upper edge 32.768 ms).
+        let p99 = h.quantile_ms(0.99);
+        assert!((16.0..=32.768).contains(&p99), "p99 = {p99}");
+        assert!(h.mean_ms() > 0.0);
+        assert_eq!(h.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    fn zero_and_huge_latencies_stay_in_range() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ms(1.0) > 0.0);
+    }
+
+    #[test]
+    fn metrics_record_and_classify() {
+        let m = Metrics::new();
+        m.record(Route::Healthz, 200, Duration::from_micros(5));
+        m.record(Route::Evaluate, 200, Duration::from_micros(50));
+        m.record(Route::Other, 404, Duration::from_micros(2));
+        m.record(Route::Sweep, 500, Duration::from_micros(9));
+        m.record_busy_rejection();
+        assert_eq!(m.total_requests(), 4);
+        assert_eq!(m.requests_for(Route::Evaluate), 1);
+        assert_eq!(m.status_counts(), (2, 1, 1));
+        assert_eq!(m.busy_rejections(), 1);
+        assert_eq!(m.latency().count(), 4);
+        assert!(m.uptime_s() >= 0.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The serving loop: a `TcpListener` accept loop feeding a **bounded**
+//! worker pool.
+//!
+//! Accepted connections are pushed onto a bounded queue
+//! (`std::sync::mpsc::sync_channel`); a fixed pool of worker threads pops
+//! and serves them one request at a time. When the queue is full the
+//! connection is shed immediately with a 503 instead of queueing without
+//! bound — under overload the server degrades by rejecting, not by
+//! growing its memory footprint.
+//!
+//! Shutdown is cooperative: [`Shutdown::trigger`] sets a shared flag and
+//! nudges the (blocking) accept loop awake with a loopback connection to
+//! the listener — no idle polling, so accepts have zero added latency
+//! and shutdown is immediate. Once triggered, the loop stops accepting,
+//! the queue sender is dropped, the workers drain whatever was already
+//! queued, and [`Server::run`] returns. The `hl-serve` binary wires the
+//! switch to SIGTERM/SIGINT (see [`crate::signal`]); tests and the
+//! in-process load bench use [`ServerHandle::stop`].
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::api::App;
+use crate::http::{read_request, Parsed, Response};
+
+/// The default listen address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:8733";
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker-thread count (0 is clamped to 1).
+    pub workers: usize,
+    /// Bounded accept-queue depth; connections beyond it are shed with
+    /// a 503.
+    pub backlog: usize,
+    /// Per-socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = hl_sim::engine::default_threads();
+        Self {
+            addr: DEFAULT_ADDR.to_string(),
+            workers,
+            backlog: workers * 4,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    app: Arc<App>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+/// The cooperative shutdown switch for a running server.
+///
+/// [`Shutdown::trigger`] sets the shared flag and pokes the blocking
+/// accept loop awake with a throwaway loopback connection, so the drain
+/// starts immediately without the accept loop ever having to poll.
+#[derive(Debug, Clone)]
+pub struct Shutdown {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl Shutdown {
+    /// True once shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and wakes the accept loop.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; the loop sees the flag and drops this
+        // throwaway connection without answering it. An unspecified bind
+        // address (0.0.0.0 / ::) is not portably connectable, so wake via
+        // loopback on the same port.
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+    }
+}
+
+impl Server {
+    /// Binds the listen socket.
+    ///
+    /// # Errors
+    /// Propagates `bind` failures (address in use, permission, …).
+    pub fn bind(config: ServerConfig, app: App) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Self {
+            listener,
+            app: Arc::new(app),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared application state.
+    pub fn app(&self) -> &Arc<App> {
+        &self.app
+    }
+
+    /// The shutdown switch; [`Shutdown::trigger`] makes [`Server::run`]
+    /// drain and return.
+    ///
+    /// # Errors
+    /// Propagates `local_addr` failures (the switch needs the address to
+    /// wake the accept loop).
+    pub fn shutdown_switch(&self) -> io::Result<Shutdown> {
+        Ok(Shutdown {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Serves until the shutdown switch is triggered, then drains the
+    /// queue, joins the workers, and returns.
+    ///
+    /// # Errors
+    /// Propagates fatal listener errors; per-connection I/O errors only
+    /// drop that connection.
+    pub fn run(self) -> io::Result<()> {
+        let workers = self.config.workers.max(1);
+        let (tx, rx) = sync_channel::<TcpStream>(self.config.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let app = Arc::clone(&self.app);
+                let timeout = self.config.io_timeout;
+                std::thread::spawn(move || worker_loop(&rx, &app, timeout))
+            })
+            .collect();
+
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // A wake-up connection from Shutdown::trigger lands
+                    // here; re-check the flag before dispatching.
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            self.app.metrics().record_busy_rejection();
+                            // Shed off the accept thread: writing the 503
+                            // to a slow client must never stall accepts.
+                            let timeout = self.config.io_timeout;
+                            let spawned = std::thread::Builder::new()
+                                .name("hl-serve-shed".into())
+                                .spawn(move || shed_busy(stream, timeout));
+                            drop(spawned); // on spawn failure the stream just drops
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Stop feeding the pool; workers drain the queue and exit.
+        drop(tx);
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle with
+    /// the resolved address and a stop switch. Used by the tests and the
+    /// in-process load bench.
+    ///
+    /// # Errors
+    /// Propagates `local_addr` failures.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = self.shutdown_switch()?;
+        let app = Arc::clone(&self.app);
+        let join = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            app,
+            join,
+        })
+    }
+}
+
+/// A running background server (from [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Shutdown,
+    app: Arc<App>,
+    join: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (metrics/cache introspection).
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    /// Signals shutdown and waits for the drain to finish.
+    ///
+    /// # Errors
+    /// Propagates the server loop's fatal error, if any.
+    ///
+    /// # Panics
+    /// Panics if the server thread itself panicked.
+    pub fn stop(self) -> io::Result<()> {
+        self.shutdown.trigger();
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, app: &App, timeout: Duration) {
+    loop {
+        // Hold the lock only for the pop, never while serving.
+        let next = { rx.lock().expect("queue lock poisoned").recv() };
+        match next {
+            Ok(stream) => serve_connection(app, stream, timeout),
+            Err(_) => return, // Sender dropped: shutdown.
+        }
+    }
+}
+
+fn serve_connection(app: &App, stream: TcpStream, timeout: Duration) {
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let deadline = std::time::Instant::now() + timeout;
+    let response = match read_request(&mut reader, deadline) {
+        Parsed::Ok(request) => app.handle(&request),
+        Parsed::Bad(err) => app.handle_parse_error(&err),
+        Parsed::Closed => return,
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+    finish(stream);
+}
+
+fn shed_busy(stream: TcpStream, timeout: Duration) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let body = r#"{"error":"server busy: accept queue full"}"#;
+    let _ = Response::json(503, body).write_to(&mut stream);
+    finish(stream);
+}
+
+/// Closes a served connection without losing the response: unread request
+/// bytes in the receive buffer would make `close` send a TCP RST that can
+/// destroy the in-flight response (the 413/503 paths answer before
+/// reading the payload), so signal end-of-response, then drain what the
+/// client already sent before dropping the socket. The drain has a hard
+/// wall-clock budget — a client trickling bytes cannot hold the thread
+/// past it.
+fn finish(stream: TcpStream) {
+    use std::io::Read;
+    const DRAIN_BUDGET: Duration = Duration::from_millis(250);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = std::time::Instant::now() + DRAIN_BUDGET;
+    let mut sink = [0u8; 4096];
+    let mut stream = stream;
+    loop {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() || stream.set_read_timeout(Some(remaining)).is_err() {
+            break;
+        }
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! SIGTERM / SIGINT → shutdown-flag plumbing.
+//!
+//! The server polls [`shutdown_requested`] in its accept loop; the
+//! `hl-serve` binary calls [`install_handlers`] once at startup so
+//! `kill -TERM` and ctrl-c drain the worker pool instead of aborting
+//! mid-request. There is no `libc` crate in this dependency-free
+//! workspace, so the unix implementation declares the two-argument
+//! `signal(2)` binding itself — the handler only stores to an atomic,
+//! which is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once a termination signal has been received (or
+/// [`request_shutdown`] was called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the process-wide shutdown flag, as if a signal had arrived.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM and SIGINT handlers that set the shutdown flag.
+/// No-op on non-unix targets (the flag can still be set programmatically).
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Ordering, SHUTDOWN};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // `signal(2)` from the always-linked platform libc. `sighandler_t`
+        // is a pointer-sized function pointer on every supported unix.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub(super) fn install() {
+        // SAFETY: installing a handler that performs a single atomic store
+        // is async-signal-safe, and `on_signal` has the exact signature
+        // `signal(2)` expects.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_shutdown_sets_the_flag() {
+        // Note: the flag is process-global and sticky; this is the only
+        // test that touches it.
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+
+    #[test]
+    fn handlers_install_without_crashing() {
+        install_handlers();
+    }
+}

@@ -1,0 +1,300 @@
+//! End-to-end tests: a real server on an ephemeral port, exercised over
+//! real sockets.
+//!
+//! The headline assertion is the serving-layer contract: `/evaluate`
+//! responses are **byte-identical** to the offline
+//! [`hl_sim::evaluate_best`] results rendered through the same JSON view,
+//! for every registered design — the HTTP layer adds transport, never
+//! drift. The rest covers the 4xx mapping, the shared-cache hit rate
+//! rising in `/metrics`, sweep truncation, concurrency, and graceful
+//! shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hl_bench::{registered_names, SweepContext};
+use hl_serve::api::{build_workload, eval_result_json, App};
+use hl_serve::client::{get_json, post_json};
+use hl_serve::json::Json;
+use hl_serve::server::{Server, ServerConfig, ServerHandle};
+use hl_sim::engine::Engine;
+use hl_tensor::GemmShape;
+
+fn spawn_server() -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        backlog: 8,
+        io_timeout: Duration::from_secs(2),
+    };
+    let app = App::with_context(SweepContext::with_engine(Engine::with_threads(2)));
+    Server::bind(config, app)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+/// Sends raw bytes and returns the raw response text (for malformed
+/// requests the structured client cannot express).
+fn raw_exchange(addr: &str, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(bytes).expect("write");
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn healthz_designs_and_metrics_respond() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+
+    let (status, health) = get_json(&addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("threads").and_then(Json::as_f64), Some(2.0));
+
+    let (status, designs) = get_json(&addr, "/designs").unwrap();
+    assert_eq!(status, 200);
+    let list = designs.get("designs").and_then(Json::as_arr).unwrap();
+    let names: Vec<&str> = list
+        .iter()
+        .filter_map(|d| d.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, registered_names());
+    for d in list {
+        assert!(d.get("area_mm2").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(d.get("supported_patterns").and_then(Json::as_str).is_some());
+    }
+
+    let (status, metrics) = get_json(&addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    for key in [
+        "uptime_s",
+        "requests",
+        "responses",
+        "eval_cache",
+        "latency_ms",
+    ] {
+        assert!(metrics.get(key).is_some(), "missing {key}");
+    }
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn evaluate_is_byte_identical_to_offline_for_every_design() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let shape = GemmShape::new(1024, 1024, 1024);
+    for name in registered_names() {
+        for (sa, sb) in [(0.0, 0.0), (0.5, 0.25), (0.75, 0.5)] {
+            let body = Json::Obj(vec![
+                ("design".into(), Json::str(name)),
+                ("a_sparsity".into(), Json::Num(sa)),
+                ("b_sparsity".into(), Json::Num(sb)),
+            ]);
+            let (status, v) = post_json(&addr, "/evaluate", &body).unwrap();
+            assert_eq!(status, 200, "{name} at ({sa},{sb})");
+
+            let design = hl_bench::design_by_name(name).unwrap();
+            let workload = build_workload(name, shape, sa, sb).unwrap();
+            match hl_sim::evaluate_best(design.as_ref(), &workload) {
+                Ok(offline) => {
+                    assert_eq!(
+                        v.get("supported").and_then(Json::as_bool),
+                        Some(true),
+                        "{name} at ({sa},{sb})"
+                    );
+                    assert_eq!(
+                        v.get("result").unwrap().encode(),
+                        eval_result_json(&offline).encode(),
+                        "{name} at ({sa},{sb}): served result must be \
+                         byte-identical to the offline evaluation"
+                    );
+                }
+                Err(unsupported) => {
+                    assert_eq!(v.get("supported").and_then(Json::as_bool), Some(false));
+                    assert_eq!(
+                        v.get("reason").and_then(Json::as_str),
+                        Some(unsupported.to_string().as_str())
+                    );
+                }
+            }
+        }
+    }
+    server.stop().unwrap();
+}
+
+#[test]
+fn repeated_evaluates_raise_the_cache_hit_rate() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let body = Json::Obj(vec![
+        ("design".into(), Json::str("HighLight")),
+        ("a_sparsity".into(), Json::Num(0.5)),
+        ("b_sparsity".into(), Json::Num(0.5)),
+    ]);
+
+    let cache_stats = |addr: &str| -> (f64, f64, f64) {
+        let (_, m) = get_json(addr, "/metrics").unwrap();
+        let c = m.get("eval_cache").unwrap();
+        (
+            c.get("hits").and_then(Json::as_f64).unwrap(),
+            c.get("misses").and_then(Json::as_f64).unwrap(),
+            c.get("hit_rate").and_then(Json::as_f64).unwrap(),
+        )
+    };
+
+    let (_, first) = post_json(&addr, "/evaluate", &body).unwrap();
+    let (hits0, misses0, rate0) = cache_stats(&addr);
+    for _ in 0..5 {
+        let (status, again) = post_json(&addr, "/evaluate", &body).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(again.encode(), first.encode(), "replays are identical");
+    }
+    let (hits1, misses1, rate1) = cache_stats(&addr);
+    assert_eq!(
+        misses1, misses0,
+        "no new evaluations for identical requests"
+    );
+    assert!(hits1 >= hits0 + 5.0, "hits {hits0} -> {hits1}");
+    assert!(rate1 > rate0, "hit rate must rise: {rate0} -> {rate1}");
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn sweep_end_to_end_with_limit() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let body = Json::parse(
+        r#"{"designs":["TC","STC","HighLight"],"a_degrees":[0,0.5,0.75],
+            "b_degrees":[0,0.5],"m":256,"k":256,"n":256,"limit":4}"#,
+    )
+    .unwrap();
+    let (status, v) = post_json(&addr, "/sweep", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(v.get("rows_total").and_then(Json::as_f64), Some(6.0));
+    assert_eq!(v.get("rows_returned").and_then(Json::as_f64), Some(4.0));
+    assert_eq!(v.get("truncated").and_then(Json::as_bool), Some(true));
+    let rows = v.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 4);
+    // Spot-check one cell against the offline evaluation.
+    let cell = rows[1].get("results").and_then(Json::as_arr).unwrap()[2].clone();
+    let offline = hl_sim::evaluate_best(
+        hl_bench::design_by_name("HighLight").unwrap().as_ref(),
+        &build_workload("HighLight", GemmShape::new(256, 256, 256), 0.0, 0.5).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(cell.encode(), eval_result_json(&offline).encode());
+    server.stop().unwrap();
+}
+
+#[test]
+fn malformed_requests_map_to_4xx() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+
+    // Raw protocol-level failures.
+    for (raw, expect) in [
+        (&b"GARBAGE\r\n\r\n"[..], "HTTP/1.1 400 "),
+        (b"GET /healthz HTTP/2\r\n\r\n", "HTTP/1.1 505 "),
+        (
+            b"POST /evaluate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "HTTP/1.1 411 ",
+        ),
+        (
+            b"POST /evaluate HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+            "HTTP/1.1 413 ",
+        ),
+    ] {
+        let resp = raw_exchange(&addr, raw);
+        assert!(resp.starts_with(expect), "{raw:?} => {resp}");
+        assert!(resp.contains("\"error\""), "{resp}");
+    }
+
+    // Routed failures through the structured client.
+    let (status, v) = get_json(&addr, "/no-such-route").unwrap();
+    assert_eq!(status, 404);
+    assert!(v
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("/evaluate"));
+
+    let (status, _) = get_json(&addr, "/evaluate").unwrap();
+    assert_eq!(status, 405);
+
+    let (status, v) = post_json(&addr, "/evaluate", &Json::Obj(vec![])).unwrap();
+    assert_eq!(status, 400);
+    assert!(v.get("error").is_some());
+
+    let bad_design = Json::Obj(vec![("design".into(), Json::str("TPU"))]);
+    let (status, v) = post_json(&addr, "/evaluate", &bad_design).unwrap();
+    assert_eq!(status, 400);
+    assert!(v
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("unknown design"));
+
+    let (_, text) =
+        hl_serve::client::request(&addr, "POST", "/evaluate", Some("{not json")).unwrap();
+    assert!(text.contains("invalid JSON"));
+
+    // 4xx responses were counted in metrics.
+    let (_, m) = get_json(&addr, "/metrics").unwrap();
+    let s4 = m
+        .get("responses")
+        .and_then(|r| r.get("4xx"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(s4 >= 7.0, "4xx count {s4}");
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let body = Json::Obj(vec![
+        ("design".into(), Json::str("DSTC")),
+        ("a_sparsity".into(), Json::Num(0.75)),
+        ("b_sparsity".into(), Json::Num(0.5)),
+    ]);
+    let reference = post_json(&addr, "/evaluate", &body).unwrap().1.encode();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let (addr, body, reference) = (&addr, &body, &reference);
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let (status, v) = post_json(addr, "/evaluate", body).unwrap();
+                    assert_eq!(status, 200);
+                    assert_eq!(&v.encode(), reference);
+                }
+            });
+        }
+    });
+    server.stop().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_stops_accepting() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let (status, _) = get_json(&addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    server.stop().expect("drain cleanly");
+    // The listener is gone: connecting (or at least exchanging) fails.
+    let after = TcpStream::connect(&addr);
+    assert!(
+        after.is_err() || get_json(&addr, "/healthz").is_err(),
+        "server must stop serving after shutdown"
+    );
+}
