@@ -11,9 +11,13 @@
 
 use std::time::Instant;
 
-use hl_bench::{bench_out_path, fig15_points, fig2_data, Fig2Model, ParetoPoint, SweepContext};
+use hl_bench::{
+    bench_out_path, designs, fig15_points, fig2_data, Fig2Model, ParetoPoint, SweepContext,
+};
+use hl_models::accuracy::PruningConfig;
 use hl_models::zoo;
 use hl_sim::engine::{default_threads, Engine};
+use hl_sim::network::NetworkEval;
 
 /// One full pass over the Fig. 2 and Fig. 15 sweeps.
 fn run_sweeps(ctx: &SweepContext) -> (Vec<Fig2Model>, Vec<Vec<ParetoPoint>>) {
@@ -63,10 +67,48 @@ fn main() {
         ));
     }
 
+    // Network-level evaluation (`hl_sim::network`): every design × model
+    // at a 50%-weight co-designed config, cold (empty eval cache) vs a
+    // cached replay on the same context — the speedup `/evaluate_model`
+    // clients see when re-querying a model.
+    let models = zoo::all_models();
+    let run_networks = |ctx: &SweepContext| -> Vec<NetworkEval> {
+        let weights = PruningConfig::Unstructured { sparsity: 0.5 };
+        models
+            .iter()
+            .flat_map(|m| {
+                designs()
+                    .into_iter()
+                    .map(|d| ctx.eval_network(d.as_ref(), m, &weights))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    let ctx = SweepContext::with_engine(Engine::with_threads(default_threads()));
+    let t0 = Instant::now();
+    let cold = run_networks(&ctx);
+    let network_cold_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let cached = run_networks(&ctx);
+    let network_cached_s = t0.elapsed().as_secs_f64();
+    let network_identical = cold == cached;
+    identical &= network_identical;
+    let replay_speedup = network_cold_s / network_cached_s.max(1e-9);
+    println!(
+        "{:>22}: {network_cold_s:8.3} s cold, {network_cached_s:8.3} s cached \
+         ({replay_speedup:5.2}x replay)   identical: {network_identical}",
+        "network eval"
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"fig2+fig15 design-space sweeps\",\n  \
          \"cpus\": {cpus},\n  \"serial_seconds\": {serial_s:.4},\n  \
-         \"engine\": [\n{rows}\n  ],\n  \"outputs_identical\": {identical}\n}}\n"
+         \"engine\": [\n{rows}\n  ],\n  \
+         \"network_eval\": {{\"cold_seconds\": {network_cold_s:.4}, \
+         \"cached_seconds\": {network_cached_s:.4}, \
+         \"replay_speedup\": {replay_speedup:.3}, \
+         \"identical\": {network_identical}}},\n  \
+         \"outputs_identical\": {identical}\n}}\n"
     );
     let out = bench_out_path("BENCH_sweeps.json");
     std::fs::write(&out, &json).expect("write BENCH_sweeps.json");

@@ -51,11 +51,17 @@ fn main() {
             base.edp() / r.edp()
         })
         .collect();
-    let gm = geomean(&edp_ratios).unwrap();
-    let max = edp_ratios.iter().cloned().fold(0.0, f64::max);
-    out.push_str(&format!(
-        "\nHighLight vs TC: geomean {gm:.2}x (up to {max:.2}x) lower EDP [paper: 6.4x, up to 20.4x]\n"
-    ));
+    match geomean(&edp_ratios) {
+        Some(gm) => {
+            let max = edp_ratios.iter().cloned().fold(0.0, f64::max);
+            out.push_str(&format!(
+                "\nHighLight vs TC: geomean {gm:.2}x (up to {max:.2}x) lower EDP [paper: 6.4x, up to 20.4x]\n"
+            ));
+        }
+        // `edp_ratios` covers every sweep point, so a `None` here means a
+        // degenerate (non-positive) ratio, not an empty sweep.
+        None => out.push_str("\nHighLight vs TC: n/a (non-positive EDP ratio in sweep)\n"),
+    }
     for (name, idx) in [("STC", 1), ("DSTC", 2), ("S2TA", 3)] {
         let ratios: Vec<f64> = sweep
             .iter()
@@ -65,11 +71,22 @@ fn main() {
                 Some(other.edp() / r.edp())
             })
             .collect();
-        let gm = geomean(&ratios).unwrap();
-        let max = ratios.iter().cloned().fold(0.0, f64::max);
-        out.push_str(&format!(
-            "HighLight vs {name}: geomean {gm:.2}x (up to {max:.2}x) lower EDP\n"
-        ));
+        match geomean(&ratios) {
+            Some(gm) => {
+                let max = ratios.iter().cloned().fold(0.0, f64::max);
+                out.push_str(&format!(
+                    "HighLight vs {name}: geomean {gm:.2}x (up to {max:.2}x) lower EDP\n"
+                ));
+            }
+            None => out.push_str(&format!(
+                "HighLight vs {name}: n/a ({})\n",
+                if ratios.is_empty() {
+                    "no comparable sweep points"
+                } else {
+                    "non-positive EDP ratio in sweep"
+                }
+            )),
+        }
     }
     print!("{out}");
     persist("fig14.txt", &out);

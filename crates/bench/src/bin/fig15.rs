@@ -3,16 +3,32 @@
 //! Pareto-frontier check ("HighLight always sits on the Pareto frontier").
 //!
 //! The per-model point sweep lives in [`hl_bench::fig15_points`] and runs
-//! on the parallel engine (`HL_THREADS` sizes the pool).
+//! on the parallel engine (`HL_THREADS` sizes the pool). Model names may
+//! be passed as arguments to sweep a subset (default: all three), resolved
+//! through the fallible [`hl_models::registry`].
+
+use std::process::exit;
 
 use hl_bench::{fig15_points, persist, SweepContext};
-use hl_models::zoo;
+use hl_models::{model_by_name, zoo};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let models = if args.is_empty() {
+        zoo::all_models()
+    } else {
+        match args.iter().map(|n| model_by_name(n)).collect() {
+            Ok(models) => models,
+            Err(e) => {
+                eprintln!("fig15: {e}");
+                exit(2);
+            }
+        }
+    };
     let ctx = SweepContext::new();
     let mut out = String::new();
     out.push_str("Fig. 15 — EDP vs accuracy loss (EDP normalized to dense TC)\n");
-    for model in zoo::all_models() {
+    for model in models {
         out.push_str(&format!("\n== {} ({}) ==\n", model.name, model.metric));
         let mut points = fig15_points(&ctx, &model);
         points.sort_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap());

@@ -5,6 +5,7 @@
 use highlight_core::HighLight;
 use hl_arch::Comp;
 use hl_bench::{designs, operand_a_for, persist, SweepContext};
+use hl_sim::network::{NetworkLayer, NetworkWorkload};
 use hl_sim::Accelerator;
 use hl_sim::{OperandSparsity, Workload};
 
@@ -14,9 +15,15 @@ fn main() {
     out.push_str("Fig. 16(a) — energy breakdown (mJ), A 75% sparse / B dense, 1024^3 GEMM\n\n");
     out.push_str(&format!("{:>11}", "component"));
     let designs = designs();
+    // Each design evaluates a one-layer network through the network-level
+    // subsystem (the same path `/evaluate_model` and Figs. 2/15 use), and
+    // the breakdown reads the per-layer result.
     let results: Vec<_> = ctx.map(&designs, |d| {
         let w = Workload::synthetic(operand_a_for(d.name(), 0.75), OperandSparsity::Dense);
-        (d.name().to_string(), ctx.evaluate_best(d.as_ref(), &w).ok())
+        let network = NetworkWorkload::new("fig16", vec![NetworkLayer::new(w, 1)]);
+        let eval = ctx.evaluate_network(d.as_ref(), &network);
+        let layer = eval.layers.into_iter().next().expect("one layer");
+        (d.name().to_string(), layer.outcome.ok())
     });
     for (n, _) in &results {
         out.push_str(&format!(" {n:>10}"));

@@ -19,9 +19,11 @@
 //!   benchmarked against (`bench_sweeps`) and must match byte-for-byte;
 //! - [`run_synthetic_sweep`]: the Fig. 13 sweep (A ∈ {0, 50, 75}%,
 //!   B ∈ {0, 25, 50, 75}% on 1024³ GEMMs), a [`SweepGrid`] under the hood;
-//! - [`eval_model`] / [`SweepContext::eval_model`]: whole-DNN evaluation
-//!   (per-layer `evaluate_best`, energy/latency summed with layer
-//!   multiplicities) for Figs. 2 and 15;
+//! - [`eval_model`] / [`SweepContext::eval_network`]: whole-DNN evaluation
+//!   through the [`hl_sim::network`] subsystem — models lower to a
+//!   [`NetworkWorkload`] via the design's [`DesignMapping`] and layers fan
+//!   out across the engine pool, hitting the eval cache individually —
+//!   for Figs. 2 and 15;
 //! - [`fig2_data`] / [`fig15_points`]: the Fig. 2 / Fig. 15 sweep cores,
 //!   shared by the figure binaries and the `bench_sweeps` perf harness;
 //! - report helpers that print aligned tables and persist them under
@@ -43,6 +45,7 @@ use hl_baselines::{Dstc, S2ta, Stc, Tc};
 use hl_models::accuracy::{accuracy_loss, accuracy_loss_cached, PruningConfig, RetentionCache};
 use hl_models::DnnModel;
 use hl_sim::engine::{Engine, SweepGrid};
+use hl_sim::network::{NetworkEval, NetworkWorkload, SparsityMapping};
 use hl_sim::{evaluate_best, Accelerator, EvalResult, OperandSparsity, Unsupported, Workload};
 use hl_sparsity::families::{highlight_a, HssFamily};
 use hl_sparsity::{Gh, HssPattern};
@@ -97,6 +100,43 @@ pub fn try_operand_a_for(design: &str, sparsity: f64) -> Result<OperandSparsity,
             OperandSparsity::Hss(highlight_a().closest_to_density(1.0 - sparsity))
         }
     })
+}
+
+/// The [`SparsityMapping`] of one registered design: how the §7.1.2
+/// co-design step resolves abstract weight/activation degrees into the
+/// operand descriptors that design was built for. This is what model
+/// lowering ([`DnnModel::lower`]) runs through, so the network subsystem
+/// stays design-agnostic while the registry owns the policy.
+#[derive(Debug, Clone)]
+pub struct DesignMapping {
+    name: &'static str,
+}
+
+impl DesignMapping {
+    /// The mapping for a registered design name.
+    ///
+    /// # Errors
+    /// [`UnknownDesign`] when the name is not registered (which makes the
+    /// later per-degree calls infallible).
+    pub fn new(design: &str) -> Result<Self, UnknownDesign> {
+        let id: DesignId = design.parse()?;
+        Ok(Self { name: id.name() })
+    }
+
+    /// The design name the mapping co-designs for.
+    pub fn design(&self) -> &str {
+        self.name
+    }
+}
+
+impl SparsityMapping for DesignMapping {
+    fn operand_a(&self, weight_sparsity: f64) -> OperandSparsity {
+        operand_a_for(self.name, weight_sparsity)
+    }
+
+    fn operand_b(&self, activation_sparsity: f64) -> OperandSparsity {
+        operand_b_for(self.name, activation_sparsity)
+    }
 }
 
 /// Maps an activation-sparsity degree to the operand B descriptor each
@@ -200,39 +240,48 @@ impl SweepContext {
         }
     }
 
-    /// Whole-model evaluation: energy and latency summed across all layers
-    /// (× multiplicities), prunable layers at the design's weight pattern.
-    /// Returns `None` if any layer is unsupported.
-    pub fn eval_model(
+    /// Lowers `model` for `design` (prunable layers at the design's
+    /// weight pattern, via [`DesignMapping`]) into the
+    /// [`hl_sim::network`] IR.
+    ///
+    /// # Panics
+    /// Panics when the design name is not in the [`registry`].
+    pub fn lower_model(
+        design: &dyn Accelerator,
+        model: &DnnModel,
+        weights: &PruningConfig,
+    ) -> NetworkWorkload {
+        let mapping = DesignMapping::new(design.name()).unwrap_or_else(|e| panic!("{e}"));
+        model.lower(weights, &mapping)
+    }
+
+    /// Evaluates an already-lowered [`NetworkWorkload`] through the
+    /// context: layers fan out across the engine pool, each hitting the
+    /// eval cache individually (inline and uncached in baseline mode).
+    pub fn evaluate_network(
+        &self,
+        design: &dyn Accelerator,
+        network: &NetworkWorkload,
+    ) -> NetworkEval {
+        if self.cached {
+            self.engine.evaluate_network(design, network)
+        } else {
+            hl_sim::network::evaluate_network(design, network)
+        }
+    }
+
+    /// Whole-model evaluation through [`hl_sim::network`]: the model
+    /// lowers to a [`NetworkWorkload`] and runs through
+    /// [`SweepContext::evaluate_network`]. Unsupported layers are
+    /// reported per layer in the returned [`NetworkEval`]; aggregates
+    /// are `None` when any layer cannot run.
+    pub fn eval_network(
         &self,
         design: &dyn Accelerator,
         model: &DnnModel,
         weights: &PruningConfig,
-    ) -> Option<ModelEval> {
-        let mut energy_j = 0.0;
-        let mut latency_s = 0.0;
-        for layer in &model.layers {
-            let a = if layer.prunable {
-                match weights {
-                    PruningConfig::Dense => OperandSparsity::Dense,
-                    PruningConfig::Unstructured { sparsity } => {
-                        operand_a_for(design.name(), *sparsity)
-                    }
-                    PruningConfig::Hss(p) => OperandSparsity::Hss(p.clone()),
-                }
-            } else {
-                OperandSparsity::Dense
-            };
-            let b = operand_b_for(design.name(), layer.activation_sparsity);
-            let w = Workload::new(layer.name.clone(), layer.shape, a, b);
-            let r = self.evaluate_best(design, &w).ok()?;
-            energy_j += r.energy_j() * f64::from(layer.count);
-            latency_s += r.latency_s() * f64::from(layer.count);
-        }
-        Some(ModelEval {
-            energy_j,
-            latency_s,
-        })
+    ) -> NetworkEval {
+        self.evaluate_network(design, &Self::lower_model(design, model, weights))
     }
 
     /// The per-design pruning configuration used for accuracy-matched
@@ -371,34 +420,17 @@ pub fn run_synthetic_sweep_with(ctx: &SweepContext) -> Vec<SweepPoint> {
         .collect()
 }
 
-/// Whole-model evaluation: energy and latency summed across all layers
-/// (× multiplicities), prunable layers at the design's weight pattern.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ModelEval {
-    /// Total energy (J).
-    pub energy_j: f64,
-    /// Total latency (s).
-    pub latency_s: f64,
-}
-
-impl ModelEval {
-    /// Whole-model EDP (J·s).
-    pub fn edp(&self) -> f64 {
-        self.energy_j * self.latency_s
-    }
-}
-
 /// Evaluates a DNN on a design with the given weight-pruning config for
-/// prunable layers. Returns `None` if any layer is unsupported.
+/// prunable layers, through the [`hl_sim::network`] subsystem.
 ///
-/// Free-function form of [`SweepContext::eval_model`] on the uncached
+/// Free-function form of [`SweepContext::eval_network`] on the uncached
 /// serial baseline.
 pub fn eval_model(
     design: &dyn Accelerator,
     model: &DnnModel,
     weights: &PruningConfig,
-) -> Option<ModelEval> {
-    SweepContext::serial_baseline().eval_model(design, model, weights)
+) -> NetworkEval {
+    SweepContext::serial_baseline().eval_network(design, model, weights)
 }
 
 /// The per-design pruning configuration used for accuracy-matched
@@ -470,9 +502,9 @@ pub fn fig2_data(ctx: &SweepContext) -> Vec<Fig2Model> {
         ) + 0.4;
         let tc_edp = {
             let tc = &designs()[0];
-            ctx.eval_model(tc.as_ref(), &model, &PruningConfig::Dense)
-                .expect("TC runs dense")
+            ctx.eval_network(tc.as_ref(), &model, &PruningConfig::Dense)
                 .edp()
+                .expect("TC runs dense")
         };
         let fig2_designs: Vec<Box<dyn Accelerator>> = designs()
             .into_iter()
@@ -483,10 +515,10 @@ pub fn fig2_data(ctx: &SweepContext) -> Vec<Fig2Model> {
                 None => Fig2Outcome::NoConfig,
                 Some(cfg) => {
                     let loss = ctx.accuracy_loss(&model, &cfg);
-                    match ctx.eval_model(d.as_ref(), &model, &cfg) {
+                    match ctx.eval_network(d.as_ref(), &model, &cfg).edp() {
                         None => Fig2Outcome::Unsupported,
-                        Some(e) => Fig2Outcome::Matched {
-                            edp_ratio: e.edp() / tc_edp,
+                        Some(edp) => Fig2Outcome::Matched {
+                            edp_ratio: edp / tc_edp,
                             weight_sparsity: cfg.sparsity(),
                             loss,
                         },
@@ -572,9 +604,9 @@ pub fn try_fig15_configs(design: &str) -> Result<Vec<PruningConfig>, UnknownDesi
 pub fn fig15_points(ctx: &SweepContext, model: &DnnModel) -> Vec<ParetoPoint> {
     let designs = designs();
     let tc_edp = ctx
-        .eval_model(designs[0].as_ref(), model, &PruningConfig::Dense)
-        .expect("TC runs dense")
-        .edp();
+        .eval_network(designs[0].as_ref(), model, &PruningConfig::Dense)
+        .edp()
+        .expect("TC runs dense");
     let cells: Vec<(usize, PruningConfig)> = designs
         .iter()
         .enumerate()
@@ -583,21 +615,14 @@ pub fn fig15_points(ctx: &SweepContext, model: &DnnModel) -> Vec<ParetoPoint> {
     ctx.map(&cells, |(i, cfg)| {
         let d = designs[*i].as_ref();
         let loss = ctx.accuracy_loss(model, cfg);
-        ctx.eval_model(d, model, cfg).map(|e| {
-            let label = match cfg {
-                PruningConfig::Dense => "dense".to_string(),
-                PruningConfig::Unstructured { sparsity } => {
-                    format!("unstructured {:.1}%", sparsity * 100.0)
-                }
-                PruningConfig::Hss(p) => p.to_string(),
-            };
-            ParetoPoint {
+        ctx.eval_network(d, model, cfg)
+            .edp()
+            .map(|edp| ParetoPoint {
                 design: d.name().to_string(),
-                config: label,
+                config: cfg.to_string(),
                 loss,
-                edp: e.edp() / tc_edp,
-            }
-        })
+                edp: edp / tc_edp,
+            })
     })
     .into_iter()
     .flatten()
@@ -696,19 +721,42 @@ mod tests {
             let cfg = accuracy_matched_config(d.name(), &model, 1.0);
             if let Some(cfg) = cfg {
                 let r = eval_model(d.as_ref(), &model, &cfg);
-                assert!(r.is_some(), "{} failed on ResNet50", d.name());
-                assert!(r.unwrap().edp() > 0.0);
+                assert!(r.supported(), "{} failed on ResNet50", d.name());
+                assert_eq!(r.layers.len(), model.layers.len());
+                assert!(r.edp().unwrap() > 0.0);
+                let u = r.utilization().unwrap();
+                assert!(u > 0.0 && u <= 1.0, "{} utilization {u}", d.name());
             }
         }
     }
 
     #[test]
-    fn s2ta_cannot_eval_models_with_dense_layers() {
+    fn s2ta_reports_unsupported_dense_layers_per_layer() {
         let deit = zoo::deit_small();
         let s2ta = S2ta::default();
         let cfg = accuracy_matched_config("S2TA", &deit, 2.0);
         if let Some(cfg) = cfg {
-            assert!(eval_model(&s2ta, &deit, &cfg).is_none());
+            let r = eval_model(&s2ta, &deit, &cfg);
+            assert!(!r.supported());
+            assert_eq!(r.edp(), None, "aggregates are None on partial support");
+            // The dense QKV projections fail; the pruned FFN layers still
+            // evaluate (per-layer propagation, not whole-model bailout).
+            for layer in &r.layers {
+                let spec = deit.layers.iter().find(|l| l.name == layer.name()).unwrap();
+                assert_eq!(layer.outcome.is_ok(), spec.prunable, "{}", layer.name());
+            }
         }
+    }
+
+    // Serial-vs-engine network equality is covered (across all zoo
+    // models, with warm-replay checks) by tests/network.rs at the
+    // workspace level.
+
+    #[test]
+    fn design_mapping_rejects_unknown_names() {
+        assert!(DesignMapping::new("TPU").is_err());
+        let m = DesignMapping::new("STC").unwrap();
+        assert_eq!(m.design(), "STC");
+        assert!(m.operand_a(0.5).is_structured(), "STC co-designs to G:H");
     }
 }

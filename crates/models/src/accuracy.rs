@@ -57,6 +57,20 @@ impl PruningConfig {
     }
 }
 
+/// The canonical report label (shared by the Fig. 15 tables and the
+/// `/evaluate_model` responses).
+impl std::fmt::Display for PruningConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Dense => f.write_str("dense"),
+            Self::Unstructured { sparsity } => {
+                write!(f, "unstructured {:.1}%", sparsity * 100.0)
+            }
+            Self::Hss(p) => write!(f, "{p}"),
+        }
+    }
+}
+
 /// Hashable identity of a [`PruningConfig`] (`f64` degrees are keyed by
 /// their exact bit pattern), used by [`RetentionCache`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

@@ -4,7 +4,12 @@
 //! which are reproduced exactly here for the paper's three representative
 //! DNNs: [`zoo::resnet50`] (convolutional, ImageNet), [`zoo::deit_small`]
 //! (attention, ImageNet) and [`zoo::transformer_big`] (attention, WMT16
-//! EN-DE). Convolutions carry their Toeplitz-expanded GEMM shapes (Fig. 8a).
+//! EN-DE). Convolutions are lowered to their Toeplitz-expanded GEMM
+//! shapes through [`hl_tensor::conv`] (Fig. 8a). [`registry`] resolves
+//! model *names* fallibly (mirroring the design registry), and
+//! [`DnnModel::lower`] turns an inventory plus a pruning configuration
+//! into the [`hl_sim::network::NetworkWorkload`] IR the network-level
+//! evaluator runs on.
 //!
 //! Accuracy appears only on the y-axis of Fig. 15. Since retraining the
 //! networks is out of scope (see `DESIGN.md` substitutions), [`accuracy`]
@@ -20,8 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod registry;
 pub mod zoo;
 
 mod layers;
+mod lower;
 
 pub use layers::{DnnModel, LayerKind, LayerSpec};
+pub use registry::{model_by_name, model_names, ModelId, UnknownModel};

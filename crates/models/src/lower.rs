@@ -1,0 +1,119 @@
+//! Lowering a [`DnnModel`] into the network-evaluation IR
+//! ([`hl_sim::network::NetworkWorkload`]).
+//!
+//! The lowering is where the three co-design inputs meet:
+//!
+//! - the model inventory supplies each layer's GEMM shape (convolutions
+//!   already carry their Toeplitz/im2col expansion, built from
+//!   [`hl_tensor::conv::ConvLayer`] geometry in [`crate::zoo`]) plus its
+//!   occurrence count, prunability, and typical activation sparsity;
+//! - the [`PruningConfig`] says how prunable weights were sparsified
+//!   (dense layers — DeiT's QKV projections, say — always lower dense);
+//! - the design-specific [`SparsityMapping`] translates abstract degrees
+//!   into the operand descriptors that design was co-designed for
+//!   (§7.1.2: an unstructured degree becomes `G:H` on STC, stays
+//!   unstructured on DSTC, …).
+
+use hl_sim::network::{NetworkLayer, NetworkWorkload, SparsityMapping};
+use hl_sim::{OperandSparsity, Workload};
+
+use crate::accuracy::PruningConfig;
+use crate::layers::DnnModel;
+
+impl DnnModel {
+    /// Lowers the model into a [`NetworkWorkload`] for one design:
+    /// prunable layers get operand A from `weights` (degrees resolved
+    /// through `mapping`), non-prunable layers stay dense, and every
+    /// layer's operand B comes from its activation sparsity through
+    /// `mapping`.
+    pub fn lower(&self, weights: &PruningConfig, mapping: &dyn SparsityMapping) -> NetworkWorkload {
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let a = if layer.prunable {
+                    match weights {
+                        PruningConfig::Dense => OperandSparsity::Dense,
+                        PruningConfig::Unstructured { sparsity } => mapping.operand_a(*sparsity),
+                        PruningConfig::Hss(p) => mapping.operand_a_hss(p),
+                    }
+                } else {
+                    OperandSparsity::Dense
+                };
+                let b = mapping.operand_b(layer.activation_sparsity);
+                NetworkLayer::new(
+                    Workload::new(layer.name.clone(), layer.shape, a, b),
+                    layer.count,
+                )
+            })
+            .collect();
+        NetworkWorkload::new(self.name.clone(), layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use hl_sparsity::{Gh, HssPattern};
+
+    /// Degrees pass through unchanged (a DSTC-like identity mapping).
+    struct Identity;
+
+    impl SparsityMapping for Identity {
+        fn operand_a(&self, s: f64) -> OperandSparsity {
+            if s == 0.0 {
+                OperandSparsity::Dense
+            } else {
+                OperandSparsity::unstructured(s)
+            }
+        }
+        fn operand_b(&self, s: f64) -> OperandSparsity {
+            self.operand_a(s)
+        }
+    }
+
+    #[test]
+    fn lowering_preserves_names_shapes_and_counts() {
+        let model = zoo::resnet50();
+        let nw = model.lower(&PruningConfig::Unstructured { sparsity: 0.5 }, &Identity);
+        assert_eq!(nw.name, model.name);
+        assert_eq!(nw.layers.len(), model.layers.len());
+        for (spec, lowered) in model.layers.iter().zip(&nw.layers) {
+            assert_eq!(lowered.workload.name, spec.name);
+            assert_eq!(lowered.workload.shape, spec.shape);
+            assert_eq!(lowered.count, spec.count);
+        }
+        assert_eq!(nw.total_dense_macs(), model.total_macs());
+    }
+
+    #[test]
+    fn dense_layers_ignore_the_pruning_config() {
+        let model = zoo::deit_small();
+        let nw = model.lower(&PruningConfig::Unstructured { sparsity: 0.9 }, &Identity);
+        for (spec, lowered) in model.layers.iter().zip(&nw.layers) {
+            if spec.prunable {
+                assert_eq!(lowered.workload.a.sparsity(), 0.9, "{}", spec.name);
+            } else {
+                assert!(lowered.workload.a.is_dense(), "{}", spec.name);
+            }
+            // `sparsity()` round-trips through `1 - density`, so compare
+            // up to f64 rounding.
+            assert!(
+                (lowered.workload.b.sparsity() - spec.activation_sparsity).abs() < 1e-12,
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn hss_configs_lower_to_the_pattern_itself() {
+        let model = zoo::transformer_big();
+        let p = HssPattern::one_rank(Gh::new(2, 4));
+        let nw = model.lower(&PruningConfig::Hss(p.clone()), &Identity);
+        for lowered in &nw.layers {
+            assert_eq!(lowered.workload.a, OperandSparsity::Hss(p.clone()));
+        }
+    }
+}

@@ -1,23 +1,39 @@
 //! The paper's three representative DNNs as GEMM layer inventories
 //! (paper §7.1.2).
 //!
-//! Convolutions are recorded with their Toeplitz-expanded GEMM shapes
-//! (`M × C·R·S × P·Q`, Fig. 8a); attention models with their projection and
-//! feed-forward GEMMs. Which layers are pruned follows §7.3 exactly:
-//! everything for ResNet50; feed-forward + output projection for
+//! Convolutions are described by their real geometry (`M` filters of
+//! `kernel²×C` at a given stride and output edge) and lowered to GEMMs
+//! through the Toeplitz/im2col expansion in [`hl_tensor::conv`]
+//! (`M × C·R·S × P·Q`, Fig. 8a); attention models carry their projection
+//! and feed-forward GEMMs directly. Which layers are pruned follows §7.3
+//! exactly: everything for ResNet50; feed-forward + output projection for
 //! DeiT-small; feed-forward + all projections for Transformer-Big.
 //! Activation (operand B) sparsities reflect the paper's observations:
 //! ~60% for the ReLU-based ResNet50, <10% for the attention models.
 
+use hl_tensor::conv::ConvLayer;
 use hl_tensor::GemmShape;
 
 use crate::layers::{DnnModel, LayerKind, LayerSpec};
 
-fn conv(name: &str, m: usize, k: usize, n: usize, count: u32, act_s: f64) -> LayerSpec {
+/// A square convolution lowered to its im2col GEMM: `m` filters of
+/// `kernel×kernel×c` producing an `out×out` map at `stride`.
+#[allow(clippy::too_many_arguments)] // conv dims are positional by convention
+fn conv(
+    name: &str,
+    m: usize,
+    c: usize,
+    kernel: usize,
+    out: usize,
+    stride: usize,
+    count: u32,
+    act_s: f64,
+) -> LayerSpec {
+    let geometry = ConvLayer::for_output(name, m, c, kernel, out, stride);
     LayerSpec::new(
         name,
         LayerKind::Conv,
-        GemmShape::new(m, k, n),
+        geometry.to_gemm(),
         count,
         true,
         act_s,
@@ -49,31 +65,31 @@ fn linear(
 pub fn resnet50() -> DnnModel {
     let act = 0.6;
     let layers = vec![
-        conv("conv1 7x7/2", 64, 3 * 49, 112 * 112, 1, 0.0),
-        // conv2_x: 3 bottlenecks at 56x56 (N = 3136).
-        conv("conv2 b1 1x1a", 64, 64, 3136, 1, act),
-        conv("conv2 1x1a", 64, 256, 3136, 2, act),
-        conv("conv2 3x3", 64, 64 * 9, 3136, 3, act),
-        conv("conv2 1x1b", 256, 64, 3136, 3, act),
-        conv("conv2 down", 256, 64, 3136, 1, act),
-        // conv3_x: 4 bottlenecks at 28x28 (N = 784).
-        conv("conv3 b1 1x1a", 128, 256, 3136, 1, act),
-        conv("conv3 1x1a", 128, 512, 784, 3, act),
-        conv("conv3 3x3", 128, 128 * 9, 784, 4, act),
-        conv("conv3 1x1b", 512, 128, 784, 4, act),
-        conv("conv3 down", 512, 256, 784, 1, act),
-        // conv4_x: 6 bottlenecks at 14x14 (N = 196).
-        conv("conv4 b1 1x1a", 256, 512, 784, 1, act),
-        conv("conv4 1x1a", 256, 1024, 196, 5, act),
-        conv("conv4 3x3", 256, 256 * 9, 196, 6, act),
-        conv("conv4 1x1b", 1024, 256, 196, 6, act),
-        conv("conv4 down", 1024, 512, 196, 1, act),
-        // conv5_x: 3 bottlenecks at 7x7 (N = 49).
-        conv("conv5 b1 1x1a", 512, 1024, 196, 1, act),
-        conv("conv5 1x1a", 512, 2048, 49, 2, act),
-        conv("conv5 3x3", 512, 512 * 9, 49, 3, act),
-        conv("conv5 1x1b", 2048, 512, 49, 3, act),
-        conv("conv5 down", 2048, 1024, 49, 1, act),
+        conv("conv1 7x7/2", 64, 3, 7, 112, 2, 1, 0.0),
+        // conv2_x: 3 bottlenecks at 56x56 (P·Q = 3136).
+        conv("conv2 b1 1x1a", 64, 64, 1, 56, 1, 1, act),
+        conv("conv2 1x1a", 64, 256, 1, 56, 1, 2, act),
+        conv("conv2 3x3", 64, 64, 3, 56, 1, 3, act),
+        conv("conv2 1x1b", 256, 64, 1, 56, 1, 3, act),
+        conv("conv2 down", 256, 64, 1, 56, 1, 1, act),
+        // conv3_x: 4 bottlenecks at 28x28 (P·Q = 784).
+        conv("conv3 b1 1x1a", 128, 256, 1, 56, 1, 1, act),
+        conv("conv3 1x1a", 128, 512, 1, 28, 1, 3, act),
+        conv("conv3 3x3", 128, 128, 3, 28, 1, 4, act),
+        conv("conv3 1x1b", 512, 128, 1, 28, 1, 4, act),
+        conv("conv3 down", 512, 256, 1, 28, 2, 1, act),
+        // conv4_x: 6 bottlenecks at 14x14 (P·Q = 196).
+        conv("conv4 b1 1x1a", 256, 512, 1, 28, 1, 1, act),
+        conv("conv4 1x1a", 256, 1024, 1, 14, 1, 5, act),
+        conv("conv4 3x3", 256, 256, 3, 14, 1, 6, act),
+        conv("conv4 1x1b", 1024, 256, 1, 14, 1, 6, act),
+        conv("conv4 down", 1024, 512, 1, 14, 2, 1, act),
+        // conv5_x: 3 bottlenecks at 7x7 (P·Q = 49).
+        conv("conv5 b1 1x1a", 512, 1024, 1, 14, 1, 1, act),
+        conv("conv5 1x1a", 512, 2048, 1, 7, 1, 2, act),
+        conv("conv5 3x3", 512, 512, 3, 7, 1, 3, act),
+        conv("conv5 1x1b", 2048, 512, 1, 7, 1, 3, act),
+        conv("conv5 down", 2048, 1024, 1, 7, 2, 1, act),
         linear("fc", 1000, 2048, 1, 1, true, act),
     ];
     DnnModel {
@@ -175,6 +191,21 @@ mod tests {
         );
         assert!(!m.has_dense_layers());
         assert!(m.avg_activation_sparsity() < 0.1);
+    }
+
+    #[test]
+    fn conv_layers_lower_to_their_toeplitz_shapes() {
+        let m = resnet50();
+        let shape_of = |name: &str| m.layers.iter().find(|l| l.name == name).unwrap().shape;
+        // Spot-check the im2col expansion against the Fig. 8a literals.
+        assert_eq!(
+            shape_of("conv1 7x7/2"),
+            GemmShape::new(64, 3 * 49, 112 * 112)
+        );
+        assert_eq!(shape_of("conv2 3x3"), GemmShape::new(64, 64 * 9, 3136));
+        assert_eq!(shape_of("conv4 1x1a"), GemmShape::new(256, 1024, 196));
+        assert_eq!(shape_of("conv5 down"), GemmShape::new(2048, 1024, 49));
+        assert!(m.layers.iter().all(|l| l.shape.m > 0 && l.shape.k > 0));
     }
 
     #[test]

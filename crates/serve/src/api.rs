@@ -10,14 +10,18 @@
 //! never take a worker down.
 //!
 //! Endpoints: `GET /healthz`, `GET /designs`, `GET /metrics`,
-//! `POST /evaluate`, `POST /sweep`.
+//! `GET /models`, `POST /evaluate`, `POST /evaluate_model`,
+//! `POST /sweep`.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
 
 use hl_bench::{design_names, operand_b_for, registered_names, try_operand_a_for, SweepContext};
+use hl_models::accuracy::PruningConfig;
 use hl_sim::engine::SweepGrid;
+use hl_sim::network::{LayerEval, NetworkEval};
 use hl_sim::{Accelerator, EvalResult, Workload};
+use hl_sparsity::{Gh, HssPattern};
 use hl_tensor::GemmShape;
 
 use crate::http::{ParseError, Request, Response};
@@ -41,6 +45,12 @@ pub const MAX_DEGREE: f64 = 0.99;
 /// Hard server-side cap on `/sweep` result rows; requests may lower it
 /// with `"limit"` but never raise it.
 pub const MAX_SWEEP_ROWS: usize = 256;
+
+/// Largest accepted `/evaluate_model` HSS group size (product of the
+/// per-rank `H` values): the co-design families top out at 32, and the
+/// accuracy surrogate synthesizes (and caches) group-aligned weight
+/// matrices, so the group size bounds per-request memory.
+pub const MAX_GROUP_SIZE: usize = 64;
 
 /// The long-lived serving state shared across the worker pool.
 #[derive(Default)]
@@ -104,10 +114,16 @@ impl App {
             ("GET", "/healthz") => Ok(self.healthz()),
             ("GET", "/designs") => Ok(designs_json()),
             ("GET", "/metrics") => Ok(self.metrics_json()),
+            ("GET", "/models") => Ok(models_json()),
             ("POST", "/evaluate") => self.evaluate(&req.body),
+            ("POST", "/evaluate_model") => self.evaluate_model(&req.body),
             ("POST", "/sweep") => self.sweep(&req.body),
-            (_, "/healthz" | "/designs" | "/metrics") => Err(ApiError::method_not_allowed("GET")),
-            (_, "/evaluate" | "/sweep") => Err(ApiError::method_not_allowed("POST")),
+            (_, "/healthz" | "/designs" | "/metrics" | "/models") => {
+                Err(ApiError::method_not_allowed("GET"))
+            }
+            (_, "/evaluate" | "/evaluate_model" | "/sweep") => {
+                Err(ApiError::method_not_allowed("POST"))
+            }
             _ => Err(ApiError::not_found(&req.path)),
         }
     }
@@ -218,6 +234,38 @@ impl App {
             }
         }
         Ok(Json::Obj(members))
+    }
+
+    fn evaluate_model(&self, body: &[u8]) -> Result<Json, ApiError> {
+        let obj = parse_body(body, &["design", "model", "pruning"])?;
+        let design_name = obj
+            .get("design")
+            .ok_or_else(|| ApiError::bad_request("missing required field \"design\""))?
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request("\"design\" must be a string"))?;
+        let design = hl_bench::design_by_name(design_name)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let model_name = obj
+            .get("model")
+            .ok_or_else(|| ApiError::bad_request("missing required field \"model\""))?
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request("\"model\" must be a string"))?;
+        let model = hl_models::model_by_name(model_name)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let pruning = pruning_from(obj.get("pruning"))?;
+
+        let eval = self.ctx.eval_network(design.as_ref(), &model, &pruning);
+        let loss = self.ctx.accuracy_loss(&model, &pruning);
+        Ok(Json::Obj(vec![
+            ("design".into(), Json::str(design.name())),
+            ("model".into(), Json::str(&model.name)),
+            ("metric".into(), Json::str(model.metric)),
+            ("pruning".into(), Json::str(pruning.to_string())),
+            ("weight_sparsity".into(), Json::Num(pruning.sparsity())),
+            ("accuracy_loss".into(), Json::Num(loss)),
+            ("supported".into(), Json::Bool(eval.supported())),
+            ("network".into(), network_eval_json(&eval)),
+        ]))
     }
 
     fn sweep(&self, body: &[u8]) -> Result<Json, ApiError> {
@@ -336,6 +384,173 @@ pub fn designs_json() -> Json {
     Json::Obj(vec![("designs".into(), Json::Arr(designs))])
 }
 
+/// The `GET /models` payload: every registered model with its inventory
+/// summary.
+pub fn models_json() -> Json {
+    let models: Vec<Json> = hl_models::model_names()
+        .iter()
+        .map(|name| {
+            let m = hl_models::model_by_name(name).expect("registered");
+            Json::Obj(vec![
+                ("name".into(), Json::str(&m.name)),
+                ("metric".into(), Json::str(m.metric)),
+                ("dense_accuracy".into(), Json::Num(m.dense_accuracy)),
+                ("layer_shapes".into(), Json::Num(m.layers.len() as f64)),
+                ("gmacs".into(), Json::Num(m.total_macs() / 1e9)),
+                ("prunable_fraction".into(), Json::Num(m.prunable_fraction())),
+                (
+                    "avg_activation_sparsity".into(),
+                    Json::Num(m.avg_activation_sparsity()),
+                ),
+                ("has_dense_layers".into(), Json::Bool(m.has_dense_layers())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("models".into(), Json::Arr(models))])
+}
+
+/// The canonical JSON view of one [`NetworkEval`] — shared by
+/// `/evaluate_model` and the offline byte-identity acceptance test:
+/// per-layer breakdowns (each with its [`EvalResult`] or the unsupported
+/// reason) plus aggregate totals (`null` when any layer cannot run).
+pub fn network_eval_json(eval: &NetworkEval) -> Json {
+    let layers: Vec<Json> = eval.layers.iter().map(layer_eval_json).collect();
+    let totals = match (
+        eval.cycles(),
+        eval.energy_j(),
+        eval.latency_s(),
+        eval.edp(),
+        eval.ed2(),
+        eval.utilization(),
+    ) {
+        (Some(cycles), Some(energy_j), Some(latency_s), Some(edp), Some(ed2), Some(u)) => {
+            Json::Obj(vec![
+                ("cycles".into(), Json::Num(cycles)),
+                ("latency_s".into(), Json::Num(latency_s)),
+                ("energy_j".into(), Json::Num(energy_j)),
+                ("edp".into(), Json::Num(edp)),
+                ("ed2".into(), Json::Num(ed2)),
+                ("utilization".into(), Json::Num(u)),
+            ])
+        }
+        _ => Json::Null,
+    };
+    Json::Obj(vec![
+        ("design".into(), Json::str(&eval.design)),
+        ("network".into(), Json::str(&eval.network)),
+        ("supported".into(), Json::Bool(eval.supported())),
+        ("layers".into(), Json::Arr(layers)),
+        ("totals".into(), totals),
+    ])
+}
+
+fn layer_eval_json(layer: &LayerEval) -> Json {
+    let mut members = vec![
+        ("name".into(), Json::str(layer.name())),
+        ("count".into(), Json::Num(f64::from(layer.count))),
+        ("shape".into(), shape_json(layer.workload.shape)),
+        ("a".into(), Json::str(layer.workload.a.to_string())),
+        ("b".into(), Json::str(layer.workload.b.to_string())),
+    ];
+    match &layer.outcome {
+        Ok(result) => {
+            members.push(("supported".into(), Json::Bool(true)));
+            members.push(("result".into(), eval_result_json(result)));
+        }
+        Err(unsupported) => {
+            members.push(("supported".into(), Json::Bool(false)));
+            members.push(("reason".into(), Json::str(unsupported.to_string())));
+        }
+    }
+    Json::Obj(members)
+}
+
+/// Parses the `/evaluate_model` `"pruning"` field into a
+/// [`PruningConfig`]: absent or `"dense"` → no pruning,
+/// `{"unstructured": degree}` → unstructured magnitude pruning,
+/// `{"hss": [[g, h], ...]}` → an HSS pattern, outermost rank first.
+pub fn pruning_from(v: Option<&Json>) -> Result<PruningConfig, ApiError> {
+    let Some(v) = v else {
+        return Ok(PruningConfig::Dense);
+    };
+    if let Some(s) = v.as_str() {
+        if s == "dense" {
+            return Ok(PruningConfig::Dense);
+        }
+        return Err(ApiError::bad_request(format!(
+            "\"pruning\" string must be \"dense\", got {s:?}"
+        )));
+    }
+    let Json::Obj(members) = v else {
+        return Err(ApiError::bad_request(
+            "\"pruning\" must be \"dense\", {\"unstructured\": degree}, \
+             or {\"hss\": [[g, h], ...]}",
+        ));
+    };
+    match members.as_slice() {
+        [(key, value)] if key == "unstructured" => {
+            let degree = value.as_f64().ok_or_else(|| {
+                ApiError::bad_request("\"pruning.unstructured\" must be a number")
+            })?;
+            Ok(PruningConfig::Unstructured {
+                sparsity: check_degree(degree, "pruning.unstructured")?,
+            })
+        }
+        [(key, value)] if key == "hss" => {
+            let ranks = value
+                .as_arr()
+                .ok_or_else(|| ApiError::bad_request("\"pruning.hss\" must be an array"))?;
+            if ranks.is_empty() || ranks.len() > 3 {
+                return Err(ApiError::bad_request(
+                    "\"pruning.hss\" must hold 1 to 3 [g, h] ranks",
+                ));
+            }
+            let mut ghs = Vec::new();
+            for rank in ranks {
+                let pair = rank.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                    ApiError::bad_request("\"pruning.hss\" ranks must be [g, h] pairs")
+                })?;
+                let g = gh_component(&pair[0])?;
+                let h = gh_component(&pair[1])?;
+                if g > h {
+                    return Err(ApiError::bad_request(format!(
+                        "invalid G:H rank {g}:{h} (G must not exceed H)"
+                    )));
+                }
+                ghs.push(Gh::new(g, h));
+            }
+            let pattern = HssPattern::new(ghs);
+            // The group size (product of the per-rank H values) bounds the
+            // weight-matrix columns the accuracy surrogate synthesizes and
+            // retains in the long-lived cache; unbounded, one request could
+            // pin gigabytes. Real co-design families top out at 32.
+            if pattern.group_size() > MAX_GROUP_SIZE {
+                return Err(ApiError::bad_request(format!(
+                    "\"pruning.hss\" group size (product of H values) must \
+                     not exceed {MAX_GROUP_SIZE}, got {}",
+                    pattern.group_size()
+                )));
+            }
+            Ok(PruningConfig::Hss(pattern))
+        }
+        _ => Err(ApiError::bad_request(
+            "\"pruning\" must hold exactly one of \"unstructured\" or \"hss\"",
+        )),
+    }
+}
+
+fn gh_component(v: &Json) -> Result<u32, ApiError> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| ApiError::bad_request("\"pruning.hss\" entries must be numbers"))?;
+    if n.fract() != 0.0 || !(1.0..=64.0).contains(&n) {
+        return Err(ApiError::bad_request(format!(
+            "G:H components must be integers in [1, 64], got {n}"
+        )));
+    }
+    Ok(n as u32)
+}
+
 /// The canonical JSON view of one [`EvalResult`] — shared by `/evaluate`,
 /// `/sweep`, and the offline byte-identity acceptance test.
 pub fn eval_result_json(r: &EvalResult) -> Json {
@@ -408,7 +623,8 @@ impl ApiError {
             status: 404,
             message: format!(
                 "no route {path}; available: GET /healthz, GET /designs, \
-                 GET /metrics, POST /evaluate, POST /sweep"
+                 GET /metrics, GET /models, POST /evaluate, \
+                 POST /evaluate_model, POST /sweep"
             ),
         }
     }
@@ -695,6 +911,149 @@ mod tests {
             let (status, _) = post(&app, "/sweep", body);
             assert_eq!(status, 400, "{body}");
         }
+    }
+
+    #[test]
+    fn models_listing_matches_the_registry() {
+        let app = test_app();
+        let (status, v) = get(&app, "/models");
+        assert_eq!(status, 200);
+        let models = v.get("models").and_then(Json::as_arr).unwrap();
+        assert_eq!(models.len(), hl_models::model_names().len());
+        assert_eq!(
+            models[0].get("name").and_then(Json::as_str),
+            Some("ResNet50"),
+            "registry order"
+        );
+        for m in models {
+            assert!(m.get("gmacs").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn evaluate_model_reports_layers_and_totals() {
+        let app = test_app();
+        let body = r#"{"design":"HighLight","model":"DeiT-small","pruning":{"hss":[[4,8],[2,4]]}}"#;
+        let (status, v) = post(&app, "/evaluate_model", body);
+        assert_eq!(status, 200);
+        assert_eq!(v.get("supported").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("pruning").and_then(Json::as_str),
+            Some("C1(4:8)→C0(2:4)")
+        );
+        assert!(v.get("accuracy_loss").and_then(Json::as_f64).unwrap() > 0.0);
+        let network = v.get("network").unwrap();
+        let layers = network.get("layers").and_then(Json::as_arr).unwrap();
+        assert_eq!(layers.len(), 5, "one entry per DeiT layer shape");
+        let totals = network.get("totals").unwrap();
+        assert!(totals.get("edp").and_then(Json::as_f64).unwrap() > 0.0);
+        let u = totals.get("utilization").and_then(Json::as_f64).unwrap();
+        assert!(u > 0.0 && u <= 1.0);
+        // Replaying the identical request must hit the per-layer cache.
+        let misses = app.context().engine().eval_cache().misses();
+        let (_, v2) = post(&app, "/evaluate_model", body);
+        assert_eq!(v2.encode(), v.encode());
+        assert_eq!(app.context().engine().eval_cache().misses(), misses);
+    }
+
+    #[test]
+    fn evaluate_model_propagates_unsupported_per_layer() {
+        let app = test_app();
+        // S2TA cannot run DeiT's dense QKV projections, but the pruned
+        // FFN layers still evaluate.
+        let body = r#"{"design":"S2TA","model":"DeiT-small","pruning":{"hss":[[4,8]]}}"#;
+        let (status, v) = post(&app, "/evaluate_model", body);
+        assert_eq!(status, 200);
+        assert_eq!(v.get("supported").and_then(Json::as_bool), Some(false));
+        let network = v.get("network").unwrap();
+        assert!(matches!(network.get("totals"), Some(Json::Null)));
+        let layers = network.get("layers").and_then(Json::as_arr).unwrap();
+        let supported: Vec<bool> = layers
+            .iter()
+            .map(|l| l.get("supported").and_then(Json::as_bool).unwrap())
+            .collect();
+        assert!(supported.iter().any(|&s| s), "pruned layers evaluate");
+        assert!(!supported.iter().all(|&s| s), "dense layers fail");
+        for l in layers
+            .iter()
+            .filter(|l| l.get("supported").and_then(Json::as_bool) == Some(false))
+        {
+            assert!(l.get("reason").and_then(Json::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn evaluate_model_rejects_bad_requests() {
+        let app = test_app();
+        for (body, needle) in [
+            ("{}", "missing required field"),
+            (
+                r#"{"model":"ResNet50"}"#,
+                "missing required field \"design\"",
+            ),
+            (r#"{"design":"TC"}"#, "missing required field \"model\""),
+            (r#"{"design":"TPU","model":"ResNet50"}"#, "unknown design"),
+            (r#"{"design":"TC","model":"VGG16"}"#, "unknown model"),
+            (
+                r#"{"design":"TC","model":"ResNet50","pruning":"sparse"}"#,
+                "dense",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","pruning":{"unstructured":1.5}}"#,
+                "sparsity degree",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","pruning":{"hss":[]}}"#,
+                "1 to 3",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","pruning":{"hss":[[8,4]]}}"#,
+                "must not exceed",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","pruning":{"hss":[[0,4]]}}"#,
+                "integers in [1, 64]",
+            ),
+            (
+                // Each component passes the per-value cap, but the group
+                // size (64·64·64) would pin gigabytes in the retention
+                // cache.
+                r#"{"design":"TC","model":"ResNet50","pruning":{"hss":[[63,64],[63,64],[63,64]]}}"#,
+                "group size",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","pruning":{"bogus":1}}"#,
+                "exactly one",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","extra":1}"#,
+                "unknown field",
+            ),
+        ] {
+            let (status, v) = post(&app, "/evaluate_model", body);
+            assert_eq!(status, 400, "{body}");
+            let msg = v.get("error").and_then(Json::as_str).unwrap();
+            assert!(msg.contains(needle), "{body}: {msg}");
+        }
+    }
+
+    #[test]
+    fn pruning_specs_parse_to_configs() {
+        assert_eq!(pruning_from(None).unwrap(), PruningConfig::Dense);
+        assert_eq!(
+            pruning_from(Some(&Json::str("dense"))).unwrap(),
+            PruningConfig::Dense
+        );
+        let v = Json::parse(r#"{"unstructured":0.6}"#).unwrap();
+        assert_eq!(
+            pruning_from(Some(&v)).unwrap(),
+            PruningConfig::Unstructured { sparsity: 0.6 }
+        );
+        let v = Json::parse(r#"{"hss":[[4,8],[2,4]]}"#).unwrap();
+        assert_eq!(
+            pruning_from(Some(&v)).unwrap(),
+            PruningConfig::Hss(HssPattern::two_rank(Gh::new(4, 8), Gh::new(2, 4)))
+        );
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! ```text
 //! hl-client [--addr HOST:PORT] health
 //! hl-client [--addr HOST:PORT] designs
+//! hl-client [--addr HOST:PORT] models
 //! hl-client [--addr HOST:PORT] metrics
 //! hl-client [--addr HOST:PORT] evaluate --design D [--m M --k K --n N] [--a S] [--b S]
+//! hl-client [--addr HOST:PORT] model DESIGN MODEL [--unstructured S | --hss G:H[,G:H]]
 //! hl-client [--addr HOST:PORT] sweep [--designs A,B] [--a 0,0.5] [--b 0,0.25]
 //!                                    [--m M --k K --n N] [--limit N]
 //! ```
@@ -17,8 +19,9 @@ use hl_serve::json::Json;
 use hl_serve::DEFAULT_ADDR;
 
 const USAGE: &str =
-    "usage: hl-client [--addr HOST:PORT] <health|designs|metrics|evaluate|sweep> [options]
+    "usage: hl-client [--addr HOST:PORT] <health|designs|models|metrics|evaluate|model|sweep> [options]
   evaluate --design D [--m M --k K --n N] [--a SPARSITY] [--b SPARSITY]
+  model DESIGN MODEL [--unstructured SPARSITY | --hss G:H[,G:H...]]
   sweep [--designs A,B,...] [--a D1,D2,...] [--b D1,D2,...] [--m M --k K --n N] [--limit N]";
 
 fn fail(msg: &str) -> ExitCode {
@@ -33,7 +36,7 @@ fn num(v: Option<&Json>) -> f64 {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = DEFAULT_ADDR.to_string();
-    let mut command = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut options: Vec<(String, String)> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -50,16 +53,35 @@ fn main() -> ExitCode {
             } else {
                 options.push((name.to_string(), value));
             }
-        } else if command.is_none() {
-            command = Some(arg);
         } else {
-            return fail(&format!("unexpected argument {arg:?}\n{USAGE}"));
+            positionals.push(arg);
         }
     }
-    let Some(command) = command else {
+    let Some(command) = positionals.first().cloned() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // Only `model` takes positional operands (DESIGN MODEL).
+    let operand_limit = if command == "model" { 3 } else { 1 };
+    if positionals.len() > operand_limit {
+        return fail(&format!(
+            "unexpected argument {:?}\n{USAGE}",
+            positionals[operand_limit]
+        ));
+    }
+
+    // Reject options the command does not consume: a typo'd flag (e.g.
+    // --unstructered) would otherwise silently evaluate something else
+    // than the user asked for.
+    let allowed: &[&str] = match command.as_str() {
+        "evaluate" => &["design", "m", "k", "n", "a", "b"],
+        "model" => &["unstructured", "hss"],
+        "sweep" => &["designs", "a", "b", "m", "k", "n", "limit"],
+        _ => &[],
+    };
+    if let Some((name, _)) = options.iter().find(|(n, _)| !allowed.contains(&n.as_str())) {
+        return fail(&format!("unknown option --{name} for {command}\n{USAGE}"));
+    }
 
     let opt = |name: &str| {
         options
@@ -72,6 +94,47 @@ fn main() -> ExitCode {
         "health" => get_json(&addr, "/healthz").map(|(s, v)| (s, render_kv(&v))),
         "metrics" => get_json(&addr, "/metrics").map(|(s, v)| (s, render_metrics(&v))),
         "designs" => get_json(&addr, "/designs").map(|(s, v)| (s, render_designs(&v))),
+        "models" => get_json(&addr, "/models").map(|(s, v)| (s, render_models(&v))),
+        "model" => {
+            let [_, design, model] = positionals.as_slice() else {
+                return fail(&format!("model requires DESIGN and MODEL\n{USAGE}"));
+            };
+            let mut body = vec![
+                ("design".to_string(), Json::str(design)),
+                ("model".to_string(), Json::str(model)),
+            ];
+            match (opt("unstructured"), opt("hss")) {
+                (Some(_), Some(_)) => return fail("pass either --unstructured or --hss, not both"),
+                (Some(s), None) => {
+                    let Ok(n) = s.parse::<f64>() else {
+                        return fail(&format!("--unstructured must be a number, got {s:?}"));
+                    };
+                    body.push((
+                        "pruning".to_string(),
+                        Json::Obj(vec![("unstructured".to_string(), Json::Num(n))]),
+                    ));
+                }
+                (None, Some(spec)) => {
+                    let mut ranks = Vec::new();
+                    for part in spec.split(',') {
+                        let Some((g, h)) = part.split_once(':') else {
+                            return fail(&format!("--hss ranks must be G:H, got {part:?}"));
+                        };
+                        let (Ok(g), Ok(h)) = (g.parse::<f64>(), h.parse::<f64>()) else {
+                            return fail(&format!("--hss components must be numbers: {part:?}"));
+                        };
+                        ranks.push(Json::Arr(vec![Json::Num(g), Json::Num(h)]));
+                    }
+                    body.push((
+                        "pruning".to_string(),
+                        Json::Obj(vec![("hss".to_string(), Json::Arr(ranks))]),
+                    ));
+                }
+                (None, None) => {}
+            }
+            post_json(&addr, "/evaluate_model", &Json::Obj(body))
+                .map(|(s, v)| (s, render_model(&v)))
+        }
         "evaluate" => {
             let mut body = Vec::new();
             match opt("design") {
@@ -200,6 +263,103 @@ fn render_designs(v: &Json) -> String {
                 .and_then(Json::as_str)
                 .unwrap_or("?"),
         ));
+    }
+    out.trim_end().to_string()
+}
+
+fn render_models(v: &Json) -> String {
+    let empty = Vec::new();
+    let models = v.get("models").and_then(Json::as_arr).unwrap_or(&empty);
+    let mut out = format!(
+        "{:<16} {:>9} {:>7} {:>8} {:>10} {:>7}  {}\n",
+        "model", "metric", "layers", "GMACs", "prunable%", "act%", "dense layers"
+    );
+    for m in models {
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>7} {:>8.2} {:>10.1} {:>7.1}  {}\n",
+            m.get("name").and_then(Json::as_str).unwrap_or("?"),
+            m.get("metric").and_then(Json::as_str).unwrap_or("?"),
+            num(m.get("layer_shapes")) as usize,
+            num(m.get("gmacs")),
+            num(m.get("prunable_fraction")) * 100.0,
+            num(m.get("avg_activation_sparsity")) * 100.0,
+            if m.get("has_dense_layers").and_then(Json::as_bool) == Some(true) {
+                "yes"
+            } else {
+                "no"
+            },
+        ));
+    }
+    out.trim_end().to_string()
+}
+
+/// The `/evaluate_model` per-layer table plus the network totals.
+fn render_model(v: &Json) -> String {
+    // Error responses ({"error": ...}) carry none of the table fields;
+    // show the server's reason instead of a placeholder table.
+    if let Some(msg) = v.get("error").and_then(Json::as_str) {
+        return format!("error: {msg}");
+    }
+    let mut out = format!(
+        "{} on {} ({}), pruning {} (weights {:.1}% sparse, est. loss {:.2})\n\n",
+        v.get("design").and_then(Json::as_str).unwrap_or("?"),
+        v.get("model").and_then(Json::as_str).unwrap_or("?"),
+        v.get("metric").and_then(Json::as_str).unwrap_or("?"),
+        v.get("pruning").and_then(Json::as_str).unwrap_or("?"),
+        num(v.get("weight_sparsity")) * 100.0,
+        num(v.get("accuracy_loss")),
+    );
+    let Some(network) = v.get("network") else {
+        return out.trim_end().to_string();
+    };
+    let empty = Vec::new();
+    let layers = network
+        .get("layers")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    out.push_str(&format!(
+        "{:<16} {:>5} {:>22} {:>12} {:>12} {:>12}\n",
+        "layer", "count", "m x k x n", "cycles", "energy (J)", "EDP (J*s)"
+    ));
+    for l in layers {
+        let shape = format!(
+            "{} x {} x {}",
+            l.get("shape").map_or(f64::NAN, |s| num(s.get("m"))),
+            l.get("shape").map_or(f64::NAN, |s| num(s.get("k"))),
+            l.get("shape").map_or(f64::NAN, |s| num(s.get("n"))),
+        );
+        let name = l.get("name").and_then(Json::as_str).unwrap_or("?");
+        let count = num(l.get("count")) as usize;
+        if l.get("supported").and_then(Json::as_bool) == Some(true) {
+            let r = l.get("result");
+            out.push_str(&format!(
+                "{name:<16} {count:>5} {shape:>22} {:>12.4e} {:>12.4e} {:>12.4e}\n",
+                r.map_or(f64::NAN, |r| num(r.get("cycles"))),
+                r.map_or(f64::NAN, |r| num(r.get("energy_j"))),
+                r.map_or(f64::NAN, |r| num(r.get("edp"))),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{name:<16} {count:>5} {shape:>22}  unsupported: {}\n",
+                l.get("reason").and_then(Json::as_str).unwrap_or("?")
+            ));
+        }
+    }
+    match network.get("totals") {
+        Some(Json::Null) | None => {
+            out.push_str("\ntotals: n/a (some layers are unsupported)\n");
+        }
+        Some(t) => {
+            out.push_str(&format!(
+                "\ntotals: {:.4e} cycles, {:.4e} s, {:.4e} J, EDP {:.4e} J*s, \
+                 utilization {:.1}%\n",
+                num(t.get("cycles")),
+                num(t.get("latency_s")),
+                num(t.get("energy_j")),
+                num(t.get("edp")),
+                num(t.get("utilization")) * 100.0,
+            ));
+        }
     }
     out.trim_end().to_string()
 }

@@ -62,7 +62,10 @@ fn main() -> ExitCode {
         "hl-serve listening on http://{addr} ({} workers)",
         config.workers
     );
-    println!("endpoints: GET /healthz  GET /designs  GET /metrics  POST /evaluate  POST /sweep");
+    println!(
+        "endpoints: GET /healthz  GET /designs  GET /metrics  GET /models  \
+         POST /evaluate  POST /evaluate_model  POST /sweep"
+    );
 
     signal::install_handlers();
     let shutdown = match server.shutdown_switch() {

@@ -5,7 +5,10 @@
 //! crate serves the same evaluation stack as a long-lived API so external
 //! co-design clients (hardware-aware sparsity search, accelerator
 //! comparisons) can query *"evaluate design D on workload W at sparsity
-//! S"* interactively. All requests share one [`hl_bench::SweepContext`]:
+//! S"* — or *"evaluate design D on model M under pruning config P"*
+//! (`/evaluate_model`, per-layer + aggregate results through
+//! [`hl_sim::network`]) — interactively. All requests share one
+//! [`hl_bench::SweepContext`]:
 //! the parallel engine plus its [`hl_sim::engine::EvalCache`], so
 //! repeated queries replay from the memo and `/metrics` exposes the hit
 //! rate.

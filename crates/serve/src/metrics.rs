@@ -17,8 +17,12 @@ pub enum Route {
     Designs,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /models`.
+    Models,
     /// `POST /evaluate`.
     Evaluate,
+    /// `POST /evaluate_model`.
+    EvaluateModel,
     /// `POST /sweep`.
     Sweep,
     /// Anything else (404s, parse failures, …).
@@ -27,11 +31,13 @@ pub enum Route {
 
 impl Route {
     /// All tracked routes, in display order.
-    pub const ALL: [Route; 6] = [
+    pub const ALL: [Route; 8] = [
         Route::Healthz,
         Route::Designs,
         Route::Metrics,
+        Route::Models,
         Route::Evaluate,
+        Route::EvaluateModel,
         Route::Sweep,
         Route::Other,
     ];
@@ -42,7 +48,9 @@ impl Route {
             "/healthz" => Route::Healthz,
             "/designs" => Route::Designs,
             "/metrics" => Route::Metrics,
+            "/models" => Route::Models,
             "/evaluate" => Route::Evaluate,
+            "/evaluate_model" => Route::EvaluateModel,
             "/sweep" => Route::Sweep,
             _ => Route::Other,
         }
@@ -54,7 +62,9 @@ impl Route {
             Route::Healthz => "/healthz",
             Route::Designs => "/designs",
             Route::Metrics => "/metrics",
+            Route::Models => "/models",
             Route::Evaluate => "/evaluate",
+            Route::EvaluateModel => "/evaluate_model",
             Route::Sweep => "/sweep",
             Route::Other => "other",
         }

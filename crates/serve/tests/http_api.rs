@@ -14,7 +14,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use hl_bench::{registered_names, SweepContext};
-use hl_serve::api::{build_workload, eval_result_json, App};
+use hl_serve::api::{build_workload, eval_result_json, network_eval_json, pruning_from, App};
 use hl_serve::client::{get_json, post_json};
 use hl_serve::json::Json;
 use hl_serve::server::{Server, ServerConfig, ServerHandle};
@@ -127,6 +127,80 @@ fn evaluate_is_byte_identical_to_offline_for_every_design() {
             }
         }
     }
+    server.stop().unwrap();
+}
+
+#[test]
+fn evaluate_model_is_byte_identical_to_offline_network_eval() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let pruning = Json::parse(r#"{"hss":[[2,4]]}"#).unwrap();
+    for design_name in registered_names() {
+        for model_name in hl_models::model_names() {
+            let body = Json::Obj(vec![
+                ("design".into(), Json::str(design_name)),
+                ("model".into(), Json::str(model_name)),
+                ("pruning".into(), pruning.clone()),
+            ]);
+            let (status, v) = post_json(&addr, "/evaluate_model", &body).unwrap();
+            assert_eq!(status, 200, "{design_name} on {model_name}");
+
+            // Offline: the same lowering + serial network evaluation.
+            let design = hl_bench::design_by_name(design_name).unwrap();
+            let model = hl_models::model_by_name(model_name).unwrap();
+            let config = pruning_from(Some(&pruning)).unwrap();
+            let network = SweepContext::lower_model(design.as_ref(), &model, &config);
+            let offline = hl_sim::network::evaluate_network(design.as_ref(), &network);
+            assert_eq!(
+                v.get("network").unwrap().encode(),
+                network_eval_json(&offline).encode(),
+                "{design_name} on {model_name}: served network eval must be \
+                 byte-identical to the offline evaluation"
+            );
+            assert_eq!(
+                v.get("supported").and_then(Json::as_bool),
+                Some(offline.supported())
+            );
+        }
+    }
+    server.stop().unwrap();
+}
+
+#[test]
+fn models_listing_and_model_eval_share_the_cache() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+
+    let (status, v) = get_json(&addr, "/models").unwrap();
+    assert_eq!(status, 200);
+    let names: Vec<&str> = v
+        .get("models")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|m| m.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, hl_models::model_names());
+
+    // Repeated model evaluations replay per-layer cells from the memo.
+    let body = Json::parse(
+        r#"{"design":"HighLight","model":"Transformer-Big","pruning":{"unstructured":0.5}}"#,
+    )
+    .unwrap();
+    let (status, first) = post_json(&addr, "/evaluate_model", &body).unwrap();
+    assert_eq!(status, 200);
+    let misses = |addr: &str| -> f64 {
+        let (_, m) = get_json(addr, "/metrics").unwrap();
+        m.get("eval_cache")
+            .and_then(|c| c.get("misses"))
+            .and_then(Json::as_f64)
+            .unwrap()
+    };
+    let misses0 = misses(&addr);
+    let (_, again) = post_json(&addr, "/evaluate_model", &body).unwrap();
+    assert_eq!(again.encode(), first.encode(), "replay is identical");
+    assert_eq!(misses(&addr), misses0, "no new evaluations on replay");
+
     server.stop().unwrap();
 }
 

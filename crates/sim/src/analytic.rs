@@ -34,11 +34,16 @@ pub struct Resources {
 }
 
 impl Resources {
+    /// The Table 4 MAC allocation shared by every evaluated design (also
+    /// the peak-throughput denominator of network-level utilization,
+    /// [`crate::network::PEAK_MACS_PER_CYCLE`]).
+    pub const TC_CLASS_MACS: u64 = 1024;
+
     /// The 1024-MAC, 4-PE-array allocation shared by TC / STC / DSTC /
     /// HighLight (Table 4: GLB split differs between dense and sparse).
     pub fn tc_class(glb_kb: f64, glb_meta_kb: f64) -> Self {
         Self {
-            macs: 1024,
+            macs: Self::TC_CLASS_MACS,
             glb_kb,
             glb_meta_kb,
             rf_kb: 8.0,

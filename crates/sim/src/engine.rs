@@ -36,6 +36,7 @@
 //! output is identical for any thread count, including the serial path —
 //! the property the `determinism` integration tests assert.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -62,12 +63,22 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+std::thread_local! {
+    /// Set on engine worker threads for their lifetime: a nested
+    /// [`parallel_map`] issued from inside a worker (e.g. a sweep cell
+    /// evaluating a whole network) runs inline instead of spawning a
+    /// second pool on an already-busy machine.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
 /// Maps `f` over `items` on `threads` scoped workers, returning results in
 /// input order (deterministic ordered collect).
 ///
 /// Work is handed out in contiguous chunks via an atomic cursor, so fast
-/// workers steal remaining chunks from slow ones. With `threads <= 1` or a
-/// single item the map runs inline on the caller thread.
+/// workers steal remaining chunks from slow ones. With `threads <= 1`, a
+/// single item, or when called from inside another `parallel_map` worker
+/// (nested fan-out would oversubscribe the pool) the map runs inline on
+/// the caller thread — the output is identical either way.
 ///
 /// # Panics
 /// Propagates panics from `f` (the scope joins every worker).
@@ -77,7 +88,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if threads <= 1 || items.len() <= 1 {
+    if threads <= 1 || items.len() <= 1 || IN_POOL.with(Cell::get) {
         return items.iter().map(f).collect();
     }
     let workers = threads.min(items.len());
@@ -89,6 +100,9 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    // Workers are fresh threads dropped at scope exit, so
+                    // the flag needs no reset.
+                    IN_POOL.with(|flag| flag.set(true));
                     let mut local = Vec::new();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -477,6 +491,26 @@ mod tests {
         }
         let empty: Vec<usize> = Vec::new();
         assert!(parallel_map(4, &empty, |&i: &usize| i).is_empty());
+    }
+
+    #[test]
+    fn nested_parallel_map_runs_inline_on_the_worker() {
+        let outer: Vec<usize> = (0..8).collect();
+        let result = parallel_map(4, &outer, |&i| {
+            let worker = std::thread::current().id();
+            let inner: Vec<usize> = (0..4).collect();
+            let (sums, threads): (Vec<usize>, Vec<_>) =
+                parallel_map(4, &inner, |&j| (i * 10 + j, std::thread::current().id()))
+                    .into_iter()
+                    .unzip();
+            assert!(
+                threads.iter().all(|&t| t == worker),
+                "nested maps must not spawn a second pool"
+            );
+            sums.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = outer.iter().map(|&i| i * 40 + 6).collect();
+        assert_eq!(result, expect);
     }
 
     #[test]

@@ -129,15 +129,13 @@ pub fn evaluate_best(
     }
 }
 
-/// Geometric mean of positive values; `None` when empty.
+/// Geometric mean of the values; `None` when the slice is empty or any
+/// value is non-positive (the log-domain mean is undefined there — callers
+/// decide how to report the degenerate case instead of panicking).
 pub fn geomean(values: &[f64]) -> Option<f64> {
-    if values.is_empty() {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
         return None;
     }
-    assert!(
-        values.iter().all(|&v| v > 0.0),
-        "geomean requires positive values"
-    );
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     Some((log_sum / values.len() as f64).exp())
 }
@@ -176,6 +174,9 @@ mod tests {
         assert_eq!(geomean(&[]), None);
         let g = geomean(&[1.0, 4.0]).unwrap();
         assert!((g - 2.0).abs() < 1e-12);
+        // Non-positive inputs are reported, not a panic.
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[2.0, -1.0]), None);
     }
 
     #[derive(Debug)]

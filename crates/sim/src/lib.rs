@@ -15,6 +15,11 @@
 //!   worker pool with a deterministic ordered collect, memoization of
 //!   repeated pure evaluations, and the [`engine::SweepGrid`] abstraction
 //!   over `(design, workload)` sweep cells;
+//! - [`network`]: network-level evaluation — the [`network::NetworkWorkload`]
+//!   IR of a whole DNN (named per-layer GEMMs with occurrence counts) and
+//!   the [`network::NetworkEval`] result (per-layer breakdowns, aggregate
+//!   EDP/ED², MACs-weighted utilization), with layers fanning out across
+//!   the engine pool and hitting the eval cache individually;
 //! - [`micro`]: a **functional** cycle-counting simulator of the down-sized
 //!   HighLight micro-architecture of §6 (Figs. 9–12): hierarchical CP
 //!   metadata decode, Rank1 skipping with a VFMU performing variable-length
@@ -33,6 +38,7 @@ pub mod balance;
 pub mod dataflow;
 pub mod engine;
 pub mod micro;
+pub mod network;
 
 mod eval;
 mod workload;

@@ -66,6 +66,27 @@ impl ConvLayer {
         }
     }
 
+    /// A square layer described by its *output* geometry: `kernel×kernel`
+    /// filters producing an `out×out` feature map at the given stride, with
+    /// the (padded) input edge derived as `(out - 1)·stride + kernel` —
+    /// how DNN inventories usually specify a convolution before lowering
+    /// it to its Toeplitz GEMM (Fig. 8a).
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`ConvLayer::new`].
+    pub fn for_output(
+        name: impl Into<String>,
+        m: usize,
+        c: usize,
+        kernel: usize,
+        out: usize,
+        stride: usize,
+    ) -> Self {
+        assert!(out > 0, "output edge must be positive");
+        let edge = (out - 1) * stride + kernel;
+        Self::new(name, m, c, kernel, kernel, edge, edge, stride)
+    }
+
     /// Output height `P`.
     pub fn p(&self) -> usize {
         (self.h - self.r) / self.stride + 1
@@ -207,6 +228,18 @@ mod tests {
             .flatten_weights(&weights)
             .matmul(&l.toeplitz_expand(&input));
         assert!(gemm.approx_eq(&l.direct_conv(&weights, &input), 1e-3));
+    }
+
+    #[test]
+    fn for_output_round_trips_the_geometry() {
+        // ResNet50 stem: 64 filters of 7x7x3, stride 2, 112x112 output.
+        let stem = ConvLayer::for_output("stem", 64, 3, 7, 112, 2);
+        assert_eq!((stem.p(), stem.q()), (112, 112));
+        assert_eq!(stem.to_gemm(), GemmShape::new(64, 3 * 49, 112 * 112));
+        // A stride-1 3x3 at 56x56 pads to a 58-edge input.
+        let body = ConvLayer::for_output("3x3", 64, 64, 3, 56, 1);
+        assert_eq!((body.h, body.w), (58, 58));
+        assert_eq!(body.to_gemm(), GemmShape::new(64, 64 * 9, 56 * 56));
     }
 
     #[test]

@@ -122,6 +122,7 @@ fn fig2_crossover_shape() {
             &model,
             &PruningConfig::Hss(HssPattern::one_rank(Gh::new(2, 4))),
         )
+        .edp()
         .unwrap();
         let dstc = eval_model(
             by_name("DSTC"),
@@ -130,6 +131,7 @@ fn fig2_crossover_shape() {
                 sparsity: dstc_sparsity,
             },
         )
+        .edp()
         .unwrap();
         // The accuracy-matched HighLight pattern (see the fig2 binary):
         // 66.7% sparsity (4:6 x 2:4-class member).
@@ -138,25 +140,14 @@ fn fig2_crossover_shape() {
             &model,
             &PruningConfig::Hss(highlight_family().closest_to_density(1.0 / 3.0)),
         )
+        .edp()
         .unwrap();
         if expect_stc_wins {
-            assert!(
-                stc.edp() < dstc.edp(),
-                "{}: STC should beat DSTC",
-                model.name
-            );
+            assert!(stc < dstc, "{}: STC should beat DSTC", model.name);
         } else {
-            assert!(
-                dstc.edp() < stc.edp(),
-                "{}: DSTC should beat STC",
-                model.name
-            );
+            assert!(dstc < stc, "{}: DSTC should beat STC", model.name);
         }
-        assert!(
-            hl.edp() < stc.edp() && hl.edp() < dstc.edp(),
-            "{}: HighLight lowest",
-            model.name
-        );
+        assert!(hl < stc && hl < dstc, "{}: HighLight lowest", model.name);
     }
 }
 
