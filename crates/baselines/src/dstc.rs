@@ -59,6 +59,9 @@ impl Accelerator for Dstc {
     }
 
     fn evaluate(&self, w: &Workload) -> Result<EvalResult, Unsupported> {
+        // A fully-pruned operand would zero both the partial-product count
+        // and the balance utilization, making `cycles` 0/0 = NaN.
+        hl_sim::check_densities(self.name(), w)?;
         let d_a = Self::density(&w.a);
         let d_b = Self::density(&w.b);
         let macs = self.resources.macs as f64;
@@ -74,12 +77,9 @@ impl Accelerator for Dstc {
         let utilization = (u_a * u_b).sqrt();
         let cycles = (partial_products / (macs * utilization)).ceil();
 
-        let traffic = TrafficModel::new(
-            w.shape,
-            d_a.clamp(1e-6, 1.0),
-            d_b.clamp(1e-6, 1.0),
-            &self.resources,
-        );
+        // Densities are in (0, 1] after the guard above, so the traffic
+        // model cannot reject them.
+        let traffic = TrafficModel::new(w.shape, d_a, d_b, &self.resources);
         let mut acc = Accountant::new(self.tech.clone(), self.resources);
         acc.macs(partial_products);
         // Outer-product merge: read-modify-write plus merge-network staging

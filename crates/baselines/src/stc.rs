@@ -48,6 +48,7 @@ impl Accelerator for Stc {
     }
 
     fn evaluate(&self, w: &Workload) -> Result<EvalResult, Unsupported> {
+        hl_sim::check_densities(self.name(), w)?;
         let structured = Self::exploits_a(&w.a);
         // The 2:4 datapath fetches G=2 lanes per 4: fixed 0.5 cycle factor
         // when structured, dense otherwise (unstructured zeros are values).

@@ -41,6 +41,7 @@ impl Accelerator for Tc {
     }
 
     fn evaluate(&self, w: &Workload) -> Result<EvalResult, Unsupported> {
+        hl_sim::check_densities(self.name(), w)?;
         let macs = self.resources.macs as f64;
         let cycles = (w.dense_macs() / macs).ceil();
         let traffic = TrafficModel::new(w.shape, 1.0, 1.0, &self.resources);

@@ -20,6 +20,7 @@ fn main() {
         "fig15",
         "fig16",
         "fig17",
+        "codesign",
     ];
     let mut failures: Vec<String> = Vec::new();
     for bin in bins {

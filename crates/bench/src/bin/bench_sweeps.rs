@@ -100,6 +100,32 @@ fn main() {
         "network eval"
     );
 
+    // Co-design search (`hl_bench::search`): HighLight over every model
+    // at a 0.5-point budget, cold (fresh context) vs a cached replay —
+    // the speedup `/search` clients see when re-posting a query.
+    let run_searches = |ctx: &SweepContext| -> Vec<hl_bench::SearchOutcome> {
+        let design = hl_bench::design_by_name("HighLight").expect("registered");
+        models
+            .iter()
+            .map(|m| ctx.codesign(design.as_ref(), m, 0.5))
+            .collect()
+    };
+    let ctx = SweepContext::with_engine(Engine::with_threads(default_threads()));
+    let t0 = Instant::now();
+    let cold = run_searches(&ctx);
+    let search_cold_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let cached = run_searches(&ctx);
+    let search_cached_s = t0.elapsed().as_secs_f64();
+    let search_identical = cold == cached;
+    identical &= search_identical;
+    let search_replay = search_cold_s / search_cached_s.max(1e-9);
+    println!(
+        "{:>22}: {search_cold_s:8.3} s cold, {search_cached_s:8.3} s cached \
+         ({search_replay:5.2}x replay)   identical: {search_identical}",
+        "codesign search"
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"fig2+fig15 design-space sweeps\",\n  \
          \"cpus\": {cpus},\n  \"serial_seconds\": {serial_s:.4},\n  \
@@ -108,6 +134,10 @@ fn main() {
          \"cached_seconds\": {network_cached_s:.4}, \
          \"replay_speedup\": {replay_speedup:.3}, \
          \"identical\": {network_identical}}},\n  \
+         \"codesign_search\": {{\"cold_seconds\": {search_cold_s:.4}, \
+         \"cached_seconds\": {search_cached_s:.4}, \
+         \"replay_speedup\": {search_replay:.3}, \
+         \"identical\": {search_identical}}},\n  \
          \"outputs_identical\": {identical}\n}}\n"
     );
     let out = bench_out_path("BENCH_sweeps.json");

@@ -31,17 +31,10 @@ fn main() {
     for model in models {
         out.push_str(&format!("\n== {} ({}) ==\n", model.name, model.metric));
         let mut points = fig15_points(&ctx, &model);
-        points.sort_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap());
-        // Pareto frontier: points not dominated in (loss, EDP).
-        let on_frontier: Vec<bool> = points
-            .iter()
-            .map(|p| {
-                !points.iter().any(|q| {
-                    q.loss <= p.loss + 1e-12 && q.edp < p.edp - 1e-12
-                        || q.loss < p.loss - 1e-12 && q.edp <= p.edp + 1e-12
-                })
-            })
-            .collect();
+        points.sort_by(|a, b| a.loss.total_cmp(&b.loss));
+        // Pareto frontier: points not dominated in (loss, EDP) — the same
+        // dominance the co-design search uses.
+        let on_frontier = hl_sim::pareto::pareto_front_flags(&points, |p| (p.loss, p.edp));
         out.push_str(&format!(
             "{:>10} {:>26} {:>10} {:>10} {:>8}\n",
             "design", "config", "loss", "EDP", "Pareto"

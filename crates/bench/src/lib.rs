@@ -26,6 +26,11 @@
 //!   for Figs. 2 and 15;
 //! - [`fig2_data`] / [`fig15_points`]: the Fig. 2 / Fig. 15 sweep cores,
 //!   shared by the figure binaries and the `bench_sweeps` perf harness;
+//! - [`search`]: the §7.1.2 co-design search — [`SweepContext::codesign`]
+//!   optimizes a pruning configuration for a `(design, model)` pair under
+//!   an accuracy-loss budget, returning the Pareto front over
+//!   `(loss, EDP)` (consumed by the `codesign` binary, the `hl-serve`
+//!   `POST /search` endpoint, and the `hl-client search` subcommand);
 //! - report helpers that print aligned tables and persist them under
 //!   `results/`.
 
@@ -33,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod registry;
+pub mod search;
 pub mod tables;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub use registry::{design_by_name, registered_names, DesignId, UnknownDesign};
+pub use search::{codesign_space, SearchOutcome, SearchPoint};
 
 use highlight_core::HighLight;
 use hl_baselines::{Dstc, S2ta, Stc, Tc};
@@ -150,6 +157,20 @@ pub fn operand_b_for(design: &str, sparsity: f64) -> OperandSparsity {
             // Dynamic structured activation pruning to {G≤8}:8.
             let g = ((1.0 - sparsity) * 8.0).round().clamp(1.0, 8.0) as u32;
             OperandSparsity::Hss(HssPattern::one_rank(Gh::new(g, 8)))
+        }
+        "DSSO" => {
+            // §7.5: B must be Rank1-structured `C1(2:{2≤H≤8})→C0(dense)`.
+            // Exploit the sparsest family member whose sparsity the
+            // activations actually reach (never claim zeros that are not
+            // there); low degrees fall back to the dense 2:2 member.
+            let target = 1.0 - sparsity;
+            let p = hl_sparsity::families::dsso_b()
+                .patterns()
+                .into_iter()
+                .filter(|p| p.density_f64() >= target - 1e-12)
+                .min_by(|a, b| a.density().cmp(&b.density()))
+                .expect("dsso_b has a dense member");
+            OperandSparsity::Hss(p)
         }
         _ => OperandSparsity::unstructured(sparsity),
     }
@@ -751,6 +772,25 @@ mod tests {
     // Serial-vs-engine network equality is covered (across all zoo
     // models, with warm-replay checks) by tests/network.rs at the
     // workspace level.
+
+    #[test]
+    fn dsso_b_mapping_codesigns_to_its_family() {
+        // 60% activation sparsity is exactly the 2:5 Rank1 member.
+        let b = operand_b_for("DSSO", 0.6);
+        assert!(b.is_structured());
+        assert!((b.density() - 0.4).abs() < 1e-12);
+        // Low degrees cannot be overclaimed: the dense member is used.
+        assert!(operand_b_for("DSSO", 0.05).is_dense());
+        // The mapped descriptors are runnable on DSSO (whole-model eval
+        // is no longer vacuously unsupported).
+        let dsso = design_by_name("DSSO").unwrap();
+        let eval = eval_model(
+            dsso.as_ref(),
+            &zoo::resnet50(),
+            &PruningConfig::Hss(HssPattern::two_rank(Gh::new(4, 4), Gh::new(2, 4))),
+        );
+        assert!(eval.supported(), "{:?}", eval.first_unsupported());
+    }
 
     #[test]
     fn design_mapping_rejects_unknown_names() {

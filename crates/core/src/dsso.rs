@@ -107,6 +107,7 @@ impl Accelerator for Dsso {
     }
 
     fn evaluate(&self, w: &Workload) -> Result<EvalResult, Unsupported> {
+        hl_sim::check_densities(self.name(), w)?;
         let d_a = self.resolve_a(&w.a)?;
         let d_b = self.resolve_b(&w.b)?;
         let macs = self.resources.macs as f64;

@@ -126,6 +126,9 @@ impl Accelerator for HighLight {
     }
 
     fn evaluate(&self, w: &Workload) -> Result<EvalResult, Unsupported> {
+        // Guards the TrafficModel density assert: a fully-pruned operand B
+        // (stored density 0) is Unsupported, not a worker panic.
+        hl_sim::check_densities(self.name(), w)?;
         let cfg = &self.config;
         let pattern = self.resolve_a(&w.a)?;
         // Hierarchical skipping: cycle factor = pattern density, exactly

@@ -11,6 +11,33 @@ use std::str::FromStr;
 use crate::error::FibertreeError;
 use crate::tree::Fibertree;
 
+/// A `G:H` ratio that violates the pattern invariant (`1 ≤ G ≤ H`).
+///
+/// `G > H` would imply a density above 1, and `G == 0` or `H == 0` a
+/// division by zero in downstream density/speedup arithmetic — both are
+/// rejected at construction so degenerate ratios never reach the models.
+/// Front-ends (the `hl-serve` pruning-spec parser, CLI flag parsing) map
+/// this to a 4xx instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InvalidGh {
+    /// The rejected `G`.
+    pub g: u32,
+    /// The rejected `H`.
+    pub h: u32,
+}
+
+impl fmt::Display for InvalidGh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid G:H pattern {}:{} (G must not exceed H and both must be positive)",
+            self.g, self.h
+        )
+    }
+}
+
+impl std::error::Error for InvalidGh {}
+
 /// A `G:H` structured sparsity pattern: at most `G` nonzero coordinates in
 /// every fiber (block) of shape `H`.
 ///
@@ -27,10 +54,22 @@ impl Gh {
     /// Creates a `G:H` pattern.
     ///
     /// # Panics
-    /// Panics if `g == 0`, `h == 0`, or `g > h`.
+    /// Panics if `g == 0`, `h == 0`, or `g > h`. Fallible front-ends use
+    /// [`Gh::try_new`].
     pub fn new(g: u32, h: u32) -> Self {
-        assert!(g > 0 && h > 0 && g <= h, "invalid G:H pattern {g}:{h}");
-        Self { g, h }
+        Self::try_new(g, h).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a `G:H` pattern, rejecting degenerate ratios with a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    /// [`InvalidGh`] if `g == 0`, `h == 0`, or `g > h`.
+    pub fn try_new(g: u32, h: u32) -> Result<Self, InvalidGh> {
+        if g == 0 || h == 0 || g > h {
+            return Err(InvalidGh { g, h });
+        }
+        Ok(Self { g, h })
     }
 
     /// Density `G/H` as a float.
@@ -75,12 +114,7 @@ impl FromStr for Gh {
             .trim()
             .parse()
             .map_err(|_| FibertreeError::SpecParse(format!("bad H in `{s}`")))?;
-        if g == 0 || h == 0 || g > h {
-            return Err(FibertreeError::SpecParse(format!(
-                "invalid G:H pattern `{s}`"
-            )));
-        }
-        Ok(Self { g, h })
+        Self::try_new(g, h).map_err(|e| FibertreeError::SpecParse(e.to_string()))
     }
 }
 
@@ -336,6 +370,21 @@ mod tests {
     #[should_panic(expected = "invalid G:H")]
     fn gh_rejects_g_above_h() {
         let _ = Gh::new(5, 4);
+    }
+
+    #[test]
+    fn gh_try_new_returns_typed_errors() {
+        assert_eq!(Gh::try_new(2, 4), Ok(Gh::new(2, 4)));
+        for (g, h) in [(5, 4), (0, 4), (2, 0), (0, 0)] {
+            let err = Gh::try_new(g, h).unwrap_err();
+            assert_eq!(err, InvalidGh { g, h });
+            let msg = err.to_string();
+            assert!(msg.contains(&format!("{g}:{h}")), "{msg}");
+            assert!(msg.contains("must not exceed H"), "{msg}");
+        }
+        // The string parser rejects through the same validation.
+        let err = "4:2".parse::<Gh>().unwrap_err();
+        assert!(err.to_string().contains("must not exceed H"), "{err}");
     }
 
     #[test]

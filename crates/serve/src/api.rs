@@ -11,12 +11,15 @@
 //!
 //! Endpoints: `GET /healthz`, `GET /designs`, `GET /metrics`,
 //! `GET /models`, `POST /evaluate`, `POST /evaluate_model`,
-//! `POST /sweep`.
+//! `POST /sweep`, `POST /search`.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
 
-use hl_bench::{design_names, operand_b_for, registered_names, try_operand_a_for, SweepContext};
+use hl_bench::{
+    design_names, operand_b_for, registered_names, try_operand_a_for, SearchOutcome, SearchPoint,
+    SweepContext,
+};
 use hl_models::accuracy::PruningConfig;
 use hl_sim::engine::SweepGrid;
 use hl_sim::network::{LayerEval, NetworkEval};
@@ -41,6 +44,10 @@ pub const MAX_MACS: u128 = 1 << 53;
 /// at 93.75%; leave headroom without allowing degenerate fully-empty
 /// operands).
 pub const MAX_DEGREE: f64 = 0.99;
+
+/// Largest accepted `/search` accuracy-loss budget in metric points (a
+/// whole top-1 / BLEU scale — anything above means "unconstrained").
+pub const MAX_BUDGET: f64 = 100.0;
 
 /// Hard server-side cap on `/sweep` result rows; requests may lower it
 /// with `"limit"` but never raise it.
@@ -118,10 +125,11 @@ impl App {
             ("POST", "/evaluate") => self.evaluate(&req.body),
             ("POST", "/evaluate_model") => self.evaluate_model(&req.body),
             ("POST", "/sweep") => self.sweep(&req.body),
+            ("POST", "/search") => self.search(&req.body),
             (_, "/healthz" | "/designs" | "/metrics" | "/models") => {
                 Err(ApiError::method_not_allowed("GET"))
             }
-            (_, "/evaluate" | "/evaluate_model" | "/sweep") => {
+            (_, "/evaluate" | "/evaluate_model" | "/sweep" | "/search") => {
                 Err(ApiError::method_not_allowed("POST"))
             }
             _ => Err(ApiError::not_found(&req.path)),
@@ -266,6 +274,41 @@ impl App {
             ("supported".into(), Json::Bool(eval.supported())),
             ("network".into(), network_eval_json(&eval)),
         ]))
+    }
+
+    fn search(&self, body: &[u8]) -> Result<Json, ApiError> {
+        let obj = parse_body(body, &["design", "model", "budget"])?;
+        let design_name = obj
+            .get("design")
+            .ok_or_else(|| ApiError::bad_request("missing required field \"design\""))?
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request("\"design\" must be a string"))?;
+        let design = hl_bench::design_by_name(design_name)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let model_name = obj
+            .get("model")
+            .ok_or_else(|| ApiError::bad_request("missing required field \"model\""))?
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request("\"model\" must be a string"))?;
+        let model = hl_models::model_by_name(model_name)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let budget = obj
+            .get("budget")
+            .ok_or_else(|| ApiError::bad_request("missing required field \"budget\""))?
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request("\"budget\" must be a number"))?;
+        if !(0.0..=MAX_BUDGET).contains(&budget) {
+            return Err(ApiError::bad_request(format!(
+                "\"budget\" must be an accuracy-loss budget in [0, {MAX_BUDGET}] \
+                 metric points, got {budget}"
+            )));
+        }
+
+        let outcome = self
+            .ctx
+            .try_codesign(design.as_ref(), &model, budget)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        Ok(search_outcome_json(&outcome))
     }
 
     fn sweep(&self, body: &[u8]) -> Result<Json, ApiError> {
@@ -444,6 +487,50 @@ pub fn network_eval_json(eval: &NetworkEval) -> Json {
     ])
 }
 
+/// The canonical JSON view of one co-design [`SearchOutcome`] — shared by
+/// `POST /search` and the offline byte-identity acceptance test, so the
+/// served response and the `codesign` search agree byte for byte.
+pub fn search_outcome_json(outcome: &SearchOutcome) -> Json {
+    let points: Vec<Json> = outcome.points.iter().map(search_point_json).collect();
+    Json::Obj(vec![
+        ("design".into(), Json::str(&outcome.design)),
+        ("model".into(), Json::str(&outcome.model)),
+        ("metric".into(), Json::str(outcome.metric)),
+        ("budget".into(), Json::Num(outcome.budget)),
+        ("candidates".into(), Json::Num(outcome.candidates as f64)),
+        ("unsupported".into(), Json::Num(outcome.unsupported as f64)),
+        (
+            "front".into(),
+            Json::Arr(
+                outcome
+                    .points
+                    .iter()
+                    .filter(|p| p.on_front)
+                    .map(search_point_json)
+                    .collect(),
+            ),
+        ),
+        (
+            "best".into(),
+            outcome.best_point().map_or(Json::Null, search_point_json),
+        ),
+        ("points".into(), Json::Arr(points)),
+    ])
+}
+
+fn search_point_json(p: &SearchPoint) -> Json {
+    Json::Obj(vec![
+        ("config".into(), Json::str(&p.label)),
+        ("weight_sparsity".into(), Json::Num(p.weight_sparsity)),
+        ("loss".into(), Json::Num(p.loss)),
+        ("edp".into(), Json::Num(p.edp)),
+        ("energy_j".into(), Json::Num(p.energy_j)),
+        ("latency_s".into(), Json::Num(p.latency_s)),
+        ("on_front".into(), Json::Bool(p.on_front)),
+        ("within_budget".into(), Json::Bool(p.within_budget)),
+    ])
+}
+
 fn layer_eval_json(layer: &LayerEval) -> Json {
     let mut members = vec![
         ("name".into(), Json::str(layer.name())),
@@ -492,9 +579,15 @@ pub fn pruning_from(v: Option<&Json>) -> Result<PruningConfig, ApiError> {
             let degree = value.as_f64().ok_or_else(|| {
                 ApiError::bad_request("\"pruning.unstructured\" must be a number")
             })?;
-            Ok(PruningConfig::Unstructured {
-                sparsity: check_degree(degree, "pruning.unstructured")?,
-            })
+            // Pruning configs accept the full [0, 1] range — including the
+            // fully-pruned 1.0 extreme, which the hardened designs answer
+            // with per-layer `Unsupported` outcomes rather than a panic.
+            if !(0.0..=1.0).contains(&degree) {
+                return Err(ApiError::bad_request(format!(
+                    "\"pruning.unstructured\" must be a sparsity degree in [0, 1], got {degree}"
+                )));
+            }
+            Ok(PruningConfig::Unstructured { sparsity: degree })
         }
         [(key, value)] if key == "hss" => {
             let ranks = value
@@ -512,12 +605,9 @@ pub fn pruning_from(v: Option<&Json>) -> Result<PruningConfig, ApiError> {
                 })?;
                 let g = gh_component(&pair[0])?;
                 let h = gh_component(&pair[1])?;
-                if g > h {
-                    return Err(ApiError::bad_request(format!(
-                        "invalid G:H rank {g}:{h} (G must not exceed H)"
-                    )));
-                }
-                ghs.push(Gh::new(g, h));
+                // The typed core validation (density > 1, division by
+                // zero) maps straight to a 400 here.
+                ghs.push(Gh::try_new(g, h).map_err(|e| ApiError::bad_request(e.to_string()))?);
             }
             let pattern = HssPattern::new(ghs);
             // The group size (product of the per-rank H values) bounds the
@@ -624,7 +714,7 @@ impl ApiError {
             message: format!(
                 "no route {path}; available: GET /healthz, GET /designs, \
                  GET /metrics, GET /models, POST /evaluate, \
-                 POST /evaluate_model, POST /sweep"
+                 POST /evaluate_model, POST /sweep, POST /search"
             ),
         }
     }
@@ -1034,6 +1124,131 @@ mod tests {
             assert_eq!(status, 400, "{body}");
             let msg = v.get("error").and_then(Json::as_str).unwrap();
             assert!(msg.contains(needle), "{body}: {msg}");
+        }
+    }
+
+    #[test]
+    fn search_returns_front_and_best_within_budget() {
+        let app = test_app();
+        let body = r#"{"design":"HighLight","model":"DeiT-small","budget":0.5}"#;
+        let (status, v) = post(&app, "/search", body);
+        assert_eq!(status, 200);
+        assert_eq!(v.get("metric").and_then(Json::as_str), Some("top-1 %"));
+        let front = v.get("front").and_then(Json::as_arr).unwrap();
+        assert!(!front.is_empty());
+        for p in front {
+            assert_eq!(p.get("on_front").and_then(Json::as_bool), Some(true));
+        }
+        let best = v.get("best").unwrap();
+        assert_eq!(
+            best.get("within_budget").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert!(num_leq(best.get("loss"), 0.5));
+        // Byte-identical to the offline co-design search through the same
+        // canonical view.
+        let design = hl_bench::design_by_name("HighLight").unwrap();
+        let model = hl_models::model_by_name("DeiT-small").unwrap();
+        let offline = SweepContext::with_engine(hl_sim::engine::Engine::serial()).codesign(
+            design.as_ref(),
+            &model,
+            0.5,
+        );
+        assert_eq!(v.encode(), search_outcome_json(&offline).encode());
+        // Replaying the identical query must hit the shared caches.
+        let misses = app.context().engine().eval_cache().misses();
+        let (_, v2) = post(&app, "/search", body);
+        assert_eq!(v2.encode(), v.encode());
+        assert_eq!(app.context().engine().eval_cache().misses(), misses);
+    }
+
+    fn num_leq(v: Option<&Json>, bound: f64) -> bool {
+        v.and_then(Json::as_f64).is_some_and(|n| n <= bound)
+    }
+
+    #[test]
+    fn search_rejects_bad_requests() {
+        let app = test_app();
+        for (body, needle) in [
+            ("{}", "missing required field"),
+            (r#"{"design":"TC","model":"ResNet50"}"#, "\"budget\""),
+            (
+                r#"{"design":"TPU","model":"ResNet50","budget":0.5}"#,
+                "unknown design",
+            ),
+            (
+                r#"{"design":"TC","model":"VGG16","budget":0.5}"#,
+                "unknown model",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","budget":-1}"#,
+                "accuracy-loss budget",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","budget":101}"#,
+                "accuracy-loss budget",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","budget":"tight"}"#,
+                "must be a number",
+            ),
+            (
+                r#"{"design":"TC","model":"ResNet50","budget":0.5,"extra":1}"#,
+                "unknown field",
+            ),
+        ] {
+            let (status, v) = post(&app, "/search", body);
+            assert_eq!(status, 400, "{body}");
+            let msg = v.get("error").and_then(Json::as_str).unwrap();
+            assert!(msg.contains(needle), "{body}: {msg}");
+        }
+    }
+
+    #[test]
+    fn fully_pruned_config_is_unsupported_not_a_panic() {
+        let app = test_app();
+        // Sparsity 1.0 lowers DSTC's prunable layers to density-0 operands;
+        // the hardened designs answer per-layer Unsupported instead of
+        // panicking the worker (or serving NaN cycles).
+        let body = r#"{"design":"DSTC","model":"Transformer-Big","pruning":{"unstructured":1.0}}"#;
+        let (status, v) = post(&app, "/evaluate_model", body);
+        assert_eq!(status, 200);
+        assert_eq!(v.get("supported").and_then(Json::as_bool), Some(false));
+        let network = v.get("network").unwrap();
+        assert!(matches!(network.get("totals"), Some(Json::Null)));
+        let layers = network.get("layers").and_then(Json::as_arr).unwrap();
+        for l in layers
+            .iter()
+            .filter(|l| l.get("supported").and_then(Json::as_bool) == Some(false))
+        {
+            let reason = l.get("reason").and_then(Json::as_str).unwrap();
+            assert!(reason.contains("degenerate"), "{reason}");
+        }
+        // The server is still healthy afterwards.
+        let (status, _) = get(&app, "/healthz");
+        assert_eq!(status, 200);
+        // Out-of-range degrees are still 400s.
+        let (status, _) = post(
+            &app,
+            "/evaluate_model",
+            r#"{"design":"DSTC","model":"ResNet50","pruning":{"unstructured":1.01}}"#,
+        );
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn malformed_gh_ratios_map_to_400() {
+        let app = test_app();
+        for spec in ["[[8,4]]", "[[4,0]]", "[[0,0]]", "[[3,2],[2,4]]"] {
+            let body =
+                format!(r#"{{"design":"TC","model":"ResNet50","pruning":{{"hss":{spec}}}}}"#);
+            let (status, v) = post(&app, "/evaluate_model", &body);
+            assert_eq!(status, 400, "{spec}");
+            let msg = v.get("error").and_then(Json::as_str).unwrap();
+            assert!(
+                msg.contains("must not exceed H") || msg.contains("[1, 64]"),
+                "{spec}: {msg}"
+            );
         }
     }
 

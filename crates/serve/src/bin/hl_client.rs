@@ -8,6 +8,7 @@
 //! hl-client [--addr HOST:PORT] metrics
 //! hl-client [--addr HOST:PORT] evaluate --design D [--m M --k K --n N] [--a S] [--b S]
 //! hl-client [--addr HOST:PORT] model DESIGN MODEL [--unstructured S | --hss G:H[,G:H]]
+//! hl-client [--addr HOST:PORT] search DESIGN MODEL [--budget POINTS]
 //! hl-client [--addr HOST:PORT] sweep [--designs A,B] [--a 0,0.5] [--b 0,0.25]
 //!                                    [--m M --k K --n N] [--limit N]
 //! ```
@@ -19,9 +20,10 @@ use hl_serve::json::Json;
 use hl_serve::DEFAULT_ADDR;
 
 const USAGE: &str =
-    "usage: hl-client [--addr HOST:PORT] <health|designs|models|metrics|evaluate|model|sweep> [options]
+    "usage: hl-client [--addr HOST:PORT] <health|designs|models|metrics|evaluate|model|search|sweep> [options]
   evaluate --design D [--m M --k K --n N] [--a SPARSITY] [--b SPARSITY]
   model DESIGN MODEL [--unstructured SPARSITY | --hss G:H[,G:H...]]
+  search DESIGN MODEL [--budget POINTS]
   sweep [--designs A,B,...] [--a D1,D2,...] [--b D1,D2,...] [--m M --k K --n N] [--limit N]";
 
 fn fail(msg: &str) -> ExitCode {
@@ -61,8 +63,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    // Only `model` takes positional operands (DESIGN MODEL).
-    let operand_limit = if command == "model" { 3 } else { 1 };
+    // Only `model` and `search` take positional operands (DESIGN MODEL).
+    let operand_limit = if command == "model" || command == "search" {
+        3
+    } else {
+        1
+    };
     if positionals.len() > operand_limit {
         return fail(&format!(
             "unexpected argument {:?}\n{USAGE}",
@@ -76,6 +82,7 @@ fn main() -> ExitCode {
     let allowed: &[&str] = match command.as_str() {
         "evaluate" => &["design", "m", "k", "n", "a", "b"],
         "model" => &["unstructured", "hss"],
+        "search" => &["budget"],
         "sweep" => &["designs", "a", "b", "m", "k", "n", "limit"],
         _ => &[],
     };
@@ -134,6 +141,26 @@ fn main() -> ExitCode {
             }
             post_json(&addr, "/evaluate_model", &Json::Obj(body))
                 .map(|(s, v)| (s, render_model(&v)))
+        }
+        "search" => {
+            let [_, design, model] = positionals.as_slice() else {
+                return fail(&format!("search requires DESIGN and MODEL\n{USAGE}"));
+            };
+            let budget = match opt("budget") {
+                None => 0.5,
+                Some(s) => match s.parse::<f64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return fail(&format!("--budget must be a number, got {s:?}"));
+                    }
+                },
+            };
+            let body = Json::Obj(vec![
+                ("design".to_string(), Json::str(design)),
+                ("model".to_string(), Json::str(model)),
+                ("budget".to_string(), Json::Num(budget)),
+            ]);
+            post_json(&addr, "/search", &body).map(|(s, v)| (s, render_search(&v)))
         }
         "evaluate" => {
             let mut body = Vec::new();
@@ -362,6 +389,56 @@ fn render_model(v: &Json) -> String {
         }
     }
     out.trim_end().to_string()
+}
+
+/// The `/search` Pareto-front table plus the budget-best line.
+fn render_search(v: &Json) -> String {
+    if let Some(msg) = v.get("error").and_then(Json::as_str) {
+        return format!("error: {msg}");
+    }
+    let mut out = format!(
+        "{} on {} ({}), budget {:.2} points: {} candidates, {} unsupported\n\n",
+        v.get("design").and_then(Json::as_str).unwrap_or("?"),
+        v.get("model").and_then(Json::as_str).unwrap_or("?"),
+        v.get("metric").and_then(Json::as_str).unwrap_or("?"),
+        num(v.get("budget")),
+        num(v.get("candidates")) as usize,
+        num(v.get("unsupported")) as usize,
+    );
+    let empty = Vec::new();
+    let front = v.get("front").and_then(Json::as_arr).unwrap_or(&empty);
+    let best_config = v
+        .get("best")
+        .and_then(|b| b.get("config"))
+        .and_then(Json::as_str);
+    out.push_str(&format!(
+        "{:<26} {:>9} {:>10} {:>10} {:>6}\n",
+        "Pareto front", "sparsity", "loss", "EDP", "best"
+    ));
+    for p in front {
+        let config = p.get("config").and_then(Json::as_str).unwrap_or("?");
+        out.push_str(&format!(
+            "{config:<26} {:>8.1}% {:>10.3} {:>10.3} {:>6}\n",
+            num(p.get("weight_sparsity")) * 100.0,
+            num(p.get("loss")),
+            num(p.get("edp")),
+            if Some(config) == best_config {
+                "<=="
+            } else {
+                ""
+            },
+        ));
+    }
+    match v.get("best") {
+        Some(Json::Null) | None => out.push_str("\nno configuration stays within the budget"),
+        Some(b) => out.push_str(&format!(
+            "\nbest within budget: {} (loss {:.3}, EDP {:.3}x dense TC)",
+            b.get("config").and_then(Json::as_str).unwrap_or("?"),
+            num(b.get("loss")),
+            num(b.get("edp")),
+        )),
+    }
+    out
 }
 
 fn render_evaluate(v: &Json) -> String {

@@ -64,7 +64,7 @@ fn main() -> ExitCode {
     );
     println!(
         "endpoints: GET /healthz  GET /designs  GET /metrics  GET /models  \
-         POST /evaluate  POST /evaluate_model  POST /sweep"
+         POST /evaluate  POST /evaluate_model  POST /sweep  POST /search"
     );
 
     signal::install_handlers();

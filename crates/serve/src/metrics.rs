@@ -25,13 +25,15 @@ pub enum Route {
     EvaluateModel,
     /// `POST /sweep`.
     Sweep,
+    /// `POST /search`.
+    Search,
     /// Anything else (404s, parse failures, …).
     Other,
 }
 
 impl Route {
     /// All tracked routes, in display order.
-    pub const ALL: [Route; 8] = [
+    pub const ALL: [Route; 9] = [
         Route::Healthz,
         Route::Designs,
         Route::Metrics,
@@ -39,6 +41,7 @@ impl Route {
         Route::Evaluate,
         Route::EvaluateModel,
         Route::Sweep,
+        Route::Search,
         Route::Other,
     ];
 
@@ -52,6 +55,7 @@ impl Route {
             "/evaluate" => Route::Evaluate,
             "/evaluate_model" => Route::EvaluateModel,
             "/sweep" => Route::Sweep,
+            "/search" => Route::Search,
             _ => Route::Other,
         }
     }
@@ -66,6 +70,7 @@ impl Route {
             Route::Evaluate => "/evaluate",
             Route::EvaluateModel => "/evaluate_model",
             Route::Sweep => "/sweep",
+            Route::Search => "/search",
             Route::Other => "other",
         }
     }

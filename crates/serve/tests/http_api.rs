@@ -14,7 +14,9 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use hl_bench::{registered_names, SweepContext};
-use hl_serve::api::{build_workload, eval_result_json, network_eval_json, pruning_from, App};
+use hl_serve::api::{
+    build_workload, eval_result_json, network_eval_json, pruning_from, search_outcome_json, App,
+};
 use hl_serve::client::{get_json, post_json};
 use hl_serve::json::Json;
 use hl_serve::server::{Server, ServerConfig, ServerHandle};
@@ -163,6 +165,86 @@ fn evaluate_model_is_byte_identical_to_offline_network_eval() {
             );
         }
     }
+    server.stop().unwrap();
+}
+
+#[test]
+fn search_is_byte_identical_to_offline_codesign_and_rejects_degenerates() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let body = Json::Obj(vec![
+        ("design".into(), Json::str("HighLight")),
+        ("model".into(), Json::str("DeiT-small")),
+        ("budget".into(), Json::Num(0.5)),
+    ]);
+    let (status, v) = post_json(&addr, "/search", &body).unwrap();
+    assert_eq!(status, 200);
+
+    // Byte-identity: the served search must equal the offline co-design
+    // search (serial, uncached-pool) through the same canonical view —
+    // the same contract /evaluate and /evaluate_model honour.
+    let design = hl_bench::design_by_name("HighLight").unwrap();
+    let model = hl_models::model_by_name("DeiT-small").unwrap();
+    let offline =
+        SweepContext::with_engine(Engine::serial()).codesign(design.as_ref(), &model, 0.5);
+    assert_eq!(v.encode(), search_outcome_json(&offline).encode());
+
+    // The served front is non-dominated.
+    let front = v.get("front").and_then(Json::as_arr).unwrap();
+    assert!(!front.is_empty());
+    let pt = |p: &Json| {
+        (
+            p.get("loss").and_then(Json::as_f64).unwrap(),
+            p.get("edp").and_then(Json::as_f64).unwrap(),
+        )
+    };
+    for a in front {
+        for b in front {
+            assert!(
+                !hl_sim::pareto::dominates(pt(b), pt(a)),
+                "served front must be non-dominated"
+            );
+        }
+    }
+
+    // A replay hits the shared caches: the second query is answered from
+    // the memo and stays byte-identical.
+    let (_, v2) = post_json(&addr, "/search", &body).unwrap();
+    assert_eq!(v2.encode(), v.encode());
+
+    // Degenerate queries are 4xx, not worker panics.
+    for bad in [
+        Json::Obj(vec![
+            ("design".into(), Json::str("HighLight")),
+            ("model".into(), Json::str("DeiT-small")),
+            ("budget".into(), Json::Num(-0.5)),
+        ]),
+        Json::Obj(vec![
+            ("design".into(), Json::str("TPU")),
+            ("model".into(), Json::str("DeiT-small")),
+            ("budget".into(), Json::Num(0.5)),
+        ]),
+    ] {
+        let (status, v) = post_json(&addr, "/search", &bad).unwrap();
+        assert_eq!(status, 400);
+        assert!(v.get("error").is_some());
+    }
+    // …and a zero-density pruning config over HTTP answers per-layer
+    // Unsupported instead of killing the worker.
+    let degenerate = Json::Obj(vec![
+        ("design".into(), Json::str("DSTC")),
+        ("model".into(), Json::str("Transformer-Big")),
+        (
+            "pruning".into(),
+            Json::parse(r#"{"unstructured":1.0}"#).unwrap(),
+        ),
+    ]);
+    let (status, v) = post_json(&addr, "/evaluate_model", &degenerate).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(v.get("supported").and_then(Json::as_bool), Some(false));
+    let (status, _) = get_json(&addr, "/healthz").unwrap();
+    assert_eq!(status, 200, "server must survive degenerate configs");
+
     server.stop().unwrap();
 }
 

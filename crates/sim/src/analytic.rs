@@ -86,6 +86,30 @@ pub struct TrafficModel {
     pub b_reuse: f64,
 }
 
+/// A stored density outside `(0, 1]` (or non-finite) reached the traffic
+/// model — the signature of a degenerate sparsity configuration (e.g. a
+/// fully-pruned operand). Designs map this to [`crate::Unsupported`]
+/// instead of panicking a sweep worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegenerateDensity {
+    /// Which operand carried the density (`"A"` or `"B"`).
+    pub operand: &'static str,
+    /// The rejected stored density.
+    pub density: f64,
+}
+
+impl std::fmt::Display for DegenerateDensity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "operand {} stored density {} is outside (0, 1] — nothing to store or compute",
+            self.operand, self.density
+        )
+    }
+}
+
+impl std::error::Error for DegenerateDensity {}
+
 impl TrafficModel {
     /// Builds the traffic model.
     ///
@@ -93,28 +117,43 @@ impl TrafficModel {
     /// words actually stored (1.0 when uncompressed).
     ///
     /// # Panics
-    /// Panics if a density is outside `(0, 1]`.
+    /// Panics if a density is outside `(0, 1]`. Designs evaluating
+    /// workload-derived densities use [`TrafficModel::try_new`] so a
+    /// degenerate configuration becomes [`crate::Unsupported`] instead of
+    /// a worker panic.
     pub fn new(
         shape: GemmShape,
         a_stored_density: f64,
         b_stored_density: f64,
         res: &Resources,
     ) -> Self {
-        assert!(
-            a_stored_density > 0.0 && a_stored_density <= 1.0,
-            "invalid stored density {a_stored_density}"
-        );
-        assert!(
-            b_stored_density > 0.0 && b_stored_density <= 1.0,
-            "invalid stored density {b_stored_density}"
-        );
+        Self::try_new(shape, a_stored_density, b_stored_density, res)
+            .unwrap_or_else(|e| panic!("invalid stored density: {e}"))
+    }
+
+    /// Fallible form of [`TrafficModel::new`].
+    ///
+    /// # Errors
+    /// [`DegenerateDensity`] when a stored density is outside `(0, 1]` or
+    /// non-finite.
+    pub fn try_new(
+        shape: GemmShape,
+        a_stored_density: f64,
+        b_stored_density: f64,
+        res: &Resources,
+    ) -> Result<Self, DegenerateDensity> {
+        for (operand, density) in [("A", a_stored_density), ("B", b_stored_density)] {
+            if !(density > 0.0 && density <= 1.0) {
+                return Err(DegenerateDensity { operand, density });
+            }
+        }
         let (tm, tn) = res.output_tile();
         let a_reuse = (shape.n as f64 / tn as f64).ceil().max(1.0);
         let b_reuse = (shape.m as f64 / tm as f64).ceil().max(1.0);
         let a_words = shape.a_elems() as f64 * a_stored_density;
         let b_words = shape.b_elems() as f64 * b_stored_density;
         let z_words = shape.z_elems() as f64;
-        Self {
+        Ok(Self {
             a_glb_words: a_words * a_reuse,
             b_glb_words: b_words * b_reuse,
             z_glb_words: 2.0 * z_words, // write + drain
@@ -123,7 +162,7 @@ impl TrafficModel {
             z_dram_words: z_words,
             a_reuse,
             b_reuse,
-        }
+        })
     }
 }
 
@@ -292,5 +331,23 @@ mod tests {
     fn rejects_zero_density() {
         let res = Resources::tc_class(256.0, 64.0);
         let _ = TrafficModel::new(GemmShape::new(8, 8, 8), 0.0, 1.0, &res);
+    }
+
+    #[test]
+    fn try_new_reports_degenerate_densities() {
+        let res = Resources::tc_class(256.0, 64.0);
+        let shape = GemmShape::new(8, 8, 8);
+        assert!(TrafficModel::try_new(shape, 0.5, 1.0, &res).is_ok());
+        for (a, b, operand) in [
+            (0.0, 1.0, "A"),
+            (1.0, 0.0, "B"),
+            (1.5, 1.0, "A"),
+            (f64::NAN, 1.0, "A"),
+            (1.0, f64::NEG_INFINITY, "B"),
+        ] {
+            let err = TrafficModel::try_new(shape, a, b, &res).unwrap_err();
+            assert_eq!(err.operand, operand, "{a} {b}");
+            assert!(err.to_string().contains("(0, 1]"), "{err}");
+        }
     }
 }

@@ -106,6 +106,32 @@ pub trait Accelerator: fmt::Debug + Send + Sync {
     }
 }
 
+/// Rejects workloads whose expected operand densities are degenerate —
+/// fully pruned (density 0, e.g. unstructured sparsity 1.0 or a model
+/// layer pruned to nothing) or non-finite — as [`Unsupported`].
+///
+/// Every design calls this at the top of its `evaluate`: a degenerate
+/// configuration reaching a served sweep must surface as a per-layer
+/// `Unsupported` outcome, never as a worker panic (in the
+/// [`crate::analytic::TrafficModel`] density assert) or NaN cycles.
+///
+/// # Errors
+/// [`Unsupported`] when either operand's density is outside `(0, 1]`.
+pub fn check_densities(design: &str, workload: &Workload) -> Result<(), Unsupported> {
+    for (operand, density) in [("A", workload.a.density()), ("B", workload.b.density())] {
+        if !(density > 0.0 && density <= 1.0) {
+            return Err(Unsupported {
+                design: design.to_string(),
+                reason: format!(
+                    "operand {operand} density {density} is degenerate \
+                     (fully pruned or outside (0, 1]); nothing to compute"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Evaluates `workload` directly and with operands swapped, returning the
 /// lower-EDP result (§7.1.1: "we allow them to swap operands and report the
 /// best hardware performance").

@@ -20,6 +20,9 @@
 //!   the [`network::NetworkEval`] result (per-layer breakdowns, aggregate
 //!   EDP/ED², MACs-weighted utilization), with layers fanning out across
 //!   the engine pool and hitting the eval cache individually;
+//! - [`pareto`]: bi-objective Pareto dominance over minimized `(f64, f64)`
+//!   objectives — the frontier machinery under the §7.1.2 co-design search
+//!   and the Fig. 15 frontier check;
 //! - [`micro`]: a **functional** cycle-counting simulator of the down-sized
 //!   HighLight micro-architecture of §6 (Figs. 9–12): hierarchical CP
 //!   metadata decode, Rank1 skipping with a VFMU performing variable-length
@@ -39,9 +42,12 @@ pub mod dataflow;
 pub mod engine;
 pub mod micro;
 pub mod network;
+pub mod pareto;
 
 mod eval;
 mod workload;
 
-pub use eval::{evaluate_best, geomean, Accelerator, EvalResult, Unsupported, CLOCK_GHZ};
+pub use eval::{
+    check_densities, evaluate_best, geomean, Accelerator, EvalResult, Unsupported, CLOCK_GHZ,
+};
 pub use workload::{OperandSparsity, Workload};

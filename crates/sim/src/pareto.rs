@@ -1,0 +1,84 @@
+//! Bi-objective Pareto dominance — the machinery under the §7.1.2
+//! co-design search (Fig. 15's frontier) and the `fig15` frontier check.
+//!
+//! Objectives are *minimized* (accuracy loss, EDP). Comparisons use plain
+//! `f64` ordering, so a point with a NaN objective neither dominates nor
+//! is dominated — it simply never joins the front, which keeps the
+//! functions total on degenerate inputs instead of panicking.
+
+/// True when `a` dominates `b`: no worse in both minimized objectives and
+/// strictly better in at least one.
+///
+/// Identical points do not dominate each other (both stay on a front).
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// Indices of the non-dominated `items` under the minimized bi-objective
+/// `key`, in input order (deterministic for any input permutation of the
+/// same values: membership depends only on the value set).
+pub fn pareto_front_indices<T>(items: &[T], key: impl Fn(&T) -> (f64, f64)) -> Vec<usize> {
+    let points: Vec<(f64, f64)> = items.iter().map(&key).collect();
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|&q| dominates(q, points[i])))
+        .collect()
+}
+
+/// Per-item membership flags for the Pareto front (same semantics as
+/// [`pareto_front_indices`], convenient for annotating report rows).
+pub fn pareto_front_flags<T>(items: &[T], key: impl Fn(&T) -> (f64, f64)) -> Vec<bool> {
+    let points: Vec<(f64, f64)> = items.iter().map(&key).collect();
+    points
+        .iter()
+        .map(|&p| !points.iter().any(|&q| dominates(q, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        assert!(dominates((1.0, 1.0), (2.0, 2.0)));
+        assert!(dominates((1.0, 2.0), (2.0, 2.0)));
+        assert!(!dominates((1.0, 1.0), (1.0, 1.0)), "equal points coexist");
+        assert!(!dominates((1.0, 3.0), (2.0, 2.0)), "trade-offs coexist");
+        assert!(!dominates((2.0, 2.0), (1.0, 3.0)));
+    }
+
+    #[test]
+    fn nan_points_neither_dominate_nor_join() {
+        assert!(!dominates((f64::NAN, 0.0), (1.0, 1.0)));
+        assert!(!dominates((1.0, 1.0), (f64::NAN, 0.0)));
+        let pts = [(0.5, 0.5), (f64::NAN, 0.0)];
+        // The NaN point is never dominated (comparisons are false), so it
+        // technically stays; callers filter NaN objectives upstream.
+        let front = pareto_front_indices(&pts, |&p| p);
+        assert!(front.contains(&0));
+    }
+
+    #[test]
+    fn front_keeps_trade_offs_and_drops_dominated() {
+        let pts = [
+            (0.0, 10.0), // frontier (best loss)
+            (1.0, 5.0),  // frontier
+            (1.5, 6.0),  // dominated by (1.0, 5.0)
+            (3.0, 1.0),  // frontier (best edp)
+            (3.0, 1.0),  // duplicate of a frontier point: also kept
+            (4.0, 2.0),  // dominated
+        ];
+        assert_eq!(pareto_front_indices(&pts, |&p| p), vec![0, 1, 3, 4]);
+        assert_eq!(
+            pareto_front_flags(&pts, |&p| p),
+            vec![true, true, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: [(f64, f64); 0] = [];
+        assert!(pareto_front_indices(&none, |&p| p).is_empty());
+        assert_eq!(pareto_front_indices(&[(1.0, 1.0)], |&p| p), vec![0]);
+    }
+}

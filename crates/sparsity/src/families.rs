@@ -151,15 +151,16 @@ impl HssFamily {
 
     /// The member whose density is closest to `target` (ties broken toward
     /// the denser pattern — the conservative choice for accuracy).
+    ///
+    /// A non-finite `target` (NaN distances) falls back to the densest
+    /// member via `total_cmp`'s total order instead of panicking.
     pub fn closest_to_density(&self, target: f64) -> HssPattern {
         self.patterns()
             .into_iter()
             .min_by(|a, b| {
                 let da = (a.density_f64() - target).abs();
                 let db = (b.density_f64() - target).abs();
-                da.partial_cmp(&db)
-                    .unwrap()
-                    .then(b.density().cmp(&a.density()))
+                da.total_cmp(&db).then(b.density().cmp(&a.density()))
             })
             .expect("families are non-empty")
     }
@@ -322,6 +323,15 @@ mod tests {
         let quarter = f.densest_within(0.25).unwrap();
         assert_eq!(quarter.density(), Ratio::new(1, 4));
         assert!(f.densest_within(0.1).is_none()); // nothing sparser than 75%
+    }
+
+    #[test]
+    fn closest_to_density_survives_nan_target() {
+        // Every distance is NaN; total_cmp treats them as equal and the
+        // density tie-break picks the densest member deterministically.
+        let f = highlight_a();
+        let p = f.closest_to_density(f64::NAN);
+        assert_eq!(p.density(), *f.densities().last().unwrap());
     }
 
     #[test]

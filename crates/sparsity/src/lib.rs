@@ -29,4 +29,4 @@ mod ratio;
 pub use hss::HssPattern;
 pub use ratio::Ratio;
 
-pub use hl_fibertree::spec::Gh;
+pub use hl_fibertree::spec::{Gh, InvalidGh};

@@ -82,12 +82,13 @@ fn prune_rank_in_place(m: &mut Matrix, gh: Gh, granularity: usize) {
             }
             // Rank blocks by (score desc, index asc); the first `keep`
             // survive — the same selection `top-k with ties to the lower
-            // index` the paper's procedure prescribes.
+            // index` the paper's procedure prescribes. `total_cmp` keeps
+            // the sort total when a corrupt weight yields a NaN score:
+            // NaN orders above +∞, so the block is deterministically kept
+            // instead of panicking the comparator.
             order.clear();
             order.extend(0..h);
-            order.sort_unstable_by(|&a, &b| {
-                scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
-            });
+            order.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
             for &b in &order[keep..] {
                 let lo = start + b * granularity;
                 for c in lo..lo + granularity {
@@ -141,10 +142,13 @@ pub fn magnitude_order(m: &Matrix) -> Vec<u32> {
         "matrix too large for u32 pruning order ({total} elements)"
     );
     let mut idx: Vec<u32> = (0..total as u32).collect();
+    // `total_cmp` ranks a NaN magnitude above every number, so corrupt
+    // weights land at the end of the pruning order (pruned last) rather
+    // than panicking the comparator.
     idx.sort_by(|&a, &b| {
         let ma = m.data()[a as usize].abs();
         let mb = m.data()[b as usize].abs();
-        ma.partial_cmp(&mb).unwrap().then(a.cmp(&b))
+        ma.total_cmp(&mb).then(a.cmp(&b))
     });
     idx
 }
@@ -278,6 +282,31 @@ mod tests {
         let min_kept = kept.iter().cloned().fold(f32::INFINITY, f32::min);
         let max_dropped = dropped.iter().cloned().fold(0.0, f32::max);
         assert!(min_kept >= max_dropped);
+    }
+
+    #[test]
+    fn nan_weights_do_not_panic_pruning() {
+        // A corrupt (NaN) weight must rank deterministically instead of
+        // panicking the sort comparators (NaN-poisoned checkpoints reach
+        // the surrogate through served pruning configs).
+        let m = Matrix::from_rows(&[&[1.0, f32::NAN, 0.5, 3.0, 2.0, -1.0, 0.1, 0.2]]);
+        let p = prune_lowest_rank(&m, Gh::new(2, 4));
+        // NaN scores above every finite magnitude: it survives 2:4 along
+        // with the largest finite value of its block.
+        assert!(p.row(0)[1].is_nan());
+        assert_eq!(p.row(0)[0], 0.0);
+        assert_eq!(p.row(0)[3], 3.0);
+        // Unstructured pruning ranks NaN last in the removal order.
+        let order = magnitude_order(&m);
+        assert_eq!(order.last(), Some(&1));
+        let u = prune_unstructured(&m, 0.5);
+        assert!(u.row(0)[1].is_nan(), "NaN is pruned last, so it survives");
+        // A NaN payload score at an intermediate rank is handled the same
+        // way (scaled_l2 of a NaN block is NaN).
+        let wide = Matrix::from_rows(&[&[f32::NAN, 0.1, 3.0, 3.0]]);
+        let hss = prune_hss(&wide, &HssPattern::two_rank(Gh::new(1, 2), Gh::new(1, 2)));
+        assert!(hss.row(0)[0].is_nan());
+        assert_eq!(&hss.row(0)[1..], &[0.0, 0.0, 0.0]);
     }
 
     #[test]
