@@ -3,61 +3,39 @@
 //! [`App`] owns the long-lived evaluation state — one
 //! [`SweepContext`] whose [`hl_sim::engine::EvalCache`] and retention
 //! cache are shared by every request the worker pool handles, so repeated
-//! `/evaluate` queries replay from the memo instead of recomputing (the
-//! rising hit rate is visible in `/metrics`). Handlers are pure
-//! request → [`Json`] functions; [`ApiError`] carries the 4xx/5xx mapping
-//! and panics are caught and answered with a 500 so one bad request can
-//! never take a worker down.
+//! `/v1/evaluate` queries replay from the memo instead of recomputing
+//! (the rising hit rate is visible in `/v1/metrics`). Handlers parse
+//! request bodies through the typed wire structs in [`crate::schema`]
+//! and stay pure request → [`Json`] functions; [`ApiError`] carries the
+//! 4xx/5xx mapping (rendered as the structured
+//! `{"error": {"code": …, "message": …}}` body) and panics are caught
+//! and answered with a 500 so one bad request can never take a worker
+//! down.
 //!
-//! Endpoints: `GET /healthz`, `GET /designs`, `GET /metrics`,
-//! `GET /models`, `POST /evaluate`, `POST /evaluate_model`,
-//! `POST /sweep`, `POST /search`.
+//! Endpoints: `GET /v1/healthz`, `GET /v1/designs`, `GET /v1/metrics`,
+//! `GET /v1/models`, `POST /v1/evaluate`, `POST /v1/evaluate_model`,
+//! `POST /v1/sweep`, `POST /v1/search`. The legacy unversioned paths
+//! remain as byte-identical aliases; each hit increments the
+//! `deprecated` counter surfaced in `/v1/metrics`.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
 
-use hl_bench::{
-    design_names, operand_b_for, registered_names, try_operand_a_for, SearchOutcome, SearchPoint,
-    SweepContext,
-};
+use hl_bench::{design_names, operand_b_for, registered_names, try_operand_a_for, SweepContext};
 use hl_models::accuracy::PruningConfig;
 use hl_sim::engine::SweepGrid;
-use hl_sim::network::{LayerEval, NetworkEval};
-use hl_sim::{Accelerator, EvalResult, Workload};
-use hl_sparsity::{Gh, HssPattern};
+use hl_sim::{Accelerator, Workload};
 use hl_tensor::GemmShape;
 
 use crate::http::{ParseError, Request, Response};
 use crate::json::Json;
 use crate::metrics::{Metrics, Route};
+use crate::schema::{self, ErrorBody, SchemaError};
 
-/// Largest accepted GEMM dimension (the analytical models are closed-form,
-/// but keep request shapes sane).
-pub const MAX_DIM: usize = 1 << 26;
-
-/// Largest accepted dense MAC count `m·k·n` (2⁵³, the last f64-exact
-/// integer): per-dimension caps alone would let the product overflow the
-/// `u64` MAC arithmetic and serve garbage results.
-pub const MAX_MACS: u128 = 1 << 53;
-
-/// Largest accepted sparsity degree (HighLight's co-design family tops out
-/// at 93.75%; leave headroom without allowing degenerate fully-empty
-/// operands).
-pub const MAX_DEGREE: f64 = 0.99;
-
-/// Largest accepted `/search` accuracy-loss budget in metric points (a
-/// whole top-1 / BLEU scale — anything above means "unconstrained").
-pub const MAX_BUDGET: f64 = 100.0;
-
-/// Hard server-side cap on `/sweep` result rows; requests may lower it
-/// with `"limit"` but never raise it.
-pub const MAX_SWEEP_ROWS: usize = 256;
-
-/// Largest accepted `/evaluate_model` HSS group size (product of the
-/// per-rank `H` values): the co-design families top out at 32, and the
-/// accuracy surrogate synthesizes (and caches) group-aligned weight
-/// matrices, so the group size bounds per-request memory.
-pub const MAX_GROUP_SIZE: usize = 64;
+pub use crate::schema::{
+    eval_result_json, network_eval_json, search_outcome_json, MAX_BUDGET, MAX_DEGREE, MAX_DIM,
+    MAX_GROUP_SIZE, MAX_MACS, MAX_SWEEP_ROWS,
+};
 
 /// The long-lived serving state shared across the worker pool.
 #[derive(Default)]
@@ -91,10 +69,14 @@ impl App {
         &self.metrics
     }
 
-    /// Handles one parsed request: dispatch, panic containment, metrics.
+    /// Handles one parsed request: dispatch, panic containment, metrics
+    /// (including the deprecated-alias counter for unversioned paths).
     pub fn handle(&self, req: &Request) -> Response {
         let t0 = Instant::now();
-        let route = Route::of(&req.path);
+        let (route, deprecated) = Route::resolve(&req.path);
+        if deprecated {
+            self.metrics.record_deprecated_route();
+        }
         let resp = match panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(req))) {
             Ok(Ok(json)) => Response::json(200, json.encode()),
             Ok(Err(e)) => e.into_response(),
@@ -117,7 +99,10 @@ impl App {
     }
 
     fn dispatch(&self, req: &Request) -> Result<Json, ApiError> {
-        match (req.method.as_str(), req.path.as_str()) {
+        // `/v1/<route>` is canonical; the bare legacy path is an alias
+        // that must answer byte-identically, so both converge here.
+        let path = canonical_path(&req.path);
+        match (req.method.as_str(), path) {
             ("GET", "/healthz") => Ok(self.healthz()),
             ("GET", "/designs") => Ok(designs_json()),
             ("GET", "/metrics") => Ok(self.metrics_json()),
@@ -149,10 +134,20 @@ impl App {
     }
 
     fn metrics_json(&self) -> Json {
-        let mut requests = vec![(
-            "total".into(),
-            Json::Num(self.metrics.total_requests() as f64),
-        )];
+        let mut requests = vec![
+            (
+                "total".into(),
+                Json::Num(self.metrics.total_requests() as f64),
+            ),
+            (
+                "coalesced".into(),
+                Json::Num(self.metrics.coalesced() as f64),
+            ),
+            (
+                "deprecated".into(),
+                Json::Num(self.metrics.deprecated_routes() as f64),
+            ),
+        ];
         for r in Route::ALL {
             requests.push((
                 r.label().into(),
@@ -160,6 +155,8 @@ impl App {
             ));
         }
         let (s2, s4, s5) = self.metrics.status_counts();
+        let (accepted, closed) = self.metrics.connection_counts();
+        let reuse = self.metrics.reuse();
         let cache = self.ctx.engine().eval_cache();
         let (hits, misses) = (cache.hits(), cache.misses());
         let hit_rate = if hits + misses == 0 {
@@ -188,6 +185,39 @@ impl App {
                 ]),
             ),
             (
+                "connections".into(),
+                Json::Obj(vec![
+                    ("accepted".into(), Json::Num(accepted as f64)),
+                    ("closed".into(), Json::Num(closed as f64)),
+                    (
+                        "active".into(),
+                        Json::Num(self.metrics.active_connections() as f64),
+                    ),
+                    (
+                        "reuse".into(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::Num(reuse.count() as f64)),
+                            ("mean_requests".into(), Json::Num(reuse.mean())),
+                            (
+                                "histogram".into(),
+                                Json::Arr(
+                                    reuse
+                                        .nonzero_buckets()
+                                        .into_iter()
+                                        .map(|(ge, n)| {
+                                            Json::Obj(vec![
+                                                ("ge".into(), Json::Num(ge as f64)),
+                                                ("count".into(), Json::Num(n as f64)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
                 "eval_cache".into(),
                 Json::Obj(vec![
                     ("entries".into(), Json::Num(cache.len() as f64)),
@@ -210,24 +240,16 @@ impl App {
     }
 
     fn evaluate(&self, body: &[u8]) -> Result<Json, ApiError> {
-        let obj = parse_body(body, &["design", "m", "k", "n", "a_sparsity", "b_sparsity"])?;
-        let design_name = obj
-            .get("design")
-            .ok_or_else(|| ApiError::bad_request("missing required field \"design\""))?
-            .as_str()
-            .ok_or_else(|| ApiError::bad_request("\"design\" must be a string"))?;
-        let design = hl_bench::design_by_name(design_name)
+        let req = schema::EvaluateRequest::from_body(body)?;
+        let design = hl_bench::design_by_name(&req.design)
             .map_err(|e| ApiError::bad_request(e.to_string()))?;
-        let shape = shape_from(&obj)?;
-        let sa = degree_from(&obj, "a_sparsity")?;
-        let sb = degree_from(&obj, "b_sparsity")?;
-        let workload = build_workload(design.name(), shape, sa, sb)
+        let workload = build_workload(design.name(), req.shape, req.a_sparsity, req.b_sparsity)
             .map_err(|e| ApiError::bad_request(e.to_string()))?;
 
         let mut members = vec![
             ("design".into(), Json::str(design.name())),
             ("workload".into(), Json::str(&workload.name)),
-            ("shape".into(), shape_json(shape)),
+            ("shape".into(), schema::shape_json(req.shape)),
             ("a".into(), Json::str(workload.a.to_string())),
             ("b".into(), Json::str(workload.b.to_string())),
         ];
@@ -245,22 +267,12 @@ impl App {
     }
 
     fn evaluate_model(&self, body: &[u8]) -> Result<Json, ApiError> {
-        let obj = parse_body(body, &["design", "model", "pruning"])?;
-        let design_name = obj
-            .get("design")
-            .ok_or_else(|| ApiError::bad_request("missing required field \"design\""))?
-            .as_str()
-            .ok_or_else(|| ApiError::bad_request("\"design\" must be a string"))?;
-        let design = hl_bench::design_by_name(design_name)
+        let req = schema::EvaluateModelRequest::from_body(body)?;
+        let design = hl_bench::design_by_name(&req.design)
             .map_err(|e| ApiError::bad_request(e.to_string()))?;
-        let model_name = obj
-            .get("model")
-            .ok_or_else(|| ApiError::bad_request("missing required field \"model\""))?
-            .as_str()
-            .ok_or_else(|| ApiError::bad_request("\"model\" must be a string"))?;
-        let model = hl_models::model_by_name(model_name)
+        let model = hl_models::model_by_name(&req.model)
             .map_err(|e| ApiError::bad_request(e.to_string()))?;
-        let pruning = pruning_from(obj.get("pruning"))?;
+        let pruning = req.pruning;
 
         let eval = self.ctx.eval_network(design.as_ref(), &model, &pruning);
         let loss = self.ctx.accuracy_loss(&model, &pruning);
@@ -277,80 +289,30 @@ impl App {
     }
 
     fn search(&self, body: &[u8]) -> Result<Json, ApiError> {
-        let obj = parse_body(body, &["design", "model", "budget"])?;
-        let design_name = obj
-            .get("design")
-            .ok_or_else(|| ApiError::bad_request("missing required field \"design\""))?
-            .as_str()
-            .ok_or_else(|| ApiError::bad_request("\"design\" must be a string"))?;
-        let design = hl_bench::design_by_name(design_name)
+        let req = schema::SearchRequest::from_body(body)?;
+        let design = hl_bench::design_by_name(&req.design)
             .map_err(|e| ApiError::bad_request(e.to_string()))?;
-        let model_name = obj
-            .get("model")
-            .ok_or_else(|| ApiError::bad_request("missing required field \"model\""))?
-            .as_str()
-            .ok_or_else(|| ApiError::bad_request("\"model\" must be a string"))?;
-        let model = hl_models::model_by_name(model_name)
+        let model = hl_models::model_by_name(&req.model)
             .map_err(|e| ApiError::bad_request(e.to_string()))?;
-        let budget = obj
-            .get("budget")
-            .ok_or_else(|| ApiError::bad_request("missing required field \"budget\""))?
-            .as_f64()
-            .ok_or_else(|| ApiError::bad_request("\"budget\" must be a number"))?;
-        if !(0.0..=MAX_BUDGET).contains(&budget) {
-            return Err(ApiError::bad_request(format!(
-                "\"budget\" must be an accuracy-loss budget in [0, {MAX_BUDGET}] \
-                 metric points, got {budget}"
-            )));
-        }
 
         let outcome = self
             .ctx
-            .try_codesign(design.as_ref(), &model, budget)
+            .try_codesign(design.as_ref(), &model, req.budget)
             .map_err(|e| ApiError::bad_request(e.to_string()))?;
         Ok(search_outcome_json(&outcome))
     }
 
     fn sweep(&self, body: &[u8]) -> Result<Json, ApiError> {
-        let obj = parse_body(
-            body,
-            &["designs", "a_degrees", "b_degrees", "m", "k", "n", "limit"],
-        )?;
-        let names: Vec<String> = match obj.get("designs") {
-            None => design_names(),
-            Some(v) => {
-                let arr = v
-                    .as_arr()
-                    .ok_or_else(|| ApiError::bad_request("\"designs\" must be an array"))?;
-                if arr.is_empty() {
-                    return Err(ApiError::bad_request("\"designs\" must not be empty"));
-                }
-                arr.iter()
-                    .map(|d| {
-                        d.as_str()
-                            .map(str::to_string)
-                            .ok_or_else(|| ApiError::bad_request("design names must be strings"))
-                    })
-                    .collect::<Result<_, _>>()?
-            }
-        };
+        let req = schema::SweepRequest::from_body(body)?;
+        let names: Vec<String> = req.designs.unwrap_or_else(design_names);
         let designs: Vec<Box<dyn Accelerator>> = names
             .iter()
             .map(|n| hl_bench::design_by_name(n).map_err(|e| ApiError::bad_request(e.to_string())))
             .collect::<Result<_, _>>()?;
-        let a_degrees = degrees_from(&obj, "a_degrees", || hl_bench::fig13_degrees().0)?;
-        let b_degrees = degrees_from(&obj, "b_degrees", || hl_bench::fig13_degrees().1)?;
-        let shape = shape_from(&obj)?;
-        let limit = match obj.get("limit") {
-            None => MAX_SWEEP_ROWS,
-            Some(v) => {
-                let n = int_from(v, "limit")?;
-                if n == 0 {
-                    return Err(ApiError::bad_request("\"limit\" must be at least 1"));
-                }
-                n.min(MAX_SWEEP_ROWS)
-            }
-        };
+        let a_degrees = req.a_degrees.unwrap_or_else(|| hl_bench::fig13_degrees().0);
+        let b_degrees = req.b_degrees.unwrap_or_else(|| hl_bench::fig13_degrees().1);
+        let shape = req.shape;
+        let limit = req.limit.map_or(MAX_SWEEP_ROWS, |n| n.min(MAX_SWEEP_ROWS));
 
         let mut grid = SweepGrid::new(&designs);
         let mut degrees = Vec::new();
@@ -388,7 +350,7 @@ impl App {
             })
             .collect();
         Ok(Json::Obj(vec![
-            ("shape".into(), shape_json(shape)),
+            ("shape".into(), schema::shape_json(shape)),
             (
                 "designs".into(),
                 Json::Arr(names.iter().map(Json::str).collect()),
@@ -401,8 +363,18 @@ impl App {
     }
 }
 
-/// The `GET /designs` payload: every registered design with its Table 3/4
-/// identity.
+/// Strips the `/v1` version prefix, leaving legacy paths untouched:
+/// `/v1/evaluate` and `/evaluate` dispatch to the same handler (the
+/// alias is byte-identical by construction).
+fn canonical_path(path: &str) -> &str {
+    match path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => rest,
+        _ => path,
+    }
+}
+
+/// The `GET /v1/designs` payload: every registered design with its
+/// Table 3/4 identity.
 pub fn designs_json() -> Json {
     let designs: Vec<Json> = registered_names()
         .iter()
@@ -427,8 +399,8 @@ pub fn designs_json() -> Json {
     Json::Obj(vec![("designs".into(), Json::Arr(designs))])
 }
 
-/// The `GET /models` payload: every registered model with its inventory
-/// summary.
+/// The `GET /v1/models` payload: every registered model with its
+/// inventory summary.
 pub fn models_json() -> Json {
     let models: Vec<Json> = hl_models::model_names()
         .iter()
@@ -452,215 +424,13 @@ pub fn models_json() -> Json {
     Json::Obj(vec![("models".into(), Json::Arr(models))])
 }
 
-/// The canonical JSON view of one [`NetworkEval`] — shared by
-/// `/evaluate_model` and the offline byte-identity acceptance test:
-/// per-layer breakdowns (each with its [`EvalResult`] or the unsupported
-/// reason) plus aggregate totals (`null` when any layer cannot run).
-pub fn network_eval_json(eval: &NetworkEval) -> Json {
-    let layers: Vec<Json> = eval.layers.iter().map(layer_eval_json).collect();
-    let totals = match (
-        eval.cycles(),
-        eval.energy_j(),
-        eval.latency_s(),
-        eval.edp(),
-        eval.ed2(),
-        eval.utilization(),
-    ) {
-        (Some(cycles), Some(energy_j), Some(latency_s), Some(edp), Some(ed2), Some(u)) => {
-            Json::Obj(vec![
-                ("cycles".into(), Json::Num(cycles)),
-                ("latency_s".into(), Json::Num(latency_s)),
-                ("energy_j".into(), Json::Num(energy_j)),
-                ("edp".into(), Json::Num(edp)),
-                ("ed2".into(), Json::Num(ed2)),
-                ("utilization".into(), Json::Num(u)),
-            ])
-        }
-        _ => Json::Null,
-    };
-    Json::Obj(vec![
-        ("design".into(), Json::str(&eval.design)),
-        ("network".into(), Json::str(&eval.network)),
-        ("supported".into(), Json::Bool(eval.supported())),
-        ("layers".into(), Json::Arr(layers)),
-        ("totals".into(), totals),
-    ])
-}
-
-/// The canonical JSON view of one co-design [`SearchOutcome`] — shared by
-/// `POST /search` and the offline byte-identity acceptance test, so the
-/// served response and the `codesign` search agree byte for byte.
-pub fn search_outcome_json(outcome: &SearchOutcome) -> Json {
-    let points: Vec<Json> = outcome.points.iter().map(search_point_json).collect();
-    Json::Obj(vec![
-        ("design".into(), Json::str(&outcome.design)),
-        ("model".into(), Json::str(&outcome.model)),
-        ("metric".into(), Json::str(outcome.metric)),
-        ("budget".into(), Json::Num(outcome.budget)),
-        ("candidates".into(), Json::Num(outcome.candidates as f64)),
-        ("unsupported".into(), Json::Num(outcome.unsupported as f64)),
-        (
-            "front".into(),
-            Json::Arr(
-                outcome
-                    .points
-                    .iter()
-                    .filter(|p| p.on_front)
-                    .map(search_point_json)
-                    .collect(),
-            ),
-        ),
-        (
-            "best".into(),
-            outcome.best_point().map_or(Json::Null, search_point_json),
-        ),
-        ("points".into(), Json::Arr(points)),
-    ])
-}
-
-fn search_point_json(p: &SearchPoint) -> Json {
-    Json::Obj(vec![
-        ("config".into(), Json::str(&p.label)),
-        ("weight_sparsity".into(), Json::Num(p.weight_sparsity)),
-        ("loss".into(), Json::Num(p.loss)),
-        ("edp".into(), Json::Num(p.edp)),
-        ("energy_j".into(), Json::Num(p.energy_j)),
-        ("latency_s".into(), Json::Num(p.latency_s)),
-        ("on_front".into(), Json::Bool(p.on_front)),
-        ("within_budget".into(), Json::Bool(p.within_budget)),
-    ])
-}
-
-fn layer_eval_json(layer: &LayerEval) -> Json {
-    let mut members = vec![
-        ("name".into(), Json::str(layer.name())),
-        ("count".into(), Json::Num(f64::from(layer.count))),
-        ("shape".into(), shape_json(layer.workload.shape)),
-        ("a".into(), Json::str(layer.workload.a.to_string())),
-        ("b".into(), Json::str(layer.workload.b.to_string())),
-    ];
-    match &layer.outcome {
-        Ok(result) => {
-            members.push(("supported".into(), Json::Bool(true)));
-            members.push(("result".into(), eval_result_json(result)));
-        }
-        Err(unsupported) => {
-            members.push(("supported".into(), Json::Bool(false)));
-            members.push(("reason".into(), Json::str(unsupported.to_string())));
-        }
-    }
-    Json::Obj(members)
-}
-
-/// Parses the `/evaluate_model` `"pruning"` field into a
-/// [`PruningConfig`]: absent or `"dense"` → no pruning,
-/// `{"unstructured": degree}` → unstructured magnitude pruning,
-/// `{"hss": [[g, h], ...]}` → an HSS pattern, outermost rank first.
+/// Parses the `/v1/evaluate_model` `"pruning"` field into a
+/// [`PruningConfig`] (see [`schema::pruning_spec`] for the grammar).
+///
+/// # Errors
+/// [`ApiError::bad_request`] with the grammar/range message.
 pub fn pruning_from(v: Option<&Json>) -> Result<PruningConfig, ApiError> {
-    let Some(v) = v else {
-        return Ok(PruningConfig::Dense);
-    };
-    if let Some(s) = v.as_str() {
-        if s == "dense" {
-            return Ok(PruningConfig::Dense);
-        }
-        return Err(ApiError::bad_request(format!(
-            "\"pruning\" string must be \"dense\", got {s:?}"
-        )));
-    }
-    let Json::Obj(members) = v else {
-        return Err(ApiError::bad_request(
-            "\"pruning\" must be \"dense\", {\"unstructured\": degree}, \
-             or {\"hss\": [[g, h], ...]}",
-        ));
-    };
-    match members.as_slice() {
-        [(key, value)] if key == "unstructured" => {
-            let degree = value.as_f64().ok_or_else(|| {
-                ApiError::bad_request("\"pruning.unstructured\" must be a number")
-            })?;
-            // Pruning configs accept the full [0, 1] range — including the
-            // fully-pruned 1.0 extreme, which the hardened designs answer
-            // with per-layer `Unsupported` outcomes rather than a panic.
-            if !(0.0..=1.0).contains(&degree) {
-                return Err(ApiError::bad_request(format!(
-                    "\"pruning.unstructured\" must be a sparsity degree in [0, 1], got {degree}"
-                )));
-            }
-            Ok(PruningConfig::Unstructured { sparsity: degree })
-        }
-        [(key, value)] if key == "hss" => {
-            let ranks = value
-                .as_arr()
-                .ok_or_else(|| ApiError::bad_request("\"pruning.hss\" must be an array"))?;
-            if ranks.is_empty() || ranks.len() > 3 {
-                return Err(ApiError::bad_request(
-                    "\"pruning.hss\" must hold 1 to 3 [g, h] ranks",
-                ));
-            }
-            let mut ghs = Vec::new();
-            for rank in ranks {
-                let pair = rank.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
-                    ApiError::bad_request("\"pruning.hss\" ranks must be [g, h] pairs")
-                })?;
-                let g = gh_component(&pair[0])?;
-                let h = gh_component(&pair[1])?;
-                // The typed core validation (density > 1, division by
-                // zero) maps straight to a 400 here.
-                ghs.push(Gh::try_new(g, h).map_err(|e| ApiError::bad_request(e.to_string()))?);
-            }
-            let pattern = HssPattern::new(ghs);
-            // The group size (product of the per-rank H values) bounds the
-            // weight-matrix columns the accuracy surrogate synthesizes and
-            // retains in the long-lived cache; unbounded, one request could
-            // pin gigabytes. Real co-design families top out at 32.
-            if pattern.group_size() > MAX_GROUP_SIZE {
-                return Err(ApiError::bad_request(format!(
-                    "\"pruning.hss\" group size (product of H values) must \
-                     not exceed {MAX_GROUP_SIZE}, got {}",
-                    pattern.group_size()
-                )));
-            }
-            Ok(PruningConfig::Hss(pattern))
-        }
-        _ => Err(ApiError::bad_request(
-            "\"pruning\" must hold exactly one of \"unstructured\" or \"hss\"",
-        )),
-    }
-}
-
-fn gh_component(v: &Json) -> Result<u32, ApiError> {
-    let n = v
-        .as_f64()
-        .ok_or_else(|| ApiError::bad_request("\"pruning.hss\" entries must be numbers"))?;
-    if n.fract() != 0.0 || !(1.0..=64.0).contains(&n) {
-        return Err(ApiError::bad_request(format!(
-            "G:H components must be integers in [1, 64], got {n}"
-        )));
-    }
-    Ok(n as u32)
-}
-
-/// The canonical JSON view of one [`EvalResult`] — shared by `/evaluate`,
-/// `/sweep`, and the offline byte-identity acceptance test.
-pub fn eval_result_json(r: &EvalResult) -> Json {
-    Json::Obj(vec![
-        ("design".into(), Json::str(&r.design)),
-        ("workload".into(), Json::str(&r.workload)),
-        ("cycles".into(), Json::Num(r.cycles)),
-        ("latency_s".into(), Json::Num(r.latency_s())),
-        ("energy_j".into(), Json::Num(r.energy_j())),
-        ("edp".into(), Json::Num(r.edp())),
-        (
-            "energy_pj".into(),
-            Json::Obj(
-                r.energy
-                    .iter()
-                    .map(|(c, pj)| (c.label().to_string(), Json::Num(pj)))
-                    .collect(),
-            ),
-        ),
-    ])
+    schema::pruning_spec(v).map_err(ApiError::from)
 }
 
 /// Builds the co-designed workload for one `(design, shape, degrees)`
@@ -680,16 +450,9 @@ pub fn build_workload(
     Ok(Workload::new(name, shape, a, b))
 }
 
-fn shape_json(shape: GemmShape) -> Json {
-    Json::Obj(vec![
-        ("m".into(), Json::Num(shape.m as f64)),
-        ("k".into(), Json::Num(shape.k as f64)),
-        ("n".into(), Json::Num(shape.n as f64)),
-    ])
-}
-
-/// An API failure: status code plus message, rendered as
-/// `{"error": "..."}`.
+/// An API failure: status code plus message, rendered as the structured
+/// `{"error": {"code": …, "message": …}}` body (the code derives from
+/// the status via [`schema::error_code`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError {
     /// HTTP status code.
@@ -712,9 +475,9 @@ impl ApiError {
         Self {
             status: 404,
             message: format!(
-                "no route {path}; available: GET /healthz, GET /designs, \
-                 GET /metrics, GET /models, POST /evaluate, \
-                 POST /evaluate_model, POST /sweep, POST /search"
+                "no route {path}; available: GET /v1/healthz, GET /v1/designs, \
+                 GET /v1/metrics, GET /v1/models, POST /v1/evaluate, \
+                 POST /v1/evaluate_model, POST /v1/sweep, POST /v1/search"
             ),
         }
     }
@@ -737,119 +500,21 @@ impl ApiError {
 
     /// The JSON error response.
     pub fn into_response(self) -> Response {
-        let body = Json::Obj(vec![("error".into(), Json::str(self.message))]).encode();
+        let body = ErrorBody::new(self.status, self.message).to_json().encode();
         Response::json(self.status, body)
     }
 }
 
-fn parse_body(body: &[u8], allowed: &[&str]) -> Result<Json, ApiError> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| ApiError::bad_request("request body is not valid UTF-8"))?;
-    if text.trim().is_empty() {
-        return Err(ApiError::bad_request("request body must be a JSON object"));
-    }
-    let v = Json::parse(text).map_err(|e| ApiError::bad_request(e.to_string()))?;
-    let Json::Obj(members) = &v else {
-        return Err(ApiError::bad_request("request body must be a JSON object"));
-    };
-    for (k, _) in members {
-        if !allowed.contains(&k.as_str()) {
-            return Err(ApiError::bad_request(format!(
-                "unknown field {k:?}; allowed: {}",
-                allowed.join(", ")
-            )));
-        }
-    }
-    Ok(v)
-}
-
-fn int_from(v: &Json, key: &str) -> Result<usize, ApiError> {
-    let n = v
-        .as_f64()
-        .ok_or_else(|| ApiError::bad_request(format!("\"{key}\" must be a number")))?;
-    if n.fract() != 0.0 || n < 0.0 || n > MAX_DIM as f64 {
-        return Err(ApiError::bad_request(format!(
-            "\"{key}\" must be an integer in [0, {MAX_DIM}], got {n}"
-        )));
-    }
-    Ok(n as usize)
-}
-
-fn shape_from(obj: &Json) -> Result<GemmShape, ApiError> {
-    let mut dims = [1024usize; 3];
-    for (i, key) in ["m", "k", "n"].iter().enumerate() {
-        if let Some(v) = obj.get(key) {
-            let n = int_from(v, key)?;
-            if n == 0 {
-                return Err(ApiError::bad_request(format!(
-                    "\"{key}\" must be at least 1"
-                )));
-            }
-            dims[i] = n;
-        }
-    }
-    let macs = dims.iter().map(|&d| d as u128).product::<u128>();
-    if macs > MAX_MACS {
-        return Err(ApiError::bad_request(format!(
-            "m*k*n = {macs} dense MACs exceeds the {MAX_MACS} limit"
-        )));
-    }
-    Ok(GemmShape::new(dims[0], dims[1], dims[2]))
-}
-
-fn check_degree(n: f64, key: &str) -> Result<f64, ApiError> {
-    if !(0.0..=MAX_DEGREE).contains(&n) {
-        return Err(ApiError::bad_request(format!(
-            "\"{key}\" must be a sparsity degree in [0, {MAX_DEGREE}], got {n}"
-        )));
-    }
-    Ok(n)
-}
-
-fn degree_from(obj: &Json, key: &str) -> Result<f64, ApiError> {
-    match obj.get(key) {
-        None => Ok(0.0),
-        Some(v) => check_degree(
-            v.as_f64()
-                .ok_or_else(|| ApiError::bad_request(format!("\"{key}\" must be a number")))?,
-            key,
-        ),
-    }
-}
-
-fn degrees_from(
-    obj: &Json,
-    key: &str,
-    default: impl FnOnce() -> Vec<f64>,
-) -> Result<Vec<f64>, ApiError> {
-    match obj.get(key) {
-        None => Ok(default()),
-        Some(v) => {
-            let arr = v
-                .as_arr()
-                .ok_or_else(|| ApiError::bad_request(format!("\"{key}\" must be an array")))?;
-            if arr.is_empty() {
-                return Err(ApiError::bad_request(format!(
-                    "\"{key}\" must not be empty"
-                )));
-            }
-            arr.iter()
-                .map(|d| {
-                    check_degree(
-                        d.as_f64().ok_or_else(|| {
-                            ApiError::bad_request(format!("\"{key}\" entries must be numbers"))
-                        })?,
-                        key,
-                    )
-                })
-                .collect()
-        }
+impl From<SchemaError> for ApiError {
+    fn from(e: SchemaError) -> Self {
+        ApiError::bad_request(e.to_string())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hl_sparsity::{Gh, HssPattern};
 
     fn post(app: &App, path: &str, body: &str) -> (u16, Json) {
         let req = Request {
@@ -881,13 +546,27 @@ mod tests {
         App::with_context(SweepContext::with_engine(hl_sim::engine::Engine::serial()))
     }
 
+    fn err_msg(v: &Json) -> &str {
+        v.get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap()
+    }
+
+    fn err_code(v: &Json) -> &str {
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap()
+    }
+
     #[test]
     fn healthz_and_designs() {
         let app = test_app();
-        let (status, v) = get(&app, "/healthz");
+        let (status, v) = get(&app, "/v1/healthz");
         assert_eq!(status, 200);
         assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
-        let (status, v) = get(&app, "/designs");
+        let (status, v) = get(&app, "/v1/designs");
         assert_eq!(status, 200);
         let designs = v.get("designs").and_then(Json::as_arr).unwrap();
         assert_eq!(designs.len(), registered_names().len());
@@ -899,10 +578,52 @@ mod tests {
     }
 
     #[test]
+    fn legacy_aliases_are_byte_identical_and_counted() {
+        let app = test_app();
+        for (method, path, body) in [
+            ("GET", "/designs", ""),
+            ("GET", "/models", ""),
+            (
+                "POST",
+                "/evaluate",
+                r#"{"design":"HighLight","m":64,"k":64,"n":64}"#,
+            ),
+            ("POST", "/evaluate", r#"{"design":"TC","m":0}"#),
+            ("GET", "/nope", ""),
+        ] {
+            let versioned = format!("/v1{path}");
+            let (legacy, v1) = if method == "GET" {
+                (get(&app, path), get(&app, &versioned))
+            } else {
+                (post(&app, path, body), post(&app, &versioned, body))
+            };
+            assert_eq!(legacy.0, v1.0, "{method} {path}");
+            if path == "/nope" {
+                // The 404 echoes the request path; everything else in the
+                // body (code, route list) is shared.
+                assert_eq!(legacy.0, 404);
+                assert_eq!(err_code(&legacy.1), err_code(&v1.1));
+            } else {
+                assert_eq!(legacy.1.encode(), v1.1.encode(), "{method} {path}");
+            }
+        }
+        // Only hits on known legacy paths count as deprecated: 4 above
+        // (the unknown path is not an alias of anything).
+        assert_eq!(app.metrics().deprecated_routes(), 4);
+        let (_, m) = get(&app, "/v1/metrics");
+        let deprecated = m
+            .get("requests")
+            .and_then(|r| r.get("deprecated"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(deprecated, 4.0);
+    }
+
+    #[test]
     fn evaluate_matches_offline_and_hits_cache() {
         let app = test_app();
         let body = r#"{"design":"HighLight","a_sparsity":0.5,"b_sparsity":0.25}"#;
-        let (status, v) = post(&app, "/evaluate", body);
+        let (status, v) = post(&app, "/v1/evaluate", body);
         assert_eq!(status, 200);
         assert_eq!(v.get("supported").and_then(Json::as_bool), Some(true));
         // Byte-identical to the offline evaluation through the same view.
@@ -916,7 +637,7 @@ mod tests {
         // Second identical request must hit the shared cache.
         let misses_before = app.context().engine().eval_cache().misses();
         let hits_before = app.context().engine().eval_cache().hits();
-        let (status, v2) = post(&app, "/evaluate", body);
+        let (status, v2) = post(&app, "/v1/evaluate", body);
         assert_eq!(status, 200);
         assert_eq!(v2.encode(), v.encode(), "replayed response is identical");
         assert_eq!(app.context().engine().eval_cache().misses(), misses_before);
@@ -927,7 +648,7 @@ mod tests {
     fn evaluate_reports_unsupported_workloads() {
         let app = test_app();
         // S2TA cannot run a dense operand A.
-        let (status, v) = post(&app, "/evaluate", r#"{"design":"S2TA"}"#);
+        let (status, v) = post(&app, "/v1/evaluate", r#"{"design":"S2TA"}"#);
         assert_eq!(status, 200);
         assert_eq!(v.get("supported").and_then(Json::as_bool), Some(false));
         assert!(v.get("reason").and_then(Json::as_str).is_some());
@@ -955,9 +676,10 @@ mod tests {
             ),
             (r#"{"design":"TC","bogus":1}"#, "unknown field"),
         ] {
-            let (status, v) = post(&app, "/evaluate", body);
+            let (status, v) = post(&app, "/v1/evaluate", body);
             assert_eq!(status, 400, "{body}");
-            let msg = v.get("error").and_then(Json::as_str).unwrap();
+            assert_eq!(err_code(&v), "bad_request", "{body}");
+            let msg = err_msg(&v);
             assert!(msg.contains(needle), "{body}: {msg}");
         }
     }
@@ -967,7 +689,7 @@ mod tests {
         let app = test_app();
         let (status, v) = post(
             &app,
-            "/sweep",
+            "/v1/sweep",
             r#"{"designs":["TC","HighLight"],"a_degrees":[0,0.5],"b_degrees":[0,0.5],"limit":3,"m":64,"k":64,"n":64}"#,
         );
         assert_eq!(status, 200);
@@ -981,7 +703,7 @@ mod tests {
             assert_eq!(results.len(), 2, "one result per design");
         }
         // Defaults: all five paper designs over the Fig. 13 degrees.
-        let (status, v) = post(&app, "/sweep", r#"{"m":32,"k":32,"n":32}"#);
+        let (status, v) = post(&app, "/v1/sweep", r#"{"m":32,"k":32,"n":32}"#);
         assert_eq!(status, 200);
         assert_eq!(v.get("rows_total").and_then(Json::as_f64), Some(12.0));
         assert_eq!(v.get("truncated").and_then(Json::as_bool), Some(false));
@@ -998,7 +720,7 @@ mod tests {
             r#"{"limit":0}"#,
             r#"{"limit":"all"}"#,
         ] {
-            let (status, _) = post(&app, "/sweep", body);
+            let (status, _) = post(&app, "/v1/sweep", body);
             assert_eq!(status, 400, "{body}");
         }
     }
@@ -1006,7 +728,7 @@ mod tests {
     #[test]
     fn models_listing_matches_the_registry() {
         let app = test_app();
-        let (status, v) = get(&app, "/models");
+        let (status, v) = get(&app, "/v1/models");
         assert_eq!(status, 200);
         let models = v.get("models").and_then(Json::as_arr).unwrap();
         assert_eq!(models.len(), hl_models::model_names().len());
@@ -1024,7 +746,7 @@ mod tests {
     fn evaluate_model_reports_layers_and_totals() {
         let app = test_app();
         let body = r#"{"design":"HighLight","model":"DeiT-small","pruning":{"hss":[[4,8],[2,4]]}}"#;
-        let (status, v) = post(&app, "/evaluate_model", body);
+        let (status, v) = post(&app, "/v1/evaluate_model", body);
         assert_eq!(status, 200);
         assert_eq!(v.get("supported").and_then(Json::as_bool), Some(true));
         assert_eq!(
@@ -1041,7 +763,7 @@ mod tests {
         assert!(u > 0.0 && u <= 1.0);
         // Replaying the identical request must hit the per-layer cache.
         let misses = app.context().engine().eval_cache().misses();
-        let (_, v2) = post(&app, "/evaluate_model", body);
+        let (_, v2) = post(&app, "/v1/evaluate_model", body);
         assert_eq!(v2.encode(), v.encode());
         assert_eq!(app.context().engine().eval_cache().misses(), misses);
     }
@@ -1052,7 +774,7 @@ mod tests {
         // S2TA cannot run DeiT's dense QKV projections, but the pruned
         // FFN layers still evaluate.
         let body = r#"{"design":"S2TA","model":"DeiT-small","pruning":{"hss":[[4,8]]}}"#;
-        let (status, v) = post(&app, "/evaluate_model", body);
+        let (status, v) = post(&app, "/v1/evaluate_model", body);
         assert_eq!(status, 200);
         assert_eq!(v.get("supported").and_then(Json::as_bool), Some(false));
         let network = v.get("network").unwrap();
@@ -1120,9 +842,9 @@ mod tests {
                 "unknown field",
             ),
         ] {
-            let (status, v) = post(&app, "/evaluate_model", body);
+            let (status, v) = post(&app, "/v1/evaluate_model", body);
             assert_eq!(status, 400, "{body}");
-            let msg = v.get("error").and_then(Json::as_str).unwrap();
+            let msg = err_msg(&v);
             assert!(msg.contains(needle), "{body}: {msg}");
         }
     }
@@ -1131,7 +853,7 @@ mod tests {
     fn search_returns_front_and_best_within_budget() {
         let app = test_app();
         let body = r#"{"design":"HighLight","model":"DeiT-small","budget":0.5}"#;
-        let (status, v) = post(&app, "/search", body);
+        let (status, v) = post(&app, "/v1/search", body);
         assert_eq!(status, 200);
         assert_eq!(v.get("metric").and_then(Json::as_str), Some("top-1 %"));
         let front = v.get("front").and_then(Json::as_arr).unwrap();
@@ -1157,7 +879,7 @@ mod tests {
         assert_eq!(v.encode(), search_outcome_json(&offline).encode());
         // Replaying the identical query must hit the shared caches.
         let misses = app.context().engine().eval_cache().misses();
-        let (_, v2) = post(&app, "/search", body);
+        let (_, v2) = post(&app, "/v1/search", body);
         assert_eq!(v2.encode(), v.encode());
         assert_eq!(app.context().engine().eval_cache().misses(), misses);
     }
@@ -1197,9 +919,9 @@ mod tests {
                 "unknown field",
             ),
         ] {
-            let (status, v) = post(&app, "/search", body);
+            let (status, v) = post(&app, "/v1/search", body);
             assert_eq!(status, 400, "{body}");
-            let msg = v.get("error").and_then(Json::as_str).unwrap();
+            let msg = err_msg(&v);
             assert!(msg.contains(needle), "{body}: {msg}");
         }
     }
@@ -1211,7 +933,7 @@ mod tests {
         // the hardened designs answer per-layer Unsupported instead of
         // panicking the worker (or serving NaN cycles).
         let body = r#"{"design":"DSTC","model":"Transformer-Big","pruning":{"unstructured":1.0}}"#;
-        let (status, v) = post(&app, "/evaluate_model", body);
+        let (status, v) = post(&app, "/v1/evaluate_model", body);
         assert_eq!(status, 200);
         assert_eq!(v.get("supported").and_then(Json::as_bool), Some(false));
         let network = v.get("network").unwrap();
@@ -1225,12 +947,12 @@ mod tests {
             assert!(reason.contains("degenerate"), "{reason}");
         }
         // The server is still healthy afterwards.
-        let (status, _) = get(&app, "/healthz");
+        let (status, _) = get(&app, "/v1/healthz");
         assert_eq!(status, 200);
         // Out-of-range degrees are still 400s.
         let (status, _) = post(
             &app,
-            "/evaluate_model",
+            "/v1/evaluate_model",
             r#"{"design":"DSTC","model":"ResNet50","pruning":{"unstructured":1.01}}"#,
         );
         assert_eq!(status, 400);
@@ -1242,9 +964,9 @@ mod tests {
         for spec in ["[[8,4]]", "[[4,0]]", "[[0,0]]", "[[3,2],[2,4]]"] {
             let body =
                 format!(r#"{{"design":"TC","model":"ResNet50","pruning":{{"hss":{spec}}}}}"#);
-            let (status, v) = post(&app, "/evaluate_model", &body);
+            let (status, v) = post(&app, "/v1/evaluate_model", &body);
             assert_eq!(status, 400, "{spec}");
-            let msg = v.get("error").and_then(Json::as_str).unwrap();
+            let msg = err_msg(&v);
             assert!(
                 msg.contains("must not exceed H") || msg.contains("[1, 64]"),
                 "{spec}: {msg}"
@@ -1276,18 +998,16 @@ mod tests {
         let app = test_app();
         let (status, v) = get(&app, "/nope");
         assert_eq!(status, 404);
-        assert!(v
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap()
-            .contains("/healthz"));
-        let (status, _) = post(&app, "/healthz", "");
+        assert_eq!(err_code(&v), "not_found");
+        assert!(err_msg(&v).contains("/v1/healthz"));
+        let (status, v) = post(&app, "/v1/healthz", "");
         assert_eq!(status, 405);
-        let (status, _) = get(&app, "/evaluate");
+        assert_eq!(err_code(&v), "method_not_allowed");
+        let (status, _) = get(&app, "/v1/evaluate");
         assert_eq!(status, 405);
         // All of the above were counted (the in-flight /metrics request
         // itself is recorded only after its response is built).
-        let (_, m) = get(&app, "/metrics");
+        let (_, m) = get(&app, "/v1/metrics");
         let total = m
             .get("requests")
             .and_then(|r| r.get("total"))

@@ -1,20 +1,30 @@
 //! `bench_serve` — in-process load generator for the `hl-serve` API.
 //!
-//! Boots a server on an ephemeral port, warms the shared `EvalCache` with
-//! one pass over the request mix, then fires concurrent clients at
-//! `/evaluate` (with a periodic `/healthz`) measuring per-request latency
-//! from the client side. Records p50/p90/p99/max latency, throughput, and
-//! the server-side cache hit rate to `BENCH_serve.json` (honoring
+//! Boots a server on an ephemeral port, warms the shared `EvalCache`
+//! with one pass over the request mix, then measures three load modes
+//! against `/v1/evaluate` (with a periodic `/v1/healthz`):
+//!
+//! - **churn** — closed loop, a fresh TCP connection per request (the
+//!   pre-keep-alive client behavior; the connection-setup baseline).
+//! - **keepalive** — closed loop, one kept-alive connection per client.
+//! - **open_loop** — requests fire on a fixed arrival schedule at half
+//!   the measured keep-alive throughput, and latency is measured from
+//!   the *scheduled* send time, so queueing delay is charged to the
+//!   server rather than hidden by client backpressure (no coordinated
+//!   omission).
+//!
+//! Records p50/p90/p99/max latency, throughput, and the server-side
+//! cache hit rate per mode to `BENCH_serve.json` (honoring
 //! `HL_BENCH_OUT`, like `bench_sweeps`).
 //!
 //! Environment knobs: `HL_SERVE_BENCH_CLIENTS` (default 4) and
-//! `HL_SERVE_BENCH_REQS` (requests per client, default 150).
+//! `HL_SERVE_BENCH_REQS` (requests per client per mode, default 150).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hl_bench::bench_out_path;
 use hl_serve::api::App;
-use hl_serve::client::{get_json, post_json};
+use hl_serve::client::{get_json, post_json, Client};
 use hl_serve::json::Json;
 use hl_serve::server::{Server, ServerConfig};
 
@@ -26,7 +36,7 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// The `/evaluate` request mix: every paper design over three degree
+/// The `/v1/evaluate` request mix: every paper design over three degree
 /// pairs (so repeats replay from the shared cache, as production clients
 /// polling a design space would).
 fn request_mix() -> Vec<Json> {
@@ -51,6 +61,169 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
+struct ModeStats {
+    mode: &'static str,
+    latencies: Vec<f64>,
+    errors: u64,
+    seconds: f64,
+}
+
+impl ModeStats {
+    fn throughput(&self) -> f64 {
+        self.latencies.len() as f64 / self.seconds
+    }
+
+    fn to_json(&self) -> Json {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let total = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / total.max(1) as f64;
+        let round = |v: f64| (v * 1e4).round() / 1e4;
+        Json::Obj(vec![
+            ("mode".into(), Json::str(self.mode)),
+            ("requests".into(), Json::Num(total as f64)),
+            ("errors".into(), Json::Num(self.errors as f64)),
+            ("seconds".into(), Json::Num(round(self.seconds))),
+            (
+                "throughput_rps".into(),
+                Json::Num((self.throughput() * 10.0).round() / 10.0),
+            ),
+            (
+                "latency_ms".into(),
+                Json::Obj(
+                    [
+                        ("p50", quantile(&sorted, 0.50)),
+                        ("p90", quantile(&sorted, 0.90)),
+                        ("p99", quantile(&sorted, 0.99)),
+                        ("max", sorted.last().copied().unwrap_or(0.0)),
+                        ("mean", mean),
+                    ]
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Json::Num(round(v))))
+                    .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One request of the mix: mostly `/v1/evaluate`, a periodic healthz.
+fn fire(client: &mut Client, mix: &[Json], c: usize, i: usize, clients: usize) -> Option<u16> {
+    if i % 8 == 7 {
+        client.get_json("/v1/healthz").map(|(s, _)| s).ok()
+    } else {
+        let body = &mix[(c + i * clients) % mix.len()];
+        client.post_json("/v1/evaluate", body).map(|(s, _)| s).ok()
+    }
+}
+
+/// Closed-loop run: `clients` threads, each sending `per_client`
+/// back-to-back requests. `keep_alive` picks connection reuse vs a
+/// fresh connection per request.
+fn closed_loop(
+    mode: &'static str,
+    addr: &str,
+    clients: usize,
+    per_client: usize,
+    mix: &[Json],
+    keep_alive: bool,
+) -> ModeStats {
+    let t0 = Instant::now();
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut errs = 0u64;
+                    let mut client = Client::new(addr);
+                    for i in 0..per_client {
+                        let t = Instant::now();
+                        let status = if keep_alive {
+                            fire(&mut client, mix, c, i, clients)
+                        } else if i % 8 == 7 {
+                            get_json(addr, "/v1/healthz").map(|(s, _)| s).ok()
+                        } else {
+                            let body = &mix[(c + i * clients) % mix.len()];
+                            post_json(addr, "/v1/evaluate", body).map(|(s, _)| s).ok()
+                        };
+                        lat.push(t.elapsed().as_secs_f64() * 1000.0);
+                        if status != Some(200) {
+                            errs += 1;
+                        }
+                    }
+                    (lat, errs)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, errs) = h.join().expect("client thread panicked");
+            latencies.extend(lat);
+            errors += errs;
+        }
+    });
+    ModeStats {
+        mode,
+        latencies,
+        errors,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Open-loop run at `rate_rps` total arrivals/s across `clients`
+/// threads on kept-alive connections. Latency counts from the scheduled
+/// arrival time, so a slow server accrues queueing delay instead of
+/// throttling the load.
+fn open_loop(
+    addr: &str,
+    clients: usize,
+    per_client: usize,
+    mix: &[Json],
+    rate_rps: f64,
+) -> ModeStats {
+    let interval = Duration::from_secs_f64(clients as f64 / rate_rps.max(1.0));
+    let t0 = Instant::now();
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut errs = 0u64;
+                    let mut client = Client::new(addr);
+                    // Stagger client start so arrivals interleave evenly.
+                    let start = Instant::now() + interval.mul_f64(c as f64 / clients as f64);
+                    for i in 0..per_client {
+                        let scheduled = start + interval.mul_f64(i as f64);
+                        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let status = fire(&mut client, mix, c, i, clients);
+                        lat.push(scheduled.elapsed().as_secs_f64() * 1000.0);
+                        if status != Some(200) {
+                            errs += 1;
+                        }
+                    }
+                    (lat, errs)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, errs) = h.join().expect("client thread panicked");
+            latencies.extend(lat);
+            errors += errs;
+        }
+    });
+    ModeStats {
+        mode: "open_loop",
+        latencies,
+        errors,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
 fn main() {
     let cpus = std::thread::available_parallelism().map_or(1, usize::from);
     let clients = env_usize("HL_SERVE_BENCH_CLIENTS", 4);
@@ -66,99 +239,78 @@ fn main() {
         .expect("spawn server");
     let addr = handle.addr().to_string();
     println!(
-        "bench_serve — {clients} clients x {per_client} requests against {addr} \
+        "bench_serve — {clients} clients x {per_client} requests/mode against {addr} \
          ({workers} workers, {cpus} CPU(s))"
     );
 
     // Warmup: populate the cache with every distinct point, untimed.
     let mix = request_mix();
     for body in &mix {
-        let (status, _) = post_json(&addr, "/evaluate", body).expect("warmup request");
+        let (status, _) = post_json(&addr, "/v1/evaluate", body).expect("warmup request");
         assert_eq!(status, 200, "warmup must succeed");
     }
 
-    let t0 = Instant::now();
-    let mut all_latencies: Vec<f64> = Vec::new();
-    let mut errors = 0u64;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|c| {
-                let addr = &addr;
-                let mix = &mix;
-                scope.spawn(move || {
-                    let mut latencies = Vec::with_capacity(per_client);
-                    let mut errs = 0u64;
-                    for i in 0..per_client {
-                        let t = Instant::now();
-                        let status = if i % 8 == 7 {
-                            get_json(addr, "/healthz").map(|(s, _)| s)
-                        } else {
-                            let body = &mix[(c + i * clients) % mix.len()];
-                            post_json(addr, "/evaluate", body).map(|(s, _)| s)
-                        };
-                        latencies.push(t.elapsed().as_secs_f64() * 1000.0);
-                        if status.ok() != Some(200) {
-                            errs += 1;
-                        }
-                    }
-                    (latencies, errs)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (lat, errs) = h.join().expect("client thread panicked");
-            all_latencies.extend(lat);
-            errors += errs;
-        }
-    });
-    let seconds = t0.elapsed().as_secs_f64();
-    let total = all_latencies.len();
-    all_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let throughput = total as f64 / seconds;
-    let (p50, p90, p99) = (
-        quantile(&all_latencies, 0.50),
-        quantile(&all_latencies, 0.90),
-        quantile(&all_latencies, 0.99),
-    );
-    let max = all_latencies.last().copied().unwrap_or(0.0);
-    let mean = all_latencies.iter().sum::<f64>() / total.max(1) as f64;
+    let churn = closed_loop("churn", &addr, clients, per_client, &mix, false);
+    let keepalive = closed_loop("keepalive", &addr, clients, per_client, &mix, true);
+    // Offer half the measured keep-alive capacity: latencies then show
+    // genuine service time + queueing, not saturation artifacts.
+    let rate = (keepalive.throughput() * 0.5).max(50.0);
+    let open = open_loop(&addr, clients, per_client, &mix, rate);
 
-    let (status, metrics) = get_json(&addr, "/metrics").expect("final /metrics");
+    for stats in [&churn, &keepalive, &open] {
+        let mut sorted = stats.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        println!(
+            "{:<9} {:>6} requests in {:.3} s  ({:>7.0} req/s, {} errors)  \
+             p50 {:.3} ms  p99 {:.3} ms",
+            stats.mode,
+            sorted.len(),
+            stats.seconds,
+            stats.throughput(),
+            stats.errors,
+            quantile(&sorted, 0.50),
+            quantile(&sorted, 0.99),
+        );
+    }
+    let speedup = keepalive.throughput() / churn.throughput().max(1e-9);
+    println!("keep-alive vs churn: {speedup:.2}x throughput");
+
+    let (status, metrics) = get_json(&addr, "/v1/metrics").expect("final /v1/metrics");
     assert_eq!(status, 200);
     let cache = metrics.get("eval_cache").cloned().unwrap_or(Json::Null);
-
-    println!("{total:>7} requests in {seconds:.3} s  ({throughput:.0} req/s, {errors} errors)");
-    println!("latency p50 {p50:.3} ms   p90 {p90:.3} ms   p99 {p99:.3} ms   max {max:.3} ms");
+    let reuse = metrics
+        .get("connections")
+        .and_then(|c| c.get("reuse"))
+        .cloned()
+        .unwrap_or(Json::Null);
     println!("eval cache: {}", cache.encode());
+    println!("connection reuse: {}", reuse.encode());
 
+    let errors = churn.errors + keepalive.errors + open.errors;
     let report = Json::Obj(vec![
         ("benchmark".into(), Json::str("hl-serve load")),
         ("cpus".into(), Json::Num(cpus as f64)),
         ("workers".into(), Json::Num(workers as f64)),
         ("clients".into(), Json::Num(clients as f64)),
-        ("requests".into(), Json::Num(total as f64)),
-        ("errors".into(), Json::Num(errors as f64)),
-        ("seconds".into(), Json::Num((seconds * 1e4).round() / 1e4)),
         (
-            "throughput_rps".into(),
-            Json::Num((throughput * 10.0).round() / 10.0),
+            "requests_per_mode".into(),
+            Json::Num((clients * per_client) as f64),
+        ),
+        ("errors".into(), Json::Num(errors as f64)),
+        (
+            "keepalive_speedup".into(),
+            Json::Num((speedup * 100.0).round() / 100.0),
         ),
         (
-            "latency_ms".into(),
-            Json::Obj(
-                [
-                    ("p50", p50),
-                    ("p90", p90),
-                    ("p99", p99),
-                    ("max", max),
-                    ("mean", mean),
-                ]
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), Json::Num((v * 1e4).round() / 1e4)))
-                .collect(),
-            ),
+            "open_loop_rate_rps".into(),
+            Json::Num((rate * 10.0).round() / 10.0),
+        ),
+        (
+            "modes".into(),
+            Json::Arr(vec![churn.to_json(), keepalive.to_json(), open.to_json()]),
         ),
         ("eval_cache".into(), cache),
+        ("connection_reuse".into(), reuse),
     ]);
     let out = bench_out_path("BENCH_serve.json");
     std::fs::write(&out, report.encode() + "\n").expect("write BENCH_serve.json");

@@ -1,5 +1,6 @@
-//! `hl-client` — a CLI for the `hl-serve` API that renders responses as
-//! aligned tables.
+//! `hl-client` — a CLI for the `hl-serve` `/v1` API that renders
+//! responses as aligned tables. All requests for one invocation share a
+//! keep-alive connection.
 //!
 //! ```text
 //! hl-client [--addr HOST:PORT] health
@@ -15,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use hl_serve::client::{get_json, post_json};
+use hl_serve::client::Client;
 use hl_serve::json::Json;
 use hl_serve::DEFAULT_ADDR;
 
@@ -97,11 +98,20 @@ fn main() -> ExitCode {
             .map(|(_, v)| v.as_str())
     };
 
+    let mut client = Client::new(addr.clone());
     let result = match command.as_str() {
-        "health" => get_json(&addr, "/healthz").map(|(s, v)| (s, render_kv(&v))),
-        "metrics" => get_json(&addr, "/metrics").map(|(s, v)| (s, render_metrics(&v))),
-        "designs" => get_json(&addr, "/designs").map(|(s, v)| (s, render_designs(&v))),
-        "models" => get_json(&addr, "/models").map(|(s, v)| (s, render_models(&v))),
+        "health" => client
+            .get_json("/v1/healthz")
+            .map(|(s, v)| (s, render_kv(&v))),
+        "metrics" => client
+            .get_json("/v1/metrics")
+            .map(|(s, v)| (s, render_metrics(&v))),
+        "designs" => client
+            .get_json("/v1/designs")
+            .map(|(s, v)| (s, render_designs(&v))),
+        "models" => client
+            .get_json("/v1/models")
+            .map(|(s, v)| (s, render_models(&v))),
         "model" => {
             let [_, design, model] = positionals.as_slice() else {
                 return fail(&format!("model requires DESIGN and MODEL\n{USAGE}"));
@@ -139,7 +149,8 @@ fn main() -> ExitCode {
                 }
                 (None, None) => {}
             }
-            post_json(&addr, "/evaluate_model", &Json::Obj(body))
+            client
+                .post_json("/v1/evaluate_model", &Json::Obj(body))
                 .map(|(s, v)| (s, render_model(&v)))
         }
         "search" => {
@@ -160,7 +171,9 @@ fn main() -> ExitCode {
                 ("model".to_string(), Json::str(model)),
                 ("budget".to_string(), Json::Num(budget)),
             ]);
-            post_json(&addr, "/search", &body).map(|(s, v)| (s, render_search(&v)))
+            client
+                .post_json("/v1/search", &body)
+                .map(|(s, v)| (s, render_search(&v)))
         }
         "evaluate" => {
             let mut body = Vec::new();
@@ -182,7 +195,9 @@ fn main() -> ExitCode {
                     body.push((field.to_string(), Json::Num(n)));
                 }
             }
-            post_json(&addr, "/evaluate", &Json::Obj(body)).map(|(s, v)| (s, render_evaluate(&v)))
+            client
+                .post_json("/v1/evaluate", &Json::Obj(body))
+                .map(|(s, v)| (s, render_evaluate(&v)))
         }
         "sweep" => {
             let mut body = Vec::new();
@@ -214,7 +229,9 @@ fn main() -> ExitCode {
                     body.push((flag.to_string(), Json::Num(n)));
                 }
             }
-            post_json(&addr, "/sweep", &Json::Obj(body)).map(|(s, v)| (s, render_sweep(&v)))
+            client
+                .post_json("/v1/sweep", &Json::Obj(body))
+                .map(|(s, v)| (s, render_sweep(&v)))
         }
         other => return fail(&format!("unknown command {other:?}\n{USAGE}")),
     };
@@ -230,6 +247,15 @@ fn main() -> ExitCode {
         }
         Err(e) => fail(&format!("request to {addr} failed: {e}")),
     }
+}
+
+/// The server's structured `{"error":{"code","message"}}` body, when
+/// the response is one.
+fn render_error(v: &Json) -> Option<String> {
+    let e = v.get("error")?;
+    let code = e.get("code").and_then(Json::as_str).unwrap_or("error");
+    let msg = e.get("message").and_then(Json::as_str).unwrap_or("?");
+    Some(format!("error ({code}): {msg}"))
 }
 
 /// Key/value lines for flat objects (health).
@@ -320,12 +346,12 @@ fn render_models(v: &Json) -> String {
     out.trim_end().to_string()
 }
 
-/// The `/evaluate_model` per-layer table plus the network totals.
+/// The `/v1/evaluate_model` per-layer table plus the network totals.
 fn render_model(v: &Json) -> String {
-    // Error responses ({"error": ...}) carry none of the table fields;
-    // show the server's reason instead of a placeholder table.
-    if let Some(msg) = v.get("error").and_then(Json::as_str) {
-        return format!("error: {msg}");
+    // Error responses carry none of the table fields; show the server's
+    // reason instead of a placeholder table.
+    if let Some(msg) = render_error(v) {
+        return msg;
     }
     let mut out = format!(
         "{} on {} ({}), pruning {} (weights {:.1}% sparse, est. loss {:.2})\n\n",
@@ -391,10 +417,10 @@ fn render_model(v: &Json) -> String {
     out.trim_end().to_string()
 }
 
-/// The `/search` Pareto-front table plus the budget-best line.
+/// The `/v1/search` Pareto-front table plus the budget-best line.
 fn render_search(v: &Json) -> String {
-    if let Some(msg) = v.get("error").and_then(Json::as_str) {
-        return format!("error: {msg}");
+    if let Some(msg) = render_error(v) {
+        return msg;
     }
     let mut out = format!(
         "{} on {} ({}), budget {:.2} points: {} candidates, {} unsupported\n\n",
@@ -442,6 +468,9 @@ fn render_search(v: &Json) -> String {
 }
 
 fn render_evaluate(v: &Json) -> String {
+    if let Some(msg) = render_error(v) {
+        return msg;
+    }
     let mut out = String::new();
     for key in ["design", "workload", "a", "b"] {
         out.push_str(&format!(
@@ -487,6 +516,9 @@ fn render_evaluate(v: &Json) -> String {
 }
 
 fn render_sweep(v: &Json) -> String {
+    if let Some(msg) = render_error(v) {
+        return msg;
+    }
     let empty = Vec::new();
     let names: Vec<&str> = v
         .get("designs")

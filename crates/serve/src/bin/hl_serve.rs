@@ -1,12 +1,17 @@
 //! `hl-serve` — the HTTP evaluation server binary.
 //!
 //! ```text
-//! hl-serve [--addr HOST:PORT] [--workers N]
+//! hl-serve [--addr HOST:PORT] [--workers N] [--max-connections N]
+//!          [--snapshot PATH]
 //! ```
 //!
 //! The worker pool (and the shared sweep engine) default to `HL_THREADS`
-//! when set, otherwise the machine's available parallelism. SIGTERM and
-//! ctrl-c drain in-flight requests before the process exits.
+//! when set, otherwise the machine's available parallelism. The
+//! evaluation-cache snapshot path may also come from the
+//! `HL_SERVE_SNAPSHOT` environment variable (the flag wins); when set,
+//! the cache is loaded from it at boot and saved back on graceful
+//! drain. SIGTERM and ctrl-c drain in-flight requests before the
+//! process exits.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -15,13 +20,21 @@ use hl_serve::api::App;
 use hl_serve::server::{Server, ServerConfig};
 use hl_serve::signal;
 
+const USAGE: &str =
+    "usage: hl-serve [--addr HOST:PORT] [--workers N] [--max-connections N] [--snapshot PATH]";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: hl-serve [--addr HOST:PORT] [--workers N]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut config = ServerConfig::default();
+    if let Ok(path) = std::env::var("HL_SERVE_SNAPSHOT") {
+        if !path.is_empty() {
+            config.snapshot = Some(path.into());
+        }
+    }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,14 +43,19 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => {
-                    config.workers = n;
-                    config.backlog = n * 4;
-                }
+                Some(n) if n >= 1 => config.workers = n,
                 _ => return usage(),
             },
+            "--max-connections" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.max_connections = n,
+                _ => return usage(),
+            },
+            "--snapshot" => match args.next() {
+                Some(v) => config.snapshot = Some(v.into()),
+                None => return usage(),
+            },
             "--help" | "-h" => {
-                println!("usage: hl-serve [--addr HOST:PORT] [--workers N]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => return usage(),
@@ -59,13 +77,16 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "hl-serve listening on http://{addr} ({} workers)",
-        config.workers
+        "hl-serve listening on http://{addr} ({} workers, {} connections max)",
+        config.workers, config.max_connections
     );
     println!(
-        "endpoints: GET /healthz  GET /designs  GET /metrics  GET /models  \
-         POST /evaluate  POST /evaluate_model  POST /sweep  POST /search"
+        "endpoints: GET /v1/healthz  GET /v1/designs  GET /v1/metrics  GET /v1/models  \
+         POST /v1/evaluate  POST /v1/evaluate_model  POST /v1/sweep  POST /v1/search"
     );
+    if let Some(path) = &config.snapshot {
+        println!("snapshot: {}", path.display());
+    }
 
     signal::install_handlers();
     let shutdown = match server.shutdown_switch() {

@@ -3,7 +3,10 @@
 //!
 //! Speaks exactly the slice of HTTP the server emits: status line +
 //! headers, then either a `Content-Length` body or chunked transfer
-//! encoding.
+//! encoding. [`Client`] holds one keep-alive connection and reconnects
+//! transparently when the server closes it (idle timeout, drain); the
+//! free functions ([`request`], [`get_json`], [`post_json`]) are
+//! one-shot `Connection: close` conveniences.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -18,32 +21,149 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Sends one request and reads the full response.
-///
-/// # Errors
-/// Connection/I/O failures, and malformed responses as
-/// [`io::ErrorKind::InvalidData`].
-pub fn request(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-) -> io::Result<(u16, String)> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(TIMEOUT))?;
-    stream.set_write_timeout(Some(TIMEOUT))?;
-    let mut writer = stream.try_clone()?;
-    let payload = body.unwrap_or("");
-    write!(
-        writer,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
-        payload.len(),
-    )?;
-    writer.flush()?;
+/// A keep-alive connection to the server: requests reuse one TCP
+/// connection until the server closes it, then the next request
+/// reconnects.
+pub struct Client {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
 
-    let mut reader = BufReader::new(stream);
+impl Client {
+    /// A client for `addr` (`host:port`). No connection is made until
+    /// the first request.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    /// The target address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(TIMEOUT))?;
+            stream.set_write_timeout(Some(TIMEOUT))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request on the kept-alive connection and reads the full
+    /// response. A request that fails to write or to produce a status
+    /// line on a *reused* connection is retried once on a fresh one (the
+    /// server may have closed the idle connection between requests).
+    ///
+    /// # Errors
+    /// Connection/I/O failures, and malformed responses as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let reused = self.conn.is_some();
+        match self.try_send(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reused && is_stale(&e) => {
+                self.conn = None;
+                self.try_send(method, path, body)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let addr = self.addr.clone();
+        let reader = self.connect()?;
+        let payload = body.unwrap_or("");
+        {
+            let mut writer = reader.get_ref().try_clone()?;
+            write!(
+                writer,
+                "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{payload}",
+                payload.len(),
+            )?;
+            writer.flush()?;
+        }
+        let (status, text, close) = match read_response(reader) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.conn = None;
+                return Err(e);
+            }
+        };
+        if close {
+            self.conn = None;
+        }
+        Ok((status, text))
+    }
+
+    /// `GET path`, parsing the JSON body.
+    ///
+    /// # Errors
+    /// As [`Client::send`], plus JSON parse failures as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn get_json(&mut self, path: &str) -> io::Result<(u16, Json)> {
+        let (status, text) = self.send("GET", path, None)?;
+        Ok((
+            status,
+            Json::parse(&text).map_err(|e| invalid(e.to_string()))?,
+        ))
+    }
+
+    /// `POST path` with a JSON body, parsing the JSON response.
+    ///
+    /// # Errors
+    /// As [`Client::send`], plus JSON parse failures as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn post_json(&mut self, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+        let (status, text) = self.send("POST", path, Some(&body.encode()))?;
+        Ok((
+            status,
+            Json::parse(&text).map_err(|e| invalid(e.to_string()))?,
+        ))
+    }
+}
+
+/// True for errors that plausibly mean "the server closed this
+/// keep-alive connection": EOF-shaped and reset-shaped failures.
+fn is_stale(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::WriteZero
+    )
+}
+
+/// Reads one response (status, body, connection-close flag).
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String, bool)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
+    if status_line.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response",
+        ));
+    }
     let status: u16 = status_line
         .split(' ')
         .nth(1)
@@ -52,6 +172,7 @@ pub fn request(
 
     let mut content_length: Option<usize> = None;
     let mut chunked = false;
+    let mut close = false;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -67,6 +188,9 @@ pub fn request(
                 && value.eq_ignore_ascii_case("chunked")
             {
                 chunked = true;
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
+            {
+                close = true;
             }
         }
     }
@@ -93,13 +217,43 @@ pub fn request(
         body.resize(n, 0);
         reader.read_exact(&mut body)?;
     } else {
+        // No framing: the server signals the end by closing.
         reader.read_to_end(&mut body)?;
+        close = true;
     }
     let text = String::from_utf8(body).map_err(|_| invalid("response body is not UTF-8"))?;
+    Ok((status, text, close))
+}
+
+/// Sends one request on a fresh `Connection: close` connection and reads
+/// the full response.
+///
+/// # Errors
+/// Connection/I/O failures, and malformed responses as
+/// [`io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let payload = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    )?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let (status, text, _) = read_response(&mut reader)?;
     Ok((status, text))
 }
 
-/// `GET path`, parsing the JSON body.
+/// `GET path` on a fresh connection, parsing the JSON body.
 ///
 /// # Errors
 /// As [`request`], plus JSON parse failures as
@@ -112,7 +266,8 @@ pub fn get_json(addr: &str, path: &str) -> io::Result<(u16, Json)> {
     ))
 }
 
-/// `POST path` with a JSON body, parsing the JSON response.
+/// `POST path` with a JSON body on a fresh connection, parsing the JSON
+/// response.
 ///
 /// # Errors
 /// As [`request`], plus JSON parse failures as

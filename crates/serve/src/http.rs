@@ -1,25 +1,26 @@
-//! Minimal HTTP/1.1 on top of `std::io` — request parsing, response
-//! writing, and the error → status-code mapping.
+//! Minimal HTTP/1.1 — incremental request parsing, response
+//! serialization, and the error → status-code mapping.
 //!
 //! The server speaks a deliberately small slice of the protocol, enough
 //! for JSON API clients and `curl`:
 //!
-//! - one request per connection (`Connection: close` on every response);
+//! - **keep-alive and pipelining**: parsing is incremental over a
+//!   per-connection byte buffer ([`parse_request`] returns
+//!   [`ParseStatus::Incomplete`] until a full request has arrived and
+//!   reports how many bytes it consumed so the next pipelined request
+//!   can follow in the same buffer); connections stay open unless the
+//!   client sends `Connection: close` ([`Request::keep_alive`]);
 //! - request bodies are sized by `Content-Length` and capped at
-//!   [`MAX_BODY_BYTES`] (oversized → 413 *before* reading the payload);
-//!   chunked **request** bodies are rejected with 411;
+//!   [`MAX_BODY_BYTES`] (an oversized declaration → 413 *before* the
+//!   payload arrives); chunked **request** bodies are rejected with 411;
 //! - response bodies above [`CHUNK_THRESHOLD`] are sent with
-//!   `Transfer-Encoding: chunked` (large `/sweep` results stream in
+//!   `Transfer-Encoding: chunked` (large `/v1/sweep` results stream in
 //!   [`CHUNK_SIZE`]-byte chunks), smaller ones with `Content-Length` —
 //!   which is why only HTTP/1.1 is spoken: an HTTP/1.0 client cannot
 //!   parse chunked responses, so `HTTP/1.0` request lines get a 505;
-//! - a stalled client cannot pin a worker: the server arms per-read
-//!   socket timeouts **and** [`read_request`] enforces a whole-request
-//!   deadline, so trickling one byte per read never extends the budget
-//!   (both map to 408 best-effort).
-
-use std::io::{self, BufRead, Write};
-use std::time::Instant;
+//! - a stalled client cannot pin the server: the event loop arms a
+//!   whole-request deadline per connection and answers 408 when a
+//!   partial request stops progressing (see [`crate::server`]).
 
 /// Maximum accepted request-body size in bytes.
 pub const MAX_BODY_BYTES: usize = 256 * 1024;
@@ -57,6 +58,18 @@ impl Request {
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive unless the `Connection` header
+    /// lists the `close` token.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            None => true,
+            Some(v) => !v
+                .split(',')
+                .any(|tok| tok.trim().eq_ignore_ascii_case("close")),
+        }
+    }
 }
 
 /// Why a request could not be parsed, carrying the status code the
@@ -70,7 +83,8 @@ pub struct ParseError {
 }
 
 impl ParseError {
-    fn new(status: u16, reason: impl Into<String>) -> Self {
+    /// An error answering with `status`.
+    pub fn new(status: u16, reason: impl Into<String>) -> Self {
         Self {
             status,
             reason: reason.into(),
@@ -92,80 +106,60 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// The outcome of reading one request off a connection.
-pub enum Parsed {
-    /// A complete request.
-    Ok(Request),
-    /// The request is malformed; answer with this error.
+/// The outcome of one incremental parse attempt over a connection's
+/// receive buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseStatus {
+    /// The buffer does not yet hold one complete request; read more.
+    Incomplete,
+    /// One complete request, consuming the first `usize` buffer bytes
+    /// (drain them; a pipelined successor may start right after).
+    Complete(Request, usize),
+    /// The buffer starts with a malformed request; answer with this
+    /// error and close (resynchronizing after a parse error is not
+    /// worth the ambiguity).
     Bad(ParseError),
-    /// The client closed the connection (or timed out) before sending a
-    /// complete request head; nothing to answer.
-    Closed,
 }
 
-/// Maps an I/O failure while reading the head: stalled sockets (the
-/// server arms a read timeout) get a best-effort 408, anything else is a
-/// peer that went away.
-fn io_outcome(e: &io::Error) -> Parsed {
-    if matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    ) {
-        Parsed::Bad(ParseError::new(408, "timed out reading the request"))
-    } else {
-        Parsed::Closed
+/// Parses at most one request from the front of `buf` without consuming
+/// it — the caller drains the reported byte count on
+/// [`ParseStatus::Complete`]. Purely a function of the buffer contents,
+/// which is what makes keep-alive and pipelining trivial for the event
+/// loop: append bytes, parse, repeat.
+pub fn parse_request(buf: &[u8]) -> ParseStatus {
+    // Locate the end of the head: the first empty line. Lines are
+    // `\n`-terminated with the `\r` optional.
+    let Some(head_len) = find_head_end(buf) else {
+        return if buf.len() > MAX_HEAD_BYTES {
+            ParseStatus::Bad(ParseError::new(431, "request head too large"))
+        } else {
+            ParseStatus::Incomplete
+        };
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return ParseStatus::Bad(ParseError::new(431, "request head too large"));
     }
-}
-
-/// Reads and parses one request from `reader`, giving up with a 408 once
-/// `deadline` passes (checked between reads, so the worst case is one
-/// socket-level read timeout past the deadline — a trickling client
-/// cannot stretch its welcome byte by byte).
-///
-/// I/O errors while reading the head are treated as [`Parsed::Closed`]
-/// (there is no one to answer) except read timeouts (408); errors after a
-/// syntactically valid head map to 4xx via [`Parsed::Bad`].
-pub fn read_request(reader: &mut impl BufRead, deadline: Instant) -> Parsed {
-    let mut line = String::new();
-    match read_crlf_line(reader, &mut line, MAX_HEAD_BYTES, deadline) {
-        Ok(0) => return Parsed::Closed,
-        Ok(_) => {}
-        Err(LineError::TooLong) => {
-            return Parsed::Bad(ParseError::new(431, "request line too long"));
-        }
-        Err(LineError::Deadline) => return deadline_exceeded(),
-        Err(LineError::Io(e)) => return io_outcome(&e),
-    }
-    let (method, path, query) = match parse_request_line(line.trim_end_matches(['\r', '\n'])) {
+    let head = String::from_utf8_lossy(&buf[..head_len]);
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let (method, path, query) = match parse_request_line(request_line) {
         Ok(t) => t,
-        Err(e) => return Parsed::Bad(e),
+        Err(e) => return ParseStatus::Bad(e),
     };
 
     let mut headers = Vec::new();
-    let mut head_bytes = line.len();
-    loop {
-        let mut h = String::new();
-        match read_crlf_line(reader, &mut h, MAX_HEAD_BYTES, deadline) {
-            Ok(0) => return Parsed::Closed,
-            Ok(n) => head_bytes += n,
-            Err(LineError::TooLong) => {
-                return Parsed::Bad(ParseError::new(431, "header line too long"));
-            }
-            Err(LineError::Deadline) => return deadline_exceeded(),
-            Err(LineError::Io(e)) => return io_outcome(&e),
-        }
-        if head_bytes > MAX_HEAD_BYTES {
-            return Parsed::Bad(ParseError::new(431, "request head too large"));
-        }
-        let h = h.trim_end_matches(['\r', '\n']);
-        if h.is_empty() {
+    for line in lines {
+        if line.is_empty() {
             break;
         }
-        let Some((name, value)) = h.split_once(':') else {
-            return Parsed::Bad(ParseError::new(400, format!("malformed header line {h:?}")));
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseStatus::Bad(ParseError::new(
+                400,
+                format!("malformed header line {line:?}"),
+            ));
         };
         if name.is_empty() || name.contains(' ') {
-            return Parsed::Bad(ParseError::new(
+            return ParseStatus::Bad(ParseError::new(
                 400,
                 format!("malformed header name {name:?}"),
             ));
@@ -183,7 +177,7 @@ pub fn read_request(reader: &mut impl BufRead, deadline: Instant) -> Parsed {
 
     if let Some(te) = req.header("transfer-encoding") {
         if !te.eq_ignore_ascii_case("identity") {
-            return Parsed::Bad(ParseError::new(
+            return ParseStatus::Bad(ParseError::new(
                 411,
                 "chunked request bodies are not supported; send Content-Length",
             ));
@@ -194,42 +188,39 @@ pub fn read_request(reader: &mut impl BufRead, deadline: Instant) -> Parsed {
         Some(v) => match v.parse::<usize>() {
             Ok(n) => n,
             Err(_) => {
-                return Parsed::Bad(ParseError::new(400, format!("bad Content-Length {v:?}")));
+                return ParseStatus::Bad(ParseError::new(400, format!("bad Content-Length {v:?}")));
             }
         },
     };
     if len > MAX_BODY_BYTES {
-        return Parsed::Bad(ParseError::new(
+        return ParseStatus::Bad(ParseError::new(
             413,
             format!("body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
         ));
     }
-    if len > 0 {
-        let mut body = vec![0u8; len];
-        let mut filled = 0;
-        while filled < len {
-            if Instant::now() >= deadline {
-                return deadline_exceeded();
-            }
-            match reader.read(&mut body[filled..]) {
-                Ok(0) => {
-                    return Parsed::Bad(ParseError::new(400, "connection closed mid-body"));
-                }
-                Ok(n) => filled += n,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return io_outcome(&e),
-            }
-        }
-        req.body = body;
+    let total = head_len + len;
+    if buf.len() < total {
+        return ParseStatus::Incomplete;
     }
-    Parsed::Ok(req)
+    req.body = buf[head_len..total].to_vec();
+    ParseStatus::Complete(req, total)
 }
 
-fn deadline_exceeded() -> Parsed {
-    Parsed::Bad(ParseError::new(
-        408,
-        "request took too long to arrive in full",
-    ))
+/// Index one past the head-terminating empty line, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut line_start = 0;
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        let line = &buf[line_start..i];
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.is_empty() && line_start > 0 {
+            return Some(i + 1);
+        }
+        line_start = i + 1;
+    }
+    None
 }
 
 fn parse_request_line(line: &str) -> Result<(String, String, String), ParseError> {
@@ -266,48 +257,7 @@ fn parse_request_line(line: &str) -> Result<(String, String, String), ParseError
     Ok((method.to_string(), path, query))
 }
 
-enum LineError {
-    TooLong,
-    Deadline,
-    Io(io::Error),
-}
-
-/// Reads one `\n`-terminated line (CRLF tolerated) with a length cap and
-/// a whole-request deadline, returning the number of bytes consumed
-/// (0 on a clean EOF).
-fn read_crlf_line(
-    reader: &mut impl BufRead,
-    out: &mut String,
-    max: usize,
-    deadline: Instant,
-) -> Result<usize, LineError> {
-    let mut bytes = Vec::new();
-    loop {
-        if Instant::now() >= deadline {
-            return Err(LineError::Deadline);
-        }
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => break,
-            Ok(_) => {
-                bytes.push(byte[0]);
-                if byte[0] == b'\n' {
-                    break;
-                }
-                if bytes.len() > max {
-                    return Err(LineError::TooLong);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(LineError::Io(e)),
-        }
-    }
-    let n = bytes.len();
-    out.push_str(&String::from_utf8_lossy(&bytes));
-    Ok(n)
-}
-
-/// A response ready to be written.
+/// A response ready to be serialized.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
@@ -328,35 +278,41 @@ impl Response {
         }
     }
 
-    /// Writes the response; bodies above [`CHUNK_THRESHOLD`] are sent with
-    /// chunked transfer encoding. Output is buffered, so a response costs
-    /// one or two `write` syscalls instead of several per chunk.
+    /// Serializes the response; bodies above [`CHUNK_THRESHOLD`] are
+    /// sent with chunked transfer encoding (legal on keep-alive
+    /// connections — the terminating `0\r\n\r\n` delimits the body).
     ///
-    /// # Errors
-    /// Propagates socket write errors.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        let mut w = io::BufWriter::with_capacity(16 * 1024, w);
-        let w = &mut w;
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\n",
-            self.status,
-            reason_phrase(self.status),
-            self.content_type,
+    /// The bytes are a pure function of `(self, keep_alive)`, which is
+    /// what the `/v1` ↔ legacy-alias byte-identity guarantee and the
+    /// coalescing path lean on: one computed [`Response`] serializes
+    /// identically for every waiter with the same connection mode.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: {}\r\n",
+                self.status,
+                reason_phrase(self.status),
+                self.content_type,
+                if keep_alive { "keep-alive" } else { "close" },
+            )
+            .as_bytes(),
         );
-        w.write_all(head.as_bytes())?;
         if self.body.len() > CHUNK_THRESHOLD {
-            w.write_all(b"Transfer-Encoding: chunked\r\n\r\n")?;
+            out.extend_from_slice(b"Transfer-Encoding: chunked\r\n\r\n");
             for chunk in self.body.chunks(CHUNK_SIZE) {
-                write!(w, "{:x}\r\n", chunk.len())?;
-                w.write_all(chunk)?;
-                w.write_all(b"\r\n")?;
+                out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+                out.extend_from_slice(chunk);
+                out.extend_from_slice(b"\r\n");
             }
-            w.write_all(b"0\r\n\r\n")?;
+            out.extend_from_slice(b"0\r\n\r\n");
         } else {
-            write!(w, "Content-Length: {}\r\n\r\n", self.body.len())?;
-            w.write_all(&self.body)?;
+            out.extend_from_slice(
+                format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes(),
+            );
+            out.extend_from_slice(&self.body);
         }
-        w.flush()
+        out
     }
 }
 
@@ -382,35 +338,25 @@ pub fn reason_phrase(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
 
-    fn far_deadline() -> Instant {
-        Instant::now() + std::time::Duration::from_secs(30)
-    }
-
-    fn parse(raw: &str) -> Parsed {
-        read_request(&mut BufReader::new(raw.as_bytes()), far_deadline())
-    }
-
-    fn parse_ok(raw: &str) -> Request {
-        match parse(raw) {
-            Parsed::Ok(r) => r,
-            Parsed::Bad(e) => panic!("expected ok, got {e}"),
-            Parsed::Closed => panic!("expected ok, got closed"),
+    fn parse_ok(raw: &str) -> (Request, usize) {
+        match parse_request(raw.as_bytes()) {
+            ParseStatus::Complete(r, n) => (r, n),
+            ParseStatus::Bad(e) => panic!("expected ok, got {e}"),
+            ParseStatus::Incomplete => panic!("expected ok, got incomplete"),
         }
     }
 
     fn parse_bad(raw: &str) -> ParseError {
-        match parse(raw) {
-            Parsed::Bad(e) => e,
-            Parsed::Ok(r) => panic!("expected error, got {r:?}"),
-            Parsed::Closed => panic!("expected error, got closed"),
+        match parse_request(raw.as_bytes()) {
+            ParseStatus::Bad(e) => e,
+            other => panic!("expected error, got {other:?}"),
         }
     }
 
     #[test]
     fn parses_get_with_query_and_headers() {
-        let r = parse_ok("GET /designs?x=1&y=2 HTTP/1.1\r\nHost: a\r\nX-Th: 3\r\n\r\n");
+        let (r, n) = parse_ok("GET /designs?x=1&y=2 HTTP/1.1\r\nHost: a\r\nX-Th: 3\r\n\r\n");
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/designs");
         assert_eq!(r.query, "x=1&y=2");
@@ -421,12 +367,59 @@ mod tests {
             "header lookup is case-insensitive"
         );
         assert!(r.body.is_empty());
+        assert_eq!(
+            n,
+            "GET /designs?x=1&y=2 HTTP/1.1\r\nHost: a\r\nX-Th: 3\r\n\r\n".len()
+        );
     }
 
     #[test]
     fn parses_post_body_by_content_length() {
-        let r = parse_ok("POST /evaluate HTTP/1.1\r\nContent-Length: 4\r\n\r\n{} \nEXTRA");
+        let raw = "POST /evaluate HTTP/1.1\r\nContent-Length: 4\r\n\r\n{} \nEXTRA";
+        let (r, n) = parse_ok(raw);
         assert_eq!(r.body, b"{} \n");
+        assert_eq!(n, raw.len() - "EXTRA".len(), "trailing bytes stay queued");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw =
+            "GET /healthz HTTP/1.1\r\n\r\nPOST /evaluate HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let (first, n) = parse_ok(raw);
+        assert_eq!(first.path, "/healthz");
+        let (second, m) = parse_ok(&raw[n..]);
+        assert_eq!(second.path, "/evaluate");
+        assert_eq!(second.body, b"{}");
+        assert_eq!(n + m, raw.len());
+    }
+
+    #[test]
+    fn incomplete_requests_wait_for_more_bytes() {
+        for raw in [
+            "",
+            "GET /x HT",
+            "GET /x HTTP/1.1\r\nHost: a",
+            "GET /x HTTP/1.1\r\nHost: a\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab",
+        ] {
+            assert_eq!(
+                parse_request(raw.as_bytes()),
+                ParseStatus::Incomplete,
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn keep_alive_defaults_on_and_honors_close() {
+        let (r, _) = parse_ok("GET /x HTTP/1.1\r\n\r\n");
+        assert!(r.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+        let (r, _) = parse_ok("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!r.keep_alive());
+        let (r, _) = parse_ok("GET /x HTTP/1.1\r\nConnection: Close\r\n\r\n");
+        assert!(!r.keep_alive(), "token match is case-insensitive");
+        let (r, _) = parse_ok("GET /x HTTP/1.1\r\nConnection: keep-alive\r\n\r\n");
+        assert!(r.keep_alive());
     }
 
     #[test]
@@ -447,7 +440,6 @@ mod tests {
                 "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
                 411,
             ),
-            ("POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort", 400),
         ] {
             let e = parse_bad(raw);
             assert_eq!(e.status, status, "{raw:?} → {}", e.reason);
@@ -455,7 +447,8 @@ mod tests {
     }
 
     #[test]
-    fn oversized_declarations_are_rejected_before_reading() {
+    fn oversized_declarations_are_rejected_before_the_payload() {
+        // 413 fires from the head alone — no body bytes present yet.
         let e = parse_bad(&format!(
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
@@ -466,53 +459,28 @@ mod tests {
         assert_eq!(e.status, 431);
         let e = parse_bad(&format!("GET /x HTTP/1.1\r\nH: {long}\r\n\r\n"));
         assert_eq!(e.status, 431);
-    }
-
-    #[test]
-    fn eof_before_a_request_is_closed_not_an_error() {
-        assert!(matches!(parse(""), Parsed::Closed));
-        assert!(matches!(
-            parse("GET /x HTTP/1.1\r\nHost: a"),
-            Parsed::Closed
-        ));
-    }
-
-    #[test]
-    fn expired_deadline_maps_to_408() {
-        // An already-expired deadline must abort immediately (the check
-        // sits between reads, so a trickling client cannot stretch the
-        // request budget byte by byte).
-        let past = Instant::now() - std::time::Duration::from_millis(1);
-        for raw in ["GET /x HTTP/1.1\r\n\r\n", "POST /x"] {
-            let e = match read_request(&mut BufReader::new(raw.as_bytes()), past) {
-                Parsed::Bad(e) => e,
-                _ => panic!("expected 408 for {raw:?}"),
-            };
-            assert_eq!(e.status, 408);
-        }
+        // A head that never terminates is rejected once it exceeds the
+        // cap, not buffered forever.
+        let e = parse_bad(&"a".repeat(MAX_HEAD_BYTES + 1));
+        assert_eq!(e.status, 431);
     }
 
     #[test]
     fn small_responses_use_content_length() {
-        let mut out = Vec::new();
-        Response::json(200, r#"{"ok":true}"#)
-            .write_to(&mut out)
-            .unwrap();
-        let text = String::from_utf8(out).unwrap();
+        let text =
+            String::from_utf8(Response::json(200, r#"{"ok":true}"#).to_bytes(false)).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let text = String::from_utf8(Response::json(200, r#"{"ok":true}"#).to_bytes(true)).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 
     #[test]
     fn large_responses_are_chunked() {
         let body = vec![b'x'; CHUNK_THRESHOLD + CHUNK_SIZE + 17];
-        let mut out = Vec::new();
-        Response::json(200, body.clone())
-            .write_to(&mut out)
-            .unwrap();
-        let text = String::from_utf8(out).unwrap();
+        let text = String::from_utf8(Response::json(200, body.clone()).to_bytes(true)).unwrap();
         assert!(text.contains("Transfer-Encoding: chunked\r\n"));
         assert!(!text.contains("Content-Length"));
         assert!(text.ends_with("0\r\n\r\n"));

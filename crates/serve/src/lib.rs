@@ -6,21 +6,28 @@
 //! co-design clients (hardware-aware sparsity search, accelerator
 //! comparisons) can query *"evaluate design D on workload W at sparsity
 //! S"* — or *"evaluate design D on model M under pruning config P"*
-//! (`/evaluate_model`, per-layer + aggregate results through
+//! (`/v1/evaluate_model`, per-layer + aggregate results through
 //! [`hl_sim::network`]) — interactively. All requests share one
 //! [`hl_bench::SweepContext`]:
 //! the parallel engine plus its [`hl_sim::engine::EvalCache`], so
-//! repeated queries replay from the memo and `/metrics` exposes the hit
-//! rate.
+//! repeated queries replay from the memo and `/v1/metrics` exposes the
+//! hit rate. The API is versioned under `/v1/`; the original unversioned
+//! paths still answer byte-identically but count as deprecated aliases.
 //!
 //! There is no crates.io access in this workspace, so everything is
 //! hand-rolled on `std`: [`json`] (codec with escaping and a nesting
-//! cap), [`http`] (request parsing, chunked responses, 4xx/5xx mapping),
-//! [`server`] (bounded worker pool on `std::net::TcpListener`,
-//! cooperative shutdown), [`signal`] (SIGTERM/ctrl-c → shutdown flag),
-//! [`api`] (the endpoint handlers), [`metrics`] (lock-free counters +
-//! latency histogram), and [`client`] (the blocking client the
-//! `hl-client` CLI, the load bench, and the e2e tests use).
+//! cap), [`http`] (incremental request parsing for keep-alive and
+//! pipelining, chunked responses, 4xx/5xx mapping), [`schema`] (the
+//! typed wire structs and structured `{"error":{...}}` bodies),
+//! [`epoll`] (a minimal epoll(7) facade with a self-pipe waker),
+//! [`server`] (the single-threaded event loop: nonblocking accepts,
+//! per-connection state machines, in-flight request coalescing, a
+//! worker pool for evaluation, cooperative drain), [`snapshot`]
+//! (evaluation-cache persistence across restarts), [`signal`]
+//! (SIGTERM/ctrl-c → shutdown flag), [`api`] (the endpoint handlers),
+//! [`metrics`] (lock-free counters + latency histogram + connection
+//! accounting), and [`client`] (the keep-alive client the `hl-client`
+//! CLI, the load bench, and the e2e tests use).
 //!
 //! # Example
 //!
@@ -36,22 +43,25 @@
 //! let handle = Server::bind(config, App::new()).unwrap().spawn().unwrap();
 //! let addr = handle.addr().to_string();
 //!
-//! let (status, health) = hl_serve::client::get_json(&addr, "/healthz").unwrap();
+//! let (status, health) = hl_serve::client::get_json(&addr, "/v1/healthz").unwrap();
 //! assert_eq!(status, 200);
 //! assert_eq!(health.get("status").and_then(|s| s.as_str()), Some("ok"));
 //! handle.stop().unwrap();
 //! ```
 
-#![deny(unsafe_code)] // `signal` opts back in for the libc signal(2) binding.
+#![deny(unsafe_code)] // `signal` and `epoll` opt back in for their libc bindings.
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod client;
+pub mod epoll;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod schema;
 pub mod server;
 pub mod signal;
+pub mod snapshot;
 
 pub use api::App;
 pub use json::Json;

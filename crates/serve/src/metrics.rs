@@ -1,31 +1,35 @@
 //! Lock-free request metrics: per-route counters, status-class counters,
-//! and a log₂-bucketed latency histogram with quantile estimation.
+//! per-connection counters (accept/close/reuse, a log₂
+//! requests-per-connection histogram), coalescing + deprecated-route
+//! counters, and a log₂-bucketed latency histogram with quantile
+//! estimation.
 //!
-//! Everything is plain atomics, so recording from the worker pool never
-//! contends — `/metrics` reads are racy snapshots, which is fine for
-//! monitoring.
+//! Everything is plain atomics, so recording from the event loop and the
+//! worker pool never contends — `/v1/metrics` reads are racy snapshots,
+//! which is fine for monitoring.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// The routes the server tracks individually.
+/// The routes the server tracks individually (canonical `/v1/` labels;
+/// legacy unversioned aliases record under the same route).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
-    /// `GET /healthz`.
+    /// `GET /v1/healthz`.
     Healthz,
-    /// `GET /designs`.
+    /// `GET /v1/designs`.
     Designs,
-    /// `GET /metrics`.
+    /// `GET /v1/metrics`.
     Metrics,
-    /// `GET /models`.
+    /// `GET /v1/models`.
     Models,
-    /// `POST /evaluate`.
+    /// `POST /v1/evaluate`.
     Evaluate,
-    /// `POST /evaluate_model`.
+    /// `POST /v1/evaluate_model`.
     EvaluateModel,
-    /// `POST /sweep`.
+    /// `POST /v1/sweep`.
     Sweep,
-    /// `POST /search`.
+    /// `POST /v1/search`.
     Search,
     /// Anything else (404s, parse failures, …).
     Other,
@@ -45,9 +49,20 @@ impl Route {
         Route::Other,
     ];
 
-    /// The route for a request path.
+    /// The route for a request path (`/v1/` or legacy alias).
     pub fn of(path: &str) -> Route {
-        match path {
+        Route::resolve(path).0
+    }
+
+    /// Resolves a request path to its route plus whether it used a
+    /// deprecated legacy (unversioned) alias of a known endpoint.
+    /// Unknown paths are `(Other, false)` — a 404 is not a deprecation.
+    pub fn resolve(path: &str) -> (Route, bool) {
+        let (bare, versioned) = match path.strip_prefix("/v1") {
+            Some(rest) if rest.starts_with('/') => (rest, true),
+            _ => (path, false),
+        };
+        let route = match bare {
             "/healthz" => Route::Healthz,
             "/designs" => Route::Designs,
             "/metrics" => Route::Metrics,
@@ -57,20 +72,21 @@ impl Route {
             "/sweep" => Route::Sweep,
             "/search" => Route::Search,
             _ => Route::Other,
-        }
+        };
+        (route, !versioned && route != Route::Other)
     }
 
-    /// Display label (the path, or `other`).
+    /// Display label (the canonical `/v1/` path, or `other`).
     pub fn label(self) -> &'static str {
         match self {
-            Route::Healthz => "/healthz",
-            Route::Designs => "/designs",
-            Route::Metrics => "/metrics",
-            Route::Models => "/models",
-            Route::Evaluate => "/evaluate",
-            Route::EvaluateModel => "/evaluate_model",
-            Route::Sweep => "/sweep",
-            Route::Search => "/search",
+            Route::Healthz => "/v1/healthz",
+            Route::Designs => "/v1/designs",
+            Route::Metrics => "/v1/metrics",
+            Route::Models => "/v1/models",
+            Route::Evaluate => "/v1/evaluate",
+            Route::EvaluateModel => "/v1/evaluate_model",
+            Route::Sweep => "/v1/sweep",
+            Route::Search => "/v1/search",
             Route::Other => "other",
         }
     }
@@ -150,7 +166,63 @@ impl LatencyHistogram {
     }
 }
 
-/// Server-wide metrics shared across the worker pool.
+/// Number of log₂ requests-per-connection buckets (last bucket open).
+pub const REUSE_BUCKETS: usize = 16;
+
+/// A log₂ histogram over requests served per connection, recorded when
+/// the connection closes — the keep-alive reuse picture: bucket 0 is
+/// single-request (no reuse) connections, higher buckets are reused.
+#[derive(Debug, Default)]
+pub struct ReuseHistogram {
+    buckets: [AtomicU64; REUSE_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl ReuseHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one closed connection that served `requests` requests
+    /// (0 is clamped to the first bucket).
+    pub fn record(&self, requests: u64) {
+        let bucket = (63 - requests.max(1).leading_zeros() as usize).min(REUSE_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(requests, Ordering::Relaxed);
+    }
+
+    /// Number of closed connections observed.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean requests per closed connection (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Snapshot of the non-empty buckets as `(lower_edge, count)`:
+    /// `lower_edge = 2^i` requests.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((1u64 << i, n))
+            })
+            .collect()
+    }
+}
+
+/// Server-wide metrics shared between the event loop and the worker pool.
 #[derive(Debug)]
 pub struct Metrics {
     started: Instant,
@@ -159,7 +231,12 @@ pub struct Metrics {
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,
     rejected_busy: AtomicU64,
+    deprecated_route: AtomicU64,
+    coalesced: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_closed: AtomicU64,
     latency: LatencyHistogram,
+    reuse: ReuseHistogram,
 }
 
 impl Default for Metrics {
@@ -178,7 +255,12 @@ impl Metrics {
             status_4xx: AtomicU64::new(0),
             status_5xx: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
+            deprecated_route: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_closed: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            reuse: ReuseHistogram::new(),
         }
     }
 
@@ -200,6 +282,30 @@ impl Metrics {
         self.count_request(route, status);
     }
 
+    /// Records a request answered by joining an identical in-flight
+    /// computation instead of running the handler itself.
+    pub fn record_coalesced(&self, route: Route, status: u16, latency: Duration) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        self.record(route, status, latency);
+    }
+
+    /// Records a hit on a deprecated legacy (unversioned) route alias.
+    pub fn record_deprecated_route(&self) {
+        self.deprecated_route.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an accepted connection.
+    pub fn record_connection_opened(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a closed connection and the number of requests it served
+    /// (feeding the reuse histogram).
+    pub fn record_connection_closed(&self, requests_served: u64) {
+        self.conns_closed.fetch_add(1, Ordering::Relaxed);
+        self.reuse.record(requests_served);
+    }
+
     fn count_request(&self, route: Route, status: u16) {
         let idx = Route::ALL
             .iter()
@@ -214,7 +320,8 @@ impl Metrics {
         .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a connection shed with 503 because the accept queue was full.
+    /// Records a connection shed with 503 because the server was at its
+    /// connection cap.
     pub fn record_busy_rejection(&self) {
         self.rejected_busy.fetch_add(1, Ordering::Relaxed);
     }
@@ -250,6 +357,35 @@ impl Metrics {
         self.rejected_busy.load(Ordering::Relaxed)
     }
 
+    /// Requests that arrived on a deprecated legacy route alias.
+    pub fn deprecated_routes(&self) -> u64 {
+        self.deprecated_route.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered by coalescing onto an in-flight computation.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// `(accepted, closed)` connection counts.
+    pub fn connection_counts(&self) -> (u64, u64) {
+        (
+            self.conns_accepted.load(Ordering::Relaxed),
+            self.conns_closed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Connections currently open (accepted − closed).
+    pub fn active_connections(&self) -> u64 {
+        let (accepted, closed) = self.connection_counts();
+        accepted.saturating_sub(closed)
+    }
+
+    /// The requests-per-connection histogram.
+    pub fn reuse(&self) -> &ReuseHistogram {
+        &self.reuse
+    }
+
     /// The latency histogram.
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
@@ -262,12 +398,29 @@ mod tests {
 
     #[test]
     fn routes_map_paths_and_labels() {
+        assert_eq!(Route::of("/v1/healthz"), Route::Healthz);
         assert_eq!(Route::of("/healthz"), Route::Healthz);
+        assert_eq!(Route::of("/v1/evaluate"), Route::Evaluate);
         assert_eq!(Route::of("/evaluate"), Route::Evaluate);
         assert_eq!(Route::of("/nope"), Route::Other);
+        assert_eq!(Route::of("/v1/nope"), Route::Other);
         for r in Route::ALL {
             assert!(!r.label().is_empty());
         }
+    }
+
+    #[test]
+    fn resolve_flags_legacy_aliases_only() {
+        assert_eq!(Route::resolve("/v1/healthz"), (Route::Healthz, false));
+        assert_eq!(Route::resolve("/healthz"), (Route::Healthz, true));
+        assert_eq!(Route::resolve("/v1/sweep"), (Route::Sweep, false));
+        assert_eq!(Route::resolve("/sweep"), (Route::Sweep, true));
+        // 404s are not deprecations, versioned or not.
+        assert_eq!(Route::resolve("/nope"), (Route::Other, false));
+        assert_eq!(Route::resolve("/v1/nope"), (Route::Other, false));
+        // "/v1healthz" has no path separator after the prefix.
+        assert_eq!(Route::resolve("/v1healthz"), (Route::Other, false));
+        assert_eq!(Route::resolve("/v1"), (Route::Other, false));
     }
 
     #[test]
@@ -301,6 +454,19 @@ mod tests {
     }
 
     #[test]
+    fn reuse_histogram_tracks_requests_per_connection() {
+        let h = ReuseHistogram::new();
+        h.record(1); // one-shot connection
+        h.record(1);
+        h.record(150); // well-reused keep-alive connection
+        h.record(0); // closed before any request; clamps to bucket 0
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 38.0).abs() < 1e-9);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(1, 3), (128, 1)]);
+    }
+
+    #[test]
     fn metrics_record_and_classify() {
         let m = Metrics::new();
         m.record(Route::Healthz, 200, Duration::from_micros(5));
@@ -314,5 +480,26 @@ mod tests {
         assert_eq!(m.busy_rejections(), 1);
         assert_eq!(m.latency().count(), 4);
         assert!(m.uptime_s() >= 0.0);
+    }
+
+    #[test]
+    fn connection_and_coalescing_counters() {
+        let m = Metrics::new();
+        m.record_connection_opened();
+        m.record_connection_opened();
+        assert_eq!(m.active_connections(), 2);
+        m.record_connection_closed(5);
+        assert_eq!(m.connection_counts(), (2, 1));
+        assert_eq!(m.active_connections(), 1);
+        assert_eq!(m.reuse().count(), 1);
+        m.record_coalesced(Route::Evaluate, 200, Duration::from_micros(3));
+        assert_eq!(m.coalesced(), 1);
+        assert_eq!(
+            m.requests_for(Route::Evaluate),
+            1,
+            "coalesced counts as a request"
+        );
+        m.record_deprecated_route();
+        assert_eq!(m.deprecated_routes(), 1);
     }
 }

@@ -1,35 +1,74 @@
-//! The serving loop: a `TcpListener` accept loop feeding a **bounded**
-//! worker pool.
+//! The serving core: a single-threaded `epoll` event loop owning every
+//! connection, with evaluation fanned out to a worker pool.
 //!
-//! Accepted connections are pushed onto a bounded queue
-//! (`std::sync::mpsc::sync_channel`); a fixed pool of worker threads pops
-//! and serves them one request at a time. When the queue is full the
-//! connection is shed immediately with a 503 instead of queueing without
-//! bound — under overload the server degrades by rejecting, not by
-//! growing its memory footprint.
+//! One thread runs [`Server::run`]: nonblocking accepts, per-connection
+//! read/write state machines, HTTP keep-alive and pipelining (responses
+//! flush strictly in request order through per-connection slots), and
+//! timers (idle keep-alive timeout, a 408 for stalled partial requests,
+//! and a short lame-duck drain before close so an in-flight response is
+//! never destroyed by a TCP RST). The loop never computes: `GET`s are
+//! answered inline (they are registry/metrics reads), `POST`s are handed
+//! to a fixed worker pool over a channel, and completed responses come
+//! back through a mutex-guarded queue plus the poller's self-pipe
+//! [`Waker`].
 //!
-//! Shutdown is cooperative: [`Shutdown::trigger`] sets a shared flag and
-//! nudges the (blocking) accept loop awake with a loopback connection to
-//! the listener — no idle polling, so accepts have zero added latency
-//! and shutdown is immediate. Once triggered, the loop stops accepting,
-//! the queue sender is dropped, the workers drain whatever was already
-//! queued, and [`Server::run`] returns. The `hl-serve` binary wires the
-//! switch to SIGTERM/SIGINT (see [`crate::signal`]); tests and the
-//! in-process load bench use [`ServerHandle::stop`].
+//! **Coalescing**: identical in-flight `POST`s — same path, same body —
+//! collapse onto one evaluation. The first arrival dispatches a job;
+//! later arrivals (any connection) just join its waiter list and are
+//! answered from the same [`Response`] when it completes, each with its
+//! own `Connection` framing. Handlers are pure functions of the body, so
+//! the joined responses are byte-identical to what a dedicated
+//! evaluation would have produced; joiners are counted in the
+//! `coalesced` metric instead of re-entering the engine.
+//!
+//! **Overload**: beyond [`ServerConfig::max_connections`] the accept
+//! loop sheds new connections immediately with a 503 — the server
+//! degrades by rejecting, not by queueing without bound.
+//!
+//! **Shutdown** is cooperative: [`Shutdown::trigger`] sets a flag and
+//! wakes the loop. The listener closes first, in-flight requests finish
+//! and flush (with a hard drain budget), the worker pool is joined, and
+//! — when [`ServerConfig::snapshot`] is set — the engine's evaluation
+//! cache is persisted so the next boot starts warm
+//! (see [`crate::snapshot`]).
 
-use std::io::{self, BufReader};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::api::App;
-use crate::http::{read_request, Parsed, Response};
+use crate::epoll::{Event, Interest, Poller, Waker};
+use crate::http::{parse_request, ParseError, ParseStatus, Request, Response};
+use crate::metrics::Route;
+use crate::schema::ErrorBody;
+use crate::snapshot;
 
 /// The default listen address.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:8733";
+
+/// Token the listener is registered under (`u64::MAX` is the waker's).
+const LISTEN_TOKEN: u64 = u64::MAX - 1;
+
+/// Most requests a connection may have in flight before the loop stops
+/// reading from it (pipelining backpressure).
+const MAX_PIPELINE: usize = 32;
+
+/// Lame-duck budget: after the last response is flushed the socket's
+/// write side closes, and the loop keeps draining client bytes this long
+/// before dropping the fd (unread bytes at close would turn into a RST
+/// that can destroy the just-sent response).
+const LAME_DUCK: Duration = Duration::from_millis(250);
+
+/// Hard wall-clock budget for the shutdown drain.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -38,42 +77,38 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker-thread count (0 is clamped to 1).
     pub workers: usize,
-    /// Bounded accept-queue depth; connections beyond it are shed with
-    /// a 503.
-    pub backlog: usize,
-    /// Per-socket read/write timeout.
-    pub io_timeout: Duration,
+    /// Open-connection cap; accepts beyond it are shed with a 503.
+    pub max_connections: usize,
+    /// Keep-alive idle timeout: a connection with no buffered bytes and
+    /// no in-flight requests closes after this long.
+    pub idle_timeout: Duration,
+    /// Partial-request deadline: a request that stops arriving mid-head
+    /// or mid-body is answered 408 after this long.
+    pub request_timeout: Duration,
+    /// Evaluation-cache snapshot path: loaded (if present and
+    /// compatible) before serving, saved on graceful drain.
+    pub snapshot: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        let workers = hl_sim::engine::default_threads();
         Self {
             addr: DEFAULT_ADDR.to_string(),
-            workers,
-            backlog: workers * 4,
-            io_timeout: Duration::from_secs(5),
+            workers: hl_sim::engine::default_threads(),
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(5),
+            snapshot: None,
         }
     }
 }
 
-/// A bound (but not yet running) server.
-pub struct Server {
-    listener: TcpListener,
-    app: Arc<App>,
-    shutdown: Arc<AtomicBool>,
-    config: ServerConfig,
-}
-
-/// The cooperative shutdown switch for a running server.
-///
-/// [`Shutdown::trigger`] sets the shared flag and pokes the blocking
-/// accept loop awake with a throwaway loopback connection, so the drain
-/// starts immediately without the accept loop ever having to poll.
+/// The cooperative shutdown switch for a running server: sets a shared
+/// flag and wakes the event loop through the poller's self-pipe.
 #[derive(Debug, Clone)]
 pub struct Shutdown {
     flag: Arc<AtomicBool>,
-    addr: SocketAddr,
+    waker: Waker,
 }
 
 impl Shutdown {
@@ -82,34 +117,35 @@ impl Shutdown {
         self.flag.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and wakes the accept loop.
+    /// Requests shutdown and wakes the event loop.
     pub fn trigger(&self) {
         self.flag.store(true, Ordering::SeqCst);
-        // Wake the blocking accept; the loop sees the flag and drops this
-        // throwaway connection without answering it. An unspecified bind
-        // address (0.0.0.0 / ::) is not portably connectable, so wake via
-        // loopback on the same port.
-        let mut addr = self.addr;
-        if addr.ip().is_unspecified() {
-            addr.set_ip(match addr.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        self.waker.wake();
     }
 }
 
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    app: Arc<App>,
+    poller: Poller,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
 impl Server {
-    /// Binds the listen socket.
+    /// Binds the listen socket and creates the event loop's poller.
     ///
     /// # Errors
-    /// Propagates `bind` failures (address in use, permission, …).
+    /// Propagates `bind` failures (address in use, permission, …) and
+    /// poller creation failures (non-linux targets are unsupported).
     pub fn bind(config: ServerConfig, app: App) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         Ok(Self {
             listener,
             app: Arc::new(app),
+            poller: Poller::new()?,
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
         })
@@ -132,66 +168,114 @@ impl Server {
     /// drain and return.
     ///
     /// # Errors
-    /// Propagates `local_addr` failures (the switch needs the address to
-    /// wake the accept loop).
+    /// None today; the `Result` is kept for call-site stability.
     pub fn shutdown_switch(&self) -> io::Result<Shutdown> {
         Ok(Shutdown {
             flag: Arc::clone(&self.shutdown),
-            addr: self.local_addr()?,
+            waker: self.poller.waker(),
         })
     }
 
-    /// Serves until the shutdown switch is triggered, then drains the
-    /// queue, joins the workers, and returns.
+    /// Serves until the shutdown switch is triggered, then drains
+    /// in-flight work, joins the workers, saves the snapshot (if
+    /// configured), and returns.
     ///
     /// # Errors
-    /// Propagates fatal listener errors; per-connection I/O errors only
-    /// drop that connection.
+    /// Propagates fatal poller/listener errors; per-connection I/O
+    /// errors only drop that connection.
     pub fn run(self) -> io::Result<()> {
-        let workers = self.config.workers.max(1);
-        let (tx, rx) = sync_channel::<TcpStream>(self.config.backlog.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-        let handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let app = Arc::clone(&self.app);
-                let timeout = self.config.io_timeout;
-                std::thread::spawn(move || worker_loop(&rx, &app, timeout))
-            })
-            .collect();
-
-        while !self.shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    // A wake-up connection from Shutdown::trigger lands
-                    // here; re-check the flag before dispatching.
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match tx.try_send(stream) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(stream)) => {
-                            self.app.metrics().record_busy_rejection();
-                            // Shed off the accept thread: writing the 503
-                            // to a slow client must never stall accepts.
-                            let timeout = self.config.io_timeout;
-                            let spawned = std::thread::Builder::new()
-                                .name("hl-serve-shed".into())
-                                .spawn(move || shed_busy(stream, timeout));
-                            drop(spawned); // on spawn failure the stream just drops
-                        }
-                        Err(TrySendError::Disconnected(_)) => break,
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+        if let Some(path) = &self.config.snapshot {
+            let cache = self.app.context().engine().eval_cache();
+            match snapshot::load(cache, path) {
+                Ok(_) => {}
+                Err(snapshot::SnapshotError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => eprintln!("hl-serve: ignoring snapshot {}: {e}", path.display()),
             }
         }
 
+        let completions: Arc<Mutex<VecDeque<Completion>>> = Arc::default();
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..self.config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let app = Arc::clone(&self.app);
+                let completions = Arc::clone(&completions);
+                let waker = self.poller.waker();
+                std::thread::spawn(move || worker_loop(&rx, &app, &completions, &waker))
+            })
+            .collect();
+
+        self.poller
+            .register(self.listener.as_raw_fd(), LISTEN_TOKEN, Interest::READ)?;
+
+        let mut el = EventLoop {
+            poller: &self.poller,
+            app: &self.app,
+            config: &self.config,
+            conns: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            next_gen: 0,
+            inflight: HashMap::new(),
+            jobs: tx,
+            completions: &completions,
+            draining: false,
+        };
+
+        let mut events: Vec<Event> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let timeout = el
+                .next_timeout()
+                .map(|d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX));
+            self.poller.wait(&mut events, timeout)?;
+            el.drain_completions();
+            for ev in events.drain(..) {
+                match ev.token {
+                    Poller::WAKE_TOKEN => {}
+                    LISTEN_TOKEN => el.accept_ready(&self.listener),
+                    token => el.conn_ready(token as usize, ev),
+                }
+            }
+            el.check_timers(Instant::now());
+        }
+
+        // Drain: stop accepting, let in-flight requests finish and
+        // flush, then close whatever remains.
+        self.poller.deregister(self.listener.as_raw_fd())?;
+        drop(self.listener);
+        el.begin_shutdown();
+        let deadline = Instant::now() + SHUTDOWN_DRAIN;
+        while el.has_work() && Instant::now() < deadline {
+            let budget = deadline.saturating_duration_since(Instant::now());
+            let timeout = el
+                .next_timeout()
+                .map_or(budget, |t| t.min(budget))
+                .min(Duration::from_millis(250));
+            self.poller
+                .wait(&mut events, Some(timeout.as_millis() as u32))?;
+            el.drain_completions();
+            for ev in events.drain(..) {
+                match ev.token {
+                    Poller::WAKE_TOKEN | LISTEN_TOKEN => {}
+                    token => el.conn_ready(token as usize, ev),
+                }
+            }
+            el.check_timers(Instant::now());
+        }
+        el.close_all();
+
         // Stop feeding the pool; workers drain the queue and exit.
-        drop(tx);
-        for h in handles {
+        drop(el);
+        for h in workers {
             let _ = h.join();
+        }
+
+        if let Some(path) = &self.config.snapshot {
+            let cache = self.app.context().engine().eval_cache();
+            if let Err(e) = snapshot::save(cache, path) {
+                eprintln!("hl-serve: snapshot save failed: {e}");
+            }
         }
         Ok(())
     }
@@ -248,71 +332,601 @@ impl ServerHandle {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, app: &App, timeout: Duration) {
+/// One unit of worker-pool work: the first request of a coalition.
+struct Job {
+    key: CoalesceKey,
+    req: Request,
+}
+
+/// A finished worker-pool evaluation, addressed back to its coalition.
+struct Completion {
+    key: CoalesceKey,
+    resp: Response,
+}
+
+/// Coalescing identity: method is always `POST`, so path + body is the
+/// full input of the (pure) handler.
+type CoalesceKey = (String, Vec<u8>);
+
+/// One request waiting on a coalition's shared evaluation.
+struct Waiter {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    keep_alive: bool,
+    enqueued: Instant,
+}
+
+/// One in-flight request's response slot; responses flush strictly in
+/// `seq` order regardless of completion order.
+struct Slot {
+    seq: u64,
+    bytes: Option<Vec<u8>>,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    /// Generation stamp: completions for a closed connection whose slab
+    /// slot was reused must not write into the new connection.
+    gen: u64,
+    /// Unparsed request bytes.
+    buf: Vec<u8>,
+    /// In-flight requests, in arrival order.
+    pending: VecDeque<Slot>,
+    next_seq: u64,
+    /// Serialized responses being written.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// False once no further requests will be parsed (Connection: close,
+    /// parse error, EOF, shutdown).
+    reading: bool,
+    /// Close once everything pending has flushed.
+    close_after: bool,
+    /// The peer already half-closed; no lame-duck drain needed.
+    peer_eof: bool,
+    /// Lame-duck deadline once the write side is shut down.
+    lame_duck: Option<Instant>,
+    last_activity: Instant,
+    served: u64,
+    interest: Interest,
+}
+
+struct EventLoop<'a> {
+    poller: &'a Poller,
+    app: &'a Arc<App>,
+    config: &'a ServerConfig,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    active: usize,
+    next_gen: u64,
+    inflight: HashMap<CoalesceKey, Vec<Waiter>>,
+    jobs: Sender<Job>,
+    completions: &'a Mutex<VecDeque<Completion>>,
+    draining: bool,
+}
+
+impl EventLoop<'_> {
+    // ---- accept path -------------------------------------------------
+
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.active >= self.config.max_connections {
+                        self.shed(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let id = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    self.next_gen += 1;
+                    let conn = Conn {
+                        stream,
+                        fd,
+                        gen: self.next_gen,
+                        buf: Vec::new(),
+                        pending: VecDeque::new(),
+                        next_seq: 0,
+                        out: Vec::new(),
+                        out_pos: 0,
+                        reading: true,
+                        close_after: false,
+                        peer_eof: false,
+                        lame_duck: None,
+                        last_activity: Instant::now(),
+                        served: 0,
+                        interest: Interest::READ,
+                    };
+                    if self.poller.register(fd, id as u64, Interest::READ).is_err() {
+                        self.free.push(id);
+                        continue;
+                    }
+                    self.conns[id] = Some(conn);
+                    self.active += 1;
+                    self.app.metrics().record_connection_opened();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break, // transient accept failure; retry on next event
+            }
+        }
+    }
+
+    /// Sheds an over-limit connection with an immediate 503. The socket
+    /// is still blocking (accepted sockets don't inherit the listener's
+    /// nonblocking flag), so a short write timeout bounds the cost.
+    fn shed(&mut self, mut stream: TcpStream) {
+        self.app.metrics().record_busy_rejection();
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+        let body = ErrorBody::new(503, "server busy: connection limit reached")
+            .to_json()
+            .encode();
+        let _ = stream.write_all(&Response::json(503, body).to_bytes(false));
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+
+    // ---- readiness dispatch ------------------------------------------
+
+    fn conn_ready(&mut self, id: usize, ev: Event) {
+        let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+            return; // already closed this tick
+        };
+        if conn.lame_duck.is_some() {
+            self.drain_lame_duck(id);
+            return;
+        }
+        if ev.readable {
+            self.fill_buffer(id);
+        }
+        self.service(id);
+    }
+
+    /// Reads everything available into the connection's buffer.
+    fn fill_buffer(&mut self, id: usize) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+                return;
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    conn.reading = false;
+                    if conn.pending.is_empty() && conn.out.len() == conn.out_pos {
+                        self.close_conn(id);
+                    } else {
+                        conn.close_after = true;
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    if conn.reading {
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                    }
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parses and dispatches buffered requests, flushes ready responses,
+    /// and reconciles epoll interest — the one entry point after any
+    /// state change.
+    fn service(&mut self, id: usize) {
+        loop {
+            let parsed = self.pump_parse(id);
+            let flushed = self.flush(id);
+            if self.conns.get(id).and_then(Option::as_ref).is_none() {
+                return;
+            }
+            if !parsed && !flushed {
+                break;
+            }
+        }
+        self.update_interest(id);
+    }
+
+    /// Parses as many complete requests as capacity allows; true if any
+    /// request was dispatched.
+    fn pump_parse(&mut self, id: usize) -> bool {
+        let mut dispatched = false;
+        loop {
+            let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+                return dispatched;
+            };
+            if !conn.reading || conn.pending.len() >= MAX_PIPELINE || conn.buf.is_empty() {
+                return dispatched;
+            }
+            match parse_request(&conn.buf) {
+                ParseStatus::Incomplete => return dispatched,
+                ParseStatus::Complete(req, consumed) => {
+                    conn.buf.drain(..consumed);
+                    self.dispatch(id, req);
+                    dispatched = true;
+                }
+                ParseStatus::Bad(err) => {
+                    conn.buf.clear();
+                    conn.reading = false;
+                    conn.close_after = true;
+                    let resp = self.app.handle_parse_error(&err);
+                    self.push_immediate(id, resp);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Routes one parsed request: `GET`s (and stray methods) answer
+    /// inline; `POST`s go to the worker pool, coalescing onto an
+    /// identical in-flight evaluation when one exists.
+    fn dispatch(&mut self, id: usize, req: Request) {
+        let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+            return;
+        };
+        let keep_alive = req.keep_alive() && !self.draining;
+        if !keep_alive {
+            conn.reading = false;
+            conn.close_after = true;
+        }
+        let gen = conn.gen;
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.pending.push_back(Slot { seq, bytes: None });
+
+        if req.method == "POST" {
+            let key: CoalesceKey = (req.path.clone(), req.body.clone());
+            let waiter = Waiter {
+                conn: id,
+                gen,
+                seq,
+                keep_alive,
+                enqueued: Instant::now(),
+            };
+            match self.inflight.entry(key) {
+                Entry::Occupied(mut e) => e.get_mut().push(waiter),
+                Entry::Vacant(v) => {
+                    let key = v.key().clone();
+                    v.insert(vec![waiter]);
+                    // A send can only fail after worker join, which is
+                    // after the loop stops dispatching.
+                    let _ = self.jobs.send(Job { key, req });
+                }
+            }
+        } else {
+            let resp = self.app.handle(&req);
+            let bytes = resp.to_bytes(keep_alive);
+            self.fill_slot(id, gen, seq, bytes);
+        }
+    }
+
+    /// Answers a request-level failure (parse error, 408) and marks the
+    /// connection for close.
+    fn push_immediate(&mut self, id: usize, resp: Response) {
+        let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+            return;
+        };
+        let gen = conn.gen;
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.pending.push_back(Slot { seq, bytes: None });
+        let bytes = resp.to_bytes(false);
+        self.fill_slot(id, gen, seq, bytes);
+    }
+
+    /// Hands a completed worker evaluation to every waiter that joined
+    /// it, then services their connections.
+    fn drain_completions(&mut self) {
+        loop {
+            let next = self
+                .completions
+                .lock()
+                .expect("completions poisoned")
+                .pop_front();
+            let Some(Completion { key, resp }) = next else {
+                return;
+            };
+            let waiters = self.inflight.remove(&key).unwrap_or_default();
+            let (route, _) = Route::resolve(&key.0);
+            let mut touched = Vec::new();
+            for (i, w) in waiters.into_iter().enumerate() {
+                if i > 0 {
+                    // The first waiter's App::handle call recorded the
+                    // request; joiners are recorded here with their own
+                    // queueing latency.
+                    self.app
+                        .metrics()
+                        .record_coalesced(route, resp.status, w.enqueued.elapsed());
+                }
+                let bytes = resp.to_bytes(w.keep_alive);
+                self.fill_slot(w.conn, w.gen, w.seq, bytes);
+                if !touched.contains(&w.conn) {
+                    touched.push(w.conn);
+                }
+            }
+            for id in touched {
+                self.service(id);
+            }
+        }
+    }
+
+    /// Fills one response slot (ignoring completions addressed to a
+    /// connection generation that no longer exists).
+    fn fill_slot(&mut self, id: usize, gen: u64, seq: u64, bytes: Vec<u8>) {
+        let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.gen != gen {
+            return;
+        }
+        if let Some(slot) = conn.pending.iter_mut().find(|s| s.seq == seq) {
+            slot.bytes = Some(bytes);
+        }
+    }
+
+    /// Moves ready in-order responses into the write buffer and writes
+    /// what the socket accepts; true if any slot was retired.
+    fn flush(&mut self, id: usize) -> bool {
+        let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+            return false;
+        };
+        let mut retired = false;
+        while conn
+            .pending
+            .front()
+            .is_some_and(|slot| slot.bytes.is_some())
+        {
+            let slot = conn.pending.pop_front().expect("front checked");
+            conn.out
+                .extend_from_slice(&slot.bytes.expect("bytes checked"));
+            conn.served += 1;
+            retired = true;
+        }
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close_conn(id);
+                    return retired;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(id);
+                    return retired;
+                }
+            }
+        }
+        if conn.out_pos == conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+            if conn.close_after && conn.pending.is_empty() {
+                if conn.peer_eof {
+                    self.close_conn(id);
+                } else {
+                    self.begin_lame_duck(id);
+                }
+            }
+        }
+        retired
+    }
+
+    /// Shuts the write side and keeps draining client bytes briefly so
+    /// the kernel doesn't RST the in-flight response.
+    fn begin_lame_duck(&mut self, id: usize) {
+        let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+            return;
+        };
+        let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+        conn.lame_duck = Some(Instant::now() + LAME_DUCK);
+        conn.reading = false;
+        self.drain_lame_duck(id);
+    }
+
+    fn drain_lame_duck(&mut self, id: usize) {
+        let mut sink = [0u8; 4096];
+        loop {
+            let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+                return;
+            };
+            match conn.stream.read(&mut sink) {
+                Ok(0) => {
+                    self.close_conn(id);
+                    return;
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn close_conn(&mut self, id: usize) {
+        if let Some(conn) = self.conns.get_mut(id).and_then(Option::take) {
+            let _ = self.poller.deregister(conn.fd);
+            self.app.metrics().record_connection_closed(conn.served);
+            self.active -= 1;
+            self.free.push(id);
+        }
+    }
+
+    fn update_interest(&mut self, id: usize) {
+        let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+            return;
+        };
+        let want = Interest {
+            readable: conn.lame_duck.is_some()
+                || (conn.reading && conn.pending.len() < MAX_PIPELINE),
+            writable: conn.out_pos < conn.out.len(),
+        };
+        if want != conn.interest && self.poller.modify(conn.fd, id as u64, want).is_ok() {
+            conn.interest = want;
+        }
+    }
+
+    // ---- timers ------------------------------------------------------
+
+    fn check_timers(&mut self, now: Instant) {
+        for id in 0..self.conns.len() {
+            let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+                continue;
+            };
+            if let Some(deadline) = conn.lame_duck {
+                if now >= deadline {
+                    self.close_conn(id);
+                }
+                continue;
+            }
+            let busy = !conn.pending.is_empty() || conn.out_pos < conn.out.len();
+            if busy {
+                continue;
+            }
+            if conn.buf.is_empty() {
+                if conn.reading && now >= conn.last_activity + self.config.idle_timeout {
+                    self.close_conn(id);
+                }
+            } else if now >= conn.last_activity + self.config.request_timeout {
+                // A partial request stopped making progress.
+                conn.buf.clear();
+                conn.reading = false;
+                conn.close_after = true;
+                let err = ParseError::new(408, "timed out waiting for a complete request");
+                let resp = self.app.handle_parse_error(&err);
+                self.push_immediate(id, resp);
+                self.service(id);
+            }
+        }
+    }
+
+    /// The next poll timeout: the soonest connection deadline, or block
+    /// indefinitely when nothing is waiting on time.
+    fn next_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let mut soonest: Option<Instant> = None;
+        for conn in self.conns.iter().flatten() {
+            let deadline = if let Some(d) = conn.lame_duck {
+                d
+            } else if !conn.pending.is_empty() || conn.out_pos < conn.out.len() {
+                continue; // waiting on work/socket, not on time
+            } else if conn.buf.is_empty() {
+                if !conn.reading {
+                    continue;
+                }
+                conn.last_activity + self.config.idle_timeout
+            } else {
+                conn.last_activity + self.config.request_timeout
+            };
+            soonest = Some(soonest.map_or(deadline, |s| s.min(deadline)));
+        }
+        soonest.map(|s| {
+            s.saturating_duration_since(now)
+                .max(Duration::from_millis(10))
+        })
+    }
+
+    // ---- shutdown ----------------------------------------------------
+
+    /// Starts the drain: no new requests are parsed; idle connections
+    /// close now, busy ones close as their last response flushes.
+    fn begin_shutdown(&mut self) {
+        self.draining = true;
+        for id in 0..self.conns.len() {
+            let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+                continue;
+            };
+            conn.reading = false;
+            conn.close_after = true;
+            conn.buf.clear();
+            if conn.pending.is_empty() && conn.out_pos >= conn.out.len() {
+                self.close_conn(id);
+            } else {
+                self.update_interest(id);
+            }
+        }
+    }
+
+    /// True while any connection still owes a response.
+    fn has_work(&self) -> bool {
+        self.active > 0
+    }
+
+    fn close_all(&mut self) {
+        for id in 0..self.conns.len() {
+            self.close_conn(id);
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    app: &App,
+    completions: &Mutex<VecDeque<Completion>>,
+    waker: &Waker,
+) {
     loop {
-        // Hold the lock only for the pop, never while serving.
-        let next = { rx.lock().expect("queue lock poisoned").recv() };
+        // Hold the lock only for the pop, never while evaluating.
+        let next = { rx.lock().expect("job queue poisoned").recv() };
         match next {
-            Ok(stream) => serve_connection(app, stream, timeout),
+            Ok(Job { key, req }) => {
+                let resp = app.handle(&req);
+                completions
+                    .lock()
+                    .expect("completions poisoned")
+                    .push_back(Completion { key, resp });
+                waker.wake();
+            }
             Err(_) => return, // Sender dropped: shutdown.
         }
     }
 }
 
-fn serve_connection(app: &App, stream: TcpStream, timeout: Duration) {
-    if stream.set_nonblocking(false).is_err()
-        || stream.set_read_timeout(Some(timeout)).is_err()
-        || stream.set_write_timeout(Some(timeout)).is_err()
-    {
-        return;
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert_eq!(c.addr, DEFAULT_ADDR);
+        assert!(c.workers >= 1);
+        assert!(c.max_connections >= 16);
+        assert!(c.snapshot.is_none());
     }
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let deadline = std::time::Instant::now() + timeout;
-    let response = match read_request(&mut reader, deadline) {
-        Parsed::Ok(request) => app.handle(&request),
-        Parsed::Bad(err) => app.handle_parse_error(&err),
-        Parsed::Closed => return,
-    };
-    let mut stream = stream;
-    let _ = response.write_to(&mut stream);
-    finish(stream);
-}
 
-fn shed_busy(stream: TcpStream, timeout: Duration) {
-    let mut stream = stream;
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let _ = stream.set_write_timeout(Some(timeout));
-    let body = r#"{"error":"server busy: accept queue full"}"#;
-    let _ = Response::json(503, body).write_to(&mut stream);
-    finish(stream);
-}
-
-/// Closes a served connection without losing the response: unread request
-/// bytes in the receive buffer would make `close` send a TCP RST that can
-/// destroy the in-flight response (the 413/503 paths answer before
-/// reading the payload), so signal end-of-response, then drain what the
-/// client already sent before dropping the socket. The drain has a hard
-/// wall-clock budget — a client trickling bytes cannot hold the thread
-/// past it.
-fn finish(stream: TcpStream) {
-    use std::io::Read;
-    const DRAIN_BUDGET: Duration = Duration::from_millis(250);
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let deadline = std::time::Instant::now() + DRAIN_BUDGET;
-    let mut sink = [0u8; 4096];
-    let mut stream = stream;
-    loop {
-        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-        if remaining.is_zero() || stream.set_read_timeout(Some(remaining)).is_err() {
-            break;
-        }
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn bind_spawn_and_stop() {
+        let server = Server::bind(
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 1,
+                ..ServerConfig::default()
+            },
+            App::default(),
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        assert_ne!(handle.addr().port(), 0);
+        handle.stop().unwrap();
     }
 }

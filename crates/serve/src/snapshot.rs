@@ -1,0 +1,505 @@
+//! Disk persistence for the engine's [`EvalCache`]: the server saves the
+//! memo on graceful drain and re-loads it on boot, so a restarted server
+//! answers its steady-state traffic from a warm cache.
+//!
+//! The snapshot is a single JSON document:
+//!
+//! ```json
+//! {
+//!   "format": 1,
+//!   "fingerprint": "hl-snap-v1:9a…",
+//!   "entries": [ { "design": …, "shape": …, "a": …, "b": …, "outcome": … } ]
+//! }
+//! ```
+//!
+//! Cached results are only valid for the code that produced them — the
+//! analytical models are pure functions of the design configuration, so
+//! the `fingerprint` hashes every registered design's `Debug`
+//! configuration fingerprint plus the model registry. A snapshot whose
+//! fingerprint does not match the running binary is refused (the server
+//! boots cold instead of serving stale numbers).
+//!
+//! Entries are sorted by their encoded form before writing, so
+//! save → load → save is byte-identical (the in-memory memo is a
+//! `HashMap` with nondeterministic iteration order). `f64` payloads
+//! round-trip exactly: the [`Json`] encoder prints shortest-round-trip
+//! forms, and the one `f64` that is keyed by bit pattern (unstructured
+//! degrees) is stored as a hex bit string rather than a number.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use hl_arch::{Comp, EnergyBreakdown};
+use hl_sim::engine::{EvalCache, EvalKey, OperandKey};
+use hl_sim::{EvalResult, Unsupported};
+use hl_sparsity::{Gh, HssPattern};
+use hl_tensor::GemmShape;
+
+use crate::json::Json;
+
+/// Snapshot format version; bumped on any encoding change.
+pub const FORMAT: u64 = 1;
+
+/// Why a snapshot could not be loaded (`thiserror` idiom: structured
+/// variants, hand-written `Display`, `std::error::Error`).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The document is not a snapshot (bad JSON, wrong shape, bad entry).
+    Malformed(String),
+    /// The snapshot was produced by a different design/model registry.
+    FingerprintMismatch {
+        /// What the running binary expects.
+        expected: String,
+        /// What the file carries.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            Self::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            Self::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot fingerprint {found} does not match this binary's \
+                 {expected}; refusing stale cache entries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Malformed(msg.into())
+}
+
+/// The cache-compatibility fingerprint of the running binary: an FNV-1a
+/// hash over the snapshot format version, every registered design's
+/// `Debug` configuration fingerprint, and the model registry.
+pub fn cache_fingerprint() -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff; // field separator so concatenations can't collide
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(FORMAT.to_le_bytes().as_slice());
+    for name in hl_bench::registered_names() {
+        let design = hl_bench::design_by_name(name).expect("registered");
+        eat(format!("{design:?}").as_bytes());
+    }
+    for name in hl_models::model_names() {
+        eat(name.as_bytes());
+    }
+    format!("hl-snap-v{FORMAT}:{h:016x}")
+}
+
+/// Writes the cache to `path` (atomically: temp file + rename), returning
+/// the number of entries saved.
+///
+/// # Errors
+/// [`SnapshotError::Io`].
+pub fn save(cache: &EvalCache, path: &Path) -> Result<usize, SnapshotError> {
+    let mut encoded: Vec<String> = cache
+        .entries()
+        .iter()
+        .map(|(k, v)| entry_json(k, v).encode())
+        .collect();
+    // The memo is a HashMap; sort so identical caches write identical
+    // bytes (asserted by the round-trip test).
+    encoded.sort_unstable();
+    let mut doc = String::new();
+    doc.push_str("{\"format\":");
+    doc.push_str(&FORMAT.to_string());
+    doc.push_str(",\"fingerprint\":");
+    doc.push_str(&Json::str(cache_fingerprint()).encode());
+    doc.push_str(",\"entries\":[");
+    for (i, e) in encoded.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(e);
+    }
+    doc.push_str("]}");
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(doc.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(encoded.len())
+}
+
+/// Loads a snapshot into the cache via [`EvalCache::preload`] (hit/miss
+/// counters untouched; live entries win over preloaded ones), returning
+/// the number of entries loaded.
+///
+/// # Errors
+/// [`SnapshotError`] — including [`SnapshotError::FingerprintMismatch`]
+/// when the file was produced by a different registry, in which case the
+/// cache is left untouched.
+pub fn load(cache: &EvalCache, path: &Path) -> Result<usize, SnapshotError> {
+    let text = std::fs::read_to_string(path)?;
+    let doc = Json::parse(&text).map_err(|e| malformed(e.to_string()))?;
+    let format = doc
+        .get("format")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| malformed("missing \"format\""))?;
+    if format != FORMAT as f64 {
+        return Err(malformed(format!("unsupported format {format}")));
+    }
+    let found = doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed("missing \"fingerprint\""))?;
+    let expected = cache_fingerprint();
+    if found != expected {
+        return Err(SnapshotError::FingerprintMismatch {
+            expected,
+            found: found.to_string(),
+        });
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| malformed("missing \"entries\""))?;
+    for e in entries {
+        let (key, value) = entry_from(e)?;
+        cache.preload(key, value);
+    }
+    Ok(entries.len())
+}
+
+fn entry_json(key: &EvalKey, value: &Result<EvalResult, Unsupported>) -> Json {
+    let outcome = match value {
+        Ok(r) => Json::Obj(vec![("ok".into(), eval_result_members(r))]),
+        Err(u) => Json::Obj(vec![(
+            "unsupported".into(),
+            Json::Obj(vec![
+                ("design".into(), Json::str(&u.design)),
+                ("reason".into(), Json::str(&u.reason)),
+            ]),
+        )]),
+    };
+    Json::Obj(vec![
+        ("design".into(), Json::str(&key.design)),
+        ("shape".into(), shape_json(key.shape)),
+        ("a".into(), operand_key_json(&key.a)),
+        ("b".into(), operand_key_json(&key.b)),
+        ("outcome".into(), outcome),
+    ])
+}
+
+fn entry_from(v: &Json) -> Result<(EvalKey, Result<EvalResult, Unsupported>), SnapshotError> {
+    let design = req_str(v, "design")?.to_string();
+    let shape = shape_from(
+        v.get("shape")
+            .ok_or_else(|| malformed("entry missing \"shape\""))?,
+    )?;
+    let a = operand_key_from(v.get("a").ok_or_else(|| malformed("entry missing \"a\""))?)?;
+    let b = operand_key_from(v.get("b").ok_or_else(|| malformed("entry missing \"b\""))?)?;
+    let outcome = v
+        .get("outcome")
+        .ok_or_else(|| malformed("entry missing \"outcome\""))?;
+    let value = if let Some(ok) = outcome.get("ok") {
+        Ok(eval_result_from(ok)?)
+    } else if let Some(u) = outcome.get("unsupported") {
+        Err(Unsupported {
+            design: req_str(u, "design")?.to_string(),
+            reason: req_str(u, "reason")?.to_string(),
+        })
+    } else {
+        return Err(malformed("outcome must hold \"ok\" or \"unsupported\""));
+    };
+    Ok((
+        EvalKey {
+            design,
+            shape,
+            a,
+            b,
+        },
+        value,
+    ))
+}
+
+fn eval_result_members(r: &EvalResult) -> Json {
+    Json::Obj(vec![
+        ("design".into(), Json::str(&r.design)),
+        ("workload".into(), Json::str(&r.workload)),
+        ("cycles".into(), Json::Num(r.cycles)),
+        (
+            "energy_pj".into(),
+            Json::Obj(
+                r.energy
+                    .iter()
+                    .map(|(c, pj)| (c.label().to_string(), Json::Num(pj)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn eval_result_from(v: &Json) -> Result<EvalResult, SnapshotError> {
+    let cycles = v
+        .get("cycles")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| malformed("result missing \"cycles\""))?;
+    let Some(Json::Obj(members)) = v.get("energy_pj") else {
+        return Err(malformed("result missing \"energy_pj\""));
+    };
+    let mut energy = EnergyBreakdown::new();
+    for (label, pj) in members {
+        let comp = Comp::ALL
+            .into_iter()
+            .find(|c| c.label() == label)
+            .ok_or_else(|| malformed(format!("unknown energy component {label:?}")))?;
+        let pj = pj
+            .as_f64()
+            .ok_or_else(|| malformed(format!("component {label:?} must be a number")))?;
+        energy.record(comp, pj);
+    }
+    Ok(EvalResult {
+        design: req_str(v, "design")?.to_string(),
+        workload: req_str(v, "workload")?.to_string(),
+        cycles,
+        energy,
+    })
+}
+
+fn operand_key_json(key: &OperandKey) -> Json {
+    match key {
+        OperandKey::Dense => Json::str("dense"),
+        // The degree is keyed by its exact f64 bit pattern; a JSON number
+        // would survive (shortest-round-trip encoder) but a hex string
+        // makes bit-exactness structural rather than incidental.
+        OperandKey::Unstructured(bits) => Json::Obj(vec![(
+            "unstructured".into(),
+            Json::str(format!("{bits:016x}")),
+        )]),
+        OperandKey::Hss(p) => Json::Obj(vec![(
+            "hss".into(),
+            Json::Arr(
+                p.ranks()
+                    .iter()
+                    .map(|gh| {
+                        Json::Arr(vec![Json::Num(f64::from(gh.g)), Json::Num(f64::from(gh.h))])
+                    })
+                    .collect(),
+            ),
+        )]),
+    }
+}
+
+fn operand_key_from(v: &Json) -> Result<OperandKey, SnapshotError> {
+    if v.as_str() == Some("dense") {
+        return Ok(OperandKey::Dense);
+    }
+    if let Some(bits) = v.get("unstructured") {
+        let hex = bits
+            .as_str()
+            .ok_or_else(|| malformed("\"unstructured\" bits must be a hex string"))?;
+        let bits = u64::from_str_radix(hex, 16)
+            .map_err(|_| malformed(format!("bad unstructured bit pattern {hex:?}")))?;
+        return Ok(OperandKey::Unstructured(bits));
+    }
+    if let Some(ranks) = v.get("hss") {
+        let ranks = ranks
+            .as_arr()
+            .ok_or_else(|| malformed("\"hss\" must be an array"))?;
+        let mut ghs = Vec::new();
+        for rank in ranks {
+            let pair = rank
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| malformed("\"hss\" ranks must be [g, h] pairs"))?;
+            let (g, h) = (gh_int(&pair[0])?, gh_int(&pair[1])?);
+            ghs.push(Gh::try_new(g, h).map_err(|e| malformed(e.to_string()))?);
+        }
+        return Ok(OperandKey::Hss(HssPattern::new(ghs)));
+    }
+    Err(malformed("operand must be \"dense\", unstructured, or hss"))
+}
+
+fn gh_int(v: &Json) -> Result<u32, SnapshotError> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| malformed("G:H components must be numbers"))?;
+    if n.fract() != 0.0 || !(1.0..=f64::from(u32::MAX)).contains(&n) {
+        return Err(malformed(format!("bad G:H component {n}")));
+    }
+    Ok(n as u32)
+}
+
+fn shape_json(shape: GemmShape) -> Json {
+    Json::Obj(vec![
+        ("m".into(), Json::Num(shape.m as f64)),
+        ("k".into(), Json::Num(shape.k as f64)),
+        ("n".into(), Json::Num(shape.n as f64)),
+    ])
+}
+
+fn shape_from(v: &Json) -> Result<GemmShape, SnapshotError> {
+    let mut dims = [0usize; 3];
+    for (i, key) in ["m", "k", "n"].into_iter().enumerate() {
+        let n = v
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| malformed(format!("shape missing {key:?}")))?;
+        if n.fract() != 0.0 || n < 1.0 || n > (1u64 << 53) as f64 {
+            return Err(malformed(format!("bad shape dimension {key:?} = {n}")));
+        }
+        dims[i] = n as usize;
+    }
+    Ok(GemmShape::new(dims[0], dims[1], dims[2]))
+}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, SnapshotError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed(format!("missing string field {key:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "hl-snap-test-{}-{seq}-{tag}.json",
+            std::process::id()
+        ))
+    }
+
+    fn sample_cache() -> EvalCache {
+        let cache = EvalCache::new();
+        let mut energy = EnergyBreakdown::new();
+        energy.record(Comp::Mac, 123.456789);
+        energy.record(Comp::Dram, 0.1 + 0.2); // non-terminating f64
+        cache.preload(
+            EvalKey {
+                design: "HighLight { tiles: 16 }".into(),
+                shape: GemmShape::new(1024, 768, 512),
+                a: OperandKey::Hss(HssPattern::two_rank(Gh::new(4, 8), Gh::new(2, 4))),
+                b: OperandKey::Dense,
+            },
+            Ok(EvalResult {
+                design: "HighLight".into(),
+                workload: "w".into(),
+                cycles: 1.0e9 + 0.25,
+                energy,
+            }),
+        );
+        cache.preload(
+            EvalKey {
+                design: "S2TA { .. }".into(),
+                shape: GemmShape::new(64, 64, 64),
+                a: OperandKey::Unstructured(0.55_f64.to_bits()),
+                b: OperandKey::Unstructured(0.25_f64.to_bits()),
+            },
+            Err(Unsupported {
+                design: "S2TA".into(),
+                reason: "dense A".into(),
+            }),
+        );
+        cache
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let cache = sample_cache();
+        let p1 = temp_path("first");
+        let p2 = temp_path("second");
+        assert_eq!(save(&cache, &p1).unwrap(), 2);
+
+        let restored = EvalCache::new();
+        assert_eq!(load(&restored, &p1).unwrap(), 2);
+        // Loading counts neither hits nor misses.
+        assert_eq!((restored.hits(), restored.misses()), (0, 0));
+
+        let mut original = cache.entries();
+        let mut round_tripped = restored.entries();
+        let key = |e: &(EvalKey, Result<EvalResult, Unsupported>)| format!("{:?}", e.0);
+        original.sort_by_key(key);
+        round_tripped.sort_by_key(key);
+        assert_eq!(original, round_tripped);
+
+        assert_eq!(save(&restored, &p2).unwrap(), 2);
+        assert_eq!(
+            std::fs::read(&p1).unwrap(),
+            std::fs::read(&p2).unwrap(),
+            "save → load → save must be byte-identical"
+        );
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_refuses_the_snapshot() {
+        let cache = sample_cache();
+        let path = temp_path("stale");
+        save(&cache, &path).unwrap();
+        let doc = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace(&cache_fingerprint(), "hl-snap-v1:0000000000000000");
+        std::fs::write(&path, doc).unwrap();
+
+        let restored = EvalCache::new();
+        let err = load(&restored, &path).unwrap_err();
+        assert!(matches!(err, SnapshotError::FingerprintMismatch { .. }));
+        assert!(restored.entries().is_empty(), "cache left untouched");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_documents_are_reported_not_panicked() {
+        let path = temp_path("malformed");
+        for doc in [
+            "not json",
+            "{}",
+            r#"{"format":99,"fingerprint":"x","entries":[]}"#,
+        ] {
+            std::fs::write(&path, doc).unwrap();
+            let err = load(&EvalCache::new(), &path).unwrap_err();
+            assert!(matches!(err, SnapshotError::Malformed(_)), "{doc}: {err}");
+        }
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            load(&EvalCache::new(), &path).unwrap_err(),
+            SnapshotError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_process() {
+        let a = cache_fingerprint();
+        let b = cache_fingerprint();
+        assert_eq!(a, b);
+        assert!(a.starts_with("hl-snap-v1:"), "{a}");
+    }
+}

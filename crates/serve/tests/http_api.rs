@@ -1,13 +1,17 @@
 //! End-to-end tests: a real server on an ephemeral port, exercised over
 //! real sockets.
 //!
-//! The headline assertion is the serving-layer contract: `/evaluate`
+//! The headline assertion is the serving-layer contract: `/v1/evaluate`
 //! responses are **byte-identical** to the offline
 //! [`hl_sim::evaluate_best`] results rendered through the same JSON view,
 //! for every registered design — the HTTP layer adds transport, never
-//! drift. The rest covers the 4xx mapping, the shared-cache hit rate
-//! rising in `/metrics`, sweep truncation, concurrency, and graceful
-//! shutdown.
+//! drift. The same contract extends sideways: the legacy unversioned
+//! paths answer byte-identically to their `/v1/` counterparts. The rest
+//! covers the 4xx mapping, keep-alive + pipelining, in-flight request
+//! coalescing, the cache snapshot, the shared-cache hit rate rising in
+//! `/v1/metrics`, sweep truncation, concurrency, and graceful shutdown.
+
+#![cfg(target_os = "linux")]
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -17,32 +21,34 @@ use hl_bench::{registered_names, SweepContext};
 use hl_serve::api::{
     build_workload, eval_result_json, network_eval_json, pruning_from, search_outcome_json, App,
 };
-use hl_serve::client::{get_json, post_json};
+use hl_serve::client::{get_json, post_json, request, Client};
 use hl_serve::json::Json;
 use hl_serve::server::{Server, ServerConfig, ServerHandle};
 use hl_sim::engine::Engine;
 use hl_tensor::GemmShape;
 
-fn spawn_server() -> ServerHandle {
-    let config = ServerConfig {
+fn config() -> ServerConfig {
+    ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
-        backlog: 8,
-        io_timeout: Duration::from_secs(2),
-    };
+        ..ServerConfig::default()
+    }
+}
+
+fn spawn_server() -> ServerHandle {
     let app = App::with_context(SweepContext::with_engine(Engine::with_threads(2)));
-    Server::bind(config, app)
+    Server::bind(config(), app)
         .expect("bind ephemeral port")
         .spawn()
         .expect("spawn server")
 }
 
-/// Sends raw bytes and returns the raw response text (for malformed
-/// requests the structured client cannot express).
+/// Sends raw bytes and returns the raw response text (for malformed or
+/// pipelined requests the structured client cannot express).
 fn raw_exchange(addr: &str, bytes: &[u8]) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
+        .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     stream.write_all(bytes).expect("write");
     let mut out = String::new();
@@ -50,17 +56,24 @@ fn raw_exchange(addr: &str, bytes: &[u8]) -> String {
     out
 }
 
+fn err_message(v: &Json) -> &str {
+    v.get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .expect("structured error body")
+}
+
 #[test]
 fn healthz_designs_and_metrics_respond() {
     let server = spawn_server();
     let addr = server.addr().to_string();
 
-    let (status, health) = get_json(&addr, "/healthz").unwrap();
+    let (status, health) = get_json(&addr, "/v1/healthz").unwrap();
     assert_eq!(status, 200);
     assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
     assert_eq!(health.get("threads").and_then(Json::as_f64), Some(2.0));
 
-    let (status, designs) = get_json(&addr, "/designs").unwrap();
+    let (status, designs) = get_json(&addr, "/v1/designs").unwrap();
     assert_eq!(status, 200);
     let list = designs.get("designs").and_then(Json::as_arr).unwrap();
     let names: Vec<&str> = list
@@ -73,12 +86,13 @@ fn healthz_designs_and_metrics_respond() {
         assert!(d.get("supported_patterns").and_then(Json::as_str).is_some());
     }
 
-    let (status, metrics) = get_json(&addr, "/metrics").unwrap();
+    let (status, metrics) = get_json(&addr, "/v1/metrics").unwrap();
     assert_eq!(status, 200);
     for key in [
         "uptime_s",
         "requests",
         "responses",
+        "connections",
         "eval_cache",
         "latency_ms",
     ] {
@@ -100,7 +114,7 @@ fn evaluate_is_byte_identical_to_offline_for_every_design() {
                 ("a_sparsity".into(), Json::Num(sa)),
                 ("b_sparsity".into(), Json::Num(sb)),
             ]);
-            let (status, v) = post_json(&addr, "/evaluate", &body).unwrap();
+            let (status, v) = post_json(&addr, "/v1/evaluate", &body).unwrap();
             assert_eq!(status, 200, "{name} at ({sa},{sb})");
 
             let design = hl_bench::design_by_name(name).unwrap();
@@ -133,6 +147,195 @@ fn evaluate_is_byte_identical_to_offline_for_every_design() {
 }
 
 #[test]
+fn legacy_paths_answer_byte_identically_to_v1() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let eval = r#"{"design":"HighLight","a_sparsity":0.5,"b_sparsity":0.25}"#;
+    let bad = r#"{"design":"HighLight","a_sparsity":7}"#;
+
+    // Deterministic endpoints only: /healthz and /metrics answer with
+    // time-varying fields and cannot be compared bytewise.
+    for (method, legacy, v1, body) in [
+        ("GET", "/designs", "/v1/designs", None),
+        ("GET", "/models", "/v1/models", None),
+        ("POST", "/evaluate", "/v1/evaluate", Some(eval)),
+        ("POST", "/evaluate", "/v1/evaluate", Some(bad)),
+    ] {
+        let (s_new, t_new) = request(&addr, method, v1, body).unwrap();
+        let (s_old, t_old) = request(&addr, method, legacy, body).unwrap();
+        assert_eq!(s_old, s_new, "{method} {legacy}");
+        assert_eq!(
+            t_old, t_new,
+            "{method} {legacy} must be byte-identical to {v1}"
+        );
+    }
+    assert_eq!(server.app().metrics().deprecated_routes(), 4);
+
+    let (_, m) = get_json(&addr, "/v1/metrics").unwrap();
+    assert_eq!(
+        m.get("requests")
+            .and_then(|r| r.get("deprecated"))
+            .and_then(Json::as_f64),
+        Some(4.0)
+    );
+    server.stop().unwrap();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let mut client = Client::new(&addr);
+    let body = Json::parse(r#"{"design":"TC"}"#).unwrap();
+    let reference = client.post_json("/v1/evaluate", &body).unwrap().1.encode();
+    for _ in 0..4 {
+        let (status, v) = client.post_json("/v1/evaluate", &body).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(v.encode(), reference);
+    }
+    let (status, m) = client.get_json("/v1/metrics").unwrap();
+    assert_eq!(status, 200);
+    let conns = m.get("connections").unwrap();
+    assert_eq!(
+        conns.get("accepted").and_then(Json::as_f64),
+        Some(1.0),
+        "all six requests must share one connection"
+    );
+    assert_eq!(conns.get("active").and_then(Json::as_f64), Some(1.0));
+    // The metrics request renders its snapshot before recording itself:
+    // it reports the five requests that preceded it.
+    assert_eq!(
+        m.get("requests")
+            .and_then(|r| r.get("total"))
+            .and_then(Json::as_f64),
+        Some(5.0)
+    );
+    server.stop().unwrap();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    // A worker-pool POST followed by an inline GET: the GET's response is
+    // computed first but must wait for the evaluate's slot.
+    let eval = r#"{"design":"HighLight","a_sparsity":0.5,"b_sparsity":0.5}"#;
+    let pipelined = format!(
+        "POST /v1/evaluate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{eval}\
+         GET /v1/healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        eval.len(),
+    );
+    let text = raw_exchange(&addr, pipelined.as_bytes());
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+    let first = text.find("\"workload\"").expect("evaluate response");
+    let second = text.find("\"status\":\"ok\"").expect("healthz response");
+    assert!(
+        first < second,
+        "pipelined responses must arrive in request order"
+    );
+    server.stop().unwrap();
+}
+
+#[test]
+fn identical_inflight_posts_coalesce_into_one_evaluation() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let cache_misses = || server.app().context().engine().eval_cache().misses();
+
+    // Four identical evaluates in one write: all four are parsed and
+    // dispatched in one event-loop pass, so the last three join the
+    // first's in-flight evaluation deterministically.
+    let body = r#"{"design":"HighLight","a_sparsity":0.6875,"b_sparsity":0.4375}"#;
+    let one = format!(
+        "POST /v1/evaluate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let pipelined = format!(
+        "{one}{one}{one}POST /v1/evaluate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let text = raw_exchange(&addr, pipelined.as_bytes());
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 4, "{text}");
+    let batch_misses = cache_misses();
+
+    assert_eq!(
+        server.app().metrics().coalesced(),
+        3,
+        "three of the four in-flight twins must coalesce"
+    );
+
+    // The whole batch cost at most what a single fresh evaluation costs
+    // (measured on a different degree pair so the cache is cold for it).
+    let probe =
+        Json::parse(r#"{"design":"HighLight","a_sparsity":0.1875,"b_sparsity":0.75}"#).unwrap();
+    let (status, _) = post_json(&addr, "/v1/evaluate", &probe).unwrap();
+    assert_eq!(status, 200);
+    let single_misses = cache_misses() - batch_misses;
+    assert!(
+        batch_misses <= single_misses,
+        "coalesced batch ({batch_misses} misses) must cost no more than \
+         one evaluation ({single_misses} misses)"
+    );
+
+    // All four responses carry the same payload.
+    let payload = text
+        .split("\r\n\r\n")
+        .filter(|part| part.contains("\"workload\""))
+        .map(|part| part.split("HTTP/1.1").next().unwrap().trim().to_string())
+        .collect::<Vec<_>>();
+    assert_eq!(payload.len(), 4, "{text}");
+    assert!(payload.iter().all(|p| p == &payload[0]));
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn snapshot_round_trips_the_cache_across_a_restart() {
+    let path = std::env::temp_dir().join(format!("hl-serve-e2e-snap-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let body =
+        Json::parse(r#"{"design":"HighLight","a_sparsity":0.5,"b_sparsity":0.125}"#).unwrap();
+
+    let spawn_with_snapshot = || {
+        let app = App::with_context(SweepContext::with_engine(Engine::with_threads(2)));
+        Server::bind(
+            ServerConfig {
+                snapshot: Some(path.clone()),
+                ..config()
+            },
+            app,
+        )
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+    };
+
+    // Cold boot: evaluate once (misses), drain — the snapshot is saved.
+    let server = spawn_with_snapshot();
+    let addr = server.addr().to_string();
+    let (status, first) = post_json(&addr, "/v1/evaluate", &body).unwrap();
+    assert_eq!(status, 200);
+    assert!(server.app().context().engine().eval_cache().misses() > 0);
+    server.stop().unwrap();
+    assert!(path.exists(), "drain must write the snapshot");
+
+    // Warm boot: the same request replays entirely from the preloaded
+    // cache (zero misses) and stays byte-identical.
+    let server = spawn_with_snapshot();
+    let addr = server.addr().to_string();
+    let (status, again) = post_json(&addr, "/v1/evaluate", &body).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(again.encode(), first.encode());
+    let cache = server.app().context().engine().eval_cache();
+    assert_eq!(cache.misses(), 0, "warm boot must answer from the snapshot");
+    assert!(cache.hits() > 0);
+    server.stop().unwrap();
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn evaluate_model_is_byte_identical_to_offline_network_eval() {
     let server = spawn_server();
     let addr = server.addr().to_string();
@@ -144,7 +347,7 @@ fn evaluate_model_is_byte_identical_to_offline_network_eval() {
                 ("model".into(), Json::str(model_name)),
                 ("pruning".into(), pruning.clone()),
             ]);
-            let (status, v) = post_json(&addr, "/evaluate_model", &body).unwrap();
+            let (status, v) = post_json(&addr, "/v1/evaluate_model", &body).unwrap();
             assert_eq!(status, 200, "{design_name} on {model_name}");
 
             // Offline: the same lowering + serial network evaluation.
@@ -177,12 +380,12 @@ fn search_is_byte_identical_to_offline_codesign_and_rejects_degenerates() {
         ("model".into(), Json::str("DeiT-small")),
         ("budget".into(), Json::Num(0.5)),
     ]);
-    let (status, v) = post_json(&addr, "/search", &body).unwrap();
+    let (status, v) = post_json(&addr, "/v1/search", &body).unwrap();
     assert_eq!(status, 200);
 
     // Byte-identity: the served search must equal the offline co-design
     // search (serial, uncached-pool) through the same canonical view —
-    // the same contract /evaluate and /evaluate_model honour.
+    // the same contract /v1/evaluate and /v1/evaluate_model honour.
     let design = hl_bench::design_by_name("HighLight").unwrap();
     let model = hl_models::model_by_name("DeiT-small").unwrap();
     let offline =
@@ -209,7 +412,7 @@ fn search_is_byte_identical_to_offline_codesign_and_rejects_degenerates() {
 
     // A replay hits the shared caches: the second query is answered from
     // the memo and stays byte-identical.
-    let (_, v2) = post_json(&addr, "/search", &body).unwrap();
+    let (_, v2) = post_json(&addr, "/v1/search", &body).unwrap();
     assert_eq!(v2.encode(), v.encode());
 
     // Degenerate queries are 4xx, not worker panics.
@@ -225,7 +428,7 @@ fn search_is_byte_identical_to_offline_codesign_and_rejects_degenerates() {
             ("budget".into(), Json::Num(0.5)),
         ]),
     ] {
-        let (status, v) = post_json(&addr, "/search", &bad).unwrap();
+        let (status, v) = post_json(&addr, "/v1/search", &bad).unwrap();
         assert_eq!(status, 400);
         assert!(v.get("error").is_some());
     }
@@ -239,10 +442,10 @@ fn search_is_byte_identical_to_offline_codesign_and_rejects_degenerates() {
             Json::parse(r#"{"unstructured":1.0}"#).unwrap(),
         ),
     ]);
-    let (status, v) = post_json(&addr, "/evaluate_model", &degenerate).unwrap();
+    let (status, v) = post_json(&addr, "/v1/evaluate_model", &degenerate).unwrap();
     assert_eq!(status, 200);
     assert_eq!(v.get("supported").and_then(Json::as_bool), Some(false));
-    let (status, _) = get_json(&addr, "/healthz").unwrap();
+    let (status, _) = get_json(&addr, "/v1/healthz").unwrap();
     assert_eq!(status, 200, "server must survive degenerate configs");
 
     server.stop().unwrap();
@@ -253,7 +456,7 @@ fn models_listing_and_model_eval_share_the_cache() {
     let server = spawn_server();
     let addr = server.addr().to_string();
 
-    let (status, v) = get_json(&addr, "/models").unwrap();
+    let (status, v) = get_json(&addr, "/v1/models").unwrap();
     assert_eq!(status, 200);
     let names: Vec<&str> = v
         .get("models")
@@ -269,17 +472,17 @@ fn models_listing_and_model_eval_share_the_cache() {
         r#"{"design":"HighLight","model":"Transformer-Big","pruning":{"unstructured":0.5}}"#,
     )
     .unwrap();
-    let (status, first) = post_json(&addr, "/evaluate_model", &body).unwrap();
+    let (status, first) = post_json(&addr, "/v1/evaluate_model", &body).unwrap();
     assert_eq!(status, 200);
     let misses = |addr: &str| -> f64 {
-        let (_, m) = get_json(addr, "/metrics").unwrap();
+        let (_, m) = get_json(addr, "/v1/metrics").unwrap();
         m.get("eval_cache")
             .and_then(|c| c.get("misses"))
             .and_then(Json::as_f64)
             .unwrap()
     };
     let misses0 = misses(&addr);
-    let (_, again) = post_json(&addr, "/evaluate_model", &body).unwrap();
+    let (_, again) = post_json(&addr, "/v1/evaluate_model", &body).unwrap();
     assert_eq!(again.encode(), first.encode(), "replay is identical");
     assert_eq!(misses(&addr), misses0, "no new evaluations on replay");
 
@@ -297,7 +500,7 @@ fn repeated_evaluates_raise_the_cache_hit_rate() {
     ]);
 
     let cache_stats = |addr: &str| -> (f64, f64, f64) {
-        let (_, m) = get_json(addr, "/metrics").unwrap();
+        let (_, m) = get_json(addr, "/v1/metrics").unwrap();
         let c = m.get("eval_cache").unwrap();
         (
             c.get("hits").and_then(Json::as_f64).unwrap(),
@@ -306,10 +509,10 @@ fn repeated_evaluates_raise_the_cache_hit_rate() {
         )
     };
 
-    let (_, first) = post_json(&addr, "/evaluate", &body).unwrap();
+    let (_, first) = post_json(&addr, "/v1/evaluate", &body).unwrap();
     let (hits0, misses0, rate0) = cache_stats(&addr);
     for _ in 0..5 {
-        let (status, again) = post_json(&addr, "/evaluate", &body).unwrap();
+        let (status, again) = post_json(&addr, "/v1/evaluate", &body).unwrap();
         assert_eq!(status, 200);
         assert_eq!(again.encode(), first.encode(), "replays are identical");
     }
@@ -333,7 +536,7 @@ fn sweep_end_to_end_with_limit() {
             "b_degrees":[0,0.5],"m":256,"k":256,"n":256,"limit":4}"#,
     )
     .unwrap();
-    let (status, v) = post_json(&addr, "/sweep", &body).unwrap();
+    let (status, v) = post_json(&addr, "/v1/sweep", &body).unwrap();
     assert_eq!(status, 200);
     assert_eq!(v.get("rows_total").and_then(Json::as_f64), Some(6.0));
     assert_eq!(v.get("rows_returned").and_then(Json::as_f64), Some(4.0));
@@ -359,13 +562,13 @@ fn malformed_requests_map_to_4xx() {
     // Raw protocol-level failures.
     for (raw, expect) in [
         (&b"GARBAGE\r\n\r\n"[..], "HTTP/1.1 400 "),
-        (b"GET /healthz HTTP/2\r\n\r\n", "HTTP/1.1 505 "),
+        (b"GET /v1/healthz HTTP/2\r\n\r\n", "HTTP/1.1 505 "),
         (
-            b"POST /evaluate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST /v1/evaluate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
             "HTTP/1.1 411 ",
         ),
         (
-            b"POST /evaluate HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+            b"POST /v1/evaluate HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
             "HTTP/1.1 413 ",
         ),
     ] {
@@ -377,34 +580,25 @@ fn malformed_requests_map_to_4xx() {
     // Routed failures through the structured client.
     let (status, v) = get_json(&addr, "/no-such-route").unwrap();
     assert_eq!(status, 404);
-    assert!(v
-        .get("error")
-        .and_then(Json::as_str)
-        .unwrap()
-        .contains("/evaluate"));
+    assert!(err_message(&v).contains("/v1/evaluate"));
 
-    let (status, _) = get_json(&addr, "/evaluate").unwrap();
+    let (status, _) = get_json(&addr, "/v1/evaluate").unwrap();
     assert_eq!(status, 405);
 
-    let (status, v) = post_json(&addr, "/evaluate", &Json::Obj(vec![])).unwrap();
+    let (status, v) = post_json(&addr, "/v1/evaluate", &Json::Obj(vec![])).unwrap();
     assert_eq!(status, 400);
     assert!(v.get("error").is_some());
 
     let bad_design = Json::Obj(vec![("design".into(), Json::str("TPU"))]);
-    let (status, v) = post_json(&addr, "/evaluate", &bad_design).unwrap();
+    let (status, v) = post_json(&addr, "/v1/evaluate", &bad_design).unwrap();
     assert_eq!(status, 400);
-    assert!(v
-        .get("error")
-        .and_then(Json::as_str)
-        .unwrap()
-        .contains("unknown design"));
+    assert!(err_message(&v).contains("unknown design"));
 
-    let (_, text) =
-        hl_serve::client::request(&addr, "POST", "/evaluate", Some("{not json")).unwrap();
+    let (_, text) = request(&addr, "POST", "/v1/evaluate", Some("{not json")).unwrap();
     assert!(text.contains("invalid JSON"));
 
     // 4xx responses were counted in metrics.
-    let (_, m) = get_json(&addr, "/metrics").unwrap();
+    let (_, m) = get_json(&addr, "/v1/metrics").unwrap();
     let s4 = m
         .get("responses")
         .and_then(|r| r.get("4xx"))
@@ -424,13 +618,14 @@ fn concurrent_clients_get_identical_answers() {
         ("a_sparsity".into(), Json::Num(0.75)),
         ("b_sparsity".into(), Json::Num(0.5)),
     ]);
-    let reference = post_json(&addr, "/evaluate", &body).unwrap().1.encode();
+    let reference = post_json(&addr, "/v1/evaluate", &body).unwrap().1.encode();
     std::thread::scope(|scope| {
         for _ in 0..8 {
             let (addr, body, reference) = (&addr, &body, &reference);
             scope.spawn(move || {
+                let mut client = Client::new(addr.clone());
                 for _ in 0..5 {
-                    let (status, v) = post_json(addr, "/evaluate", body).unwrap();
+                    let (status, v) = client.post_json("/v1/evaluate", body).unwrap();
                     assert_eq!(status, 200);
                     assert_eq!(&v.encode(), reference);
                 }
@@ -444,13 +639,13 @@ fn concurrent_clients_get_identical_answers() {
 fn graceful_shutdown_stops_accepting() {
     let server = spawn_server();
     let addr = server.addr().to_string();
-    let (status, _) = get_json(&addr, "/healthz").unwrap();
+    let (status, _) = get_json(&addr, "/v1/healthz").unwrap();
     assert_eq!(status, 200);
     server.stop().expect("drain cleanly");
     // The listener is gone: connecting (or at least exchanging) fails.
     let after = TcpStream::connect(&addr);
     assert!(
-        after.is_err() || get_json(&addr, "/healthz").is_err(),
+        after.is_err() || get_json(&addr, "/v1/healthz").is_err(),
         "server must stop serving after shutdown"
     );
 }

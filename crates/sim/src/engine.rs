@@ -192,6 +192,29 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Clones out every `(key, value)` pair — the persistence path:
+    /// `hl-serve` snapshots the evaluation cache to disk on graceful
+    /// drain. Order is unspecified (callers sort).
+    pub fn entries(&self) -> Vec<(K, V)> {
+        self.map
+            .lock()
+            .expect("memo poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Seeds an entry without touching the hit/miss counters — the
+    /// snapshot-load path. An already-present key keeps its value (live
+    /// results win over preloaded ones).
+    pub fn preload(&self, key: K, value: V) {
+        self.map
+            .lock()
+            .expect("memo poisoned")
+            .entry(key)
+            .or_insert(value);
+    }
 }
 
 /// Hashable identity of one operand's sparsity descriptor (`f64` degrees
@@ -520,6 +543,26 @@ mod tests {
         assert_eq!(memo.get_or_insert_with(&7, || 49), 49);
         assert_eq!(memo.get_or_insert_with(&7, || unreachable!()), 49);
         assert_eq!((memo.hits(), memo.misses(), memo.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn memo_entries_and_preload_round_trip() {
+        let memo: Memo<u32, u32> = Memo::new();
+        assert_eq!(memo.get_or_insert_with(&1, || 10), 10);
+        assert_eq!(memo.get_or_insert_with(&2, || 20), 20);
+        let mut entries = memo.entries();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 10), (2, 20)]);
+
+        let warm: Memo<u32, u32> = Memo::new();
+        for (k, v) in entries {
+            warm.preload(k, v);
+        }
+        // Preloading counts neither hits nor misses and loses to live entries.
+        assert_eq!((warm.hits(), warm.misses(), warm.len()), (0, 0, 2));
+        warm.preload(1, 99);
+        assert_eq!(warm.get_or_insert_with(&1, || unreachable!()), 10);
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
     }
 
     #[test]
