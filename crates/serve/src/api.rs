@@ -72,18 +72,25 @@ impl App {
     /// Handles one parsed request: dispatch, panic containment, metrics
     /// (including the deprecated-alias counter for unversioned paths).
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_traced(req).0
+    }
+
+    /// [`App::handle`], also reporting whether the handler panicked —
+    /// the serving layer quarantines a request body whose evaluation
+    /// keeps panicking instead of feeding it to the pool again.
+    pub fn handle_traced(&self, req: &Request) -> (Response, bool) {
         let t0 = Instant::now();
         let (route, deprecated) = Route::resolve(&req.path);
         if deprecated {
             self.metrics.record_deprecated_route();
         }
-        let resp = match panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(req))) {
-            Ok(Ok(json)) => Response::json(200, json.encode()),
-            Ok(Err(e)) => e.into_response(),
-            Err(_) => ApiError::internal("handler panicked").into_response(),
+        let (resp, panicked) = match panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(req))) {
+            Ok(Ok(json)) => (Response::json(200, json.encode()), false),
+            Ok(Err(e)) => (e.into_response(), false),
+            Err(_) => (ApiError::internal("handler panicked").into_response(), true),
         };
         self.metrics.record(route, resp.status, t0.elapsed());
-        resp
+        (resp, panicked)
     }
 
     /// Answers a request that failed HTTP parsing (counted, but kept out
@@ -155,6 +162,8 @@ impl App {
             ));
         }
         let (s2, s4, s5) = self.metrics.status_counts();
+        let (panics, respawns, quarantined) = self.metrics.worker_counts();
+        let (shed_deadline, shed_overload) = self.metrics.shed_counts();
         let (accepted, closed) = self.metrics.connection_counts();
         let reuse = self.metrics.reuse();
         let cache = self.ctx.engine().eval_cache();
@@ -182,6 +191,21 @@ impl App {
                         "rejected_busy".into(),
                         Json::Num(self.metrics.busy_rejections() as f64),
                     ),
+                ]),
+            ),
+            (
+                "workers".into(),
+                Json::Obj(vec![
+                    ("panics".into(), Json::Num(panics as f64)),
+                    ("respawns".into(), Json::Num(respawns as f64)),
+                    ("quarantined".into(), Json::Num(quarantined as f64)),
+                ]),
+            ),
+            (
+                "shed".into(),
+                Json::Obj(vec![
+                    ("deadline".into(), Json::Num(shed_deadline as f64)),
+                    ("overload".into(), Json::Num(shed_overload as f64)),
                 ]),
             ),
             (
@@ -322,9 +346,10 @@ impl App {
                     break 'outer;
                 }
                 degrees.push((sa, sb));
-                grid.push_row_with(|d| {
-                    build_workload(d.name(), shape, sa, sb).expect("design names validated above")
-                });
+                grid.try_push_row_with(|d| {
+                    build_workload(d.name(), shape, sa, sb)
+                        .map_err(|e| ApiError::bad_request(e.to_string()))
+                })?;
             }
         }
         let rows_total = a_degrees.len() * b_degrees.len();
@@ -378,10 +403,13 @@ fn canonical_path(path: &str) -> &str {
 pub fn designs_json() -> Json {
     let designs: Vec<Json> = registered_names()
         .iter()
-        .map(|name| {
-            let d = hl_bench::design_by_name(name).expect("registered");
+        .filter_map(|name| {
+            // The registry returned this name, so the lookup succeeds
+            // in any consistent build; skip rather than panic if the
+            // two ever drift.
+            let d = hl_bench::design_by_name(name).ok()?;
             let area = d.area();
-            Json::Obj(vec![
+            Some(Json::Obj(vec![
                 ("name".into(), Json::str(d.name())),
                 (
                     "supported_patterns".into(),
@@ -393,7 +421,7 @@ pub fn designs_json() -> Json {
                     "sparsity_tax_mm2".into(),
                     Json::Num(area.sparsity_tax() / 1e6),
                 ),
-            ])
+            ]))
         })
         .collect();
     Json::Obj(vec![("designs".into(), Json::Arr(designs))])
@@ -404,9 +432,11 @@ pub fn designs_json() -> Json {
 pub fn models_json() -> Json {
     let models: Vec<Json> = hl_models::model_names()
         .iter()
-        .map(|name| {
-            let m = hl_models::model_by_name(name).expect("registered");
-            Json::Obj(vec![
+        .filter_map(|name| {
+            // As in `designs_json`: a name the registry itself returned
+            // resolves in any consistent build; skip on drift.
+            let m = hl_models::model_by_name(name).ok()?;
+            Some(Json::Obj(vec![
                 ("name".into(), Json::str(&m.name)),
                 ("metric".into(), Json::str(m.metric)),
                 ("dense_accuracy".into(), Json::Num(m.dense_accuracy)),
@@ -418,7 +448,7 @@ pub fn models_json() -> Json {
                     Json::Num(m.avg_activation_sparsity()),
                 ),
                 ("has_dense_layers".into(), Json::Bool(m.has_dense_layers())),
-            ])
+            ]))
         })
         .collect();
     Json::Obj(vec![("models".into(), Json::Arr(models))])

@@ -17,14 +17,24 @@
 //! cache hit rate per mode to `BENCH_serve.json` (honoring
 //! `HL_BENCH_OUT`, like `bench_sweeps`).
 //!
+//! A fourth **overload** scenario runs against a second, deliberately
+//! constrained server (one worker slowed by a deterministic stall
+//! fault, tiny admission queue) with retry-enabled clients, and records
+//! how degradation behaves under saturation: server-side shed counts
+//! and client-side retry counts land in the report. Its outcomes are
+//! reported, not asserted — 503s are the *expected* behavior there, so
+//! the `errors == 0` gate stays scoped to the three healthy modes.
+//!
 //! Environment knobs: `HL_SERVE_BENCH_CLIENTS` (default 4) and
 //! `HL_SERVE_BENCH_REQS` (requests per client per mode, default 150).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hl_bench::bench_out_path;
 use hl_serve::api::App;
-use hl_serve::client::{get_json, post_json, Client};
+use hl_serve::client::{get_json, post_json, Client, RetryPolicy};
+use hl_serve::faults::FaultPlane;
 use hl_serve::json::Json;
 use hl_serve::server::{Server, ServerConfig};
 
@@ -224,6 +234,114 @@ fn open_loop(
     }
 }
 
+/// Distinct evaluation bodies (no two coalesce), so a slow worker
+/// genuinely backs the queue up instead of the coalescer absorbing it.
+fn overload_mix(n: usize) -> Vec<Json> {
+    let designs = hl_bench::design_names();
+    (0..n)
+        .map(|i| {
+            Json::Obj(vec![
+                ("design".into(), Json::str(&designs[i % designs.len()])),
+                ("a_sparsity".into(), Json::Num((i % 19) as f64 / 20.0)),
+                ("b_sparsity".into(), Json::Num((i / 19 % 17) as f64 / 20.0)),
+            ])
+        })
+        .collect()
+}
+
+/// Saturates a constrained server (one worker stalled on every job, a
+/// 2-deep admission queue) with retry-enabled clients and reports how
+/// load shedding and client backoff interact. Every request must still
+/// resolve — to a 200, or to a 503 after retries are exhausted;
+/// anything else is a hard failure.
+fn overload_scenario(clients: usize, per_client: usize) -> Json {
+    let plane = FaultPlane::parse("seed=1,worker_stall=1.0,stall_ms=3").expect("static fault spec");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        max_queue: 2,
+        faults: Some(Arc::new(plane)),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(config, App::new())
+        .expect("bind overload server")
+        .spawn()
+        .expect("spawn overload server");
+    let addr = handle.addr().to_string();
+    let mix = overload_mix(clients * per_client);
+
+    let t0 = Instant::now();
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    let mut transport_errors = 0u64;
+    let mut retries = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.as_str();
+                let mix = &mix;
+                scope.spawn(move || {
+                    let policy = RetryPolicy {
+                        max_retries: 4,
+                        base: Duration::from_millis(2),
+                        cap: Duration::from_millis(30),
+                        seed: c as u64 + 1,
+                    };
+                    let mut client = Client::new(addr).with_retry(policy);
+                    let (mut ok, mut shed, mut errs) = (0u64, 0u64, 0u64);
+                    for i in 0..per_client {
+                        match client.post_json("/v1/evaluate", &mix[c * per_client + i]) {
+                            Ok((200, _)) => ok += 1,
+                            Ok((503, _)) => shed += 1,
+                            Ok(_) | Err(_) => errs += 1,
+                        }
+                    }
+                    (ok, shed, errs, client.retries())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (o, s, e, r) = h.join().expect("overload client panicked");
+            ok += o;
+            shed += s;
+            transport_errors += e;
+            retries += r;
+        }
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+
+    let (status, metrics) = get_json(&addr, "/v1/metrics").expect("overload /v1/metrics");
+    assert_eq!(status, 200);
+    let server_shed = metrics.get("shed").cloned().unwrap_or(Json::Null);
+    handle.stop().expect("overload server shutdown");
+
+    let total = (clients * per_client) as u64;
+    assert_eq!(
+        ok + shed + transport_errors,
+        total,
+        "every overload request must resolve"
+    );
+    assert_eq!(
+        transport_errors, 0,
+        "overload must degrade to 503s, not transport failures"
+    );
+    println!(
+        "overload  {total:>6} requests in {seconds:.3} s  \
+         ({ok} ok, {shed} shed after retries, {retries} client retries)"
+    );
+    println!("server shed counters: {}", server_shed.encode());
+
+    let round = |v: f64| (v * 1e3).round() / 1e3;
+    Json::Obj(vec![
+        ("requests".into(), Json::Num(total as f64)),
+        ("ok".into(), Json::Num(ok as f64)),
+        ("shed_after_retries".into(), Json::Num(shed as f64)),
+        ("client_retries".into(), Json::Num(retries as f64)),
+        ("seconds".into(), Json::Num(round(seconds))),
+        ("server_shed".into(), server_shed),
+    ])
+}
+
 fn main() {
     let cpus = std::thread::available_parallelism().map_or(1, usize::from);
     let clients = env_usize("HL_SERVE_BENCH_CLIENTS", 4);
@@ -286,6 +404,8 @@ fn main() {
     println!("eval cache: {}", cache.encode());
     println!("connection reuse: {}", reuse.encode());
 
+    let overload = overload_scenario(clients.max(6), 25);
+
     let errors = churn.errors + keepalive.errors + open.errors;
     let report = Json::Obj(vec![
         ("benchmark".into(), Json::str("hl-serve load")),
@@ -311,6 +431,7 @@ fn main() {
         ),
         ("eval_cache".into(), cache),
         ("connection_reuse".into(), reuse),
+        ("overload".into(), overload),
     ]);
     let out = bench_out_path("BENCH_serve.json");
     std::fs::write(&out, report.encode() + "\n").expect("write BENCH_serve.json");

@@ -2,26 +2,34 @@
 //!
 //! ```text
 //! hl-serve [--addr HOST:PORT] [--workers N] [--max-connections N]
-//!          [--snapshot PATH]
+//!          [--snapshot PATH] [--snapshot-interval SECS]
+//!          [--default-deadline MS] [--faults SPEC]
 //! ```
 //!
 //! The worker pool (and the shared sweep engine) default to `HL_THREADS`
 //! when set, otherwise the machine's available parallelism. The
 //! evaluation-cache snapshot path may also come from the
 //! `HL_SERVE_SNAPSHOT` environment variable (the flag wins); when set,
-//! the cache is loaded from it at boot and saved back on graceful
-//! drain. SIGTERM and ctrl-c drain in-flight requests before the
-//! process exits.
+//! the cache is loaded from it at boot, saved every
+//! `--snapshot-interval` seconds, and saved back on graceful drain.
+//! `--default-deadline` sheds queued work whose wait exceeds the given
+//! budget even when the request body carries no `deadline_ms`.
+//! `--faults` (or `HL_FAULTS`; the flag wins) arms the deterministic
+//! fault-injection plane — see `hl_serve::faults` for the spec grammar.
+//! SIGTERM and ctrl-c drain in-flight requests before the process
+//! exits.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use hl_serve::api::App;
+use hl_serve::faults::FaultPlane;
 use hl_serve::server::{Server, ServerConfig};
 use hl_serve::signal;
 
-const USAGE: &str =
-    "usage: hl-serve [--addr HOST:PORT] [--workers N] [--max-connections N] [--snapshot PATH]";
+const USAGE: &str = "usage: hl-serve [--addr HOST:PORT] [--workers N] [--max-connections N] \
+     [--snapshot PATH] [--snapshot-interval SECS] [--default-deadline MS] [--faults SPEC]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -35,6 +43,7 @@ fn main() -> ExitCode {
             config.snapshot = Some(path.into());
         }
     }
+    let mut faults_spec: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,6 +63,18 @@ fn main() -> ExitCode {
                 Some(v) => config.snapshot = Some(v.into()),
                 None => return usage(),
             },
+            "--snapshot-interval" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => config.snapshot_interval = Some(Duration::from_secs(n)),
+                _ => return usage(),
+            },
+            "--default-deadline" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => config.default_deadline = Some(Duration::from_millis(n)),
+                _ => return usage(),
+            },
+            "--faults" => match args.next() {
+                Some(v) => faults_spec = Some(v),
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -61,6 +82,31 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    // The flag wins over HL_FAULTS; a malformed spec from either source
+    // is a startup error, not a silently unarmed plane.
+    let faults = match faults_spec {
+        Some(spec) => match FaultPlane::parse(&spec) {
+            Ok(plane) => Some(Arc::new(plane)),
+            Err(e) => {
+                eprintln!("hl-serve: bad --faults spec: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => match FaultPlane::from_env() {
+            Ok(plane) => plane,
+            Err(e) => {
+                eprintln!("hl-serve: bad HL_FAULTS spec: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if let Some(plane) = &faults {
+        eprintln!(
+            "hl-serve: FAULT INJECTION ARMED (seed {}) — not for production",
+            plane.seed()
+        );
+    }
+    config.faults = faults;
 
     let server = match Server::bind(config.clone(), App::new()) {
         Ok(s) => s,

@@ -309,6 +309,13 @@ mod imp {
         _private: (),
     }
 
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "hl-serve's event loop requires epoll (linux)",
+        )
+    }
+
     /// Inert waker for the non-linux stub.
     #[derive(Debug, Clone)]
     pub struct Waker;
@@ -327,47 +334,45 @@ mod imp {
         /// # Errors
         /// Always `io::ErrorKind::Unsupported`.
         pub fn new() -> io::Result<Self> {
-            Err(io::Error::new(
-                io::ErrorKind::Unsupported,
-                "hl-serve's event loop requires epoll (linux)",
-            ))
+            Err(unsupported())
         }
 
-        /// Unreachable (construction always fails).
+        /// Unreachable in practice (construction always fails); returns
+        /// the inert waker rather than panicking.
         pub fn waker(&self) -> Waker {
             Waker
         }
 
-        /// Unreachable (construction always fails).
+        /// Unreachable in practice (construction always fails).
         ///
         /// # Errors
-        /// Never returns (unreachable).
+        /// Always `io::ErrorKind::Unsupported`.
         pub fn register(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
-            unreachable!("stub poller cannot be constructed")
+            Err(unsupported())
         }
 
-        /// Unreachable (construction always fails).
+        /// Unreachable in practice (construction always fails).
         ///
         /// # Errors
-        /// Never returns (unreachable).
+        /// Always `io::ErrorKind::Unsupported`.
         pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
-            unreachable!("stub poller cannot be constructed")
+            Err(unsupported())
         }
 
-        /// Unreachable (construction always fails).
+        /// Unreachable in practice (construction always fails).
         ///
         /// # Errors
-        /// Never returns (unreachable).
+        /// Always `io::ErrorKind::Unsupported`.
         pub fn deregister(&self, _fd: RawFd) -> io::Result<()> {
-            unreachable!("stub poller cannot be constructed")
+            Err(unsupported())
         }
 
-        /// Unreachable (construction always fails).
+        /// Unreachable in practice (construction always fails).
         ///
         /// # Errors
-        /// Never returns (unreachable).
+        /// Always `io::ErrorKind::Unsupported`.
         pub fn wait(&self, _out: &mut Vec<Event>, _timeout_ms: Option<u32>) -> io::Result<()> {
-            unreachable!("stub poller cannot be constructed")
+            Err(unsupported())
         }
     }
 }

@@ -266,6 +266,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Vec<u8>,
+    /// Optional `Retry-After` header value in seconds — set on 503s so
+    /// shed clients know when backing off is long enough.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -275,7 +278,14 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            retry_after: None,
         }
+    }
+
+    /// Attaches a `Retry-After: seconds` header.
+    pub fn with_retry_after(mut self, seconds: u32) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// Serializes the response; bodies above [`CHUNK_THRESHOLD`] are
@@ -298,6 +308,9 @@ impl Response {
             )
             .as_bytes(),
         );
+        if let Some(seconds) = self.retry_after {
+            out.extend_from_slice(format!("Retry-After: {seconds}\r\n").as_bytes());
+        }
         if self.body.len() > CHUNK_THRESHOLD {
             out.extend_from_slice(b"Transfer-Encoding: chunked\r\n\r\n");
             for chunk in self.body.chunks(CHUNK_SIZE) {
@@ -475,6 +488,16 @@ mod tests {
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
         let text = String::from_utf8(Response::json(200, r#"{"ok":true}"#).to_bytes(true)).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_only_when_set() {
+        let plain = String::from_utf8(Response::json(503, "{}").to_bytes(true)).unwrap();
+        assert!(!plain.contains("Retry-After"));
+        let shed = String::from_utf8(Response::json(503, "{}").with_retry_after(2).to_bytes(true))
+            .unwrap();
+        assert!(shed.contains("Retry-After: 2\r\n"));
+        assert!(shed.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

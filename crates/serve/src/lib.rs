@@ -20,6 +20,7 @@
 //! pipelining, chunked responses, 4xx/5xx mapping), [`schema`] (the
 //! typed wire structs and structured `{"error":{...}}` bodies),
 //! [`epoll`] (a minimal epoll(7) facade with a self-pipe waker),
+//! [`faults`] (the seeded fault-injection plane behind `HL_FAULTS`),
 //! [`server`] (the single-threaded event loop: nonblocking accepts,
 //! per-connection state machines, in-flight request coalescing, a
 //! worker pool for evaluation, cooperative drain), [`snapshot`]
@@ -55,6 +56,7 @@
 pub mod api;
 pub mod client;
 pub mod epoll;
+pub mod faults;
 pub mod http;
 pub mod json;
 pub mod metrics;

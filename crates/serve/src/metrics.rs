@@ -235,6 +235,11 @@ pub struct Metrics {
     coalesced: AtomicU64,
     conns_accepted: AtomicU64,
     conns_closed: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    quarantined: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_overload: AtomicU64,
     latency: LatencyHistogram,
     reuse: ReuseHistogram,
 }
@@ -259,6 +264,11 @@ impl Metrics {
             coalesced: AtomicU64::new(0),
             conns_accepted: AtomicU64::new(0),
             conns_closed: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             reuse: ReuseHistogram::new(),
         }
@@ -307,11 +317,7 @@ impl Metrics {
     }
 
     fn count_request(&self, route: Route, status: u16) {
-        let idx = Route::ALL
-            .iter()
-            .position(|r| *r == route)
-            .expect("route in ALL");
-        self.requests[idx].fetch_add(1, Ordering::Relaxed);
+        self.requests[Self::route_index(route)].fetch_add(1, Ordering::Relaxed);
         match status {
             200..=299 => &self.status_2xx,
             400..=499 => &self.status_4xx,
@@ -326,13 +332,64 @@ impl Metrics {
         self.rejected_busy.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a worker thread dying to a panic.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a dead worker being respawned by the supervisor.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request answered from quarantine (its body has killed
+    /// workers before, so it gets a deterministic error without dispatch).
+    pub fn record_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a queued request shed because its deadline expired before
+    /// a worker picked it up.
+    pub fn record_deadline_shed(&self) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed at dispatch because the worker queue was
+    /// overloaded.
+    pub fn record_overload_shed(&self) {
+        self.shed_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(panics, respawns, quarantined)` worker-supervision counts.
+    pub fn worker_counts(&self) -> (u64, u64, u64) {
+        (
+            self.worker_panics.load(Ordering::Relaxed),
+            self.worker_respawns.load(Ordering::Relaxed),
+            self.quarantined.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(deadline_expired, overload)` shed counts.
+    pub fn shed_counts(&self) -> (u64, u64) {
+        (
+            self.shed_deadline.load(Ordering::Relaxed),
+            self.shed_overload.load(Ordering::Relaxed),
+        )
+    }
+
     /// Requests handled for one route.
     pub fn requests_for(&self, route: Route) -> u64 {
-        let idx = Route::ALL
+        self.requests[Self::route_index(route)].load(Ordering::Relaxed)
+    }
+
+    /// Index of `route` in [`Route::ALL`]. Every variant appears there;
+    /// fall back to the `Other` slot rather than panicking on a metrics
+    /// path if the two ever drift.
+    fn route_index(route: Route) -> usize {
+        Route::ALL
             .iter()
             .position(|r| *r == route)
-            .expect("route in ALL");
-        self.requests[idx].load(Ordering::Relaxed)
+            .unwrap_or(Route::ALL.len() - 1)
     }
 
     /// Total requests handled.
@@ -501,5 +558,21 @@ mod tests {
         );
         m.record_deprecated_route();
         assert_eq!(m.deprecated_routes(), 1);
+    }
+
+    #[test]
+    fn supervision_and_shed_counters() {
+        let m = Metrics::new();
+        assert_eq!(m.worker_counts(), (0, 0, 0));
+        assert_eq!(m.shed_counts(), (0, 0));
+        m.record_worker_panic();
+        m.record_worker_respawn();
+        m.record_worker_panic();
+        m.record_quarantined();
+        m.record_deadline_shed();
+        m.record_overload_shed();
+        m.record_overload_shed();
+        assert_eq!(m.worker_counts(), (2, 1, 1));
+        assert_eq!(m.shed_counts(), (1, 2));
     }
 }

@@ -66,6 +66,10 @@ pub const MAX_SWEEP_ROWS: usize = 256;
 /// matrices, so the group size bounds per-request memory.
 pub const MAX_GROUP_SIZE: usize = 64;
 
+/// Largest accepted per-request `deadline_ms` (one hour — beyond that a
+/// deadline stops being a deadline).
+pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
 /// Why a request body failed schema validation (`thiserror` idiom:
 /// structured variants, hand-written `Display`, `std::error::Error`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -277,6 +281,32 @@ fn degree_field(reader: &ObjReader<'_>, key: &'static str) -> Result<f64, Schema
     }
 }
 
+/// Validates the optional `deadline_ms` field every POST wire type
+/// accepts: a non-negative integer number of milliseconds the client is
+/// willing to wait. Work still queued past the deadline is shed with a
+/// 503 instead of being evaluated (see `crate::server`). `0` is legal
+/// and means "already expired" — useful for probing the shed path.
+fn deadline_field(reader: &ObjReader<'_>) -> Result<Option<u64>, SchemaError> {
+    let Some(n) = reader.opt_f64("deadline_ms")? else {
+        return Ok(None);
+    };
+    if n.fract() != 0.0 || n < 0.0 || n > MAX_DEADLINE_MS as f64 {
+        return Err(SchemaError::invalid(format!(
+            "\"deadline_ms\" must be an integer in [0, {MAX_DEADLINE_MS}], got {n}"
+        )));
+    }
+    Ok(Some(n as u64))
+}
+
+/// Appends `deadline_ms` to a canonical encoding only when present —
+/// requests without a deadline encode byte-identically to the pre-
+/// deadline wire format.
+fn push_deadline(members: &mut Vec<(String, Json)>, deadline_ms: Option<u64>) {
+    if let Some(ms) = deadline_ms {
+        members.push(("deadline_ms".into(), Json::Num(ms as f64)));
+    }
+}
+
 fn shape_members(shape: GemmShape) -> [(String, Json); 3] {
     [
         ("m".into(), Json::Num(shape.m as f64)),
@@ -299,12 +329,22 @@ pub struct EvaluateRequest {
     pub a_sparsity: f64,
     /// Operand B target sparsity degree in `[0, MAX_DEGREE]`.
     pub b_sparsity: f64,
+    /// Optional per-request deadline in milliseconds (absent → the
+    /// server's `--default-deadline`, if any).
+    pub deadline_ms: Option<u64>,
 }
 
 impl EvaluateRequest {
     /// The fields this wire type accepts.
-    pub const FIELDS: &'static [&'static str] =
-        &["design", "m", "k", "n", "a_sparsity", "b_sparsity"];
+    pub const FIELDS: &'static [&'static str] = &[
+        "design",
+        "m",
+        "k",
+        "n",
+        "a_sparsity",
+        "b_sparsity",
+        "deadline_ms",
+    ];
 
     /// Parses from a request body.
     ///
@@ -325,15 +365,18 @@ impl EvaluateRequest {
             shape: shape_fields(&reader)?,
             a_sparsity: degree_field(&reader, "a_sparsity")?,
             b_sparsity: degree_field(&reader, "b_sparsity")?,
+            deadline_ms: deadline_field(&reader)?,
         })
     }
 
-    /// The canonical wire encoding (all fields explicit).
+    /// The canonical wire encoding (all fields explicit; the deadline
+    /// stays absent when unset).
     pub fn to_json(&self) -> Json {
         let mut members = vec![("design".into(), Json::str(&self.design))];
         members.extend(shape_members(self.shape));
         members.push(("a_sparsity".into(), Json::Num(self.a_sparsity)));
         members.push(("b_sparsity".into(), Json::Num(self.b_sparsity)));
+        push_deadline(&mut members, self.deadline_ms);
         Json::Obj(members)
     }
 }
@@ -347,11 +390,13 @@ pub struct EvaluateModelRequest {
     pub model: String,
     /// Weight-pruning configuration (absent on the wire → dense).
     pub pruning: PruningConfig,
+    /// Optional per-request deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
 }
 
 impl EvaluateModelRequest {
     /// The fields this wire type accepts.
-    pub const FIELDS: &'static [&'static str] = &["design", "model", "pruning"];
+    pub const FIELDS: &'static [&'static str] = &["design", "model", "pruning", "deadline_ms"];
 
     /// Parses from a request body.
     ///
@@ -372,16 +417,20 @@ impl EvaluateModelRequest {
             design: reader.req_str("design")?.to_string(),
             model: reader.req_str("model")?.to_string(),
             pruning: pruning_spec(reader.get("pruning"))?,
+            deadline_ms: deadline_field(&reader)?,
         })
     }
 
-    /// The canonical wire encoding (all fields explicit).
+    /// The canonical wire encoding (all fields explicit; the deadline
+    /// stays absent when unset).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("design".into(), Json::str(&self.design)),
             ("model".into(), Json::str(&self.model)),
             ("pruning".into(), pruning_spec_json(&self.pruning)),
-        ])
+        ];
+        push_deadline(&mut members, self.deadline_ms);
+        Json::Obj(members)
     }
 }
 
@@ -394,11 +443,13 @@ pub struct SearchRequest {
     pub model: String,
     /// Accuracy-loss budget in metric points, `[0, MAX_BUDGET]`.
     pub budget: f64,
+    /// Optional per-request deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SearchRequest {
     /// The fields this wire type accepts.
-    pub const FIELDS: &'static [&'static str] = &["design", "model", "budget"];
+    pub const FIELDS: &'static [&'static str] = &["design", "model", "budget", "deadline_ms"];
 
     /// Parses from a request body.
     ///
@@ -425,16 +476,20 @@ impl SearchRequest {
             design: reader.req_str("design")?.to_string(),
             model: reader.req_str("model")?.to_string(),
             budget,
+            deadline_ms: deadline_field(&reader)?,
         })
     }
 
-    /// The canonical wire encoding.
+    /// The canonical wire encoding (the deadline stays absent when
+    /// unset).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("design".into(), Json::str(&self.design)),
             ("model".into(), Json::str(&self.model)),
             ("budget".into(), Json::Num(self.budget)),
-        ])
+        ];
+        push_deadline(&mut members, self.deadline_ms);
+        Json::Obj(members)
     }
 }
 
@@ -455,12 +510,22 @@ pub struct SweepRequest {
     /// Requested row cap (absent → the server-side maximum; the handler
     /// clamps to [`MAX_SWEEP_ROWS`] either way).
     pub limit: Option<usize>,
+    /// Optional per-request deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SweepRequest {
     /// The fields this wire type accepts.
-    pub const FIELDS: &'static [&'static str] =
-        &["designs", "a_degrees", "b_degrees", "m", "k", "n", "limit"];
+    pub const FIELDS: &'static [&'static str] = &[
+        "designs",
+        "a_degrees",
+        "b_degrees",
+        "m",
+        "k",
+        "n",
+        "limit",
+        "deadline_ms",
+    ];
 
     /// Parses from a request body.
     ///
@@ -508,6 +573,7 @@ impl SweepRequest {
             b_degrees: degrees_field(&reader, "b_degrees")?,
             shape: shape_fields(&reader)?,
             limit,
+            deadline_ms: deadline_field(&reader)?,
         })
     }
 
@@ -535,6 +601,7 @@ impl SweepRequest {
         if let Some(limit) = self.limit {
             members.push(("limit".into(), Json::Num(limit as f64)));
         }
+        push_deadline(&mut members, self.deadline_ms);
         Json::Obj(members)
     }
 }
@@ -930,8 +997,46 @@ mod tests {
             b_degrees: Some(vec![0.25]),
             shape: GemmShape::new(64, 64, 64),
             limit: Some(7),
+            deadline_ms: Some(250),
         };
         assert_eq!(SweepRequest::from_json(&full.to_json()).unwrap(), full);
+    }
+
+    #[test]
+    fn deadlines_parse_validate_and_stay_absent() {
+        // Absent stays absent: the canonical encoding without a deadline
+        // is byte-identical to the pre-deadline wire format.
+        let v = Json::parse(r#"{"design":"TC"}"#).unwrap();
+        let req = EvaluateRequest::from_json(&v).unwrap();
+        assert_eq!(req.deadline_ms, None);
+        assert!(req.to_json().get("deadline_ms").is_none());
+
+        let v = Json::parse(r#"{"design":"TC","deadline_ms":0}"#).unwrap();
+        let req = EvaluateRequest::from_json(&v).unwrap();
+        assert_eq!(req.deadline_ms, Some(0), "0 is legal (already expired)");
+        assert_eq!(EvaluateRequest::from_json(&req.to_json()).unwrap(), req);
+
+        for body in [
+            r#"{"design":"TC","deadline_ms":-1}"#,
+            r#"{"design":"TC","deadline_ms":1.5}"#,
+            r#"{"design":"TC","deadline_ms":3600001}"#,
+            r#"{"design":"TC","deadline_ms":"soon"}"#,
+        ] {
+            let err = EvaluateRequest::from_body(body.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("deadline_ms"), "{body}: {err}");
+        }
+
+        // Every POST wire type accepts the field.
+        let model =
+            EvaluateModelRequest::from_body(br#"{"design":"TC","model":"x","deadline_ms":5}"#)
+                .unwrap();
+        assert_eq!(model.deadline_ms, Some(5));
+        let search =
+            SearchRequest::from_body(br#"{"design":"TC","model":"x","budget":1,"deadline_ms":5}"#)
+                .unwrap();
+        assert_eq!(search.deadline_ms, Some(5));
+        let sweep = SweepRequest::from_body(br#"{"deadline_ms":5}"#).unwrap();
+        assert_eq!(sweep.deadline_ms, Some(5));
     }
 
     #[test]

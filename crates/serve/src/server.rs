@@ -23,7 +23,33 @@
 //!
 //! **Overload**: beyond [`ServerConfig::max_connections`] the accept
 //! loop sheds new connections immediately with a 503 — the server
-//! degrades by rejecting, not by queueing without bound.
+//! degrades by rejecting, not by queueing without bound. The worker
+//! queue is bounded the same way ([`ServerConfig::max_queue`]):
+//! expensive routes (`/v1/search`, `/v1/sweep`) shed at a quarter of
+//! the bound, every `POST` sheds at the bound, and shed 503s carry a
+//! `Retry-After` so a well-behaved client backs off instead of
+//! hammering. Requests may carry a `deadline_ms` budget (or inherit
+//! [`ServerConfig::default_deadline`]); a job whose deadline expired
+//! while it sat in the queue is shed with a 503 *before* evaluation —
+//! under overload the server spends cycles only on answers somebody is
+//! still waiting for.
+//!
+//! **Supervision**: handler panics are caught in [`App::handle`] and
+//! answered 500; a worker thread that dies anyway (fault injection, or
+//! a panic outside the guarded region) still answers its coalition —
+//! a drop guard posts a structured 500 during the unwind — and is
+//! respawned by the event loop. A request body that has panicked
+//! [`QUARANTINE_AFTER`] times is quarantined: answered a deterministic
+//! 500 without ever reaching the pool again. Panics, respawns, and
+//! quarantines are all visible in `/v1/metrics`.
+//!
+//! **Fault injection**: when [`ServerConfig::faults`] carries a
+//! [`FaultPlane`] (the `HL_FAULTS` env var / `--faults` flag), the
+//! socket read/write paths, the worker loop, the poller wait, and the
+//! snapshot loader draw from its seeded decision streams. Without a
+//! plane every injection point is a single branch on an absent
+//! `Option` and the server's behavior is byte-identical to a build
+//! that never heard of faults.
 //!
 //! **Shutdown** is cooperative: [`Shutdown::trigger`] sets a flag and
 //! wakes the loop. The listener closes first, in-flight requests finish
@@ -38,7 +64,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -46,9 +72,11 @@ use std::time::{Duration, Instant};
 
 use crate::api::App;
 use crate::epoll::{Event, Interest, Poller, Waker};
+use crate::faults::{FaultPlane, FaultPoint};
 use crate::http::{parse_request, ParseError, ParseStatus, Request, Response};
+use crate::json::Json;
 use crate::metrics::Route;
-use crate::schema::ErrorBody;
+use crate::schema::{ErrorBody, MAX_DEADLINE_MS};
 use crate::snapshot;
 
 /// The default listen address.
@@ -70,6 +98,17 @@ const LAME_DUCK: Duration = Duration::from_millis(250);
 /// Hard wall-clock budget for the shutdown drain.
 const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
 
+/// `Retry-After` seconds advertised on shed (503) responses.
+const RETRY_AFTER_SECS: u32 = 1;
+
+/// A request body is quarantined once this many workers have panicked
+/// evaluating it.
+const QUARANTINE_AFTER: u32 = 2;
+
+/// Bound on the panic-history map; past it the history resets rather
+/// than growing without limit under a panic storm.
+const PANIC_HISTORY_CAP: usize = 1024;
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -88,6 +127,21 @@ pub struct ServerConfig {
     /// Evaluation-cache snapshot path: loaded (if present and
     /// compatible) before serving, saved on graceful drain.
     pub snapshot: Option<PathBuf>,
+    /// Periodic background snapshot interval; `None` saves only on
+    /// graceful drain. Meaningful only with [`ServerConfig::snapshot`].
+    pub snapshot_interval: Option<Duration>,
+    /// Worker-queue bound for overload shedding: `/v1/search` and
+    /// `/v1/sweep` shed at a quarter of this, every `POST` at the full
+    /// depth. Coalescing joiners are exempt (they add no queue work).
+    pub max_queue: usize,
+    /// Deadline applied to requests that carry no `deadline_ms` of
+    /// their own; a job that outlives its deadline in the queue is shed
+    /// with a 503 before evaluation. `None` never sheds by default.
+    pub default_deadline: Option<Duration>,
+    /// Fault-injection plane (`HL_FAULTS` / `--faults`). `None` in
+    /// production: every injection point is one branch on an absent
+    /// option and behavior is byte-identical to a fault-free build.
+    pub faults: Option<Arc<FaultPlane>>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +153,10 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(5),
             snapshot: None,
+            snapshot_interval: None,
+            max_queue: 256,
+            default_deadline: None,
+            faults: None,
         }
     }
 }
@@ -184,26 +242,33 @@ impl Server {
     /// Propagates fatal poller/listener errors; per-connection I/O
     /// errors only drop that connection.
     pub fn run(self) -> io::Result<()> {
+        let faults = self.config.faults.clone();
         if let Some(path) = &self.config.snapshot {
             let cache = self.app.context().engine().eval_cache();
-            match snapshot::load(cache, path) {
+            match snapshot::load_with(cache, path, faults.as_deref()) {
                 Ok(_) => {}
                 Err(snapshot::SnapshotError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
-                Err(e) => eprintln!("hl-serve: ignoring snapshot {}: {e}", path.display()),
+                Err(e) => eprintln!(
+                    "hl-serve: ignoring snapshot {}: {e}; booting cold",
+                    path.display()
+                ),
             }
         }
 
         let completions: Arc<Mutex<VecDeque<Completion>>> = Arc::default();
+        let queue_depth: Arc<AtomicUsize> = Arc::default();
         let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers: Vec<JoinHandle<()>> = (0..self.config.workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let app = Arc::clone(&self.app);
-                let completions = Arc::clone(&completions);
-                let waker = self.poller.waker();
-                std::thread::spawn(move || worker_loop(&rx, &app, &completions, &waker))
-            })
+        let shared = Arc::new(WorkerShared {
+            rx: Mutex::new(rx),
+            app: Arc::clone(&self.app),
+            completions: Arc::clone(&completions),
+            waker: self.poller.waker(),
+            faults: faults.clone(),
+            default_deadline: self.config.default_deadline,
+            queue_depth: Arc::clone(&queue_depth),
+        });
+        let mut workers: Vec<JoinHandle<()>> = (0..self.config.workers.max(1))
+            .map(|_| spawn_worker(&shared))
             .collect();
 
         self.poller
@@ -220,15 +285,36 @@ impl Server {
             inflight: HashMap::new(),
             jobs: tx,
             completions: &completions,
+            queue_depth: Arc::clone(&queue_depth),
+            panics: HashMap::new(),
             draining: false,
+        };
+
+        let mut next_snapshot = match (&self.config.snapshot, self.config.snapshot_interval) {
+            (Some(_), Some(interval)) => Some(Instant::now() + interval),
+            _ => None,
         };
 
         let mut events: Vec<Event> = Vec::new();
         while !self.shutdown.load(Ordering::SeqCst) {
-            let timeout = el
-                .next_timeout()
-                .map(|d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX));
+            let mut wait_for = el.next_timeout();
+            if let Some(due) = next_snapshot {
+                let until = due
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(10));
+                wait_for = Some(wait_for.map_or(until, |t| t.min(until)));
+            }
+            let timeout = wait_for.map(|d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX));
             self.poller.wait(&mut events, timeout)?;
+            if let Some(plane) = faults.as_deref() {
+                // An injected spurious wakeup: the loop sees zero
+                // events and must cope on timers and level-triggered
+                // readiness alone.
+                if plane.fire(FaultPoint::SpuriousWake) {
+                    events.clear();
+                }
+            }
+            supervise_workers(&mut workers, &shared);
             el.drain_completions();
             for ev in events.drain(..) {
                 match ev.token {
@@ -238,6 +324,20 @@ impl Server {
                 }
             }
             el.check_timers(Instant::now());
+            if let Some(due) = next_snapshot {
+                if Instant::now() >= due {
+                    if let Some(path) = &self.config.snapshot {
+                        let cache = self.app.context().engine().eval_cache();
+                        if let Err(e) = snapshot::save(cache, path) {
+                            eprintln!("hl-serve: periodic snapshot failed: {e}");
+                        }
+                    }
+                    next_snapshot = self
+                        .config
+                        .snapshot_interval
+                        .map(|interval| Instant::now() + interval);
+                }
+            }
         }
 
         // Drain: stop accepting, let in-flight requests finish and
@@ -254,6 +354,9 @@ impl Server {
                 .min(Duration::from_millis(250));
             self.poller
                 .wait(&mut events, Some(timeout.as_millis() as u32))?;
+            // Keep supervising through the drain: queued jobs must
+            // still be answered even if a worker dies mid-drain.
+            supervise_workers(&mut workers, &shared);
             el.drain_completions();
             for ev in events.drain(..) {
                 match ev.token {
@@ -336,12 +439,17 @@ impl ServerHandle {
 struct Job {
     key: CoalesceKey,
     req: Request,
+    /// When the job entered the queue — the deadline clock.
+    enqueued: Instant,
 }
 
 /// A finished worker-pool evaluation, addressed back to its coalition.
 struct Completion {
     key: CoalesceKey,
     resp: Response,
+    /// The evaluation panicked (contained or thread-fatal); feeds the
+    /// per-body quarantine count.
+    panicked: bool,
 }
 
 /// Coalescing identity: method is always `POST`, so path + body is the
@@ -404,6 +512,11 @@ struct EventLoop<'a> {
     inflight: HashMap<CoalesceKey, Vec<Waiter>>,
     jobs: Sender<Job>,
     completions: &'a Mutex<VecDeque<Completion>>,
+    /// Jobs sent but not yet picked up by a worker (overload signal).
+    queue_depth: Arc<AtomicUsize>,
+    /// Worker panics per request body; at [`QUARANTINE_AFTER`] the body
+    /// is quarantined. Bounded by [`PANIC_HISTORY_CAP`].
+    panics: HashMap<CoalesceKey, u32>,
     draining: bool,
 }
 
@@ -493,10 +606,27 @@ impl EventLoop<'_> {
     fn fill_buffer(&mut self, id: usize) {
         let mut chunk = [0u8; 4096];
         loop {
+            // Injected socket faults (inert without a fault plane):
+            // EINTR returns and retries on the next readiness event
+            // (the poller is level-triggered), ECONNRESET drops the
+            // connection, a short read narrows the window to one byte.
+            let mut window = chunk.len();
+            if let Some(plane) = self.config.faults.as_deref() {
+                if plane.fire(FaultPoint::Eintr) {
+                    return;
+                }
+                if plane.fire(FaultPoint::ConnReadErr) {
+                    self.close_conn(id);
+                    return;
+                }
+                if plane.fire(FaultPoint::ConnReadShort) {
+                    window = 1;
+                }
+            }
             let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
                 return;
             };
-            match conn.stream.read(&mut chunk) {
+            match conn.stream.read(&mut chunk[..window]) {
                 Ok(0) => {
                     conn.peer_eof = true;
                     conn.reading = false;
@@ -589,6 +719,53 @@ impl EventLoop<'_> {
 
         if req.method == "POST" {
             let key: CoalesceKey = (req.path.clone(), req.body.clone());
+            let (route, _) = Route::resolve(&key.0);
+            // A body that has already killed [`QUARANTINE_AFTER`]
+            // workers is answered deterministically without ever
+            // re-entering the pool.
+            if self
+                .panics
+                .get(&key)
+                .is_some_and(|c| *c >= QUARANTINE_AFTER)
+            {
+                self.app.metrics().record_quarantined();
+                self.app.metrics().record_unmeasured(route, 500);
+                let body = ErrorBody::new(
+                    500,
+                    "request quarantined: evaluating this body has repeatedly crashed workers",
+                )
+                .to_json()
+                .encode();
+                let bytes = Response::json(500, body).to_bytes(keep_alive);
+                self.fill_slot(id, gen, seq, bytes);
+                return;
+            }
+            // Overload shedding, expensive routes first. Joiners are
+            // exempt — they add no queue work.
+            if !self.inflight.contains_key(&key) {
+                let depth = self.queue_depth.load(Ordering::Relaxed);
+                let expensive = matches!(route, Route::Search | Route::Sweep);
+                let bound = if expensive {
+                    (self.config.max_queue / 4).max(1)
+                } else {
+                    self.config.max_queue.max(1)
+                };
+                if depth >= bound {
+                    self.app.metrics().record_overload_shed();
+                    self.app.metrics().record_unmeasured(route, 503);
+                    let message = if expensive {
+                        "server overloaded: expensive route shed, retry later"
+                    } else {
+                        "server overloaded: worker queue full, retry later"
+                    };
+                    let bytes =
+                        Response::json(503, ErrorBody::new(503, message).to_json().encode())
+                            .with_retry_after(RETRY_AFTER_SECS)
+                            .to_bytes(keep_alive);
+                    self.fill_slot(id, gen, seq, bytes);
+                    return;
+                }
+            }
             let waiter = Waiter {
                 conn: id,
                 gen,
@@ -601,9 +778,14 @@ impl EventLoop<'_> {
                 Entry::Vacant(v) => {
                     let key = v.key().clone();
                     v.insert(vec![waiter]);
+                    self.queue_depth.fetch_add(1, Ordering::Relaxed);
                     // A send can only fail after worker join, which is
                     // after the loop stops dispatching.
-                    let _ = self.jobs.send(Job { key, req });
+                    let _ = self.jobs.send(Job {
+                        key,
+                        req,
+                        enqueued: Instant::now(),
+                    });
                 }
             }
         } else {
@@ -634,11 +816,19 @@ impl EventLoop<'_> {
             let next = self
                 .completions
                 .lock()
-                .expect("completions poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .pop_front();
-            let Some(Completion { key, resp }) = next else {
+            let Some(Completion {
+                key,
+                resp,
+                panicked,
+            }) = next
+            else {
                 return;
             };
+            if panicked {
+                self.note_panic(&key);
+            }
             let waiters = self.inflight.remove(&key).unwrap_or_default();
             let (route, _) = Route::resolve(&key.0);
             let mut touched = Vec::new();
@@ -659,6 +849,21 @@ impl EventLoop<'_> {
             }
             for id in touched {
                 self.service(id);
+            }
+        }
+    }
+
+    /// Remembers that evaluating `key` panicked; at [`QUARANTINE_AFTER`]
+    /// the body is quarantined (answered without dispatch). The history
+    /// is bounded: under a panic storm it sheds non-quarantined entries
+    /// first and resets entirely as a last resort, so a poisonous body
+    /// at worst has to re-earn its quarantine.
+    fn note_panic(&mut self, key: &CoalesceKey) {
+        *self.panics.entry(key.clone()).or_insert(0) += 1;
+        if self.panics.len() > PANIC_HISTORY_CAP {
+            self.panics.retain(|_, c| *c >= QUARANTINE_AFTER);
+            if self.panics.len() > PANIC_HISTORY_CAP {
+                self.panics.clear();
             }
         }
     }
@@ -689,14 +894,30 @@ impl EventLoop<'_> {
             .front()
             .is_some_and(|slot| slot.bytes.is_some())
         {
-            let slot = conn.pending.pop_front().expect("front checked");
-            conn.out
-                .extend_from_slice(&slot.bytes.expect("bytes checked"));
-            conn.served += 1;
-            retired = true;
+            if let Some(bytes) = conn.pending.pop_front().and_then(|slot| slot.bytes) {
+                conn.out.extend_from_slice(&bytes);
+                conn.served += 1;
+                retired = true;
+            }
         }
         while conn.out_pos < conn.out.len() {
-            match conn.stream.write(&conn.out[conn.out_pos..]) {
+            // Injected socket faults, mirroring the read side: EINTR
+            // leaves the rest for the next writable event, ECONNRESET
+            // drops the connection, a short write sends one byte.
+            let mut end = conn.out.len();
+            if let Some(plane) = self.config.faults.as_deref() {
+                if plane.fire(FaultPoint::Eintr) {
+                    break;
+                }
+                if plane.fire(FaultPoint::ConnWriteErr) {
+                    self.close_conn(id);
+                    return retired;
+                }
+                if plane.fire(FaultPoint::ConnWriteShort) {
+                    end = conn.out_pos + 1;
+                }
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..end]) {
                 Ok(0) => {
                     self.close_conn(id);
                     return retired;
@@ -877,26 +1098,158 @@ impl EventLoop<'_> {
     }
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<Job>>,
-    app: &App,
-    completions: &Mutex<VecDeque<Completion>>,
-    waker: &Waker,
-) {
-    loop {
-        // Hold the lock only for the pop, never while evaluating.
-        let next = { rx.lock().expect("job queue poisoned").recv() };
-        match next {
-            Ok(Job { key, req }) => {
-                let resp = app.handle(&req);
-                completions
-                    .lock()
-                    .expect("completions poisoned")
-                    .push_back(Completion { key, resp });
-                waker.wake();
-            }
-            Err(_) => return, // Sender dropped: shutdown.
+/// Everything a worker thread needs, bundled so the supervisor can
+/// respawn a dead worker with one `Arc` clone.
+struct WorkerShared {
+    rx: Mutex<Receiver<Job>>,
+    app: Arc<App>,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    waker: Waker,
+    faults: Option<Arc<FaultPlane>>,
+    default_deadline: Option<Duration>,
+    queue_depth: Arc<AtomicUsize>,
+}
+
+fn spawn_worker(shared: &Arc<WorkerShared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || worker_loop(&shared))
+}
+
+/// Replaces dead worker threads. A worker only exits early by
+/// panicking — normal exit happens after the job sender drops, which
+/// is after the event loop stops — so every replacement here is a
+/// respawn of a crashed thread.
+fn supervise_workers(workers: &mut [JoinHandle<()>], shared: &Arc<WorkerShared>) {
+    for slot in workers.iter_mut() {
+        if slot.is_finished() {
+            let dead = std::mem::replace(slot, spawn_worker(shared));
+            // Reap the corpse; its drop guard already answered the
+            // coalition it was evaluating.
+            let _ = dead.join();
+            shared.app.metrics().record_worker_respawn();
         }
+    }
+}
+
+/// The effective deadline of a queued job: the body's own
+/// `deadline_ms` when it carries a valid one, else the configured
+/// default. A malformed body falls back to the default — the handler
+/// answers 400 on its own; a cheap field probe must never invent
+/// errors the schema would not.
+fn job_deadline(req: &Request, default: Option<Duration>) -> Option<Duration> {
+    std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .and_then(|doc| doc.get("deadline_ms").and_then(Json::as_f64))
+        .filter(|ms| ms.fract() == 0.0 && (0.0..=MAX_DEADLINE_MS as f64).contains(ms))
+        .map(|ms| Duration::from_millis(ms as u64))
+        .or(default)
+}
+
+/// Owes a coalition exactly one [`Completion`]: consumed normally via
+/// [`CoalitionGuard::complete`], or — if the worker unwinds first —
+/// from `Drop`, which posts a structured 500 during the unwind so no
+/// waiter ever hangs on a dead thread.
+struct CoalitionGuard<'a> {
+    key: Option<CoalesceKey>,
+    route: Route,
+    shared: &'a WorkerShared,
+}
+
+impl CoalitionGuard<'_> {
+    fn complete(mut self, resp: Response, panicked: bool) {
+        if let Some(key) = self.key.take() {
+            post_completion(
+                self.shared,
+                Completion {
+                    key,
+                    resp,
+                    panicked,
+                },
+            );
+        }
+    }
+}
+
+impl Drop for CoalitionGuard<'_> {
+    fn drop(&mut self) {
+        let Some(key) = self.key.take() else {
+            return;
+        };
+        self.shared.app.metrics().record_unmeasured(self.route, 500);
+        let body = ErrorBody::new(
+            500,
+            "internal error: the worker evaluating this request died",
+        )
+        .to_json()
+        .encode();
+        post_completion(
+            self.shared,
+            Completion {
+                key,
+                resp: Response::json(500, body),
+                panicked: true,
+            },
+        );
+    }
+}
+
+fn post_completion(shared: &WorkerShared, completion: Completion) {
+    shared
+        .completions
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push_back(completion);
+    shared.waker.wake();
+}
+
+fn worker_loop(shared: &WorkerShared) {
+    loop {
+        // Hold the lock only for the pop, never while evaluating. A
+        // poisoned lock (a sibling died mid-recv) is recovered, not
+        // propagated — one dead worker must not cascade.
+        let next = { shared.rx.lock().unwrap_or_else(|e| e.into_inner()).recv() };
+        let Ok(Job { key, req, enqueued }) = next else {
+            return; // Sender dropped: shutdown.
+        };
+        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // From here until completion the coalition is owed an answer:
+        // if anything below unwinds (an injected worker panic), the
+        // guard posts the 500 during the unwind and the supervisor
+        // respawns this thread.
+        let guard = CoalitionGuard {
+            key: Some(key),
+            route: Route::resolve(&req.path).0,
+            shared,
+        };
+        // Deadline-aware shedding: work that expired in the queue is
+        // answered 503 without spending evaluation cycles on it.
+        if let Some(deadline) = job_deadline(&req, shared.default_deadline) {
+            if deadline.is_zero() || enqueued.elapsed() > deadline {
+                shared.app.metrics().record_deadline_shed();
+                shared.app.metrics().record_unmeasured(guard.route, 503);
+                let body = ErrorBody::new(503, "deadline expired before evaluation; request shed")
+                    .to_json()
+                    .encode();
+                let resp = Response::json(503, body).with_retry_after(RETRY_AFTER_SECS);
+                guard.complete(resp, false);
+                continue;
+            }
+        }
+        if let Some(plane) = shared.faults.as_deref() {
+            if plane.fire(FaultPoint::WorkerStall) {
+                std::thread::sleep(plane.stall());
+            }
+            if plane.fire(FaultPoint::WorkerPanic) {
+                shared.app.metrics().record_worker_panic();
+                panic!("injected worker panic (fault plane)");
+            }
+        }
+        let (resp, panicked) = shared.app.handle_traced(&req);
+        if panicked {
+            shared.app.metrics().record_worker_panic();
+        }
+        guard.complete(resp, panicked);
     }
 }
 
@@ -910,7 +1263,44 @@ mod tests {
         assert_eq!(c.addr, DEFAULT_ADDR);
         assert!(c.workers >= 1);
         assert!(c.max_connections >= 16);
+        assert!(c.max_queue >= 16);
         assert!(c.snapshot.is_none());
+        assert!(c.snapshot_interval.is_none());
+        assert!(c.default_deadline.is_none());
+        assert!(c.faults.is_none(), "faults must be off by default");
+    }
+
+    #[test]
+    fn job_deadlines_come_from_the_body_then_the_default() {
+        let post = |body: &str| Request {
+            method: "POST".into(),
+            path: "/v1/evaluate".into(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        };
+        let fallback = Some(Duration::from_millis(250));
+        // A valid field wins over the default.
+        assert_eq!(
+            job_deadline(&post(r#"{"design":"TC","deadline_ms":40}"#), fallback),
+            Some(Duration::from_millis(40))
+        );
+        // Zero is legal and means "already expired".
+        assert_eq!(
+            job_deadline(&post(r#"{"deadline_ms":0}"#), None),
+            Some(Duration::ZERO)
+        );
+        // No field, malformed JSON, or an out-of-range value falls back.
+        for body in [
+            r#"{"design":"TC"}"#,
+            "not json at all",
+            r#"{"deadline_ms":-5}"#,
+            r#"{"deadline_ms":1.5}"#,
+            r#"{"deadline_ms":9999999999}"#,
+        ] {
+            assert_eq!(job_deadline(&post(body), fallback), fallback, "{body}");
+            assert_eq!(job_deadline(&post(body), None), None, "{body}");
+        }
     }
 
     #[cfg(target_os = "linux")]

@@ -6,8 +6,9 @@
 //!
 //! ```json
 //! {
-//!   "format": 1,
-//!   "fingerprint": "hl-snap-v1:9a…",
+//!   "format": 2,
+//!   "fingerprint": "hl-snap-v2:9a…",
+//!   "crc32": "9bd366ae",
 //!   "entries": [ { "design": …, "shape": …, "a": …, "b": …, "outcome": … } ]
 //! }
 //! ```
@@ -18,6 +19,15 @@
 //! configuration fingerprint plus the model registry. A snapshot whose
 //! fingerprint does not match the running binary is refused (the server
 //! boots cold instead of serving stale numbers).
+//!
+//! `crc32` is an IEEE CRC-32 over the raw bytes of the `entries` array
+//! (brackets included, exactly as written). The file layout is fixed —
+//! `"entries"` is always the last member — so [`load`] can locate the
+//! payload bytes without re-encoding, verify the checksum, and reject a
+//! torn write or silent media corruption as
+//! [`SnapshotError::ChecksumMismatch`] before trusting a single entry.
+//! Every load failure is reported, never panicked: the serving layer
+//! logs it and boots cold.
 //!
 //! Entries are sorted by their encoded form before writing, so
 //! save → load → save is byte-identical (the in-memory memo is a
@@ -37,8 +47,9 @@ use hl_tensor::GemmShape;
 
 use crate::json::Json;
 
-/// Snapshot format version; bumped on any encoding change.
-pub const FORMAT: u64 = 1;
+/// Snapshot format version; bumped on any encoding change (v2 added the
+/// `crc32` payload checksum).
+pub const FORMAT: u64 = 2;
 
 /// Why a snapshot could not be loaded (`thiserror` idiom: structured
 /// variants, hand-written `Display`, `std::error::Error`).
@@ -55,6 +66,14 @@ pub enum SnapshotError {
         /// What the file carries.
         found: String,
     },
+    /// The `entries` payload bytes do not match the stored CRC-32 — a
+    /// torn write or bit rot.
+    ChecksumMismatch {
+        /// The checksum the file claims (lowercase hex).
+        stored: String,
+        /// The checksum of the payload actually on disk.
+        computed: String,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -66,6 +85,11 @@ impl std::fmt::Display for SnapshotError {
                 f,
                 "snapshot fingerprint {found} does not match this binary's \
                  {expected}; refusing stale cache entries"
+            ),
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot payload checksum {computed} does not match the \
+                 stored crc32 {stored}; the file is truncated or corrupt"
             ),
         }
     }
@@ -89,6 +113,23 @@ impl From<io::Error> for SnapshotError {
 fn malformed(msg: impl Into<String>) -> SnapshotError {
     SnapshotError::Malformed(msg.into())
 }
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), computed bitwise —
+/// snapshots are loaded once per boot, so a lookup table buys nothing.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The tag preceding the payload in the fixed document layout.
+const ENTRIES_TAG: &str = ",\"entries\":";
 
 /// The cache-compatibility fingerprint of the running binary: an FNV-1a
 /// hash over the snapshot format version, every registered design's
@@ -128,19 +169,25 @@ pub fn save(cache: &EvalCache, path: &Path) -> Result<usize, SnapshotError> {
     // The memo is a HashMap; sort so identical caches write identical
     // bytes (asserted by the round-trip test).
     encoded.sort_unstable();
+    // The payload: the entries array exactly as written (the CRC input).
+    let mut payload = String::from("[");
+    for (i, e) in encoded.iter().enumerate() {
+        if i > 0 {
+            payload.push(',');
+        }
+        payload.push_str(e);
+    }
+    payload.push(']');
     let mut doc = String::new();
     doc.push_str("{\"format\":");
     doc.push_str(&FORMAT.to_string());
     doc.push_str(",\"fingerprint\":");
     doc.push_str(&Json::str(cache_fingerprint()).encode());
-    doc.push_str(",\"entries\":[");
-    for (i, e) in encoded.iter().enumerate() {
-        if i > 0 {
-            doc.push(',');
-        }
-        doc.push_str(e);
-    }
-    doc.push_str("]}");
+    doc.push_str(",\"crc32\":");
+    doc.push_str(&Json::str(format!("{:08x}", crc32(payload.as_bytes()))).encode());
+    doc.push_str(ENTRIES_TAG);
+    doc.push_str(&payload);
+    doc.push('}');
 
     let tmp = path.with_extension("tmp");
     {
@@ -158,10 +205,31 @@ pub fn save(cache: &EvalCache, path: &Path) -> Result<usize, SnapshotError> {
 ///
 /// # Errors
 /// [`SnapshotError`] — including [`SnapshotError::FingerprintMismatch`]
-/// when the file was produced by a different registry, in which case the
-/// cache is left untouched.
+/// when the file was produced by a different registry and
+/// [`SnapshotError::ChecksumMismatch`] when the payload fails its CRC,
+/// in which case the cache is left untouched.
 pub fn load(cache: &EvalCache, path: &Path) -> Result<usize, SnapshotError> {
-    let text = std::fs::read_to_string(path)?;
+    load_with(cache, path, None)
+}
+
+/// [`load`], with an optional fault plane corrupting the file text
+/// in memory before it is parsed — the chaos harness' way of proving a
+/// truncated or bit-flipped snapshot is rejected and boots cold, without
+/// actually tearing files on disk.
+///
+/// # Errors
+/// As [`load`].
+pub fn load_with(
+    cache: &EvalCache,
+    path: &Path,
+    faults: Option<&crate::faults::FaultPlane>,
+) -> Result<usize, SnapshotError> {
+    let mut text = std::fs::read_to_string(path)?;
+    if let Some(plane) = faults {
+        if plane.corrupt_snapshot(&mut text) {
+            eprintln!("hl-serve: fault injection corrupted the snapshot text on load");
+        }
+    }
     let doc = Json::parse(&text).map_err(|e| malformed(e.to_string()))?;
     let format = doc
         .get("format")
@@ -179,6 +247,29 @@ pub fn load(cache: &EvalCache, path: &Path) -> Result<usize, SnapshotError> {
         return Err(SnapshotError::FingerprintMismatch {
             expected,
             found: found.to_string(),
+        });
+    }
+    let stored = doc
+        .get("crc32")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed("missing \"crc32\""))?;
+    // The fixed layout puts the entries array last, so the raw payload
+    // bytes — exactly what `save` checksummed — run from just past the
+    // tag to the document's closing brace. No re-encoding involved:
+    // re-encoding a corrupted-but-parsable array could normalize the
+    // damage away.
+    let payload_start = text
+        .find(ENTRIES_TAG)
+        .ok_or_else(|| malformed("document layout: missing entries tag"))?
+        + ENTRIES_TAG.len();
+    let payload = text[payload_start..]
+        .strip_suffix('}')
+        .ok_or_else(|| malformed("document layout: missing closing brace"))?;
+    let computed = format!("{:08x}", crc32(payload.as_bytes()));
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch {
+            stored: stored.to_string(),
+            computed,
         });
     }
     let entries = doc
@@ -466,7 +557,7 @@ mod tests {
         save(&cache, &path).unwrap();
         let doc = std::fs::read_to_string(&path)
             .unwrap()
-            .replace(&cache_fingerprint(), "hl-snap-v1:0000000000000000");
+            .replace(&cache_fingerprint(), "hl-snap-v2:0000000000000000");
         std::fs::write(&path, doc).unwrap();
 
         let restored = EvalCache::new();
@@ -500,6 +591,90 @@ mod tests {
         let a = cache_fingerprint();
         let b = cache_fingerprint();
         assert_eq!(a, b);
-        assert!(a.starts_with("hl-snap-v1:"), "{a}");
+        assert!(a.starts_with("hl-snap-v2:"), "{a}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value, plus the empty string.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_fail_the_checksum() {
+        let cache = sample_cache();
+        let path = temp_path("bitrot");
+        save(&cache, &path).unwrap();
+        // Damage one payload byte in a way that still parses as JSON —
+        // only the CRC can catch this class of corruption.
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"workload\":\"w\""));
+        std::fs::write(
+            &path,
+            doc.replace("\"workload\":\"w\"", "\"workload\":\"X\""),
+        )
+        .unwrap();
+
+        let restored = EvalCache::new();
+        let err = load(&restored, &path).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        assert!(restored.entries().is_empty(), "cache left untouched");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        let cache = sample_cache();
+        let path = temp_path("torn");
+        save(&cache, &path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &doc[..doc.len() / 2]).unwrap();
+        let err = load(&EvalCache::new(), &path).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_crc_field_is_malformed() {
+        let path = temp_path("nocrc");
+        let doc = format!(
+            "{{\"format\":2,\"fingerprint\":{},\"entries\":[]}}",
+            Json::str(cache_fingerprint()).encode()
+        );
+        std::fs::write(&path, doc).unwrap();
+        let err = load(&EvalCache::new(), &path).unwrap_err();
+        assert!(err.to_string().contains("crc32"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_plane_corruption_is_caught_on_load() {
+        use crate::faults::FaultPlane;
+        let cache = sample_cache();
+        let path = temp_path("faulty");
+        save(&cache, &path).unwrap();
+
+        for spec in ["seed=11,snapshot=bitflip", "snapshot=truncate"] {
+            let plane = FaultPlane::parse(spec).unwrap();
+            let restored = EvalCache::new();
+            let err = load_with(&restored, &path, Some(&plane)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Malformed(_)
+                        | SnapshotError::ChecksumMismatch { .. }
+                        | SnapshotError::FingerprintMismatch { .. }
+                ),
+                "{spec}: {err}"
+            );
+            assert!(restored.entries().is_empty(), "{spec}: cache left cold");
+        }
+        // The same file loads cleanly without the fault plane.
+        assert_eq!(load(&EvalCache::new(), &path).unwrap(), 2);
+        std::fs::remove_file(&path).ok();
     }
 }

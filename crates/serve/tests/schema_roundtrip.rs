@@ -53,6 +53,14 @@ fn gen_hss(rng: &mut proptest::TestRng) -> HssPattern {
     )
 }
 
+fn gen_deadline(rng: &mut proptest::TestRng) -> Option<u64> {
+    match rng.sample_range(0u32..3) {
+        0 => None,
+        1 => Some(0),
+        _ => Some(rng.sample_range(1u64..=3_600_000)),
+    }
+}
+
 fn gen_pruning(rng: &mut proptest::TestRng) -> PruningConfig {
     match rng.sample_range(0u32..3) {
         0 => PruningConfig::Dense,
@@ -81,6 +89,7 @@ strategy!(EvaluateStrategy, EvaluateRequest, |rng| EvaluateRequest {
     shape: gen_shape(rng),
     a_sparsity: gen_degree(rng),
     b_sparsity: gen_degree(rng),
+    deadline_ms: gen_deadline(rng),
 });
 
 strategy!(ModelStrategy, EvaluateModelRequest, |rng| {
@@ -88,6 +97,7 @@ strategy!(ModelStrategy, EvaluateModelRequest, |rng| {
         design: gen_name(rng),
         model: gen_name(rng),
         pruning: gen_pruning(rng),
+        deadline_ms: gen_deadline(rng),
     }
 });
 
@@ -95,6 +105,7 @@ strategy!(SearchStrategy, SearchRequest, |rng| SearchRequest {
     design: gen_name(rng),
     model: gen_name(rng),
     budget: rng.sample_range(0.0..=MAX_BUDGET),
+    deadline_ms: gen_deadline(rng),
 });
 
 strategy!(SweepStrategy, SweepRequest, |rng| {
@@ -121,6 +132,7 @@ strategy!(SweepStrategy, SweepRequest, |rng| {
         } else {
             Some(rng.sample_range(1usize..=256))
         },
+        deadline_ms: gen_deadline(rng),
     }
 });
 

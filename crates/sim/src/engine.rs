@@ -120,7 +120,11 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("engine worker panicked"))
+            // A panicking cell re-raises its original payload on the
+            // caller thread (not a fresh "worker panicked" panic), so a
+            // `catch_unwind` around the engine call — the serving
+            // layer's supervision boundary — observes the real cause.
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
     indexed.sort_unstable_by_key(|(i, _)| *i);
@@ -133,6 +137,13 @@ where
 /// slow evaluation never serializes the other workers (two workers may race
 /// on the same key, but the evaluation is pure, so both compute the same
 /// value and either insert wins).
+///
+/// The table is unwind-safe: evaluations run outside the lock, so a
+/// panicking evaluation can never leave a half-written entry, and every
+/// lock recovers from mutex poisoning (a thread that panicked *while
+/// holding* the lock was only reading or inserting a fully-computed
+/// value, so the map is still consistent). A caught panic therefore
+/// doesn't wedge every later request that shares the cache.
 #[derive(Debug)]
 pub struct Memo<K, V> {
     map: Mutex<HashMap<K, V>>,
@@ -156,26 +167,28 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
         }
     }
 
+    /// Locks the map, recovering from poisoning: see the type docs for
+    /// why the contents are still consistent after a panic.
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<K, V>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Returns the memoized value for `key`, computing it with `f` on a
     /// miss.
     pub fn get_or_insert_with(&self, key: &K, f: impl FnOnce() -> V) -> V {
-        if let Some(v) = self.map.lock().expect("memo poisoned").get(key) {
+        if let Some(v) = self.map().get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = f();
-        self.map
-            .lock()
-            .expect("memo poisoned")
-            .entry(key.clone())
-            .or_insert_with(|| v.clone());
+        self.map().entry(key.clone()).or_insert_with(|| v.clone());
         v
     }
 
     /// Number of entries currently stored.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("memo poisoned").len()
+        self.map().len()
     }
 
     /// True when no entry is stored.
@@ -197,9 +210,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
     /// `hl-serve` snapshots the evaluation cache to disk on graceful
     /// drain. Order is unspecified (callers sort).
     pub fn entries(&self) -> Vec<(K, V)> {
-        self.map
-            .lock()
-            .expect("memo poisoned")
+        self.map()
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
@@ -209,11 +220,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
     /// snapshot-load path. An already-present key keeps its value (live
     /// results win over preloaded ones).
     pub fn preload(&self, key: K, value: V) {
-        self.map
-            .lock()
-            .expect("memo poisoned")
-            .entry(key)
-            .or_insert(value);
+        self.map().entry(key).or_insert(value);
     }
 }
 
@@ -399,6 +406,27 @@ impl<'a> SweepGrid<'a> {
         self.push_row_with(|_| workload.clone())
     }
 
+    /// Adds one sweep row from a fallible per-design workload builder,
+    /// leaving the grid unchanged when any design's build fails — the
+    /// serving layer turns the error into a structured response instead
+    /// of panicking mid-sweep.
+    ///
+    /// # Errors
+    /// The first builder error, verbatim.
+    pub fn try_push_row_with<E>(
+        &mut self,
+        build: impl FnMut(&dyn Accelerator) -> Result<Workload, E>,
+    ) -> Result<&mut Self, E> {
+        let mut build = build;
+        let row = self
+            .designs
+            .iter()
+            .map(|d| build(d.as_ref()))
+            .collect::<Result<Vec<_>, E>>()?;
+        self.rows.push(row);
+        Ok(self)
+    }
+
     /// Evaluates every cell on the engine, returning `rows × designs`
     /// results in declaration order (`None` = unsupported). Output is
     /// byte-identical for any thread count.
@@ -534,6 +562,48 @@ mod tests {
         });
         let expect: Vec<usize> = outer.iter().map(|&i| i * 40 + 6).collect();
         assert_eq!(result, expect);
+    }
+
+    #[test]
+    fn parallel_map_reraises_the_original_panic_payload() {
+        let items: Vec<usize> = (0..64).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(4, &items, |&i| {
+                if i == 13 {
+                    panic!("cell 13 exploded");
+                }
+                i
+            })
+        }))
+        .expect_err("the cell panic must propagate");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| caught.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string payload>");
+        assert!(msg.contains("cell 13 exploded"), "payload was {msg:?}");
+    }
+
+    #[test]
+    fn memo_survives_mutex_poisoning() {
+        let memo: std::sync::Arc<Memo<u32, u32>> = std::sync::Arc::new(Memo::new());
+        memo.get_or_insert_with(&1, || 10);
+        // Poison the inner mutex: panic on another thread while holding it.
+        let poisoner = std::sync::Arc::clone(&memo);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.map.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(memo.map.lock().is_err(), "mutex must actually be poisoned");
+        // Every entry point still works.
+        assert_eq!(memo.get_or_insert_with(&1, || unreachable!()), 10);
+        assert_eq!(memo.get_or_insert_with(&2, || 20), 20);
+        assert_eq!(memo.len(), 2);
+        memo.preload(3, 30);
+        let mut entries = memo.entries();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 10), (2, 20), (3, 30)]);
     }
 
     #[test]
