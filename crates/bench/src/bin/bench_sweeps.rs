@@ -126,6 +126,17 @@ fn main() {
         "codesign search"
     );
 
+    // Cache instrumentation from the search context: the same counters
+    // `hl-serve` exports at `/v1/metrics` (eval + retention cache), so a
+    // replay-speedup regression here can be attributed to hit rate.
+    let (eval_hits, eval_misses) = ctx.engine().eval_cache().stats();
+    let (ret_hits, ret_misses) = ctx.retention_stats();
+    println!(
+        "{:>22}: eval {eval_hits} hits / {eval_misses} misses, \
+         retention {ret_hits} hits / {ret_misses} misses",
+        "cache counters"
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"fig2+fig15 design-space sweeps\",\n  \
          \"cpus\": {cpus},\n  \"serial_seconds\": {serial_s:.4},\n  \
@@ -138,6 +149,10 @@ fn main() {
          \"cached_seconds\": {search_cached_s:.4}, \
          \"replay_speedup\": {search_replay:.3}, \
          \"identical\": {search_identical}}},\n  \
+         \"search_caches\": {{\"eval_hits\": {eval_hits}, \
+         \"eval_misses\": {eval_misses}, \
+         \"retention_hits\": {ret_hits}, \
+         \"retention_misses\": {ret_misses}}},\n  \
          \"outputs_identical\": {identical}\n}}\n"
     );
     let out = bench_out_path("BENCH_sweeps.json");

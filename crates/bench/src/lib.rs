@@ -225,6 +225,12 @@ impl SweepContext {
         &self.engine
     }
 
+    /// `(hits, misses)` of the retention (surrogate accuracy) cache —
+    /// surfaced by `hl-serve`'s metrics alongside the eval cache.
+    pub fn retention_stats(&self) -> (u64, u64) {
+        self.retention.stats()
+    }
+
     /// Maps `f` over `items` on the context's pool, results in input order.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where

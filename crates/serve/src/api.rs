@@ -12,14 +12,19 @@
 //! and answered with a 500 so one bad request can never take a worker
 //! down.
 //!
-//! Endpoints: `GET /v1/healthz`, `GET /v1/designs`, `GET /v1/metrics`,
-//! `GET /v1/models`, `POST /v1/evaluate`, `POST /v1/evaluate_model`,
-//! `POST /v1/sweep`, `POST /v1/search`. The legacy unversioned paths
-//! remain as byte-identical aliases; each hit increments the
-//! `deprecated` counter surfaced in `/v1/metrics`.
+//! Endpoints: `GET /v1/healthz`, `GET /v1/designs`, `GET /v1/metrics`
+//! (JSON, or Prometheus text via `?format=prometheus` /
+//! `Accept: text/plain`), `GET /v1/models`, `GET /v1/trace` (recent
+//! request lifecycles from the [`crate::trace`] ring), `POST
+//! /v1/evaluate`, `POST /v1/evaluate_model`, `POST /v1/sweep`, `POST
+//! /v1/search`. The legacy unversioned paths remain as byte-identical
+//! aliases; each hit increments the `deprecated` counter surfaced in
+//! `/v1/metrics`. (`/v1/trace` postdates the aliases and has no
+//! unversioned form.)
 
 use std::panic::{self, AssertUnwindSafe};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use hl_bench::{design_names, operand_b_for, registered_names, try_operand_a_for, SweepContext};
 use hl_models::accuracy::PruningConfig;
@@ -29,8 +34,11 @@ use hl_tensor::GemmShape;
 
 use crate::http::{ParseError, Request, Response};
 use crate::json::Json;
-use crate::metrics::{Metrics, Route};
+use crate::log::{Level, Logger};
+use crate::metrics::{Metrics, Route, LATENCY_BUCKETS, REUSE_BUCKETS};
+use crate::prom;
 use crate::schema::{self, ErrorBody, SchemaError};
+use crate::trace::{IdGen, TraceQuery, TraceRecord, TraceRing};
 
 pub use crate::schema::{
     eval_result_json, network_eval_json, search_outcome_json, MAX_BUDGET, MAX_DEGREE, MAX_DIM,
@@ -38,10 +46,20 @@ pub use crate::schema::{
 };
 
 /// The long-lived serving state shared across the worker pool.
-#[derive(Default)]
 pub struct App {
     ctx: SweepContext,
     metrics: Metrics,
+    logger: Logger,
+    traces: TraceRing,
+    ids: IdGen,
+    /// Slow-request threshold in µs; `u64::MAX` disables the slow log.
+    slow_us: AtomicU64,
+}
+
+impl Default for App {
+    fn default() -> Self {
+        Self::with_context(SweepContext::default())
+    }
 }
 
 impl App {
@@ -56,6 +74,10 @@ impl App {
         Self {
             ctx,
             metrics: Metrics::new(),
+            logger: Logger::new(),
+            traces: TraceRing::default(),
+            ids: IdGen::new(),
+            slow_us: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -67,6 +89,60 @@ impl App {
     /// The server metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The structured JSON-lines logger shared by the serving layer.
+    pub fn logger(&self) -> &Logger {
+        &self.logger
+    }
+
+    /// The completed-request trace ring served at `GET /v1/trace`.
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// Resolves a request's trace ID: a well-formed client-supplied
+    /// `X-Request-Id` (see [`crate::trace::valid_request_id`]) is
+    /// honored and echoed back; anything else gets a generated ID.
+    pub fn request_id(&self, header: Option<&str>) -> String {
+        match header {
+            Some(h) if crate::trace::valid_request_id(h) => h.to_string(),
+            _ => self.ids.next_id(),
+        }
+    }
+
+    /// Sets the `--trace-slow-ms` threshold: completed requests at
+    /// least this slow log a `slow_request` warning. `None` disables.
+    pub fn set_trace_slow(&self, threshold: Option<Duration>) {
+        let us = threshold.map_or(u64::MAX, |d| {
+            u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+        });
+        self.slow_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Records a completed request lifecycle: stamps the start offset
+    /// from the total, pushes the ring, and emits the per-request
+    /// (debug) or slow-request (warn) structured log event.
+    pub fn observe_trace(&self, mut rec: TraceRecord) {
+        rec.started_s = (self.metrics.uptime_s() - rec.total_us as f64 / 1e6).max(0.0);
+        let slow = rec.total_us >= self.slow_us.load(Ordering::Relaxed);
+        let level = if slow { Level::Warn } else { Level::Debug };
+        if self.logger.enabled(level) {
+            self.logger.log(
+                level,
+                if slow { "slow_request" } else { "request" },
+                &[
+                    ("trace_id", Json::str(rec.id.clone())),
+                    ("route", Json::str(rec.route)),
+                    ("status", Json::Num(f64::from(rec.status))),
+                    ("outcome", Json::str(rec.outcome)),
+                    ("duration_ms", Json::Num(rec.total_us as f64 / 1000.0)),
+                    ("queue_ms", Json::Num(rec.queue_us as f64 / 1000.0)),
+                    ("eval_ms", Json::Num(rec.eval_us as f64 / 1000.0)),
+                ],
+            );
+        }
+        self.traces.push(rec);
     }
 
     /// Handles one parsed request: dispatch, panic containment, metrics
@@ -85,7 +161,7 @@ impl App {
             self.metrics.record_deprecated_route();
         }
         let (resp, panicked) = match panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(req))) {
-            Ok(Ok(json)) => (Response::json(200, json.encode()), false),
+            Ok(Ok(resp)) => (resp, false),
             Ok(Err(e)) => (e.into_response(), false),
             Err(_) => (ApiError::internal("handler panicked").into_response(), true),
         };
@@ -105,19 +181,27 @@ impl App {
         resp
     }
 
-    fn dispatch(&self, req: &Request) -> Result<Json, ApiError> {
+    fn dispatch(&self, req: &Request) -> Result<Response, ApiError> {
         // `/v1/<route>` is canonical; the bare legacy path is an alias
         // that must answer byte-identically, so both converge here.
+        // `/v1/trace` guards on the raw path: it has no legacy alias, so
+        // bare `/trace` falls through to the 404 arm.
         let path = canonical_path(&req.path);
         match (req.method.as_str(), path) {
-            ("GET", "/healthz") => Ok(self.healthz()),
-            ("GET", "/designs") => Ok(designs_json()),
-            ("GET", "/metrics") => Ok(self.metrics_json()),
-            ("GET", "/models") => Ok(models_json()),
-            ("POST", "/evaluate") => self.evaluate(&req.body),
-            ("POST", "/evaluate_model") => self.evaluate_model(&req.body),
-            ("POST", "/sweep") => self.sweep(&req.body),
-            ("POST", "/search") => self.search(&req.body),
+            ("GET", "/healthz") => Ok(ok_json(self.healthz())),
+            ("GET", "/designs") => Ok(ok_json(designs_json())),
+            ("GET", "/metrics") => self.metrics_response(req),
+            ("GET", "/models") => Ok(ok_json(models_json())),
+            ("GET", "/trace") if req.path.starts_with("/v1/") => {
+                self.trace_endpoint(req).map(ok_json)
+            }
+            ("POST", "/evaluate") => self.evaluate(&req.body).map(ok_json),
+            ("POST", "/evaluate_model") => self.evaluate_model(&req.body).map(ok_json),
+            ("POST", "/sweep") => self.sweep(&req.body).map(ok_json),
+            ("POST", "/search") => self.search(&req.body).map(ok_json),
+            (_, "/trace") if req.path.starts_with("/v1/") => {
+                Err(ApiError::method_not_allowed("GET"))
+            }
             (_, "/healthz" | "/designs" | "/metrics" | "/models") => {
                 Err(ApiError::method_not_allowed("GET"))
             }
@@ -126,6 +210,43 @@ impl App {
             }
             _ => Err(ApiError::not_found(&req.path)),
         }
+    }
+
+    /// `GET /v1/metrics` with content negotiation: `?format=prometheus`
+    /// (or an `Accept` header naming `text/plain` when no explicit
+    /// `format` is given) selects the Prometheus text exposition;
+    /// everything else gets the historical JSON view.
+    fn metrics_response(&self, req: &Request) -> Result<Response, ApiError> {
+        if wants_prometheus(req)? {
+            Ok(Response {
+                status: 200,
+                content_type: prom::CONTENT_TYPE,
+                body: self.render_prometheus().into_bytes(),
+                retry_after: None,
+            })
+        } else {
+            Ok(ok_json(self.metrics_json()))
+        }
+    }
+
+    /// `GET /v1/trace`: recent completed request lifecycles, newest
+    /// last, filtered by [`TraceQuery`] (`limit`, `route`, `min_ms`).
+    fn trace_endpoint(&self, req: &Request) -> Result<Json, ApiError> {
+        let q = TraceQuery::parse(&req.query).map_err(ApiError::bad_request)?;
+        let snap = self.traces.snapshot();
+        let mut recs: Vec<&TraceRecord> = snap.iter().filter(|r| q.matches(r)).collect();
+        if recs.len() > q.limit {
+            recs.drain(..recs.len() - q.limit);
+        }
+        Ok(Json::Obj(vec![
+            ("count".into(), Json::Num(recs.len() as f64)),
+            ("capacity".into(), Json::Num(self.traces.capacity() as f64)),
+            ("dropped".into(), Json::Num(self.traces.dropped() as f64)),
+            (
+                "traces".into(),
+                Json::Arr(recs.iter().map(|r| r.to_json()).collect()),
+            ),
+        ]))
     }
 
     fn healthz(&self) -> Json {
@@ -161,7 +282,7 @@ impl App {
                 Json::Num(self.metrics.requests_for(r) as f64),
             ));
         }
-        let (s2, s4, s5) = self.metrics.status_counts();
+        let (s2, s3, s4, s5, s_other) = self.metrics.status_counts_full();
         let (panics, respawns, quarantined) = self.metrics.worker_counts();
         let (shed_deadline, shed_overload) = self.metrics.shed_counts();
         let (accepted, closed) = self.metrics.connection_counts();
@@ -173,7 +294,14 @@ impl App {
         } else {
             hits as f64 / (hits + misses) as f64
         };
+        let (ret_hits, ret_misses) = self.ctx.retention_stats();
+        let ret_rate = if ret_hits + ret_misses == 0 {
+            0.0
+        } else {
+            ret_hits as f64 / (ret_hits + ret_misses) as f64
+        };
         let lat = self.metrics.latency();
+        let wait = self.metrics.queue_wait();
         Json::Obj(vec![
             ("uptime_s".into(), Json::Num(self.metrics.uptime_s())),
             (
@@ -185,8 +313,10 @@ impl App {
                 "responses".into(),
                 Json::Obj(vec![
                     ("2xx".into(), Json::Num(s2 as f64)),
+                    ("3xx".into(), Json::Num(s3 as f64)),
                     ("4xx".into(), Json::Num(s4 as f64)),
                     ("5xx".into(), Json::Num(s5 as f64)),
+                    ("other".into(), Json::Num(s_other as f64)),
                     (
                         "rejected_busy".into(),
                         Json::Num(self.metrics.busy_rejections() as f64),
@@ -251,16 +381,207 @@ impl App {
                 ]),
             ),
             (
+                "retention_cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Num(ret_hits as f64)),
+                    ("misses".into(), Json::Num(ret_misses as f64)),
+                    ("hit_rate".into(), Json::Num(ret_rate)),
+                ]),
+            ),
+            (
+                "queue".into(),
+                Json::Obj(vec![
+                    ("depth".into(), Json::Num(self.metrics.queue_depth() as f64)),
+                    (
+                        // A new view, so it uses the interpolated
+                        // quantile estimator from the start.
+                        "wait_ms".into(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::Num(wait.count() as f64)),
+                            ("mean".into(), Json::Num(wait.mean_ms())),
+                            ("p50".into(), Json::Num(wait.quantile_ms(0.50))),
+                            ("p90".into(), Json::Num(wait.quantile_ms(0.90))),
+                            ("p99".into(), Json::Num(wait.quantile_ms(0.99))),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
                 "latency_ms".into(),
                 Json::Obj(vec![
                     ("count".into(), Json::Num(lat.count() as f64)),
                     ("mean".into(), Json::Num(lat.mean_ms())),
-                    ("p50".into(), Json::Num(lat.quantile_ms(0.50))),
-                    ("p90".into(), Json::Num(lat.quantile_ms(0.90))),
-                    ("p99".into(), Json::Num(lat.quantile_ms(0.99))),
+                    // The historical upper-edge estimator, byte-compat
+                    // with every prior release of this view; the
+                    // interpolated estimate rides alongside as `*_est`.
+                    ("p50".into(), Json::Num(lat.quantile_ms_upper_edge(0.50))),
+                    ("p90".into(), Json::Num(lat.quantile_ms_upper_edge(0.90))),
+                    ("p99".into(), Json::Num(lat.quantile_ms_upper_edge(0.99))),
+                    ("p50_est".into(), Json::Num(lat.quantile_ms(0.50))),
+                    ("p90_est".into(), Json::Num(lat.quantile_ms(0.90))),
+                    ("p99_est".into(), Json::Num(lat.quantile_ms(0.99))),
                 ]),
             ),
         ])
+    }
+
+    /// The Prometheus text exposition (format 0.0.4) of every series in
+    /// the JSON metrics view — counters and gauges one-to-one, the two
+    /// log₂ histograms as cumulative-bucket histogram families.
+    pub fn render_prometheus(&self) -> String {
+        let m = &self.metrics;
+        let mut e = prom::Exposition::new();
+        e.gauge(
+            "hl_uptime_seconds",
+            "Seconds since the server started.",
+            m.uptime_s(),
+        );
+        e.gauge(
+            "hl_threads",
+            "Evaluation engine worker threads.",
+            self.ctx.engine().threads() as f64,
+        );
+        let route_samples: Vec<(&str, f64)> = Route::ALL
+            .iter()
+            .map(|r| (r.label(), m.requests_for(*r) as f64))
+            .collect();
+        e.counter_vec(
+            "hl_requests_total",
+            "Requests handled, by route.",
+            "route",
+            &route_samples,
+        );
+        e.counter(
+            "hl_requests_coalesced_total",
+            "Requests answered by joining an identical in-flight computation.",
+            m.coalesced() as f64,
+        );
+        e.counter(
+            "hl_requests_deprecated_total",
+            "Requests that arrived on a deprecated legacy route alias.",
+            m.deprecated_routes() as f64,
+        );
+        let (s2, s3, s4, s5, s_other) = m.status_counts_full();
+        e.counter_vec(
+            "hl_responses_total",
+            "Responses by status class.",
+            "class",
+            &[
+                ("2xx", s2 as f64),
+                ("3xx", s3 as f64),
+                ("4xx", s4 as f64),
+                ("5xx", s5 as f64),
+                ("other", s_other as f64),
+            ],
+        );
+        e.counter(
+            "hl_responses_rejected_busy_total",
+            "Connections shed with 503 at the connection cap.",
+            m.busy_rejections() as f64,
+        );
+        let (panics, respawns, quarantined) = m.worker_counts();
+        e.counter(
+            "hl_worker_panics_total",
+            "Worker threads killed by a panic.",
+            panics as f64,
+        );
+        e.counter(
+            "hl_worker_respawns_total",
+            "Dead workers respawned by the supervisor.",
+            respawns as f64,
+        );
+        e.counter(
+            "hl_workers_quarantined_total",
+            "Requests answered from quarantine.",
+            quarantined as f64,
+        );
+        let (shed_deadline, shed_overload) = m.shed_counts();
+        e.counter_vec(
+            "hl_shed_total",
+            "Requests shed, by reason.",
+            "reason",
+            &[
+                ("deadline", shed_deadline as f64),
+                ("overload", shed_overload as f64),
+            ],
+        );
+        let (accepted, closed) = m.connection_counts();
+        e.counter(
+            "hl_connections_accepted_total",
+            "Connections accepted.",
+            accepted as f64,
+        );
+        e.counter(
+            "hl_connections_closed_total",
+            "Connections closed.",
+            closed as f64,
+        );
+        e.gauge(
+            "hl_connections_active",
+            "Connections currently open.",
+            m.active_connections() as f64,
+        );
+        let reuse = m.reuse();
+        let reuse_edges: Vec<f64> = (0..REUSE_BUCKETS)
+            .map(|i| (1u64 << (i + 1)) as f64)
+            .collect();
+        e.histogram(
+            "hl_connection_requests",
+            "Requests served per closed connection.",
+            &reuse_edges,
+            &reuse.bucket_counts(),
+            reuse.sum() as f64,
+        );
+        let cache = self.ctx.engine().eval_cache();
+        e.gauge(
+            "hl_eval_cache_entries",
+            "Entries in the shared evaluation cache.",
+            cache.len() as f64,
+        );
+        let (hits, misses) = cache.stats();
+        e.counter("hl_eval_cache_hits_total", "Eval cache hits.", hits as f64);
+        e.counter(
+            "hl_eval_cache_misses_total",
+            "Eval cache misses.",
+            misses as f64,
+        );
+        let (ret_hits, ret_misses) = self.ctx.retention_stats();
+        e.counter(
+            "hl_retention_cache_hits_total",
+            "Retention (surrogate accuracy) cache hits.",
+            ret_hits as f64,
+        );
+        e.counter(
+            "hl_retention_cache_misses_total",
+            "Retention (surrogate accuracy) cache misses.",
+            ret_misses as f64,
+        );
+        // log₂ µs buckets exported in seconds: upper edge 2^(i+1) µs.
+        let latency_edges: Vec<f64> = (0..LATENCY_BUCKETS)
+            .map(|i| (1u64 << (i + 1)) as f64 / 1e6)
+            .collect();
+        let lat = m.latency();
+        e.histogram(
+            "hl_request_latency_seconds",
+            "Request handling latency.",
+            &latency_edges,
+            &lat.bucket_counts(),
+            lat.sum_us() as f64 / 1e6,
+        );
+        e.gauge(
+            "hl_queue_depth",
+            "Jobs waiting in the worker queue.",
+            m.queue_depth() as f64,
+        );
+        let wait = m.queue_wait();
+        e.histogram(
+            "hl_queue_wait_seconds",
+            "Time between enqueue and worker pickup.",
+            &latency_edges,
+            &wait.bucket_counts(),
+            wait.sum_us() as f64 / 1e6,
+        );
+        e.finish()
     }
 
     fn evaluate(&self, body: &[u8]) -> Result<Json, ApiError> {
@@ -388,6 +709,32 @@ impl App {
     }
 }
 
+/// Wraps a handler's JSON payload as the canonical 200 response.
+fn ok_json(json: Json) -> Response {
+    Response::json(200, json.encode())
+}
+
+/// Content negotiation for `GET /v1/metrics`: an explicit
+/// `format=prometheus|json` query parameter wins; without one, an
+/// `Accept` header naming `text/plain` selects Prometheus.
+fn wants_prometheus(req: &Request) -> Result<bool, ApiError> {
+    for pair in req.query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key == "format" {
+            return match value {
+                "prometheus" => Ok(true),
+                "json" => Ok(false),
+                other => Err(ApiError::bad_request(format!(
+                    "unknown metrics format {other:?}; use \"json\" or \"prometheus\""
+                ))),
+            };
+        }
+    }
+    Ok(req
+        .header("accept")
+        .is_some_and(|a| a.contains("text/plain")))
+}
+
 /// Strips the `/v1` version prefix, leaving legacy paths untouched:
 /// `/v1/evaluate` and `/evaluate` dispatch to the same handler (the
 /// alias is byte-identical by construction).
@@ -506,7 +853,7 @@ impl ApiError {
             status: 404,
             message: format!(
                 "no route {path}; available: GET /v1/healthz, GET /v1/designs, \
-                 GET /v1/metrics, GET /v1/models, POST /v1/evaluate, \
+                 GET /v1/metrics, GET /v1/models, GET /v1/trace, POST /v1/evaluate, \
                  POST /v1/evaluate_model, POST /v1/sweep, POST /v1/search"
             ),
         }
@@ -1044,5 +1391,246 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert_eq!(total, 3.0);
+    }
+
+    fn get_raw(app: &App, path: &str, query: &str, headers: &[(&str, &str)]) -> Response {
+        let req = Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query.into(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+            body: vec![],
+        };
+        app.handle(&req)
+    }
+
+    #[test]
+    fn metrics_format_negotiation() {
+        let app = test_app();
+        // Default stays JSON.
+        let resp = get_raw(&app, "/v1/metrics", "", &[]);
+        assert_eq!(resp.content_type, "application/json");
+        Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        // Explicit format=prometheus → text exposition.
+        let resp = get_raw(&app, "/v1/metrics", "format=prometheus", &[]);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, prom::CONTENT_TYPE);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("# TYPE hl_requests_total counter"));
+        prom::validate_exposition(&text).unwrap();
+        // Accept negotiation without an explicit format.
+        let resp = get_raw(&app, "/v1/metrics", "", &[("accept", "text/plain")]);
+        assert_eq!(resp.content_type, prom::CONTENT_TYPE);
+        // An explicit format beats the Accept header.
+        let resp = get_raw(
+            &app,
+            "/v1/metrics",
+            "format=json",
+            &[("accept", "text/plain")],
+        );
+        assert_eq!(resp.content_type, "application/json");
+        // Unknown formats are 400s, not silent fallbacks.
+        let resp = get_raw(&app, "/v1/metrics", "format=xml", &[]);
+        assert_eq!(resp.status, 400);
+        // Legacy alias answers the Prometheus form too.
+        let resp = get_raw(&app, "/metrics", "format=prometheus", &[]);
+        assert_eq!(resp.content_type, prom::CONTENT_TYPE);
+    }
+
+    /// Maps a dotted path of a leaf in the `/v1/metrics` JSON view to
+    /// the Prometheus family carrying the same series. A new JSON
+    /// series without a mapping fails the coverage test below.
+    fn family_for(path: &str) -> &'static str {
+        if let Some(rest) = path.strip_prefix("requests.") {
+            return match rest {
+                "coalesced" => "hl_requests_coalesced_total",
+                "deprecated" => "hl_requests_deprecated_total",
+                _ => "hl_requests_total", // total + per-route labels
+            };
+        }
+        if let Some(rest) = path.strip_prefix("responses.") {
+            return match rest {
+                "rejected_busy" => "hl_responses_rejected_busy_total",
+                _ => "hl_responses_total",
+            };
+        }
+        if let Some(rest) = path.strip_prefix("workers.") {
+            return match rest {
+                "panics" => "hl_worker_panics_total",
+                "respawns" => "hl_worker_respawns_total",
+                _ => "hl_workers_quarantined_total",
+            };
+        }
+        if path.starts_with("shed.") {
+            return "hl_shed_total";
+        }
+        if let Some(rest) = path.strip_prefix("connections.") {
+            return match rest {
+                "accepted" => "hl_connections_accepted_total",
+                "closed" => "hl_connections_closed_total",
+                "active" => "hl_connections_active",
+                _ => "hl_connection_requests", // the reuse histogram
+            };
+        }
+        if let Some(rest) = path.strip_prefix("eval_cache.") {
+            return match rest {
+                "entries" => "hl_eval_cache_entries",
+                "misses" => "hl_eval_cache_misses_total",
+                _ => "hl_eval_cache_hits_total", // hits + derived hit_rate
+            };
+        }
+        if let Some(rest) = path.strip_prefix("retention_cache.") {
+            return match rest {
+                "misses" => "hl_retention_cache_misses_total",
+                _ => "hl_retention_cache_hits_total",
+            };
+        }
+        if path == "queue.depth" {
+            return "hl_queue_depth";
+        }
+        if path.starts_with("queue.wait_ms") {
+            return "hl_queue_wait_seconds";
+        }
+        if path.starts_with("latency_ms") {
+            return "hl_request_latency_seconds";
+        }
+        match path {
+            "uptime_s" => "hl_uptime_seconds",
+            "threads" => "hl_threads",
+            other => panic!("JSON metrics series {other:?} has no Prometheus family mapping"),
+        }
+    }
+
+    fn leaf_paths(v: &Json, prefix: &str, out: &mut Vec<String>) {
+        match v {
+            Json::Obj(members) => {
+                for (k, val) in members {
+                    let p = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    leaf_paths(val, &p, out);
+                }
+            }
+            _ => out.push(prefix.to_string()),
+        }
+    }
+
+    #[test]
+    fn every_json_metrics_series_has_a_prometheus_family() {
+        let app = test_app();
+        // Touch a few counters so the series are non-trivial.
+        let _ = post(
+            &app,
+            "/v1/evaluate",
+            r#"{"design":"TC","m":32,"k":32,"n":32}"#,
+        );
+        let _ = get(&app, "/nope");
+        let (_, json) = get(&app, "/v1/metrics");
+        let exposition = app.render_prometheus();
+        prom::validate_exposition(&exposition).unwrap();
+        let mut paths = Vec::new();
+        leaf_paths(&json, "", &mut paths);
+        assert!(paths.len() > 30, "walker found only {} leaves", paths.len());
+        for path in &paths {
+            let family = family_for(path);
+            assert!(
+                exposition.contains(&format!("# TYPE {family} ")),
+                "{path} maps to {family}, which is missing from the exposition"
+            );
+        }
+    }
+
+    fn trace_rec(id: &str, route: &'static str, total_us: u64) -> crate::trace::TraceRecord {
+        crate::trace::TraceRecord {
+            id: id.to_string(),
+            route,
+            status: 200,
+            outcome: "complete",
+            started_s: 0.0,
+            total_us,
+            parse_us: 0,
+            queue_us: 0,
+            eval_us: total_us,
+            serialize_us: 0,
+            write_us: 0,
+            eval_cache_hits: 0,
+            eval_cache_misses: 0,
+        }
+    }
+
+    #[test]
+    fn trace_endpoint_serves_the_filtered_ring() {
+        let app = test_app();
+        app.observe_trace(trace_rec("aaa", "/v1/evaluate", 5000));
+        app.observe_trace(trace_rec("bbb", "/v1/healthz", 100));
+        let (status, v) = get(&app, "/v1/trace");
+        assert_eq!(status, 200);
+        assert_eq!(v.get("count").and_then(Json::as_f64), Some(2.0));
+        let traces = v.get("traces").and_then(Json::as_arr).unwrap();
+        assert_eq!(traces[0].get("id").and_then(Json::as_str), Some("aaa"));
+        assert_eq!(traces[1].get("id").and_then(Json::as_str), Some("bbb"));
+        // Route filter.
+        let resp = get_raw(&app, "/v1/trace", "route=/v1/evaluate", &[]);
+        let v = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_f64), Some(1.0));
+        // Duration floor: only the 5 ms trace passes min_ms=1.
+        let resp = get_raw(&app, "/v1/trace", "min_ms=1", &[]);
+        let v = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let traces = v.get("traces").and_then(Json::as_arr).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].get("id").and_then(Json::as_str), Some("aaa"));
+        // Limit keeps the newest.
+        let resp = get_raw(&app, "/v1/trace", "limit=1", &[]);
+        let v = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let traces = v.get("traces").and_then(Json::as_arr).unwrap();
+        assert_eq!(traces[0].get("id").and_then(Json::as_str), Some("bbb"));
+        // Typos 400 instead of silently returning everything.
+        let resp = get_raw(&app, "/v1/trace", "bogus=1", &[]);
+        assert_eq!(resp.status, 400);
+        // Method and legacy-path mapping: no unversioned alias.
+        let (status, _) = post(&app, "/v1/trace", "");
+        assert_eq!(status, 405);
+        let (status, _) = get(&app, "/trace");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn request_ids_honor_valid_headers_only() {
+        let app = test_app();
+        assert_eq!(app.request_id(Some("client-id.1")), "client-id.1");
+        let generated = app.request_id(None);
+        assert!(crate::trace::valid_request_id(&generated));
+        // Malformed ids are replaced, not echoed.
+        let replaced = app.request_id(Some("has space"));
+        assert_ne!(replaced, "has space");
+        assert!(crate::trace::valid_request_id(&replaced));
+        assert_ne!(app.request_id(None), generated);
+    }
+
+    #[test]
+    fn slow_requests_emit_structured_warnings() {
+        let app = test_app();
+        let buf = crate::log::SharedBuffer::new();
+        app.logger().set_sink(buf.make_sink());
+        // Threshold 0 → everything is slow (the CI boot check mode).
+        app.set_trace_slow(Some(Duration::ZERO));
+        app.observe_trace(trace_rec("slow1", "/v1/evaluate", 1234));
+        let text = buf.contents();
+        let v = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(v.get("event").and_then(Json::as_str), Some("slow_request"));
+        assert_eq!(v.get("level").and_then(Json::as_str), Some("warn"));
+        assert_eq!(v.get("trace_id").and_then(Json::as_str), Some("slow1"));
+        assert_eq!(v.get("duration_ms").and_then(Json::as_f64), Some(1.234));
+        // Disabled threshold + info level → per-request debug is gated.
+        app.set_trace_slow(None);
+        app.observe_trace(trace_rec("fast1", "/v1/evaluate", 1234));
+        assert_eq!(buf.contents().lines().count(), 1);
+        // The ring still recorded both.
+        assert_eq!(app.traces().snapshot().len(), 2);
     }
 }

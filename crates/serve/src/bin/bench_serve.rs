@@ -13,9 +13,10 @@
 //!   server rather than hidden by client backpressure (no coordinated
 //!   omission).
 //!
-//! Records p50/p90/p99/max latency, throughput, and the server-side
-//! cache hit rate per mode to `BENCH_serve.json` (honoring
-//! `HL_BENCH_OUT`, like `bench_sweeps`).
+//! Records p50/p90/p99/max latency, throughput, the server-side cache
+//! hit rate, and worker queue-wait stats per mode to `BENCH_serve.json`
+//! (honoring `HL_BENCH_OUT`, like `bench_sweeps`), and asserts the
+//! Prometheus exposition still validates after the load run.
 //!
 //! A fourth **overload** scenario runs against a second, deliberately
 //! constrained server (one worker slowed by a deterministic stall
@@ -401,8 +402,19 @@ fn main() {
         .and_then(|c| c.get("reuse"))
         .cloned()
         .unwrap_or(Json::Null);
+    let queue = metrics.get("queue").cloned().unwrap_or(Json::Null);
     println!("eval cache: {}", cache.encode());
     println!("connection reuse: {}", reuse.encode());
+    println!("worker queue: {}", queue.encode());
+
+    // The Prometheus view must stay a well-formed exposition after a
+    // full load run (the JSON and text renderers share counters, so a
+    // divergence here means a rendering bug, not a load artifact).
+    let (status, prom) = Client::new(&addr)
+        .send("GET", "/v1/metrics?format=prometheus", None)
+        .expect("prometheus scrape");
+    assert_eq!(status, 200);
+    hl_serve::prom::validate_exposition(&prom).expect("valid exposition after load");
 
     let overload = overload_scenario(clients.max(6), 25);
 
@@ -431,6 +443,7 @@ fn main() {
         ),
         ("eval_cache".into(), cache),
         ("connection_reuse".into(), reuse),
+        ("queue".into(), queue),
         ("overload".into(), overload),
     ]);
     let out = bench_out_path("BENCH_serve.json");

@@ -6,14 +6,25 @@
 //! hl-client [--addr HOST:PORT] health
 //! hl-client [--addr HOST:PORT] designs
 //! hl-client [--addr HOST:PORT] models
-//! hl-client [--addr HOST:PORT] metrics
+//! hl-client [--addr HOST:PORT] metrics [--prometheus]
+//! hl-client [--addr HOST:PORT] trace [--limit N] [--route PATH] [--min-ms MS]
 //! hl-client [--addr HOST:PORT] evaluate --design D [--m M --k K --n N] [--a S] [--b S]
 //! hl-client [--addr HOST:PORT] model DESIGN MODEL [--unstructured S | --hss G:H[,G:H]]
 //! hl-client [--addr HOST:PORT] search DESIGN MODEL [--budget POINTS]
 //! hl-client [--addr HOST:PORT] sweep [--designs A,B] [--a 0,0.5] [--b 0,0.25]
 //!                                    [--m M --k K --n N] [--limit N]
+//! hl-client checklog   # validate JSON-lines log fed on stdin
+//! hl-client promcheck  # validate a Prometheus exposition fed on stdin
 //! ```
+//!
+//! `metrics --prometheus` prints the raw text exposition unmodified (a
+//! curl-equivalent passthrough for scrapers); `trace` renders the
+//! server's request-trace ring as a span waterfall. `checklog` and
+//! `promcheck` are offline validators used by CI smoke tests: both read
+//! stdin, print a one-line summary, and exit nonzero on the first
+//! malformed line.
 
+use std::io::Read;
 use std::process::ExitCode;
 
 use hl_serve::client::Client;
@@ -21,11 +32,15 @@ use hl_serve::json::Json;
 use hl_serve::DEFAULT_ADDR;
 
 const USAGE: &str =
-    "usage: hl-client [--addr HOST:PORT] <health|designs|models|metrics|evaluate|model|search|sweep> [options]
+    "usage: hl-client [--addr HOST:PORT] <health|designs|models|metrics|trace|evaluate|model|search|sweep|checklog|promcheck> [options]
+  metrics [--prometheus]
+  trace [--limit N] [--route PATH] [--min-ms MS]
   evaluate --design D [--m M --k K --n N] [--a SPARSITY] [--b SPARSITY]
   model DESIGN MODEL [--unstructured SPARSITY | --hss G:H[,G:H...]]
   search DESIGN MODEL [--budget POINTS]
-  sweep [--designs A,B,...] [--a D1,D2,...] [--b D1,D2,...] [--m M --k K --n N] [--limit N]";
+  sweep [--designs A,B,...] [--a D1,D2,...] [--b D1,D2,...] [--m M --k K --n N] [--limit N]
+  checklog   (reads a JSON-lines log from stdin)
+  promcheck  (reads a Prometheus exposition from stdin)";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("hl-client: {msg}");
@@ -47,6 +62,11 @@ fn main() -> ExitCode {
             if name == "help" {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
+            }
+            // Boolean flags take no value operand.
+            if name == "prometheus" {
+                options.push((name.to_string(), "true".to_string()));
+                continue;
             }
             let Some(value) = it.next() else {
                 return fail(&format!("--{name} needs a value\n{USAGE}"));
@@ -85,6 +105,8 @@ fn main() -> ExitCode {
         "model" => &["unstructured", "hss"],
         "search" => &["budget"],
         "sweep" => &["designs", "a", "b", "m", "k", "n", "limit"],
+        "metrics" => &["prometheus"],
+        "trace" => &["limit", "route", "min-ms"],
         _ => &[],
     };
     if let Some((name, _)) = options.iter().find(|(n, _)| !allowed.contains(&n.as_str())) {
@@ -98,14 +120,42 @@ fn main() -> ExitCode {
             .map(|(_, v)| v.as_str())
     };
 
+    // Offline validators: no server involved, stdin in, verdict out.
+    if command == "checklog" {
+        return check_log_stdin();
+    }
+    if command == "promcheck" {
+        return check_prom_stdin();
+    }
+
     let mut client = Client::new(addr.clone());
     let result = match command.as_str() {
         "health" => client
             .get_json("/v1/healthz")
             .map(|(s, v)| (s, render_kv(&v))),
+        "metrics" if opt("prometheus").is_some() => {
+            // Raw passthrough: what a scraper sees, byte for byte.
+            client
+                .send("GET", "/v1/metrics?format=prometheus", None)
+                .map(|(s, text)| (s, text.trim_end().to_string()))
+        }
         "metrics" => client
             .get_json("/v1/metrics")
             .map(|(s, v)| (s, render_metrics(&v))),
+        "trace" => {
+            let mut query = Vec::new();
+            for (flag, key) in [("limit", "limit"), ("route", "route"), ("min-ms", "min_ms")] {
+                if let Some(v) = opt(flag) {
+                    query.push(format!("{key}={v}"));
+                }
+            }
+            let path = if query.is_empty() {
+                "/v1/trace".to_string()
+            } else {
+                format!("/v1/trace?{}", query.join("&"))
+            };
+            client.get_json(&path).map(|(s, v)| (s, render_trace(&v)))
+        }
         "designs" => client
             .get_json("/v1/designs")
             .map(|(s, v)| (s, render_designs(&v))),
@@ -247,6 +297,132 @@ fn main() -> ExitCode {
         }
         Err(e) => fail(&format!("request to {addr} failed: {e}")),
     }
+}
+
+/// Validates a JSON-lines structured log fed on stdin: every non-empty
+/// line must parse as a JSON object carrying `ts`, `level`, and `event`.
+fn check_log_stdin() -> ExitCode {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        return fail(&format!("cannot read stdin: {e}"));
+    }
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = match Json::parse(line) {
+            Ok(doc) => doc,
+            Err(e) => return fail(&format!("line {}: not JSON: {e}\n{line}", i + 1)),
+        };
+        for field in ["ts", "level", "event"] {
+            if doc.get(field).is_none() {
+                return fail(&format!("line {}: missing {field:?}\n{line}", i + 1));
+            }
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return fail("no structured log lines on stdin");
+    }
+    println!("checklog: {lines} structured log lines ok");
+    ExitCode::SUCCESS
+}
+
+/// Validates a Prometheus text exposition fed on stdin (`# TYPE` once
+/// per family, samples attributable, histogram buckets cumulative).
+fn check_prom_stdin() -> ExitCode {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        return fail(&format!("cannot read stdin: {e}"));
+    }
+    match hl_serve::prom::validate_exposition(&text) {
+        Ok(()) => {
+            let families = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+            println!("promcheck: {families} metric families ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("invalid exposition: {e}")),
+    }
+}
+
+/// The `/v1/trace` ring as a span waterfall, newest last.
+fn render_trace(v: &Json) -> String {
+    if let Some(msg) = render_error(v) {
+        return msg;
+    }
+    let empty = Vec::new();
+    let traces = v.get("traces").and_then(Json::as_arr).unwrap_or(&empty);
+    let mut out = format!(
+        "{} traces (ring capacity {}, {} dropped)\n",
+        num(v.get("count")) as usize,
+        num(v.get("capacity")) as usize,
+        num(v.get("dropped")) as usize,
+    );
+    out.push_str(&format!(
+        "{:<18} {:<20} {:>4} {:<14} {:>9} {:>7} {:>7} {:>8} {:>7} {:>7}  {}\n",
+        "id",
+        "route",
+        "st",
+        "outcome",
+        "total_ms",
+        "parse",
+        "queue",
+        "eval",
+        "ser",
+        "write",
+        "waterfall"
+    ));
+    for t in traces {
+        let spans = t.get("spans");
+        let span = |key: &str| spans.map_or(f64::NAN, |s| num(s.get(key)));
+        let total = num(t.get("total_ms"));
+        out.push_str(&format!(
+            "{:<18} {:<20} {:>4} {:<14} {:>9.3} {:>7.3} {:>7.3} {:>8.3} {:>7.3} {:>7.3}  {}\n",
+            t.get("id").and_then(Json::as_str).unwrap_or("?"),
+            t.get("route").and_then(Json::as_str).unwrap_or("?"),
+            num(t.get("status")) as u16,
+            t.get("outcome").and_then(Json::as_str).unwrap_or("?"),
+            total,
+            span("parse_ms"),
+            span("queue_ms"),
+            span("eval_ms"),
+            span("serialize_ms"),
+            span("write_ms"),
+            waterfall_bar(
+                &[
+                    ('p', span("parse_ms")),
+                    ('q', span("queue_ms")),
+                    ('e', span("eval_ms")),
+                    ('s', span("serialize_ms")),
+                    ('w', span("write_ms")),
+                ],
+                total,
+            ),
+        ));
+    }
+    out.trim_end().to_string()
+}
+
+/// A fixed-width bar of span letters, each segment sized by its share
+/// of the total (every nonzero span shows at least one cell).
+fn waterfall_bar(spans: &[(char, f64)], total_ms: f64) -> String {
+    const WIDTH: usize = 24;
+    if total_ms.is_nan() || total_ms <= 0.0 {
+        return String::new();
+    }
+    let mut bar = String::new();
+    for &(letter, ms) in spans {
+        if ms.is_nan() || ms <= 0.0 {
+            continue;
+        }
+        let cells = ((ms / total_ms) * WIDTH as f64).round().max(1.0) as usize;
+        for _ in 0..cells.min(WIDTH) {
+            bar.push(letter);
+        }
+    }
+    bar.truncate(WIDTH);
+    format!("[{bar}]")
 }
 
 /// The server's structured `{"error":{"code","message"}}` body, when

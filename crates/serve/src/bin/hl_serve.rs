@@ -4,6 +4,7 @@
 //! hl-serve [--addr HOST:PORT] [--workers N] [--max-connections N]
 //!          [--snapshot PATH] [--snapshot-interval SECS]
 //!          [--default-deadline MS] [--faults SPEC]
+//!          [--log-level LEVEL] [--trace-slow-ms MS]
 //! ```
 //!
 //! The worker pool (and the shared sweep engine) default to `HL_THREADS`
@@ -16,8 +17,11 @@
 //! budget even when the request body carries no `deadline_ms`.
 //! `--faults` (or `HL_FAULTS`; the flag wins) arms the deterministic
 //! fault-injection plane — see `hl_serve::faults` for the spec grammar.
-//! SIGTERM and ctrl-c drain in-flight requests before the process
-//! exits.
+//! `--log-level` (error|warn|info|debug, default info) gates the
+//! structured JSON-lines log on stderr; `--trace-slow-ms` additionally
+//! logs any request slower than the threshold at warn level (0 logs
+//! everything). SIGTERM and ctrl-c drain in-flight requests before the
+//! process exits.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -25,11 +29,14 @@ use std::time::Duration;
 
 use hl_serve::api::App;
 use hl_serve::faults::FaultPlane;
+use hl_serve::json::Json;
+use hl_serve::log::Level;
 use hl_serve::server::{Server, ServerConfig};
 use hl_serve::signal;
 
 const USAGE: &str = "usage: hl-serve [--addr HOST:PORT] [--workers N] [--max-connections N] \
-     [--snapshot PATH] [--snapshot-interval SECS] [--default-deadline MS] [--faults SPEC]";
+     [--snapshot PATH] [--snapshot-interval SECS] [--default-deadline MS] [--faults SPEC] \
+     [--log-level error|warn|info|debug] [--trace-slow-ms MS]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -44,6 +51,8 @@ fn main() -> ExitCode {
         }
     }
     let mut faults_spec: Option<String> = None;
+    let mut log_level = Level::Info;
+    let mut trace_slow: Option<Duration> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,6 +84,14 @@ fn main() -> ExitCode {
                 Some(v) => faults_spec = Some(v),
                 None => return usage(),
             },
+            "--log-level" => match args.next().and_then(|v| Level::parse(&v)) {
+                Some(level) => log_level = level,
+                None => return usage(),
+            },
+            "--trace-slow-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => trace_slow = Some(Duration::from_millis(ms)),
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -100,15 +117,22 @@ fn main() -> ExitCode {
             }
         },
     };
-    if let Some(plane) = &faults {
-        eprintln!(
-            "hl-serve: FAULT INJECTION ARMED (seed {}) — not for production",
-            plane.seed()
-        );
-    }
     config.faults = faults;
 
-    let server = match Server::bind(config.clone(), App::new()) {
+    let app = App::new();
+    app.logger().set_level(log_level);
+    app.set_trace_slow(trace_slow);
+    if let Some(plane) = &config.faults {
+        app.logger().warn(
+            "fault_injection_armed",
+            &[
+                ("seed", Json::Num(plane.seed() as f64)),
+                ("note", Json::str("not for production")),
+            ],
+        );
+    }
+
+    let server = match Server::bind(config.clone(), app) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("hl-serve: cannot bind {}: {e}", config.addr);
@@ -128,7 +152,8 @@ fn main() -> ExitCode {
     );
     println!(
         "endpoints: GET /v1/healthz  GET /v1/designs  GET /v1/metrics  GET /v1/models  \
-         POST /v1/evaluate  POST /v1/evaluate_model  POST /v1/sweep  POST /v1/search"
+         GET /v1/trace  POST /v1/evaluate  POST /v1/evaluate_model  POST /v1/sweep  \
+         POST /v1/search"
     );
     if let Some(path) = &config.snapshot {
         println!("snapshot: {}", path.display());

@@ -73,6 +73,8 @@ pub struct Client {
     rng: u64,
     prev_backoff: Duration,
     retries: u64,
+    /// `X-Request-Id` echoed on the most recent response, if any.
+    last_request_id: Option<String>,
 }
 
 impl Client {
@@ -86,6 +88,7 @@ impl Client {
             rng: 1,
             prev_backoff: Duration::ZERO,
             retries: 0,
+            last_request_id: None,
         }
     }
 
@@ -107,6 +110,14 @@ impl Client {
     /// How many retries this client has performed so far.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// The `X-Request-Id` the server echoed on the most recent response
+    /// (None before the first request, or if the server sent none).
+    /// Lets callers correlate a response with `GET /v1/trace` records
+    /// and structured log lines.
+    pub fn request_id(&self) -> Option<&str> {
+        self.last_request_id.as_deref()
     }
 
     fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
@@ -224,7 +235,7 @@ impl Client {
             )?;
             writer.flush()?;
         }
-        let (status, text, close, retry_after) = match read_response(reader) {
+        let (status, text, close, retry_after, request_id) = match read_response(reader) {
             Ok(resp) => resp,
             Err(e) => {
                 self.conn = None;
@@ -234,6 +245,7 @@ impl Client {
         if close {
             self.conn = None;
         }
+        self.last_request_id = request_id;
         Ok(RawResponse {
             status,
             text,
@@ -281,11 +293,12 @@ fn is_stale(e: &io::Error) -> bool {
     )
 }
 
-/// Reads one response (status, body, connection-close flag, and the
-/// `Retry-After` seconds if the server sent one).
-fn read_response(
-    reader: &mut BufReader<TcpStream>,
-) -> io::Result<(u16, String, bool, Option<u64>)> {
+/// One response off the wire: status, body, connection-close flag, the
+/// `Retry-After` seconds if the server sent one, and the echoed
+/// `X-Request-Id` if present.
+type WireResponse = (u16, String, bool, Option<u64>, Option<String>);
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<WireResponse> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     if status_line.is_empty() {
@@ -304,6 +317,7 @@ fn read_response(
     let mut chunked = false;
     let mut close = false;
     let mut retry_after: Option<u64> = None;
+    let mut request_id: Option<String> = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -325,6 +339,8 @@ fn read_response(
             } else if name.eq_ignore_ascii_case("retry-after") {
                 // Only the delta-seconds form; a date form is ignored.
                 retry_after = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("x-request-id") {
+                request_id = Some(value.to_string());
             }
         }
     }
@@ -356,7 +372,7 @@ fn read_response(
         close = true;
     }
     let text = String::from_utf8(body).map_err(|_| invalid("response body is not UTF-8"))?;
-    Ok((status, text, close, retry_after))
+    Ok((status, text, close, retry_after, request_id))
 }
 
 /// Sends one request on a fresh `Connection: close` connection and reads
@@ -383,7 +399,7 @@ pub fn request(
     )?;
     writer.flush()?;
     let mut reader = BufReader::new(stream);
-    let (status, text, _, _) = read_response(&mut reader)?;
+    let (status, text, _, _, _) = read_response(&mut reader)?;
     Ok((status, text))
 }
 

@@ -297,6 +297,15 @@ impl Response {
     /// coalescing path lean on: one computed [`Response`] serializes
     /// identically for every waiter with the same connection mode.
     pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        self.to_bytes_with_id(keep_alive, None)
+    }
+
+    /// [`Self::to_bytes`] plus an optional `X-Request-Id` echo header.
+    /// With `request_id: None` the output is byte-identical to
+    /// `to_bytes(keep_alive)`; the id must already satisfy
+    /// [`crate::trace::valid_request_id`] (the server validates or
+    /// generates it) so it cannot split the header block.
+    pub fn to_bytes_with_id(&self, keep_alive: bool, request_id: Option<&str>) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.body.len() + 128);
         out.extend_from_slice(
             format!(
@@ -308,6 +317,9 @@ impl Response {
             )
             .as_bytes(),
         );
+        if let Some(id) = request_id {
+            out.extend_from_slice(format!("X-Request-Id: {id}\r\n").as_bytes());
+        }
         if let Some(seconds) = self.retry_after {
             out.extend_from_slice(format!("Retry-After: {seconds}\r\n").as_bytes());
         }
@@ -488,6 +500,30 @@ mod tests {
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
         let text = String::from_utf8(Response::json(200, r#"{"ok":true}"#).to_bytes(true)).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn request_id_header_is_injected_without_changing_the_rest() {
+        let resp = Response::json(200, r#"{"ok":true}"#);
+        // No id → byte-identical to the plain serialization.
+        assert_eq!(resp.to_bytes_with_id(true, None), resp.to_bytes(true));
+        let tagged =
+            String::from_utf8(resp.to_bytes_with_id(true, Some("abc123def4567890"))).unwrap();
+        assert!(tagged.contains("X-Request-Id: abc123def4567890\r\n"));
+        // Removing the one injected header restores the plain bytes.
+        let stripped = tagged.replacen("X-Request-Id: abc123def4567890\r\n", "", 1);
+        assert_eq!(stripped.into_bytes(), resp.to_bytes(true));
+        // Orders with Retry-After: Connection, X-Request-Id, Retry-After.
+        let shed = String::from_utf8(
+            Response::json(503, "{}")
+                .with_retry_after(1)
+                .to_bytes_with_id(false, Some("id1")),
+        )
+        .unwrap();
+        let conn = shed.find("Connection:").unwrap();
+        let rid = shed.find("X-Request-Id:").unwrap();
+        let retry = shed.find("Retry-After:").unwrap();
+        assert!(conn < rid && rid < retry);
     }
 
     #[test]

@@ -27,8 +27,11 @@
 //! (evaluation-cache persistence across restarts), [`signal`]
 //! (SIGTERM/ctrl-c → shutdown flag), [`api`] (the endpoint handlers),
 //! [`metrics`] (lock-free counters + latency histogram + connection
-//! accounting), and [`client`] (the keep-alive client the `hl-client`
-//! CLI, the load bench, and the e2e tests use).
+//! accounting), [`trace`] (per-request lifecycle spans in a ring served
+//! at `/v1/trace`), [`log`] (leveled, rate-limited JSON-lines logging),
+//! [`prom`] (Prometheus text exposition + validator), and [`client`]
+//! (the keep-alive client the `hl-client` CLI, the load bench, and the
+//! e2e tests use).
 //!
 //! # Example
 //!
@@ -59,11 +62,14 @@ pub mod epoll;
 pub mod faults;
 pub mod http;
 pub mod json;
+pub mod log;
 pub mod metrics;
+pub mod prom;
 pub mod schema;
 pub mod server;
 pub mod signal;
 pub mod snapshot;
+pub mod trace;
 
 pub use api::App;
 pub use json::Json;

@@ -1,0 +1,360 @@
+//! Structured JSON-lines logging for the serving core.
+//!
+//! One [`Logger`] lives on the [`crate::api::App`] and is shared by the
+//! event loop, the worker pool, and the snapshot machinery. Every event
+//! is a single JSON object on one line — machine-parseable with the
+//! repo's own [`crate::json`] codec — carrying at least `ts`, `level`,
+//! and `event`, plus whatever context fields the call site attaches
+//! (`trace_id`, `route`, `status`, `duration_ms`, …).
+//!
+//! The logger is leveled ([`Level`], settable at runtime via
+//! `--log-level`) and rate-limited: past
+//! [`Logger::DEFAULT_EVENTS_PER_SEC`] events in a one-second window,
+//! further events are counted and dropped instead of written, and the
+//! next window opens with a `log_events_dropped` notice so the loss is
+//! visible in the stream itself. Emission never blocks the caller on
+//! slow sinks longer than the sink's own write; a failed write is
+//! ignored (stderr going away must not take the server with it).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+
+/// Log severity, from most to least severe. The logger emits an event
+/// when its level is at or above the event's (e.g. an `Info` logger
+/// emits `Error`, `Warn`, and `Info`, but not `Debug`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The server lost something it should not have (failed snapshot
+    /// save, fatal subsystem error).
+    Error = 0,
+    /// Degraded but coped: slow requests, injected faults, shed work.
+    Warn = 1,
+    /// Lifecycle events (boot, drain, snapshot load/save).
+    Info = 2,
+    /// Per-request events.
+    Debug = 3,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive): `error`, `warn`, `info`,
+    /// or `debug`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// The wire label (`"error"`, `"warn"`, `"info"`, `"debug"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+}
+
+/// A shared in-memory sink for tests: hand
+/// [`SharedBuffer::make_sink`] to [`Logger::set_sink`] and read back
+/// everything the logger wrote with [`SharedBuffer::contents`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A `Write` handle over the same underlying buffer.
+    pub fn make_sink(&self) -> Box<dyn Write + Send> {
+        Box::new(SharedBufferSink {
+            buf: Arc::clone(&self.buf),
+        })
+    }
+
+    /// Everything written so far, lossily decoded as UTF-8.
+    pub fn contents(&self) -> String {
+        let buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+}
+
+struct SharedBufferSink {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Write for SharedBufferSink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The JSON-lines logger. See the module docs for the event shape.
+pub struct Logger {
+    level: AtomicU8,
+    sink: Mutex<Box<dyn Write + Send>>,
+    limit: u64,
+    window: Mutex<Window>,
+    emitted: AtomicU64,
+    dropped: AtomicU64,
+}
+
+struct Window {
+    start: Instant,
+    count: u64,
+    dropped: u64,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("level", &self.level())
+            .field("limit", &self.limit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Logger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Logger {
+    /// Rate-limit ceiling: events per one-second window before the
+    /// logger starts dropping (and counting) instead of writing.
+    pub const DEFAULT_EVENTS_PER_SEC: u64 = 4096;
+
+    /// A stderr logger at [`Level::Info`] with the default rate limit.
+    pub fn new() -> Self {
+        Self::with_sink(Box::new(std::io::stderr()))
+    }
+
+    /// A logger over an arbitrary sink (tests use [`SharedBuffer`]).
+    pub fn with_sink(sink: Box<dyn Write + Send>) -> Self {
+        Self {
+            level: AtomicU8::new(Level::Info as u8),
+            sink: Mutex::new(sink),
+            limit: Self::DEFAULT_EVENTS_PER_SEC,
+            window: Mutex::new(Window {
+                start: Instant::now(),
+                count: 0,
+                dropped: 0,
+            }),
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the sink (tests capture output this way).
+    pub fn set_sink(&self, sink: Box<dyn Write + Send>) {
+        *self.sink.lock().unwrap_or_else(|e| e.into_inner()) = sink;
+    }
+
+    /// Sets the emission level.
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// The current emission level.
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// True when an event at `level` would be emitted (cheap pre-check
+    /// so call sites can skip building fields for disabled levels).
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.level()
+    }
+
+    /// Events written so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped by the rate limiter so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Emits one structured event: a single JSON line with `ts` (unix
+    /// seconds), `level`, `event`, then `fields` in the given order.
+    pub fn log(&self, level: Level, event: &str, fields: &[(&str, Json)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let rolled_over = {
+            let mut w = self.window.lock().unwrap_or_else(|e| e.into_inner());
+            if w.start.elapsed().as_secs() >= 1 {
+                let lost = w.dropped;
+                w.start = Instant::now();
+                w.count = 1;
+                w.dropped = 0;
+                (lost > 0).then_some(lost)
+            } else if w.count >= self.limit {
+                w.dropped += 1;
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            } else {
+                w.count += 1;
+                None
+            }
+        };
+        if let Some(lost) = rolled_over {
+            self.write_line(Level::Warn, "log_events_dropped", {
+                &[("count", Json::Num(lost as f64))]
+            });
+        }
+        self.write_line(level, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Error`].
+    pub fn error(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Error, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Warn`].
+    pub fn warn(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Warn, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Info`].
+    pub fn info(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Info, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Debug`].
+    pub fn debug(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Debug, event, fields);
+    }
+
+    fn write_line(&self, level: Level, event: &str, fields: &[(&str, Json)]) {
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0.0, |d| (d.as_secs_f64() * 1000.0).round() / 1000.0);
+        let mut members = Vec::with_capacity(3 + fields.len());
+        members.push(("ts".to_string(), Json::Num(ts)));
+        members.push(("level".to_string(), Json::str(level.label())));
+        members.push(("event".to_string(), Json::str(event)));
+        for (k, v) in fields {
+            members.push(((*k).to_string(), v.clone()));
+        }
+        let mut line = Json::Obj(members).encode();
+        line.push('\n');
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        // A dead sink must never take the server down with it.
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.flush();
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture_logger() -> (Logger, SharedBuffer) {
+        let buf = SharedBuffer::new();
+        let logger = Logger::with_sink(buf.make_sink());
+        (logger, buf)
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(l.label()), Some(l));
+        }
+    }
+
+    #[test]
+    fn events_are_one_parseable_json_line_each() {
+        let (logger, buf) = capture_logger();
+        logger.info(
+            "request",
+            &[
+                ("trace_id", Json::str("abc123")),
+                ("route", Json::str("/v1/evaluate")),
+                ("status", Json::Num(200.0)),
+                ("duration_ms", Json::Num(1.25)),
+            ],
+        );
+        logger.error("snapshot_save_failed", &[("path", Json::str("/tmp/x"))]);
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("level").and_then(Json::as_str), Some("info"));
+        assert_eq!(first.get("event").and_then(Json::as_str), Some("request"));
+        assert_eq!(first.get("trace_id").and_then(Json::as_str), Some("abc123"));
+        assert_eq!(first.get("status").and_then(Json::as_f64), Some(200.0));
+        assert!(first.get("ts").and_then(Json::as_f64).unwrap() > 0.0);
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("level").and_then(Json::as_str), Some("error"));
+        assert_eq!(logger.emitted(), 2);
+    }
+
+    #[test]
+    fn level_gates_emission() {
+        let (logger, buf) = capture_logger();
+        logger.set_level(Level::Warn);
+        assert!(logger.enabled(Level::Error));
+        assert!(!logger.enabled(Level::Info));
+        logger.debug("hidden", &[]);
+        logger.info("hidden", &[]);
+        logger.warn("visible", &[]);
+        logger.error("visible", &[]);
+        assert_eq!(buf.contents().lines().count(), 2);
+        logger.set_level(Level::Debug);
+        logger.debug("now-visible", &[]);
+        assert_eq!(buf.contents().lines().count(), 3);
+    }
+
+    #[test]
+    fn rate_limit_drops_and_counts() {
+        let (logger, buf) = capture_logger();
+        for _ in 0..(Logger::DEFAULT_EVENTS_PER_SEC + 10) {
+            logger.info("spam", &[]);
+        }
+        assert_eq!(logger.emitted(), Logger::DEFAULT_EVENTS_PER_SEC);
+        assert_eq!(logger.dropped(), 10);
+        assert_eq!(
+            buf.contents().lines().count() as u64,
+            Logger::DEFAULT_EVENTS_PER_SEC
+        );
+    }
+}

@@ -31,13 +31,15 @@ pub enum Route {
     Sweep,
     /// `POST /v1/search`.
     Search,
+    /// `GET /v1/trace`.
+    Trace,
     /// Anything else (404s, parse failures, …).
     Other,
 }
 
 impl Route {
     /// All tracked routes, in display order.
-    pub const ALL: [Route; 9] = [
+    pub const ALL: [Route; 10] = [
         Route::Healthz,
         Route::Designs,
         Route::Metrics,
@@ -46,6 +48,7 @@ impl Route {
         Route::EvaluateModel,
         Route::Sweep,
         Route::Search,
+        Route::Trace,
         Route::Other,
     ];
 
@@ -71,6 +74,9 @@ impl Route {
             "/evaluate_model" => Route::EvaluateModel,
             "/sweep" => Route::Sweep,
             "/search" => Route::Search,
+            // /v1/trace postdates the legacy aliases; there is no bare
+            // /trace endpoint to alias, so unversioned stays Other.
+            "/trace" if versioned => Route::Trace,
             _ => Route::Other,
         };
         (route, !versioned && route != Route::Other)
@@ -87,6 +93,7 @@ impl Route {
             Route::EvaluateModel => "/v1/evaluate_model",
             Route::Sweep => "/v1/sweep",
             Route::Search => "/v1/search",
+            Route::Trace => "/v1/trace",
             Route::Other => "other",
         }
     }
@@ -133,10 +140,41 @@ impl LatencyHistogram {
         self.sum_us.load(Ordering::Relaxed) as f64 / n as f64 / 1000.0
     }
 
-    /// Estimated latency quantile in milliseconds: the upper edge of the
-    /// first bucket whose cumulative count reaches `q · total` (0 when
-    /// empty). `q` is clamped to `[0, 1]`.
+    /// Estimated latency quantile in milliseconds (0 when empty), with
+    /// linear interpolation inside the winning log₂ bucket: assuming
+    /// observations spread evenly across `[2^i, 2^(i+1))`, the estimate
+    /// is `lower + frac · width` where `frac` is how deep into the
+    /// bucket the target rank falls. `q` is clamped to `[0, 1]`. For
+    /// the historical upper-edge estimate (which overstates by up to 2×
+    /// but is what the `/v1/metrics` JSON has always reported), see
+    /// [`Self::quantile_ms_upper_edge`].
     pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            seen += n;
+            if seen >= target && n > 0 {
+                // Bucket 0 also holds sub-µs observations, so its
+                // interpolation floor is 0 rather than 2^0.
+                let lower = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let upper = (1u64 << (i + 1)) as f64;
+                let frac = (target - (seen - n)) as f64 / n as f64;
+                return (lower + frac * (upper - lower)) / 1000.0;
+            }
+        }
+        (1u64 << LATENCY_BUCKETS) as f64 / 1000.0
+    }
+
+    /// The pre-interpolation quantile estimate: the upper edge
+    /// (`2^(i+1)` µs) of the first bucket whose cumulative count
+    /// reaches `q · total` (0 when empty). Kept byte-compatible for the
+    /// existing `/v1/metrics` JSON view.
+    pub fn quantile_ms_upper_edge(&self, q: f64) -> f64 {
         let total = self.count();
         if total == 0 {
             return 0.0;
@@ -151,6 +189,21 @@ impl LatencyHistogram {
             }
         }
         (1u64 << LATENCY_BUCKETS) as f64 / 1000.0
+    }
+
+    /// Sum of all observations in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// All per-bucket (non-cumulative) counts, in bucket order —
+    /// the raw series Prometheus exposition accumulates.
+    pub fn bucket_counts(&self) -> [u64; LATENCY_BUCKETS] {
+        let mut out = [0u64; LATENCY_BUCKETS];
+        for (slot, b) in out.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Snapshot of the non-empty buckets as `(upper_edge_ms, count)`.
@@ -220,6 +273,20 @@ impl ReuseHistogram {
             })
             .collect()
     }
+
+    /// Sum of requests across all recorded connections.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// All per-bucket (non-cumulative) counts, in bucket order.
+    pub fn bucket_counts(&self) -> [u64; REUSE_BUCKETS] {
+        let mut out = [0u64; REUSE_BUCKETS];
+        for (slot, b) in out.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        out
+    }
 }
 
 /// Server-wide metrics shared between the event loop and the worker pool.
@@ -228,8 +295,10 @@ pub struct Metrics {
     started: Instant,
     requests: [AtomicU64; Route::ALL.len()],
     status_2xx: AtomicU64,
+    status_3xx: AtomicU64,
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,
+    status_other: AtomicU64,
     rejected_busy: AtomicU64,
     deprecated_route: AtomicU64,
     coalesced: AtomicU64,
@@ -240,7 +309,9 @@ pub struct Metrics {
     quarantined: AtomicU64,
     shed_deadline: AtomicU64,
     shed_overload: AtomicU64,
+    queue_depth: AtomicU64,
     latency: LatencyHistogram,
+    queue_wait: LatencyHistogram,
     reuse: ReuseHistogram,
 }
 
@@ -257,8 +328,10 @@ impl Metrics {
             started: Instant::now(),
             requests: Default::default(),
             status_2xx: AtomicU64::new(0),
+            status_3xx: AtomicU64::new(0),
             status_4xx: AtomicU64::new(0),
             status_5xx: AtomicU64::new(0),
+            status_other: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             deprecated_route: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
@@ -269,7 +342,9 @@ impl Metrics {
             quarantined: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
             reuse: ReuseHistogram::new(),
         }
     }
@@ -320,8 +395,12 @@ impl Metrics {
         self.requests[Self::route_index(route)].fetch_add(1, Ordering::Relaxed);
         match status {
             200..=299 => &self.status_2xx,
+            300..=399 => &self.status_3xx,
             400..=499 => &self.status_4xx,
-            _ => &self.status_5xx,
+            500..=599 => &self.status_5xx,
+            // 1xx and anything out of range — previously miscounted
+            // as 5xx by a catch-all arm.
+            _ => &self.status_other,
         }
         .fetch_add(1, Ordering::Relaxed);
     }
@@ -400,12 +479,25 @@ impl Metrics {
             .sum()
     }
 
-    /// `(2xx, 4xx, 5xx)` response counts.
+    /// `(2xx, 4xx, 5xx)` response counts (the historical view; see
+    /// [`Self::status_counts_full`] for all five classes).
     pub fn status_counts(&self) -> (u64, u64, u64) {
         (
             self.status_2xx.load(Ordering::Relaxed),
             self.status_4xx.load(Ordering::Relaxed),
             self.status_5xx.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(2xx, 3xx, 4xx, 5xx, other)` response counts, where `other` is
+    /// 1xx plus anything outside 100–599.
+    pub fn status_counts_full(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.status_2xx.load(Ordering::Relaxed),
+            self.status_3xx.load(Ordering::Relaxed),
+            self.status_4xx.load(Ordering::Relaxed),
+            self.status_5xx.load(Ordering::Relaxed),
+            self.status_other.load(Ordering::Relaxed),
         )
     }
 
@@ -436,6 +528,29 @@ impl Metrics {
     pub fn active_connections(&self) -> u64 {
         let (accepted, closed) = self.connection_counts();
         accepted.saturating_sub(closed)
+    }
+
+    /// Records a job entering the worker queue (bumps the depth gauge).
+    pub fn record_enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a job leaving the worker queue after waiting `wait`
+    /// (drops the depth gauge, feeds the queue-wait histogram).
+    pub fn record_dequeued(&self, wait: Duration) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_wait.record(wait);
+    }
+
+    /// Jobs currently sitting in the worker queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// The queue-wait histogram (time between enqueue and worker
+    /// pickup).
+    pub fn queue_wait(&self) -> &LatencyHistogram {
+        &self.queue_wait
     }
 
     /// The requests-per-connection histogram.
@@ -472,6 +587,9 @@ mod tests {
         assert_eq!(Route::resolve("/healthz"), (Route::Healthz, true));
         assert_eq!(Route::resolve("/v1/sweep"), (Route::Sweep, false));
         assert_eq!(Route::resolve("/sweep"), (Route::Sweep, true));
+        // /v1/trace is new — no legacy alias, so bare /trace is a 404.
+        assert_eq!(Route::resolve("/v1/trace"), (Route::Trace, false));
+        assert_eq!(Route::resolve("/trace"), (Route::Other, false));
         // 404s are not deprecations, versioned or not.
         assert_eq!(Route::resolve("/nope"), (Route::Other, false));
         assert_eq!(Route::resolve("/v1/nope"), (Route::Other, false));
@@ -492,13 +610,53 @@ mod tests {
             h.record(Duration::from_micros(16_000));
         }
         assert_eq!(h.count(), 100);
-        // p50 lands in the 8 µs bucket (upper edge 16 µs = 0.016 ms).
+        // p50 lands in the 8 µs bucket (upper edge 16 µs = 0.016 ms);
+        // interpolation stays inside it.
         assert!(h.quantile_ms(0.5) <= 0.016 + 1e-12);
-        // p99 lands in the slow bucket (upper edge 32.768 ms).
+        // p99 lands in the slow bucket [8.192, 16.384) ms; interpolated
+        // rank 99 of 100 sits 9/10 into it.
         let p99 = h.quantile_ms(0.99);
-        assert!((16.0..=32.768).contains(&p99), "p99 = {p99}");
+        assert!((8.192..=16.384).contains(&p99), "p99 = {p99}");
+        assert!((p99 - 15.5648).abs() < 1e-9, "p99 = {p99}");
         assert!(h.mean_ms() > 0.0);
         assert_eq!(h.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    fn upper_edge_quantile_keeps_historical_behavior() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ms_upper_edge(0.5), 0.0);
+        for _ in 0..90 {
+            h.record(Duration::from_micros(8));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(16_000));
+        }
+        // The historical estimate is always a bucket upper edge.
+        assert_eq!(h.quantile_ms_upper_edge(0.5), 0.016);
+        assert_eq!(h.quantile_ms_upper_edge(0.99), 16.384);
+        // Interpolation never exceeds the upper-edge estimate.
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert!(h.quantile_ms(q) <= h.quantile_ms_upper_edge(q) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bucket_counts_and_sums_snapshot_raw_series() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(8));
+        h.record(Duration::from_micros(9));
+        h.record(Duration::from_micros(100));
+        let counts = h.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+        assert_eq!(counts[3], 2); // [8, 16) µs
+        assert_eq!(counts[6], 1); // [64, 128) µs
+        assert_eq!(h.sum_us(), 117);
+        let r = ReuseHistogram::new();
+        r.record(1);
+        r.record(150);
+        assert_eq!(r.bucket_counts().iter().sum::<u64>(), 2);
+        assert_eq!(r.sum(), 151);
     }
 
     #[test]
@@ -537,6 +695,36 @@ mod tests {
         assert_eq!(m.busy_rejections(), 1);
         assert_eq!(m.latency().count(), 4);
         assert!(m.uptime_s() >= 0.0);
+    }
+
+    #[test]
+    fn status_classes_cover_1xx_3xx_and_out_of_range() {
+        let m = Metrics::new();
+        m.record(Route::Healthz, 200, Duration::from_micros(1));
+        m.record(Route::Healthz, 301, Duration::from_micros(1));
+        m.record(Route::Healthz, 304, Duration::from_micros(1));
+        m.record(Route::Healthz, 404, Duration::from_micros(1));
+        m.record(Route::Healthz, 500, Duration::from_micros(1));
+        m.record(Route::Healthz, 101, Duration::from_micros(1));
+        m.record(Route::Healthz, 999, Duration::from_micros(1));
+        // 1xx/3xx/out-of-range no longer pollute the 5xx counter.
+        assert_eq!(m.status_counts(), (1, 1, 1));
+        assert_eq!(m.status_counts_full(), (1, 2, 1, 1, 2));
+    }
+
+    #[test]
+    fn queue_gauge_and_wait_histogram() {
+        let m = Metrics::new();
+        assert_eq!(m.queue_depth(), 0);
+        m.record_enqueued();
+        m.record_enqueued();
+        assert_eq!(m.queue_depth(), 2);
+        m.record_dequeued(Duration::from_micros(50));
+        assert_eq!(m.queue_depth(), 1);
+        m.record_dequeued(Duration::from_micros(150));
+        assert_eq!(m.queue_depth(), 0);
+        assert_eq!(m.queue_wait().count(), 2);
+        assert_eq!(m.queue_wait().sum_us(), 200);
     }
 
     #[test]

@@ -51,6 +51,15 @@
 //! `Option` and the server's behavior is byte-identical to a build
 //! that never heard of faults.
 //!
+//! **Observability**: every request carries a trace id (client-supplied
+//! `X-Request-Id` or generated), echoed on the response and recorded —
+//! with a parse/queue/eval/serialize/write span waterfall whose spans
+//! sum exactly to the total — in the [`crate::trace`] ring served at
+//! `GET /v1/trace`. Fault injections, sheds, and snapshot failures emit
+//! structured JSON log lines (see [`crate::log`]) tagged with the
+//! nearest trace id: the request's where one exists, the connection's
+//! for socket-level faults, a boot-scoped id for loop-level events.
+//!
 //! **Shutdown** is cooperative: [`Shutdown::trigger`] sets a flag and
 //! wakes the loop. The listener closes first, in-flight requests finish
 //! and flush (with a hard drain budget), the worker pool is joined, and
@@ -64,7 +73,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -78,6 +87,7 @@ use crate::json::Json;
 use crate::metrics::Route;
 use crate::schema::{ErrorBody, MAX_DEADLINE_MS};
 use crate::snapshot;
+use crate::trace::TraceRecord;
 
 /// The default listen address.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:8733";
@@ -243,20 +253,27 @@ impl Server {
     /// errors only drop that connection.
     pub fn run(self) -> io::Result<()> {
         let faults = self.config.faults.clone();
+        // Boot-scoped trace id: attributes log events that happen
+        // outside any request (snapshot I/O, loop-level injections).
+        let boot_id = self.app.request_id(None);
         if let Some(path) = &self.config.snapshot {
             let cache = self.app.context().engine().eval_cache();
-            match snapshot::load_with(cache, path, faults.as_deref()) {
+            let log = Some((self.app.logger(), boot_id.as_str()));
+            match snapshot::load_logged(cache, path, faults.as_deref(), log) {
                 Ok(_) => {}
                 Err(snapshot::SnapshotError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
-                Err(e) => eprintln!(
-                    "hl-serve: ignoring snapshot {}: {e}; booting cold",
-                    path.display()
+                Err(e) => self.app.logger().warn(
+                    "snapshot_load_failed",
+                    &[
+                        ("trace_id", Json::str(boot_id.as_str())),
+                        ("path", Json::str(path.display().to_string())),
+                        ("error", Json::str(e.to_string())),
+                    ],
                 ),
             }
         }
 
         let completions: Arc<Mutex<VecDeque<Completion>>> = Arc::default();
-        let queue_depth: Arc<AtomicUsize> = Arc::default();
         let (tx, rx) = channel::<Job>();
         let shared = Arc::new(WorkerShared {
             rx: Mutex::new(rx),
@@ -265,7 +282,6 @@ impl Server {
             waker: self.poller.waker(),
             faults: faults.clone(),
             default_deadline: self.config.default_deadline,
-            queue_depth: Arc::clone(&queue_depth),
         });
         let mut workers: Vec<JoinHandle<()>> = (0..self.config.workers.max(1))
             .map(|_| spawn_worker(&shared))
@@ -285,7 +301,6 @@ impl Server {
             inflight: HashMap::new(),
             jobs: tx,
             completions: &completions,
-            queue_depth: Arc::clone(&queue_depth),
             panics: HashMap::new(),
             draining: false,
         };
@@ -311,6 +326,7 @@ impl Server {
                 // events and must cope on timers and level-triggered
                 // readiness alone.
                 if plane.fire(FaultPoint::SpuriousWake) {
+                    log_fault(&self.app, FaultPoint::SpuriousWake, &boot_id);
                     events.clear();
                 }
             }
@@ -329,7 +345,15 @@ impl Server {
                     if let Some(path) = &self.config.snapshot {
                         let cache = self.app.context().engine().eval_cache();
                         if let Err(e) = snapshot::save(cache, path) {
-                            eprintln!("hl-serve: periodic snapshot failed: {e}");
+                            self.app.logger().warn(
+                                "snapshot_save_failed",
+                                &[
+                                    ("trace_id", Json::str(boot_id.as_str())),
+                                    ("path", Json::str(path.display().to_string())),
+                                    ("error", Json::str(e.to_string())),
+                                    ("periodic", Json::Bool(true)),
+                                ],
+                            );
                         }
                     }
                     next_snapshot = self
@@ -377,7 +401,15 @@ impl Server {
         if let Some(path) = &self.config.snapshot {
             let cache = self.app.context().engine().eval_cache();
             if let Err(e) = snapshot::save(cache, path) {
-                eprintln!("hl-serve: snapshot save failed: {e}");
+                self.app.logger().error(
+                    "snapshot_save_failed",
+                    &[
+                        ("trace_id", Json::str(boot_id.as_str())),
+                        ("path", Json::str(path.display().to_string())),
+                        ("error", Json::str(e.to_string())),
+                        ("periodic", Json::Bool(false)),
+                    ],
+                );
             }
         }
         Ok(())
@@ -441,6 +473,9 @@ struct Job {
     req: Request,
     /// When the job entered the queue — the deadline clock.
     enqueued: Instant,
+    /// The coalition leader's trace id: attributes worker-side log
+    /// events (injected stalls/panics, deadline sheds) to a request.
+    trace_id: String,
 }
 
 /// A finished worker-pool evaluation, addressed back to its coalition.
@@ -450,6 +485,14 @@ struct Completion {
     /// The evaluation panicked (contained or thread-fatal); feeds the
     /// per-body quarantine count.
     panicked: bool,
+    /// Wall time the worker spent in the handler — the trace eval span.
+    eval_us: u64,
+    /// EvalCache hit delta observed across the evaluation.
+    eval_hits: u64,
+    /// EvalCache miss delta observed across the evaluation.
+    eval_misses: u64,
+    /// The leader's terminal outcome; joiners get `"coalesce_join"`.
+    outcome: &'static str,
 }
 
 /// Coalescing identity: method is always `POST`, so path + body is the
@@ -463,6 +506,12 @@ struct Waiter {
     seq: u64,
     keep_alive: bool,
     enqueued: Instant,
+    /// This waiter's own trace id — every joiner keeps its own.
+    id: String,
+    /// When this request's bytes began parsing — the trace clock.
+    t_start: Instant,
+    /// Parse span, measured before the request reached the coalition.
+    parse_us: u64,
 }
 
 /// One in-flight request's response slot; responses flush strictly in
@@ -470,6 +519,85 @@ struct Waiter {
 struct Slot {
     seq: u64,
     bytes: Option<Vec<u8>>,
+    /// The request's trace, carried until its last byte is written.
+    trace: Option<PendingTrace>,
+}
+
+/// A trace being assembled while its request moves through the loop.
+///
+/// Span fields are checkpoint deltas: each one is "elapsed since
+/// `t_start` minus every span already recorded" (saturating), so the
+/// five spans plus the final write span always sum *exactly* to the
+/// recorded total — the waterfall never under- or over-counts.
+struct PendingTrace {
+    id: String,
+    route: &'static str,
+    status: u16,
+    outcome: &'static str,
+    t_start: Instant,
+    parse_us: u64,
+    queue_us: u64,
+    eval_us: u64,
+    serialize_us: u64,
+    eval_hits: u64,
+    eval_misses: u64,
+}
+
+impl PendingTrace {
+    fn new(id: String, route: &'static str, t_start: Instant, parse_us: u64) -> Self {
+        Self {
+            id,
+            route,
+            status: 0,
+            outcome: "complete",
+            t_start,
+            parse_us,
+            queue_us: 0,
+            eval_us: 0,
+            serialize_us: 0,
+            eval_hits: 0,
+            eval_misses: 0,
+        }
+    }
+
+    fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.t_start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn spans_us(&self) -> u64 {
+        self.parse_us + self.queue_us + self.eval_us + self.serialize_us
+    }
+
+    /// Closes the serialize span: whatever elapsed time parse/queue/eval
+    /// did not claim was spent staging the response bytes.
+    fn mark_serialized(&mut self, status: u16, outcome: &'static str) {
+        self.status = status;
+        self.outcome = outcome;
+        self.serialize_us = self.elapsed_us().saturating_sub(self.spans_us());
+    }
+
+    /// Finishes at the write watermark: the remaining elapsed time is
+    /// the write span.
+    fn finish(self) -> TraceRecord {
+        let total_us = self.elapsed_us();
+        let write_us = total_us.saturating_sub(self.spans_us());
+        TraceRecord {
+            id: self.id,
+            route: self.route,
+            status: self.status,
+            outcome: self.outcome,
+            // App::observe_trace back-computes this from server uptime.
+            started_s: 0.0,
+            total_us,
+            parse_us: self.parse_us,
+            queue_us: self.queue_us,
+            eval_us: self.eval_us,
+            serialize_us: self.serialize_us,
+            write_us,
+            eval_cache_hits: self.eval_hits,
+            eval_cache_misses: self.eval_misses,
+        }
+    }
 }
 
 /// Per-connection state machine.
@@ -499,6 +627,15 @@ struct Conn {
     last_activity: Instant,
     served: u64,
     interest: Interest,
+    /// Connection-scoped trace id: attributes socket-level fault events
+    /// that fire outside (or across) individual requests.
+    trace_id: String,
+    /// Cumulative bytes ever written to the socket — the watermark that
+    /// finalizes traces in [`Conn::traces`].
+    written_cum: u64,
+    /// Retired traces waiting for their last byte to reach the kernel,
+    /// keyed by the `written_cum` value that completes each one.
+    traces: VecDeque<(u64, PendingTrace)>,
 }
 
 struct EventLoop<'a> {
@@ -512,8 +649,6 @@ struct EventLoop<'a> {
     inflight: HashMap<CoalesceKey, Vec<Waiter>>,
     jobs: Sender<Job>,
     completions: &'a Mutex<VecDeque<Completion>>,
-    /// Jobs sent but not yet picked up by a worker (overload signal).
-    queue_depth: Arc<AtomicUsize>,
     /// Worker panics per request body; at [`QUARANTINE_AFTER`] the body
     /// is quarantined. Bounded by [`PANIC_HISTORY_CAP`].
     panics: HashMap<CoalesceKey, u32>,
@@ -557,6 +692,9 @@ impl EventLoop<'_> {
                         last_activity: Instant::now(),
                         served: 0,
                         interest: Interest::READ,
+                        trace_id: self.app.request_id(None),
+                        written_cum: 0,
+                        traces: VecDeque::new(),
                     };
                     if self.poller.register(fd, id as u64, Interest::READ).is_err() {
                         self.free.push(id);
@@ -604,6 +742,14 @@ impl EventLoop<'_> {
 
     /// Reads everything available into the connection's buffer.
     fn fill_buffer(&mut self, id: usize) {
+        let fault_tid = if self.config.faults.is_some() {
+            match self.conns.get(id).and_then(Option::as_ref) {
+                Some(c) => c.trace_id.clone(),
+                None => return,
+            }
+        } else {
+            String::new()
+        };
         let mut chunk = [0u8; 4096];
         loop {
             // Injected socket faults (inert without a fault plane):
@@ -613,13 +759,16 @@ impl EventLoop<'_> {
             let mut window = chunk.len();
             if let Some(plane) = self.config.faults.as_deref() {
                 if plane.fire(FaultPoint::Eintr) {
+                    log_fault(self.app, FaultPoint::Eintr, &fault_tid);
                     return;
                 }
                 if plane.fire(FaultPoint::ConnReadErr) {
+                    log_fault(self.app, FaultPoint::ConnReadErr, &fault_tid);
                     self.close_conn(id);
                     return;
                 }
                 if plane.fire(FaultPoint::ConnReadShort) {
+                    log_fault(self.app, FaultPoint::ConnReadShort, &fault_tid);
                     window = 1;
                 }
             }
@@ -681,11 +830,13 @@ impl EventLoop<'_> {
             if !conn.reading || conn.pending.len() >= MAX_PIPELINE || conn.buf.is_empty() {
                 return dispatched;
             }
+            let t_start = Instant::now();
             match parse_request(&conn.buf) {
                 ParseStatus::Incomplete => return dispatched,
                 ParseStatus::Complete(req, consumed) => {
+                    let parse_us = u64::try_from(t_start.elapsed().as_micros()).unwrap_or(u64::MAX);
                     conn.buf.drain(..consumed);
-                    self.dispatch(id, req);
+                    self.dispatch(id, req, t_start, parse_us);
                     dispatched = true;
                 }
                 ParseStatus::Bad(err) => {
@@ -693,7 +844,7 @@ impl EventLoop<'_> {
                     conn.reading = false;
                     conn.close_after = true;
                     let resp = self.app.handle_parse_error(&err);
-                    self.push_immediate(id, resp);
+                    self.push_immediate(id, resp, "parse_error");
                     return true;
                 }
             }
@@ -703,7 +854,7 @@ impl EventLoop<'_> {
     /// Routes one parsed request: `GET`s (and stray methods) answer
     /// inline; `POST`s go to the worker pool, coalescing onto an
     /// identical in-flight evaluation when one exists.
-    fn dispatch(&mut self, id: usize, req: Request) {
+    fn dispatch(&mut self, id: usize, req: Request, t_start: Instant, parse_us: u64) {
         let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
             return;
         };
@@ -715,7 +866,12 @@ impl EventLoop<'_> {
         let gen = conn.gen;
         let seq = conn.next_seq;
         conn.next_seq += 1;
-        conn.pending.push_back(Slot { seq, bytes: None });
+        conn.pending.push_back(Slot {
+            seq,
+            bytes: None,
+            trace: None,
+        });
+        let rid = self.app.request_id(req.header("x-request-id"));
 
         if req.method == "POST" {
             let key: CoalesceKey = (req.path.clone(), req.body.clone());
@@ -736,21 +892,23 @@ impl EventLoop<'_> {
                 )
                 .to_json()
                 .encode();
-                let bytes = Response::json(500, body).to_bytes(keep_alive);
-                self.fill_slot(id, gen, seq, bytes);
+                let mut tr = PendingTrace::new(rid, route.label(), t_start, parse_us);
+                let bytes = Response::json(500, body).to_bytes_with_id(keep_alive, Some(&tr.id));
+                tr.mark_serialized(500, "quarantine");
+                self.fill_slot(id, gen, seq, bytes, Some(tr));
                 return;
             }
             // Overload shedding, expensive routes first. Joiners are
             // exempt — they add no queue work.
             if !self.inflight.contains_key(&key) {
-                let depth = self.queue_depth.load(Ordering::Relaxed);
+                let depth = self.app.metrics().queue_depth();
                 let expensive = matches!(route, Route::Search | Route::Sweep);
                 let bound = if expensive {
                     (self.config.max_queue / 4).max(1)
                 } else {
                     self.config.max_queue.max(1)
                 };
-                if depth >= bound {
+                if depth >= bound as u64 {
                     self.app.metrics().record_overload_shed();
                     self.app.metrics().record_unmeasured(route, 503);
                     let message = if expensive {
@@ -758,11 +916,13 @@ impl EventLoop<'_> {
                     } else {
                         "server overloaded: worker queue full, retry later"
                     };
+                    let mut tr = PendingTrace::new(rid, route.label(), t_start, parse_us);
                     let bytes =
                         Response::json(503, ErrorBody::new(503, message).to_json().encode())
                             .with_retry_after(RETRY_AFTER_SECS)
-                            .to_bytes(keep_alive);
-                    self.fill_slot(id, gen, seq, bytes);
+                            .to_bytes_with_id(keep_alive, Some(&tr.id));
+                    tr.mark_serialized(503, "shed_overload");
+                    self.fill_slot(id, gen, seq, bytes, Some(tr));
                     return;
                 }
             }
@@ -772,41 +932,63 @@ impl EventLoop<'_> {
                 seq,
                 keep_alive,
                 enqueued: Instant::now(),
+                id: rid.clone(),
+                t_start,
+                parse_us,
             };
             match self.inflight.entry(key) {
                 Entry::Occupied(mut e) => e.get_mut().push(waiter),
                 Entry::Vacant(v) => {
                     let key = v.key().clone();
                     v.insert(vec![waiter]);
-                    self.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    self.app.metrics().record_enqueued();
                     // A send can only fail after worker join, which is
                     // after the loop stops dispatching.
                     let _ = self.jobs.send(Job {
                         key,
                         req,
                         enqueued: Instant::now(),
+                        trace_id: rid,
                     });
                 }
             }
         } else {
+            let (route, _) = Route::resolve(&req.path);
+            let mut tr = PendingTrace::new(rid, route.label(), t_start, parse_us);
             let resp = self.app.handle(&req);
-            let bytes = resp.to_bytes(keep_alive);
-            self.fill_slot(id, gen, seq, bytes);
+            // Inline GETs never queue: the handler time is the eval span.
+            tr.eval_us = tr.elapsed_us().saturating_sub(tr.spans_us());
+            let bytes = resp.to_bytes_with_id(keep_alive, Some(&tr.id));
+            tr.mark_serialized(resp.status, "complete");
+            self.fill_slot(id, gen, seq, bytes, Some(tr));
         }
     }
 
     /// Answers a request-level failure (parse error, 408) and marks the
     /// connection for close.
-    fn push_immediate(&mut self, id: usize, resp: Response) {
+    fn push_immediate(&mut self, id: usize, resp: Response, outcome: &'static str) {
         let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
             return;
         };
         let gen = conn.gen;
         let seq = conn.next_seq;
         conn.next_seq += 1;
-        conn.pending.push_back(Slot { seq, bytes: None });
-        let bytes = resp.to_bytes(false);
-        self.fill_slot(id, gen, seq, bytes);
+        conn.pending.push_back(Slot {
+            seq,
+            bytes: None,
+            trace: None,
+        });
+        // No parsed request to take an id from; mint one so even error
+        // responses are traceable end to end.
+        let mut tr = PendingTrace::new(
+            self.app.request_id(None),
+            Route::Other.label(),
+            Instant::now(),
+            0,
+        );
+        let bytes = resp.to_bytes_with_id(false, Some(&tr.id));
+        tr.mark_serialized(resp.status, outcome);
+        self.fill_slot(id, gen, seq, bytes, Some(tr));
     }
 
     /// Hands a completed worker evaluation to every waiter that joined
@@ -822,6 +1004,10 @@ impl EventLoop<'_> {
                 key,
                 resp,
                 panicked,
+                eval_us,
+                eval_hits,
+                eval_misses,
+                outcome,
             }) = next
             else {
                 return;
@@ -841,8 +1027,17 @@ impl EventLoop<'_> {
                         .metrics()
                         .record_coalesced(route, resp.status, w.enqueued.elapsed());
                 }
-                let bytes = resp.to_bytes(w.keep_alive);
-                self.fill_slot(w.conn, w.gen, w.seq, bytes);
+                let mut tr = PendingTrace::new(w.id, route.label(), w.t_start, w.parse_us);
+                tr.eval_us = eval_us;
+                tr.eval_hits = eval_hits;
+                tr.eval_misses = eval_misses;
+                // Queue span by contiguity: everything between the end
+                // of parsing and the worker's evaluation is time this
+                // waiter spent on the pool (dispatch + completion queues).
+                tr.queue_us = tr.elapsed_us().saturating_sub(w.parse_us + eval_us);
+                let bytes = resp.to_bytes_with_id(w.keep_alive, Some(&tr.id));
+                tr.mark_serialized(resp.status, if i > 0 { "coalesce_join" } else { outcome });
+                self.fill_slot(w.conn, w.gen, w.seq, bytes, Some(tr));
                 if !touched.contains(&w.conn) {
                     touched.push(w.conn);
                 }
@@ -870,7 +1065,14 @@ impl EventLoop<'_> {
 
     /// Fills one response slot (ignoring completions addressed to a
     /// connection generation that no longer exists).
-    fn fill_slot(&mut self, id: usize, gen: u64, seq: u64, bytes: Vec<u8>) {
+    fn fill_slot(
+        &mut self,
+        id: usize,
+        gen: u64,
+        seq: u64,
+        bytes: Vec<u8>,
+        trace: Option<PendingTrace>,
+    ) {
         let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
             return;
         };
@@ -879,6 +1081,7 @@ impl EventLoop<'_> {
         }
         if let Some(slot) = conn.pending.iter_mut().find(|s| s.seq == seq) {
             slot.bytes = Some(bytes);
+            slot.trace = trace;
         }
     }
 
@@ -888,16 +1091,30 @@ impl EventLoop<'_> {
         let Some(conn) = self.conns.get_mut(id).and_then(Option::as_mut) else {
             return false;
         };
+        let fault_tid = if self.config.faults.is_some() {
+            conn.trace_id.clone()
+        } else {
+            String::new()
+        };
         let mut retired = false;
         while conn
             .pending
             .front()
             .is_some_and(|slot| slot.bytes.is_some())
         {
-            if let Some(bytes) = conn.pending.pop_front().and_then(|slot| slot.bytes) {
-                conn.out.extend_from_slice(&bytes);
-                conn.served += 1;
-                retired = true;
+            if let Some(slot) = conn.pending.pop_front() {
+                if let Some(bytes) = slot.bytes {
+                    conn.out.extend_from_slice(&bytes);
+                    conn.served += 1;
+                    retired = true;
+                }
+                if let Some(tr) = slot.trace {
+                    // Finalized once the cumulative write watermark
+                    // passes every byte staged so far — i.e. when this
+                    // response's last byte reaches the kernel.
+                    let target = conn.written_cum + (conn.out.len() - conn.out_pos) as u64;
+                    conn.traces.push_back((target, tr));
+                }
             }
         }
         while conn.out_pos < conn.out.len() {
@@ -907,13 +1124,16 @@ impl EventLoop<'_> {
             let mut end = conn.out.len();
             if let Some(plane) = self.config.faults.as_deref() {
                 if plane.fire(FaultPoint::Eintr) {
+                    log_fault(self.app, FaultPoint::Eintr, &fault_tid);
                     break;
                 }
                 if plane.fire(FaultPoint::ConnWriteErr) {
+                    log_fault(self.app, FaultPoint::ConnWriteErr, &fault_tid);
                     self.close_conn(id);
                     return retired;
                 }
                 if plane.fire(FaultPoint::ConnWriteShort) {
+                    log_fault(self.app, FaultPoint::ConnWriteShort, &fault_tid);
                     end = conn.out_pos + 1;
                 }
             }
@@ -924,6 +1144,7 @@ impl EventLoop<'_> {
                 }
                 Ok(n) => {
                     conn.out_pos += n;
+                    conn.written_cum += n as u64;
                     conn.last_activity = Instant::now();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -932,6 +1153,15 @@ impl EventLoop<'_> {
                     self.close_conn(id);
                     return retired;
                 }
+            }
+        }
+        while conn
+            .traces
+            .front()
+            .is_some_and(|(target, _)| *target <= conn.written_cum)
+        {
+            if let Some((_, tr)) = conn.traces.pop_front() {
+                self.app.observe_trace(tr.finish());
             }
         }
         if conn.out_pos == conn.out.len() {
@@ -985,6 +1215,12 @@ impl EventLoop<'_> {
     fn close_conn(&mut self, id: usize) {
         if let Some(conn) = self.conns.get_mut(id).and_then(Option::take) {
             let _ = self.poller.deregister(conn.fd);
+            // Keep traces whose responses were retired but never fully
+            // flushed — the record is still worth having; the write
+            // span just absorbs the time until the close.
+            for (_, tr) in conn.traces {
+                self.app.observe_trace(tr.finish());
+            }
             self.app.metrics().record_connection_closed(conn.served);
             self.active -= 1;
             self.free.push(id);
@@ -1033,7 +1269,7 @@ impl EventLoop<'_> {
                 conn.close_after = true;
                 let err = ParseError::new(408, "timed out waiting for a complete request");
                 let resp = self.app.handle_parse_error(&err);
-                self.push_immediate(id, resp);
+                self.push_immediate(id, resp, "timeout");
                 self.service(id);
             }
         }
@@ -1107,7 +1343,6 @@ struct WorkerShared {
     waker: Waker,
     faults: Option<Arc<FaultPlane>>,
     default_deadline: Option<Duration>,
-    queue_depth: Arc<AtomicUsize>,
 }
 
 fn spawn_worker(shared: &Arc<WorkerShared>) -> JoinHandle<()> {
@@ -1157,7 +1392,14 @@ struct CoalitionGuard<'a> {
 }
 
 impl CoalitionGuard<'_> {
-    fn complete(mut self, resp: Response, panicked: bool) {
+    fn complete(
+        mut self,
+        resp: Response,
+        panicked: bool,
+        eval_us: u64,
+        cache_delta: (u64, u64),
+        outcome: &'static str,
+    ) {
         if let Some(key) = self.key.take() {
             post_completion(
                 self.shared,
@@ -1165,6 +1407,10 @@ impl CoalitionGuard<'_> {
                     key,
                     resp,
                     panicked,
+                    eval_us,
+                    eval_hits: cache_delta.0,
+                    eval_misses: cache_delta.1,
+                    outcome,
                 },
             );
         }
@@ -1189,9 +1435,25 @@ impl Drop for CoalitionGuard<'_> {
                 key,
                 resp: Response::json(500, body),
                 panicked: true,
+                eval_us: 0,
+                eval_hits: 0,
+                eval_misses: 0,
+                outcome: "worker_died",
             },
         );
     }
+}
+
+/// Emits the structured `fault_injected` warning every injection site
+/// shares: which point fired and the trace id it hit.
+fn log_fault(app: &App, point: FaultPoint, trace_id: &str) {
+    app.logger().warn(
+        "fault_injected",
+        &[
+            ("point", Json::str(point.key())),
+            ("trace_id", Json::str(trace_id)),
+        ],
+    );
 }
 
 fn post_completion(shared: &WorkerShared, completion: Completion) {
@@ -1209,10 +1471,16 @@ fn worker_loop(shared: &WorkerShared) {
         // poisoned lock (a sibling died mid-recv) is recovered, not
         // propagated — one dead worker must not cascade.
         let next = { shared.rx.lock().unwrap_or_else(|e| e.into_inner()).recv() };
-        let Ok(Job { key, req, enqueued }) = next else {
+        let Ok(Job {
+            key,
+            req,
+            enqueued,
+            trace_id,
+        }) = next
+        else {
             return; // Sender dropped: shutdown.
         };
-        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.app.metrics().record_dequeued(enqueued.elapsed());
         // From here until completion the coalition is owed an answer:
         // if anything below unwinds (an injected worker panic), the
         // guard posts the 500 during the unwind and the supervisor
@@ -1228,28 +1496,51 @@ fn worker_loop(shared: &WorkerShared) {
             if deadline.is_zero() || enqueued.elapsed() > deadline {
                 shared.app.metrics().record_deadline_shed();
                 shared.app.metrics().record_unmeasured(guard.route, 503);
+                shared.app.logger().info(
+                    "deadline_shed",
+                    &[
+                        ("trace_id", Json::str(trace_id.as_str())),
+                        ("route", Json::str(guard.route.label())),
+                    ],
+                );
                 let body = ErrorBody::new(503, "deadline expired before evaluation; request shed")
                     .to_json()
                     .encode();
                 let resp = Response::json(503, body).with_retry_after(RETRY_AFTER_SECS);
-                guard.complete(resp, false);
+                guard.complete(resp, false, 0, (0, 0), "shed_deadline");
                 continue;
             }
         }
         if let Some(plane) = shared.faults.as_deref() {
             if plane.fire(FaultPoint::WorkerStall) {
+                log_fault(&shared.app, FaultPoint::WorkerStall, &trace_id);
                 std::thread::sleep(plane.stall());
             }
             if plane.fire(FaultPoint::WorkerPanic) {
                 shared.app.metrics().record_worker_panic();
+                log_fault(&shared.app, FaultPoint::WorkerPanic, &trace_id);
                 panic!("injected worker panic (fault plane)");
             }
         }
+        // EvalCache deltas across the evaluation: approximate under
+        // concurrency (other workers hit the same shared cache), exact
+        // when a request runs alone — good enough for attribution.
+        let cache = shared.app.context().engine().eval_cache();
+        let (h0, m0) = cache.stats();
+        let t_eval = Instant::now();
         let (resp, panicked) = shared.app.handle_traced(&req);
+        let eval_us = u64::try_from(t_eval.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let (h1, m1) = cache.stats();
         if panicked {
             shared.app.metrics().record_worker_panic();
         }
-        guard.complete(resp, panicked);
+        guard.complete(
+            resp,
+            panicked,
+            eval_us,
+            (h1.saturating_sub(h0), m1.saturating_sub(m0)),
+            "complete",
+        );
     }
 }
 

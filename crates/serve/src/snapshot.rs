@@ -224,11 +224,32 @@ pub fn load_with(
     path: &Path,
     faults: Option<&crate::faults::FaultPlane>,
 ) -> Result<usize, SnapshotError> {
+    load_logged(cache, path, faults, None)
+}
+
+/// [`load_with`], reporting injected corruption through a structured
+/// logger (tagged with the server's boot-scoped trace id) instead of a
+/// bare stderr line. The server boot path uses this; `None` is silent.
+///
+/// # Errors
+/// As [`load`].
+pub fn load_logged(
+    cache: &EvalCache,
+    path: &Path,
+    faults: Option<&crate::faults::FaultPlane>,
+    log: Option<(&crate::log::Logger, &str)>,
+) -> Result<usize, SnapshotError> {
     let mut text = std::fs::read_to_string(path)?;
-    if let Some(plane) = faults {
-        if plane.corrupt_snapshot(&mut text) {
-            eprintln!("hl-serve: fault injection corrupted the snapshot text on load");
-        }
+    let corrupted = faults.is_some_and(|plane| plane.corrupt_snapshot(&mut text));
+    if let (true, Some((logger, trace_id))) = (corrupted, log) {
+        logger.warn(
+            "fault_injected",
+            &[
+                ("point", Json::str("snapshot_corrupt")),
+                ("trace_id", Json::str(trace_id)),
+                ("path", Json::str(path.display().to_string())),
+            ],
+        );
     }
     let doc = Json::parse(&text).map_err(|e| malformed(e.to_string()))?;
     let format = doc

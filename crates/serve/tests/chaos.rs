@@ -401,3 +401,88 @@ fn a_corrupted_snapshot_forces_a_cold_boot() {
 
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn every_injected_fault_leaves_a_structured_log_event() {
+    let plane = Arc::new(
+        FaultPlane::parse(
+            "seed=13,conn_read_err=0.05,conn_read_short=0.2,conn_write_err=0.05,\
+             conn_write_short=0.2,eintr=0.1,worker_panic=0.05,worker_stall=0.08,\
+             stall_ms=1,spurious_wake=0.1",
+        )
+        .expect("storm spec"),
+    );
+    let app = App::with_context(SweepContext::with_engine(Engine::with_threads(2)));
+    let buffer = hl_serve::log::SharedBuffer::new();
+    app.logger().set_sink(buffer.make_sink());
+    let server = Server::bind(
+        ServerConfig {
+            faults: Some(plane.clone()),
+            ..base_config()
+        },
+        app,
+    )
+    .expect("bind ephemeral port")
+    .spawn()
+    .expect("spawn server");
+    let addr = server.addr().to_string();
+
+    std::thread::scope(|scope| {
+        for c in 0..3usize {
+            let addr = addr.as_str();
+            scope.spawn(move || {
+                let mut client = Client::new(addr);
+                for i in 0..40 {
+                    let _ = client.post_json("/v1/evaluate", &eval_body(c * 40 + i));
+                }
+            });
+        }
+    });
+    // Stop first: after the drain no more faults fire, so the plane's
+    // injection counters and the log buffer are both final.
+    server.stop().expect("graceful stop after storm");
+
+    // The sink sees only the logger (panic-hook noise goes to the real
+    // stderr), so every line must parse as one structured event.
+    let contents = buffer.contents();
+    let events: Vec<Json> = contents
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("unstructured log line {l:?}: {e:?}")))
+        .collect();
+    for event in &events {
+        for key in ["ts", "level", "event"] {
+            assert!(
+                event.get(key).is_some(),
+                "log event missing {key}: {}",
+                event.encode()
+            );
+        }
+    }
+
+    assert!(plane.injected_total() > 0, "the storm must inject faults");
+    for point in FaultPoint::ALL {
+        if plane.injected(point) == 0 {
+            continue;
+        }
+        let hit = events
+            .iter()
+            .find(|e| {
+                e.get("event").and_then(Json::as_str) == Some("fault_injected")
+                    && e.get("point").and_then(Json::as_str) == Some(point.key())
+            })
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} injections of {} left no fault_injected log event",
+                    plane.injected(point),
+                    point.key()
+                )
+            });
+        let trace_id = hit.get("trace_id").and_then(Json::as_str).unwrap_or("");
+        assert!(
+            !trace_id.is_empty(),
+            "fault_injected for {} lacks a trace id",
+            point.key()
+        );
+    }
+}

@@ -649,3 +649,146 @@ fn graceful_shutdown_stops_accepting() {
         "server must stop serving after shutdown"
     );
 }
+
+#[test]
+fn traces_echo_request_ids_and_spans_account_for_latency() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let design = registered_names()[0];
+    let body = Json::Obj(vec![
+        ("design".into(), Json::str(design)),
+        ("a_sparsity".into(), Json::Num(0.5)),
+        ("b_sparsity".into(), Json::Num(0.5)),
+    ]);
+
+    // A well-formed client-supplied X-Request-Id is honored and echoed.
+    let encoded = body.encode();
+    let raw = raw_exchange(
+        &addr,
+        format!(
+            "POST /v1/evaluate HTTP/1.1\r\nHost: x\r\nX-Request-Id: e2e-trace.0001\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{encoded}",
+            encoded.len()
+        )
+        .as_bytes(),
+    );
+    assert!(raw.starts_with("HTTP/1.1 200"), "raw response: {raw}");
+    assert!(
+        raw.contains("X-Request-Id: e2e-trace.0001"),
+        "custom id must be echoed: {raw}"
+    );
+
+    // Without one, the server mints an id and still echoes it.
+    let mut client = Client::new(addr.clone());
+    let (status, _) = client.post_json("/v1/evaluate", &body).unwrap();
+    assert_eq!(status, 200);
+    let generated = client.request_id().expect("generated id").to_string();
+    assert_eq!(generated.len(), 16, "generated ids are 16 hex chars");
+
+    // Both requests appear in /v1/trace with a span breakdown that
+    // accounts for the recorded latency (contiguous spans, so the sum
+    // lands well inside the 10% budget — equality by construction).
+    let (status, v) = client.get_json("/v1/trace").unwrap();
+    assert_eq!(status, 200);
+    let traces = v.get("traces").and_then(Json::as_arr).unwrap();
+    for want in ["e2e-trace.0001", generated.as_str()] {
+        let rec = traces
+            .iter()
+            .find(|t| t.get("id").and_then(Json::as_str) == Some(want))
+            .unwrap_or_else(|| panic!("trace {want} missing from ring"));
+        assert_eq!(
+            rec.get("route").and_then(Json::as_str),
+            Some("/v1/evaluate")
+        );
+        assert_eq!(rec.get("status").and_then(Json::as_f64), Some(200.0));
+        assert_eq!(rec.get("outcome").and_then(Json::as_str), Some("complete"));
+        let total = rec.get("total_ms").and_then(Json::as_f64).unwrap();
+        let spans = rec.get("spans").unwrap();
+        let sum: f64 = [
+            "parse_ms",
+            "queue_ms",
+            "eval_ms",
+            "serialize_ms",
+            "write_ms",
+        ]
+        .iter()
+        .map(|k| spans.get(k).and_then(Json::as_f64).unwrap())
+        .sum();
+        assert!(
+            (sum - total).abs() <= total * 0.10 + 1e-9,
+            "{want}: spans sum to {sum} ms but total is {total} ms"
+        );
+    }
+
+    // The route filter narrows results; the strict query grammar 400s
+    // on typos instead of silently returning everything.
+    let (status, v) = client
+        .get_json("/v1/trace?route=/v1/evaluate&limit=1")
+        .unwrap();
+    assert_eq!(status, 200);
+    let narrowed = v.get("traces").and_then(Json::as_arr).unwrap();
+    assert_eq!(narrowed.len(), 1);
+    assert_eq!(
+        narrowed[0].get("route").and_then(Json::as_str),
+        Some("/v1/evaluate")
+    );
+    let (status, _) = client.get_json("/v1/trace?bogus=1").unwrap();
+    assert_eq!(status, 400);
+    server.stop().unwrap();
+}
+
+#[test]
+fn every_json_metric_series_has_a_prometheus_family() {
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    let design = registered_names()[0];
+    let body = Json::Obj(vec![
+        ("design".into(), Json::str(design)),
+        ("a_sparsity".into(), Json::Num(0.5)),
+        ("b_sparsity".into(), Json::Num(0.5)),
+    ]);
+    let (status, _) = post_json(&addr, "/v1/evaluate", &body).unwrap();
+    assert_eq!(status, 200);
+
+    let mut client = Client::new(addr.clone());
+    let (status, json) = client.get_json("/v1/metrics").unwrap();
+    assert_eq!(status, 200);
+    let (status, prom) = client
+        .send("GET", "/v1/metrics?format=prometheus", None)
+        .unwrap();
+    assert_eq!(status, 200);
+    hl_serve::prom::validate_exposition(&prom).expect("valid exposition");
+
+    // Spot-check the families over the wire (the exhaustive JSON-series
+    // to family mapping is asserted in the api unit tests); the two
+    // views must agree on shared counters.
+    for family in [
+        "hl_requests_total",
+        "hl_responses_total",
+        "hl_request_latency_seconds",
+        "hl_queue_depth",
+        "hl_queue_wait_seconds",
+        "hl_eval_cache_hits_total",
+        "hl_retention_cache_hits_total",
+        "hl_connections_accepted_total",
+        "hl_shed_total",
+        "hl_worker_panics_total",
+    ] {
+        assert!(
+            prom.contains(&format!("# TYPE {family} ")),
+            "{family} missing from exposition"
+        );
+    }
+    let json_hits = json
+        .get("eval_cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    let prom_hits: f64 = prom
+        .lines()
+        .find_map(|l| l.strip_prefix("hl_eval_cache_hits_total "))
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert_eq!(json_hits, prom_hits, "JSON and Prometheus views diverge");
+    server.stop().unwrap();
+}

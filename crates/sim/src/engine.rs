@@ -206,6 +206,12 @@ impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// `(hits, misses)` in one call — the shape the serving layer's
+    /// metrics and per-request traces consume.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits(), self.misses())
+    }
+
     /// Clones out every `(key, value)` pair — the persistence path:
     /// `hl-serve` snapshots the evaluation cache to disk on graceful
     /// drain. Order is unspecified (callers sort).
