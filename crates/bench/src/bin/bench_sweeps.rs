@@ -30,8 +30,16 @@ fn run_sweeps(ctx: &SweepContext) -> (Vec<Fig2Model>, Vec<Vec<ParetoPoint>>) {
 }
 
 fn main() {
-    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let available = std::thread::available_parallelism().map_or(1, usize::from);
+    let cpus = available;
     println!("bench_sweeps — Fig. 2 + Fig. 15 sweeps, serial vs engine ({cpus} CPU(s))\n");
+    if available <= 1 {
+        println!(
+            "note: available_parallelism = 1 — the engine rows below measure\n\
+             memoization only; thread counts cannot help on this machine and\n\
+             flat 1/2/4-thread timings are expected, not a regression.\n"
+        );
+    }
 
     let t0 = Instant::now();
     let baseline = run_sweeps(&SweepContext::serial_baseline());
@@ -137,9 +145,11 @@ fn main() {
         "cache counters"
     );
 
+    let threads_can_help = available > 1;
     let json = format!(
         "{{\n  \"benchmark\": \"fig2+fig15 design-space sweeps\",\n  \
-         \"cpus\": {cpus},\n  \"serial_seconds\": {serial_s:.4},\n  \
+         \"cpus\": {cpus},\n  \"available_parallelism\": {available},\n  \
+         \"threads_can_help\": {threads_can_help},\n  \"serial_seconds\": {serial_s:.4},\n  \
          \"engine\": [\n{rows}\n  ],\n  \
          \"network_eval\": {{\"cold_seconds\": {network_cold_s:.4}, \
          \"cached_seconds\": {network_cached_s:.4}, \

@@ -297,6 +297,28 @@ impl SweepContext {
         }
     }
 
+    /// [`SweepContext::eval_network`] with a hoisted design fingerprint:
+    /// sweep loops evaluating many configurations on one design compute
+    /// [`Engine::fingerprint`] once and reuse it for every point, so
+    /// neighboring points only re-key the operand descriptors that
+    /// changed. The baseline mode ignores the fingerprint (it keys
+    /// nothing).
+    pub fn eval_network_keyed(
+        &self,
+        design: &dyn Accelerator,
+        fingerprint: &hl_sim::engine::DesignFingerprint,
+        model: &DnnModel,
+        weights: &PruningConfig,
+    ) -> NetworkEval {
+        let network = Self::lower_model(design, model, weights);
+        if self.cached {
+            self.engine
+                .evaluate_network_keyed(design, fingerprint, &network)
+        } else {
+            hl_sim::network::evaluate_network(design, &network)
+        }
+    }
+
     /// Whole-model evaluation through [`hl_sim::network`]: the model
     /// lowers to a [`NetworkWorkload`] and runs through
     /// [`SweepContext::evaluate_network`]. Unsupported layers are

@@ -215,9 +215,12 @@ impl SweepContext {
 
         // One cell per candidate: loss + network aggregates, fanned out
         // across the pool (nested layer fan-out runs inline on workers).
+        // Neighboring candidates differ only in operand A's descriptor, so
+        // the design fingerprint is hoisted out of the whole grid.
+        let fingerprint = hl_sim::engine::Engine::fingerprint(design);
         let evals = self.map(&candidates, |cfg| {
             let loss = self.accuracy_loss(model, cfg);
-            let eval = self.eval_network(design, model, cfg);
+            let eval = self.eval_network_keyed(design, &fingerprint, model, cfg);
             match (eval.edp(), eval.energy_j(), eval.latency_s()) {
                 (Some(edp), Some(energy_j), Some(latency_s)) => {
                     Some((loss, edp, energy_j, latency_s))

@@ -16,7 +16,11 @@
 //! The crate provides:
 //! - [`Fibertree`]: a concrete fibertree over scalar values, built from dense
 //!   data, with the content-preserving transformations the paper relies on
-//!   (rank **reorder**, **flatten**, and **split**/partition);
+//!   (rank **reorder**, **flatten**, and **split**/partition). Fibers live in
+//!   one index-linked arena ([`FiberView`] borrows into it) so construction
+//!   and traversal avoid per-node heap allocation; the pointer-based
+//!   [`Fiber`]/[`Payload`] pair remains as the naive reference
+//!   implementation;
 //! - [`spec`]: the fibertree-based sparsity *specification* language
 //!   ([`PatternSpec`], [`Rule`], [`Gh`]) with conformance checking;
 //! - [`catalog`]: the Table 2 catalog mapping conventional pattern names to
@@ -52,4 +56,4 @@ pub mod spec;
 
 pub use error::FibertreeError;
 pub use fiber::{Fiber, Payload};
-pub use tree::{Fibertree, RankInfo};
+pub use tree::{FiberView, Fibertree, RankInfo};

@@ -1,5 +1,4 @@
 use crate::error::FibertreeError;
-use crate::fiber::{Fiber, Payload};
 
 /// Name and shape of one rank (tensor dimension) in a [`Fibertree`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +19,21 @@ impl RankInfo {
     }
 }
 
+/// One fiber's element in the arena: a scalar (lowest rank) or the arena
+/// index of the child fiber (intermediate ranks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot {
+    Value(f64),
+    Child(u32),
+}
+
+/// One fiber's storage: its `(coordinate, slot)` pairs, kept sorted and
+/// unique by coordinate. The fiber's shape is implied by its rank.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Node {
+    elems: Vec<(usize, Slot)>,
+}
+
 /// A fibertree: a rank-ordered, zero-free representation of a tensor.
 ///
 /// The tree stores only nonzero values. Ranks are ordered highest (outermost)
@@ -28,10 +42,17 @@ impl RankInfo {
 /// [`flatten_ranks`](Self::flatten_ranks), and [`split_rank`](Self::split_rank)
 /// — implement the rank manipulations the paper's sparsity specifications are
 /// built from (§3.2).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Fibers live in a single index-linked arena (`nodes`, root at index 0)
+/// rather than one heap allocation per fiber: inserts walk child indices
+/// instead of cloning sub-fibers, and traversals chase small integers with
+/// no pointer-per-node overhead. Fibers are exposed through the borrowed
+/// [`FiberView`] handle.
+#[derive(Debug, Clone)]
 pub struct Fibertree {
     ranks: Vec<RankInfo>,
-    root: Fiber,
+    nodes: Vec<Node>,
+    nnz: usize,
 }
 
 impl Fibertree {
@@ -69,10 +90,7 @@ impl Fibertree {
             .zip(shape)
             .map(|(n, &s)| RankInfo::new(*n, s))
             .collect();
-        let mut tree = Self {
-            ranks,
-            root: Fiber::new(shape[0]),
-        };
+        let mut tree = Self::empty(ranks);
         let mut coords = vec![0usize; shape.len()];
         for (i, &v) in data.iter().enumerate() {
             if v != 0.0 {
@@ -93,10 +111,14 @@ impl Fibertree {
     /// Panics if `ranks` is empty or any shape is zero.
     pub fn empty(ranks: Vec<RankInfo>) -> Self {
         assert!(!ranks.is_empty(), "fibertree needs at least one rank");
-        let shape0 = ranks[0].shape;
+        assert!(
+            ranks.iter().all(|r| r.shape > 0),
+            "fiber shape must be positive"
+        );
         Self {
             ranks,
-            root: Fiber::new(shape0),
+            nodes: vec![Node::default()],
+            nnz: 0,
         }
     }
 
@@ -111,8 +133,12 @@ impl Fibertree {
     }
 
     /// The root fiber (highest rank).
-    pub fn root(&self) -> &Fiber {
-        &self.root
+    pub fn root(&self) -> FiberView<'_> {
+        FiberView {
+            tree: self,
+            node: 0,
+            depth: 0,
+        }
     }
 
     /// Total number of possible positions (product of shapes).
@@ -122,7 +148,7 @@ impl Fibertree {
 
     /// Number of nonzero values stored.
     pub fn nonzeros(&self) -> usize {
-        self.root.value_count()
+        self.nnz
     }
 
     /// Fraction of positions that are nonzero.
@@ -147,27 +173,38 @@ impl Fibertree {
         if value == 0.0 {
             return;
         }
-        let shapes: Vec<usize> = self.ranks.iter().map(|r| r.shape).collect();
-        Self::insert_rec(&mut self.root, &shapes, coords, value);
-    }
-
-    fn insert_rec(fiber: &mut Fiber, shapes: &[usize], coords: &[usize], value: f64) {
-        let c = coords[0];
-        if coords.len() == 1 {
-            fiber.insert(c, Payload::Value(value));
-            return;
+        let mut node = 0usize;
+        let last = coords.len() - 1;
+        for (d, &c) in coords.iter().enumerate() {
+            let shape = self.ranks[d].shape;
+            assert!(c < shape, "coordinate {c} out of bounds for shape {shape}");
+            let pos = self.nodes[node]
+                .elems
+                .binary_search_by_key(&c, |(cc, _)| *cc);
+            if d == last {
+                match pos {
+                    Ok(i) => self.nodes[node].elems[i].1 = Slot::Value(value),
+                    Err(i) => {
+                        self.nodes[node].elems.insert(i, (c, Slot::Value(value)));
+                        self.nnz += 1;
+                    }
+                }
+            } else {
+                let child = match pos {
+                    Ok(i) => match self.nodes[node].elems[i].1 {
+                        Slot::Child(ch) => ch,
+                        Slot::Value(_) => unreachable!("intermediate rank holds a value"),
+                    },
+                    Err(i) => {
+                        let ch = u32::try_from(self.nodes.len()).expect("arena index overflow");
+                        self.nodes.push(Node::default());
+                        self.nodes[node].elems.insert(i, (c, Slot::Child(ch)));
+                        ch
+                    }
+                };
+                node = child as usize;
+            }
         }
-        // Fetch-or-create the sub-fiber, then recurse.
-        if fiber.payload(c).is_none() {
-            fiber.insert(c, Payload::Fiber(Fiber::new(shapes[1])));
-        }
-        // Re-find mutably: rebuild via retain-free approach.
-        let mut sub = match fiber.payload(c).expect("just inserted") {
-            Payload::Fiber(fb) => fb.clone(),
-            Payload::Value(_) => unreachable!("intermediate rank holds a value"),
-        };
-        Self::insert_rec(&mut sub, &shapes[1..], &coords[1..], value);
-        fiber.insert(c, Payload::Fiber(sub));
     }
 
     /// Returns the value at the coordinate tuple, or `0.0` if absent.
@@ -176,15 +213,18 @@ impl Fibertree {
     /// Panics if the coordinate arity mismatches.
     pub fn get(&self, coords: &[usize]) -> f64 {
         assert_eq!(coords.len(), self.ranks.len(), "coordinate arity mismatch");
-        let mut fiber = &self.root;
+        let mut node = 0usize;
         for (d, &c) in coords.iter().enumerate() {
-            match fiber.payload(c) {
-                None => return 0.0,
-                Some(Payload::Value(v)) => {
-                    debug_assert_eq!(d, coords.len() - 1);
-                    return *v;
-                }
-                Some(Payload::Fiber(fb)) => fiber = fb,
+            let elems = &self.nodes[node].elems;
+            match elems.binary_search_by_key(&c, |(cc, _)| *cc) {
+                Err(_) => return 0.0,
+                Ok(i) => match elems[i].1 {
+                    Slot::Value(v) => {
+                        debug_assert_eq!(d, coords.len() - 1);
+                        return v;
+                    }
+                    Slot::Child(ch) => node = ch as usize,
+                },
             }
         }
         unreachable!("lowest rank must hold values")
@@ -194,16 +234,16 @@ impl Fibertree {
     pub fn iter(&self) -> Vec<(Vec<usize>, f64)> {
         let mut out = Vec::with_capacity(self.nonzeros());
         let mut prefix = Vec::with_capacity(self.ranks.len());
-        Self::walk(&self.root, &mut prefix, &mut out);
+        self.walk(0, &mut prefix, &mut out);
         out
     }
 
-    fn walk(fiber: &Fiber, prefix: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, f64)>) {
-        for (c, p) in fiber.iter() {
+    fn walk(&self, node: usize, prefix: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, f64)>) {
+        for &(c, s) in &self.nodes[node].elems {
             prefix.push(c);
-            match p {
-                Payload::Value(v) => out.push((prefix.clone(), *v)),
-                Payload::Fiber(fb) => Self::walk(fb, prefix, out),
+            match s {
+                Slot::Value(v) => out.push((prefix.clone(), v)),
+                Slot::Child(ch) => self.walk(ch as usize, prefix, out),
             }
             prefix.pop();
         }
@@ -363,25 +403,37 @@ impl Fibertree {
         Ok(tree)
     }
 
-    /// Collects every fiber at depth `rank` (0 = root rank).
+    /// Collects every fiber at depth `rank` (0 = root rank), in depth-first
+    /// coordinate order.
     ///
     /// Only *non-empty* fibers are reachable; an absent coordinate at a higher
     /// rank implies an all-zero (pruned) subtree.
-    pub fn fibers_at(&self, rank: usize) -> Vec<&Fiber> {
+    pub fn fibers_at(&self, rank: usize) -> Vec<FiberView<'_>> {
         let mut out = Vec::new();
-        fn collect<'a>(fiber: &'a Fiber, depth: usize, target: usize, out: &mut Vec<&'a Fiber>) {
-            if depth == target {
-                out.push(fiber);
-                return;
-            }
-            for (_, p) in fiber.iter() {
-                if let Payload::Fiber(fb) = p {
-                    collect(fb, depth + 1, target, out);
-                }
+        self.collect_at(0, 0, rank, &mut out);
+        out
+    }
+
+    fn collect_at<'a>(
+        &'a self,
+        node: u32,
+        depth: usize,
+        target: usize,
+        out: &mut Vec<FiberView<'a>>,
+    ) {
+        if depth == target {
+            out.push(FiberView {
+                tree: self,
+                node,
+                depth,
+            });
+            return;
+        }
+        for &(_, s) in &self.nodes[node as usize].elems {
+            if let Slot::Child(ch) = s {
+                self.collect_at(ch, depth + 1, target, out);
             }
         }
-        collect(&self.root, 0, rank, &mut out);
-        out
     }
 
     /// Per-fiber occupancies at depth `rank`, *including* fibers that are
@@ -392,40 +444,132 @@ impl Fibertree {
     pub fn occupancies_at(&self, rank: usize) -> Vec<usize> {
         let total: usize = self.ranks[..rank].iter().map(|r| r.shape).product();
         let mut out = vec![0usize; total];
-        let shapes: Vec<usize> = self.ranks.iter().map(|r| r.shape).collect();
-        fn collect(
-            fiber: &Fiber,
-            depth: usize,
-            target: usize,
-            index: usize,
-            shapes: &[usize],
-            out: &mut Vec<usize>,
-        ) {
-            if depth == target {
-                out[index] = fiber.occupancy();
-                return;
+        self.occupancies_rec(0, 0, rank, 0, &mut out);
+        out
+    }
+
+    fn occupancies_rec(
+        &self,
+        node: usize,
+        depth: usize,
+        target: usize,
+        index: usize,
+        out: &mut [usize],
+    ) {
+        if depth == target {
+            out[index] = self.nodes[node].elems.len();
+            return;
+        }
+        let shape = self.ranks[depth].shape;
+        for &(c, s) in &self.nodes[node].elems {
+            if let Slot::Child(ch) = s {
+                self.occupancies_rec(ch as usize, depth + 1, target, index * shape + c, out);
             }
-            for (c, p) in fiber.iter() {
-                if let Payload::Fiber(fb) = p {
-                    collect(
-                        fb,
-                        depth + 1,
-                        target,
-                        index * shapes[depth] + c,
-                        shapes,
-                        out,
-                    );
+        }
+    }
+}
+
+impl PartialEq for Fibertree {
+    /// Content equality: same ranks and same `(coordinate, value)` set.
+    ///
+    /// Arena layout is insert-order dependent, so equality compares the
+    /// ordered traversal instead of the raw node storage.
+    fn eq(&self, other: &Self) -> bool {
+        self.ranks == other.ranks && self.nnz == other.nnz && self.iter() == other.iter()
+    }
+}
+
+/// A borrowed view of one fiber in a [`Fibertree`] arena.
+///
+/// Exposes the per-fiber queries (shape, occupancy, child navigation) that
+/// the pointer-based [`Fiber`](crate::Fiber) offers, without owning storage.
+#[derive(Clone, Copy)]
+pub struct FiberView<'a> {
+    tree: &'a Fibertree,
+    node: u32,
+    depth: usize,
+}
+
+impl<'a> FiberView<'a> {
+    fn node(&self) -> &'a Node {
+        &self.tree.nodes[self.node as usize]
+    }
+
+    /// The number of possible coordinates in this fiber.
+    pub fn shape(&self) -> usize {
+        self.tree.ranks[self.depth].shape
+    }
+
+    /// The number of coordinates present (associated with nonzero content).
+    pub fn occupancy(&self) -> usize {
+        self.node().elems.len()
+    }
+
+    /// True if no coordinates are present.
+    pub fn is_empty(&self) -> bool {
+        self.node().elems.is_empty()
+    }
+
+    /// Occupancy divided by shape.
+    pub fn density(&self) -> f64 {
+        self.occupancy() as f64 / self.shape() as f64
+    }
+
+    /// The sorted list of present coordinates.
+    pub fn coords(&self) -> Vec<usize> {
+        self.node().elems.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// The value stored at `coord`, if this fiber is at the lowest rank and
+    /// the coordinate is present.
+    pub fn value(&self, coord: usize) -> Option<f64> {
+        match self.slot(coord)? {
+            Slot::Value(v) => Some(v),
+            Slot::Child(_) => None,
+        }
+    }
+
+    /// The child fiber at `coord`, if this fiber is at an intermediate rank
+    /// and the coordinate is present.
+    pub fn child(&self, coord: usize) -> Option<FiberView<'a>> {
+        match self.slot(coord)? {
+            Slot::Value(_) => None,
+            Slot::Child(ch) => Some(FiberView {
+                tree: self.tree,
+                node: ch,
+                depth: self.depth + 1,
+            }),
+        }
+    }
+
+    /// Number of scalar values reachable from this fiber.
+    pub fn value_count(&self) -> usize {
+        let mut n = 0usize;
+        let mut stack = vec![self.node];
+        while let Some(idx) = stack.pop() {
+            for &(_, s) in &self.tree.nodes[idx as usize].elems {
+                match s {
+                    Slot::Value(_) => n += 1,
+                    Slot::Child(ch) => stack.push(ch),
                 }
             }
         }
-        collect(&self.root, 0, rank, 0, &shapes, &mut out);
-        out
+        n
+    }
+
+    fn slot(&self, coord: usize) -> Option<Slot> {
+        let elems = &self.node().elems;
+        elems
+            .binary_search_by_key(&coord, |(c, _)| *c)
+            .ok()
+            .map(|i| elems[i].1)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fiber::{Fiber, Payload};
 
     fn sample_tree() -> Fibertree {
         // 2x2x4 CRS tensor from the paper's Fig. 3 flavour.
@@ -542,5 +686,136 @@ mod tests {
         assert_eq!(t.nonzeros(), 0);
         assert_eq!(t.get(&[1, 1]), 0.0);
         assert_eq!(t.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn root_and_child_navigation() {
+        let t = sample_tree();
+        let root = t.root();
+        assert_eq!(root.shape(), 2);
+        assert_eq!(root.occupancy(), 2);
+        assert_eq!(root.coords(), vec![0, 1]);
+        assert_eq!(root.value_count(), 6);
+        let s_fiber = root.child(1).unwrap().child(1).unwrap();
+        assert_eq!(s_fiber.coords(), vec![0, 1, 3]);
+        assert_eq!(s_fiber.value(3), Some(6.0));
+        assert_eq!(s_fiber.value(2), None);
+        assert!(s_fiber.child(0).is_none()); // lowest rank holds values
+        assert!((s_fiber.density() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_replaces_existing_value() {
+        let mut t = Fibertree::empty(vec![RankInfo::new("M", 2), RankInfo::new("K", 2)]);
+        t.insert(&[0, 1], 1.0);
+        t.insert(&[0, 1], 2.5);
+        assert_eq!(t.nonzeros(), 1);
+        assert_eq!(t.get(&[0, 1]), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_bounds_panics() {
+        let mut t = Fibertree::empty(vec![RankInfo::new("M", 2)]);
+        t.insert(&[2], 1.0);
+    }
+
+    #[test]
+    fn content_equality_ignores_insert_order() {
+        let mut a = Fibertree::empty(vec![RankInfo::new("M", 2), RankInfo::new("K", 2)]);
+        let mut b = a.clone();
+        a.insert(&[0, 0], 1.0);
+        a.insert(&[1, 1], 2.0);
+        b.insert(&[1, 1], 2.0);
+        b.insert(&[0, 0], 1.0);
+        assert_eq!(a, b);
+        b.insert(&[0, 1], 3.0);
+        assert_ne!(a, b);
+    }
+
+    /// Reference walker over the pointer-based [`Fiber`] implementation.
+    fn reference_walk(fiber: &Fiber, prefix: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, f64)>) {
+        for (c, p) in fiber.iter() {
+            prefix.push(c);
+            match p {
+                Payload::Value(v) => out.push((prefix.clone(), *v)),
+                Payload::Fiber(fb) => reference_walk(fb, prefix, out),
+            }
+            prefix.pop();
+        }
+    }
+
+    fn reference_insert(fiber: &mut Fiber, shapes: &[usize], coords: &[usize], value: f64) {
+        let c = coords[0];
+        if coords.len() == 1 {
+            fiber.insert(c, Payload::Value(value));
+            return;
+        }
+        if fiber.payload(c).is_none() {
+            fiber.insert(c, Payload::Fiber(Fiber::new(shapes[1])));
+        }
+        let mut sub = match fiber.payload(c).expect("just inserted") {
+            Payload::Fiber(fb) => fb.clone(),
+            Payload::Value(_) => unreachable!(),
+        };
+        reference_insert(&mut sub, &shapes[1..], &coords[1..], value);
+        fiber.insert(c, Payload::Fiber(sub));
+    }
+
+    /// Property: the arena tree's traversal order, occupancies, and values
+    /// match the naive pointer-based `Fiber` implementation on pseudo-random
+    /// tensors inserted in scrambled order.
+    #[test]
+    fn arena_matches_pointer_reference_on_random_tensors() {
+        let shapes = [3usize, 4, 5];
+        // Deterministic LCG so the test needs no RNG dependency.
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for round in 0..8 {
+            let mut tree = Fibertree::empty(
+                shapes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| RankInfo::new(format!("R{i}"), s))
+                    .collect(),
+            );
+            let mut reference = Fiber::new(shapes[0]);
+            let inserts = 1 + (round * 13) % 40;
+            for _ in 0..inserts {
+                let coords = [next() % shapes[0], next() % shapes[1], next() % shapes[2]];
+                let value = (1 + next() % 9) as f64;
+                tree.insert(&coords, value);
+                reference_insert(&mut reference, &shapes, &coords, value);
+            }
+            let mut prefix = Vec::new();
+            let mut want = Vec::new();
+            reference_walk(&reference, &mut prefix, &mut want);
+            assert_eq!(tree.iter(), want, "round {round}");
+            assert_eq!(tree.nonzeros(), want.len(), "round {round}");
+            // fibers_at occupancy sequences must match the reference order.
+            for rank in 0..shapes.len() {
+                let got: Vec<usize> = tree.fibers_at(rank).iter().map(|f| f.occupancy()).collect();
+                let mut refs = Vec::new();
+                fn collect<'a>(f: &'a Fiber, d: usize, t: usize, out: &mut Vec<&'a Fiber>) {
+                    if d == t {
+                        out.push(f);
+                        return;
+                    }
+                    for (_, p) in f.iter() {
+                        if let Payload::Fiber(fb) = p {
+                            collect(fb, d + 1, t, out);
+                        }
+                    }
+                }
+                collect(&reference, 0, rank, &mut refs);
+                let want_occ: Vec<usize> = refs.iter().map(|f| f.occupancy()).collect();
+                assert_eq!(got, want_occ, "round {round} rank {rank}");
+            }
+        }
     }
 }

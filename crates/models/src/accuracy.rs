@@ -18,19 +18,28 @@
 //! the *orderings* Fig. 15 relies on hold by construction: loss grows with
 //! sparsity, and finer-grained patterns lose less at equal sparsity.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use hl_sim::engine::Memo;
 use hl_sparsity::prune::{
-    magnitude_order, prune_hss, prune_unstructured, prune_unstructured_ordered,
-    retained_norm_fraction,
+    magnitude_order, prune_hss, prune_hss_ranks_in_place, prune_unstructured,
+    prune_unstructured_ordered, retained_norm_fraction, retained_norm_fraction_with_total,
+    total_sq_norm, PruneScratch,
 };
-use hl_sparsity::HssPattern;
+use hl_sparsity::{Gh, HssPattern};
 use hl_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::layers::DnnModel;
+
+thread_local! {
+    /// Per-thread pruning scratch: one pair of scoring buffers serves every
+    /// cached retention evaluation this thread performs, instead of two
+    /// fresh allocations per pruned rank.
+    static SCRATCH: RefCell<PruneScratch> = RefCell::new(PruneScratch::new());
+}
 
 /// A weight-pruning configuration whose accuracy impact is being estimated.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +116,16 @@ pub struct RetentionCache {
     /// degree-independent, so a sweep pruning one matrix at many
     /// unstructured degrees sorts it once.
     orders: Memo<(usize, usize, u64), Arc<Vec<u32>>>,
+    /// Total squared norms keyed like `weights`: the retained-fraction
+    /// denominator is config-independent, so every candidate scoring one
+    /// matrix shares a single full-matrix pass.
+    norms: Memo<(usize, usize, u64), f64>,
+    /// Lowest-rank-pruned weights keyed `(rows, cols, seed, lowest G:H)`.
+    /// The lowest rank always prunes at granularity 1, so its result
+    /// depends only on the matrix and that one `G:H` — every multi-rank
+    /// candidate sharing a lowest rank replays the prefix and prunes only
+    /// its higher ranks.
+    hss_prefix: Memo<(usize, usize, u64, Gh), Arc<Matrix>>,
     /// Per-layer retained-norm fractions keyed on
     /// `(rows, cols, config, seed)`.
     retention: Memo<(usize, usize, ConfigKey, u64), f64>,
@@ -180,9 +199,42 @@ fn layer_retention(
                             .get_or_insert_with(&wkey, || Arc::new(magnitude_order(&w)));
                         prune_unstructured_ordered(&w, *sparsity, &order)
                     }
-                    PruningConfig::Hss(p) => prune_hss(&w, p),
+                    PruningConfig::Hss(p) if p.rank_count() >= 2 => {
+                        // Replay the shared lowest-rank prefix, then prune
+                        // only this candidate's higher ranks. Identical to
+                        // `prune_hss`: that routine prunes the same buffer
+                        // rank-by-rank, and the lowest rank reads nothing
+                        // but the matrix and its own G:H.
+                        let lowest = *p.ranks().last().expect("rank_count >= 2");
+                        let prefix =
+                            cache
+                                .hss_prefix
+                                .get_or_insert_with(&(r, c, seed, lowest), || {
+                                    let mut m = Matrix::clone(&w);
+                                    SCRATCH.with(|s| {
+                                        prune_hss_ranks_in_place(
+                                            &mut m,
+                                            &HssPattern::one_rank(lowest),
+                                            0,
+                                            &mut s.borrow_mut(),
+                                        );
+                                    });
+                                    Arc::new(m)
+                                });
+                        let mut m = Matrix::clone(&prefix);
+                        SCRATCH
+                            .with(|s| prune_hss_ranks_in_place(&mut m, p, 1, &mut s.borrow_mut()));
+                        m
+                    }
+                    PruningConfig::Hss(p) => {
+                        let mut m = Matrix::clone(&w);
+                        SCRATCH
+                            .with(|s| prune_hss_ranks_in_place(&mut m, p, 0, &mut s.borrow_mut()));
+                        m
+                    }
                 };
-                retained_norm_fraction(&w, &pruned)
+                let total = cache.norms.get_or_insert_with(&wkey, || total_sq_norm(&w));
+                retained_norm_fraction_with_total(total, &w, &pruned)
             })
         }
     }

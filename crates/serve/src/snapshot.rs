@@ -316,7 +316,7 @@ fn entry_json(key: &EvalKey, value: &Result<EvalResult, Unsupported>) -> Json {
         )]),
     };
     Json::Obj(vec![
-        ("design".into(), Json::str(&key.design)),
+        ("design".into(), Json::str(&*key.design)),
         ("shape".into(), shape_json(key.shape)),
         ("a".into(), operand_key_json(&key.a)),
         ("b".into(), operand_key_json(&key.b)),
@@ -347,7 +347,7 @@ fn entry_from(v: &Json) -> Result<(EvalKey, Result<EvalResult, Unsupported>), Sn
     };
     Ok((
         EvalKey {
-            design,
+            design: design.into(),
             shape,
             a,
             b,

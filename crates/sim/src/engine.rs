@@ -40,7 +40,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use hl_tensor::GemmShape;
 
@@ -252,16 +252,27 @@ impl From<&OperandSparsity> for OperandKey {
     }
 }
 
+/// A design's configuration fingerprint: its full `Debug` rendering,
+/// shared (`Arc<str>`) so sweeps format it once per design and every cell
+/// key clones a pointer instead of re-rendering the string.
+pub type DesignFingerprint = Arc<str>;
+
 /// Cache key for one `(design, workload)` evaluation: everything
 /// [`evaluate_best`] reads except the workload's display name.
 ///
 /// The design is identified by its full `Debug` fingerprint, not just its
 /// name: two same-name instances with different configurations (ablation
 /// variants, alternative technology tables) are distinct cache entries.
+///
+/// Neighboring sweep points differ in at most the shape and one operand
+/// descriptor, so the key is built incrementally: the design fingerprint
+/// is a shared [`DesignFingerprint`] hoisted out of the sweep loop
+/// ([`Engine::fingerprint`]), and only the cheap per-point fields are
+/// recomputed per cell.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EvalKey {
     /// Design `Debug` fingerprint (name plus every configuration field).
-    pub design: String,
+    pub design: DesignFingerprint,
     /// GEMM dimensions.
     pub shape: GemmShape,
     /// Operand A sparsity identity.
@@ -273,8 +284,14 @@ pub struct EvalKey {
 impl EvalKey {
     /// The key for evaluating `workload` on `design`.
     pub fn new(design: &dyn Accelerator, workload: &Workload) -> Self {
+        Self::with_fingerprint(&Engine::fingerprint(design), workload)
+    }
+
+    /// The key for `workload` with an already-computed design fingerprint —
+    /// the sweep path, where the fingerprint is hoisted out of the loop.
+    pub fn with_fingerprint(design: &DesignFingerprint, workload: &Workload) -> Self {
         Self {
-            design: format!("{design:?}"),
+            design: Arc::clone(design),
             shape: workload.shape,
             a: (&workload.a).into(),
             b: (&workload.b).into(),
@@ -345,6 +362,13 @@ impl Engine {
         parallel_map(self.threads, items, f)
     }
 
+    /// The configuration fingerprint of `design` — format it once per
+    /// design and pass it to [`Engine::evaluate_best_keyed`] when sweeping
+    /// many points over the same design.
+    pub fn fingerprint(design: &dyn Accelerator) -> DesignFingerprint {
+        format!("{design:?}").into()
+    }
+
     /// Memoized [`evaluate_best`]: identical `(design, shape, a, b)` cells
     /// are evaluated once and replayed from the cache, re-labeled with this
     /// workload's name.
@@ -356,7 +380,23 @@ impl Engine {
         design: &dyn Accelerator,
         workload: &Workload,
     ) -> Result<EvalResult, Unsupported> {
-        let key = EvalKey::new(design, workload);
+        self.evaluate_best_keyed(design, &Self::fingerprint(design), workload)
+    }
+
+    /// [`Engine::evaluate_best`] with a hoisted design fingerprint: sweep
+    /// loops compute [`Engine::fingerprint`] once and key every point off
+    /// the shared `Arc`, so neighboring points only pay for the operand
+    /// descriptors that actually changed.
+    ///
+    /// # Errors
+    /// Exactly the errors of [`evaluate_best`].
+    pub fn evaluate_best_keyed(
+        &self,
+        design: &dyn Accelerator,
+        fingerprint: &DesignFingerprint,
+        workload: &Workload,
+    ) -> Result<EvalResult, Unsupported> {
+        let key = EvalKey::with_fingerprint(fingerprint, workload);
         let mut out = self
             .evals
             .get_or_insert_with(&key, || evaluate_best(design, workload));
@@ -437,13 +477,21 @@ impl<'a> SweepGrid<'a> {
     /// results in declaration order (`None` = unsupported). Output is
     /// byte-identical for any thread count.
     pub fn run(&self, engine: &Engine) -> Vec<Vec<Option<EvalResult>>> {
+        // One fingerprint per design, shared by every cell in its column.
+        let fingerprints: Vec<DesignFingerprint> = self
+            .designs
+            .iter()
+            .map(|d| Engine::fingerprint(d.as_ref()))
+            .collect();
         let cells: Vec<(usize, &Workload)> = self
             .rows
             .iter()
             .flat_map(|row| row.iter().enumerate())
             .collect();
         let flat = engine.map(&cells, |(d, w)| {
-            engine.evaluate_best(self.designs[*d].as_ref(), w).ok()
+            engine
+                .evaluate_best_keyed(self.designs[*d].as_ref(), &fingerprints[*d], w)
+                .ok()
         });
         let n = self.designs.len();
         let mut out = Vec::with_capacity(self.rows.len());

@@ -32,6 +32,8 @@
 //! The simulator's output is asserted against the reference GEMM in the
 //! test-suite, and its action counts anchor the analytical HighLight model.
 
+use std::fmt;
+
 use hl_sparsity::{Gh, HssPattern};
 use hl_tensor::format::{HssCompressed, SparseB};
 use hl_tensor::{gen, Matrix};
@@ -164,6 +166,31 @@ pub struct MicroSim {
     config: MicroConfig,
 }
 
+/// Operand A violates the configured HSS pattern (see [`MicroSim::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonconformantOperand {
+    /// The pattern the operand was checked against.
+    pub pattern: HssPattern,
+    /// Row of the first violation.
+    pub row: usize,
+    /// Violating rank, indexed from the highest rank.
+    pub rank: usize,
+    /// Start column of the violating group.
+    pub group_start: usize,
+}
+
+impl fmt::Display for NonconformantOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "operand A does not conform to {}: row {}, rank {} (from highest), group at column {}",
+            self.pattern, self.row, self.rank, self.group_start
+        )
+    }
+}
+
+impl std::error::Error for NonconformantOperand {}
+
 /// Tracks the VFMU's aligned-fetch buffer state during one K-walk.
 struct VfmuState {
     /// Valid words currently buffered.
@@ -221,21 +248,46 @@ impl MicroSim {
         &self.config
     }
 
+    /// Checks that operand A conforms to the configured two-rank HSS
+    /// pattern, reporting the first violation.
+    ///
+    /// [`run`](Self::run) only `debug_assert`s conformance (the O(M·K)
+    /// walk is pure overhead on hot simulation paths whose operands are
+    /// conformant by construction); callers handling untrusted operands
+    /// must validate explicitly before running.
+    ///
+    /// # Errors
+    /// Returns the first violating `(row, rank, group)` when `a` does not
+    /// conform.
+    pub fn validate(&self, a: &Matrix) -> Result<(), NonconformantOperand> {
+        let cfg = &self.config;
+        match gen::check_hss(a, &[cfg.rank1, cfg.rank0]) {
+            None => Ok(()),
+            Some((row, rank, group_start)) => Err(NonconformantOperand {
+                pattern: cfg.pattern(),
+                row,
+                rank,
+                group_start,
+            }),
+        }
+    }
+
     /// Runs `A (M×K) · B (K×N)` through the modeled datapath.
     ///
-    /// `A` must conform to the configured two-rank HSS pattern. When
-    /// `sparse_b` is true, B is stored compressed with the Fig. 12 metadata
-    /// and exploited by gating; otherwise B is stored dense.
+    /// `A` must conform to the configured two-rank HSS pattern; this is
+    /// `debug_assert`ed here and checked on demand via
+    /// [`validate`](Self::validate). When `sparse_b` is true, B is stored
+    /// compressed with the Fig. 12 metadata and exploited by gating;
+    /// otherwise B is stored dense.
     ///
     /// # Panics
-    /// Panics if `A` violates the configured pattern, dimensions disagree,
-    /// or `K` is not a multiple of `H1·H0`.
+    /// Panics if the dimensions disagree or `K` is not a multiple of
+    /// `H1·H0`; in debug builds, also if `A` violates the pattern.
     pub fn run(&self, a: &Matrix, b: &Matrix, sparse_b: bool) -> MicroReport {
         let cfg = &self.config;
         assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-        let pattern = [cfg.rank1, cfg.rank0];
-        assert_eq!(
-            gen::check_hss(a, &pattern),
+        debug_assert_eq!(
+            self.validate(a).err(),
             None,
             "operand A must conform to {}",
             cfg.pattern()
@@ -254,31 +306,13 @@ impl MicroSim {
         let a_comp = HssCompressed::encode(a, h1, h0);
         let b_comp = sparse_b.then(|| SparseB::encode(b, h1, h0));
 
-        // Flat-buffer fast path: per-row prefix sums over A's block and
-        // value counts, computed once and shared by all N walks of the row.
-        // Each step then indexes `rank1_cp`/`values` directly instead of
-        // re-summing `block_nnz` per PE (which is quadratic in G1).
-        let row_starts: Vec<(Vec<u32>, Vec<u32>)> = a_comp
-            .rows()
-            .iter()
-            .map(|row| {
-                let mut block_start = Vec::with_capacity(groups + 1);
-                let mut acc = 0u32;
-                block_start.push(0);
-                for &nb in &row.group_blocks {
-                    acc += u32::from(nb);
-                    block_start.push(acc);
-                }
-                let mut value_start = Vec::with_capacity(row.block_nnz.len() + 1);
-                let mut acc = 0u32;
-                value_start.push(0);
-                for &nnz in &row.block_nnz {
-                    acc += u32::from(nnz);
-                    value_start.push(acc);
-                }
-                (block_start, value_start)
-            })
-            .collect();
+        // Two reusable flat prefix-sum buffers: per row, block and value
+        // starts are rebuilt in place (no per-row heap pairs) and shared
+        // by all N walks of that row. Each step then indexes
+        // `rank1_cp`/`values` directly instead of re-summing `block_nnz`
+        // per PE (which is quadratic in G1).
+        let mut block_start: Vec<u32> = Vec::with_capacity(groups + 1);
+        let mut value_start: Vec<u32> = Vec::new();
 
         let mut counts = MicroCounts::default();
         let mut output = Matrix::zeros(m_dim, n_dim);
@@ -292,9 +326,21 @@ impl MicroSim {
                 (row.rank0_cp.len() + row.rank1_cp.len() + row.group_blocks.len()) as u64;
         }
 
-        for (m, (arow, (block_start, value_start))) in
-            a_comp.rows().iter().zip(&row_starts).enumerate()
-        {
+        for (m, arow) in a_comp.rows().iter().enumerate() {
+            block_start.clear();
+            block_start.push(0);
+            let mut acc = 0u32;
+            for &nb in &arow.group_blocks {
+                acc += u32::from(nb);
+                block_start.push(acc);
+            }
+            value_start.clear();
+            value_start.push(0);
+            let mut acc = 0u32;
+            for &nnz in &arow.block_nnz {
+                acc += u32::from(nnz);
+                value_start.push(acc);
+            }
             for n in 0..n_dim {
                 let record_trace = m == 0 && n == 0;
                 let bcol = b_comp.as_ref().map(|sb| &sb.columns()[n]);
@@ -512,12 +558,28 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "conform")]
     fn rejects_nonconformant_operand() {
         let cfg = MicroConfig::paper_downsized(4);
         let a = gen::random_dense(2, 32, 1); // dense violates 2:4 blocks
         let b = gen::random_dense(32, 2, 2);
         let _ = MicroSim::new(cfg).run(&a, &b, false);
+    }
+
+    #[test]
+    fn validate_errors_on_invalid_operand_in_any_build() {
+        // `run` only debug_asserts conformance, so the release-mode
+        // contract is this public entry point: it must report invalid
+        // operands identically with and without debug assertions.
+        let cfg = MicroConfig::paper_downsized(4);
+        let sim = MicroSim::new(cfg);
+        let a = gen::random_dense(2, 32, 1);
+        let err = sim.validate(&a).expect_err("dense operand violates 2:4");
+        assert_eq!(err.row, 0);
+        assert!(err.to_string().contains("does not conform"));
+        let good = gen::random_hss(2, 32, &[cfg.rank1, cfg.rank0], 3);
+        assert_eq!(sim.validate(&good), Ok(()));
     }
 
     #[test]

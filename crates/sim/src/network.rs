@@ -273,7 +273,22 @@ impl Engine {
         design: &dyn Accelerator,
         network: &NetworkWorkload,
     ) -> NetworkEval {
-        let outcomes = self.map(&network.layers, |l| self.evaluate_best(design, &l.workload));
+        self.evaluate_network_keyed(design, &Engine::fingerprint(design), network)
+    }
+
+    /// [`Engine::evaluate_network`] with a hoisted design fingerprint —
+    /// the search path evaluating many configurations of one model on one
+    /// design computes [`Engine::fingerprint`] once for the whole sweep
+    /// instead of once per layer evaluation.
+    pub fn evaluate_network_keyed(
+        &self,
+        design: &dyn Accelerator,
+        fingerprint: &crate::engine::DesignFingerprint,
+        network: &NetworkWorkload,
+    ) -> NetworkEval {
+        let outcomes = self.map(&network.layers, |l| {
+            self.evaluate_best_keyed(design, fingerprint, &l.workload)
+        });
         NetworkEval {
             design: design.name().to_string(),
             network: network.name.clone(),

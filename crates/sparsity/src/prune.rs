@@ -17,17 +17,59 @@ use hl_tensor::Matrix;
 
 use crate::hss::HssPattern;
 
+/// Sum of squared magnitudes of a slice, accumulated in slice order.
+///
+/// This is the raw comparison key the pruning kernels rank blocks by:
+/// within one group every block has the same length `n`, and
+/// `sqrt(Σv²/n)` (the scaled-L2 score) is strictly monotone in `Σv²` on
+/// `[0, ∞]`, so ranking by the raw sum selects exactly the blocks the
+/// scaled-L2 ranking selects — while skipping a division and a `sqrt`
+/// per block. A NaN sum stays the same NaN through `/n` and `sqrt`
+/// (both propagate the payload), so even corrupt-weight ties order
+/// identically under `total_cmp`.
+pub fn sum_sq(values: &[f32]) -> f64 {
+    values.iter().map(|&v| f64::from(v) * f64::from(v)).sum()
+}
+
 /// Scaled L2 norm of a payload: `sqrt(Σv² / n)`.
 ///
 /// The paper defines the intermediate-rank score as the payload's average
 /// magnitude; the root-mean-square form used here is the L2 realization of
 /// that idea and induces the same "keep the strongest fibers" ordering.
+/// The kernels below compare blocks by [`sum_sq`] instead (same ordering,
+/// cheaper); this form is kept for reporting and external callers.
 pub fn scaled_l2(values: &[f32]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let sum: f64 = values.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
-    (sum / values.len() as f64).sqrt()
+    (sum_sq(values) / values.len() as f64).sqrt()
+}
+
+/// Reusable selection buffer for the in-place pruning kernels.
+///
+/// One scratch serves every rank of every [`prune_hss`] call on a thread;
+/// sweeps that score thousands of candidate patterns reuse it instead of
+/// reallocating a small vector per (row, group).
+#[derive(Debug, Default)]
+pub struct PruneScratch {
+    keys: Vec<u128>,
+}
+
+impl PruneScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Maps an `f64` to a `u64` whose unsigned order equals [`f64::total_cmp`]
+/// order for **all** values (both NaN sign classes included): flip the
+/// low 63 bits for negatives (the same transform `total_cmp` applies),
+/// then offset the sign bit into unsigned range.
+fn total_cmp_key(x: f64) -> u64 {
+    let b = x.to_bits() as i64;
+    let flip = ((b >> 63) as u64) >> 1;
+    ((b ^ flip as i64) as u64) ^ (1 << 63)
 }
 
 /// Prunes the lowest rank: within every aligned block of `gh.h` values in
@@ -50,19 +92,20 @@ pub fn prune_lowest_rank(m: &Matrix, gh: Gh) -> Matrix {
 /// Panics if the column count is not a multiple of `gh.h * granularity`.
 pub fn prune_rank(m: &Matrix, gh: Gh, granularity: usize) -> Matrix {
     let mut out = m.clone();
-    prune_rank_in_place(&mut out, gh, granularity);
+    prune_rank_in_place(&mut out, gh, granularity, &mut PruneScratch::new());
     out
 }
 
 /// In-place single-rank pruning — the hot loop under [`prune_hss`], which
-/// pruning runs once per pattern per sweep cell. Scoring and selection use
-/// scratch buffers allocated once per call, not per group, and the matrix
-/// is mutated directly instead of cloned per rank.
+/// pruning runs once per pattern per sweep cell. The kernel works on raw
+/// row slices (one bounds check per row, not per element), compares
+/// blocks by [`sum_sq`] (same selection as scaled-L2, see there), and
+/// zeroes dropped blocks with slice fills.
 ///
 /// Groups are disjoint and each group is fully scored before any of its
 /// blocks is zeroed, so operating in place scores exactly the values the
 /// out-of-place version scored.
-fn prune_rank_in_place(m: &mut Matrix, gh: Gh, granularity: usize) {
+fn prune_rank_in_place(m: &mut Matrix, gh: Gh, granularity: usize, scratch: &mut PruneScratch) {
     let group = gh.h as usize * granularity;
     assert!(
         m.cols().is_multiple_of(group),
@@ -71,29 +114,60 @@ fn prune_rank_in_place(m: &mut Matrix, gh: Gh, granularity: usize) {
     );
     let h = gh.h as usize;
     let keep = (gh.g as usize).min(h);
-    let mut scores = vec![0.0f64; h];
-    let mut order: Vec<usize> = Vec::with_capacity(h);
-    for r in 0..m.rows() {
-        for g in 0..m.cols() / group {
-            let start = g * group;
-            for (b, score) in scores.iter_mut().enumerate() {
-                let lo = start + b * granularity;
-                *score = scaled_l2(&m.row(r)[lo..lo + granularity]);
+    if keep == h {
+        // Every block survives: the selection can drop nothing.
+        return;
+    }
+    let groups = m.cols() / group;
+    if granularity == 1 && h <= 32 {
+        // Lowest-rank fast path — every pattern's innermost (and most
+        // numerous) selection. Blocks are single values, so the group is
+        // one contiguous slice and the scores are plain squares; keys
+        // live on the stack. The packed order is identical to the
+        // general path below (see the comment there), and a square is
+        // exactly the one-element sum [`sum_sq`] computes.
+        let mut keys = [0u128; 32];
+        for r in 0..m.rows() {
+            let row = m.row_mut(r);
+            for g in 0..groups {
+                let gs = &mut row[g * h..(g + 1) * h];
+                for (b, key) in keys[..h].iter_mut().enumerate() {
+                    let v = f64::from(gs[b]);
+                    *key = (u128::from(!total_cmp_key(v * v)) << 32) | b as u128;
+                }
+                keys[..h].sort_unstable();
+                for &k in &keys[keep..h] {
+                    gs[(k as u32) as usize] = 0.0;
+                }
             }
+        }
+        return;
+    }
+    let keys = &mut scratch.keys;
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        for g in 0..groups {
+            let start = g * group;
             // Rank blocks by (score desc, index asc); the first `keep`
             // survive — the same selection `top-k with ties to the lower
-            // index` the paper's procedure prescribes. `total_cmp` keeps
-            // the sort total when a corrupt weight yields a NaN score:
-            // NaN orders above +∞, so the block is deterministically kept
-            // instead of panicking the comparator.
-            order.clear();
-            order.extend(0..h);
-            order.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
-            for &b in &order[keep..] {
+            // index` the paper's procedure prescribes. Packing
+            // `(!total_cmp_key(score) << 32) | index` turns that order
+            // into one ascending integer sort with no comparator
+            // closure: inverting the key bits descends the `total_cmp`
+            // order (so a corrupt weight's NaN score still ranks the
+            // block deterministically instead of panicking a
+            // comparator), and the low word breaks ties toward the
+            // lower index.
+            keys.clear();
+            for b in 0..h {
                 let lo = start + b * granularity;
-                for c in lo..lo + granularity {
-                    m.set(r, c, 0.0);
-                }
+                let score = sum_sq(&row[lo..lo + granularity]);
+                keys.push((u128::from(!total_cmp_key(score)) << 32) | b as u128);
+            }
+            keys.sort_unstable();
+            for &k in &keys[keep..] {
+                let lo = start + (k as u32) as usize * granularity;
+                row[lo..lo + granularity].fill(0.0);
             }
         }
     }
@@ -113,16 +187,38 @@ fn prune_rank_in_place(m: &mut Matrix, gh: Gh, granularity: usize) {
 /// Panics if the column count is not a multiple of the pattern group size.
 pub fn prune_hss(m: &Matrix, pattern: &HssPattern) -> Matrix {
     let mut out = m.clone();
+    prune_hss_ranks_in_place(&mut out, pattern, 0, &mut PruneScratch::new());
+    out
+}
+
+/// Prunes the ranks of `pattern` above the `skip` lowest ones, in place,
+/// lowest-to-highest — the resumable core of [`prune_hss`].
+///
+/// `skip == 0` is full HSS pruning. With `skip == 1` the caller supplies a
+/// matrix already pruned at the lowest rank; because the lowest rank's
+/// result depends only on the input and that rank's `G:H` (its granularity
+/// is always 1), candidate patterns sharing a lowest rank can prune it once
+/// and replay the higher ranks per candidate from that shared prefix.
+///
+/// # Panics
+/// Panics if `skip > pattern.rank_count()` or the column count is not a
+/// multiple of the pattern group size.
+pub fn prune_hss_ranks_in_place(
+    m: &mut Matrix,
+    pattern: &HssPattern,
+    skip: usize,
+    scratch: &mut PruneScratch,
+) {
     let n = pattern.rank_count();
+    assert!(skip <= n, "skip ({skip}) exceeds rank count ({n})");
     // ranks() is highest-first; iterate lowest-first.
-    for (i, gh) in pattern.ranks().iter().rev().enumerate() {
+    for (i, gh) in pattern.ranks().iter().rev().enumerate().skip(skip) {
         let granularity: usize = pattern.ranks()[n - i..]
             .iter()
             .map(|r| r.h as usize)
             .product();
-        prune_rank_in_place(&mut out, *gh, granularity);
+        prune_rank_in_place(m, *gh, granularity, scratch);
     }
-    out
 }
 
 /// Flat indices of `m` ordered by ascending magnitude (ties keep the lower
@@ -141,16 +237,21 @@ pub fn magnitude_order(m: &Matrix) -> Vec<u32> {
         total < u32::MAX as usize,
         "matrix too large for u32 pruning order ({total} elements)"
     );
-    let mut idx: Vec<u32> = (0..total as u32).collect();
-    // `total_cmp` ranks a NaN magnitude above every number, so corrupt
-    // weights land at the end of the pruning order (pruned last) rather
-    // than panicking the comparator.
-    idx.sort_by(|&a, &b| {
-        let ma = m.data()[a as usize].abs();
-        let mb = m.data()[b as usize].abs();
-        ma.total_cmp(&mb).then(a.cmp(&b))
-    });
-    idx
+    // For nonnegative floats (sign bit cleared == abs), `total_cmp` is the
+    // unsigned compare of the raw bit patterns — NaNs sit above +∞ exactly
+    // as `total_cmp` orders them, so corrupt weights land at the end of
+    // the pruning order (pruned last) rather than panicking a comparator.
+    // Packing `(magnitude bits << 32) | index` makes the whole
+    // (magnitude asc, index asc) order one integer sort with the tiebreak
+    // built into the low word.
+    let mut keys: Vec<u64> = m
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (u64::from(v.to_bits() & 0x7FFF_FFFF) << 32) | i as u64)
+        .collect();
+    keys.sort_unstable();
+    keys.into_iter().map(|k| k as u32).collect()
 }
 
 /// [`prune_unstructured`] with a precomputed [`magnitude_order`]: zeroes
@@ -164,9 +265,9 @@ pub fn prune_unstructured_ordered(m: &Matrix, sparsity: f64, order: &[u32]) -> M
     assert_eq!(order.len(), total, "order must cover every element");
     let remove = (sparsity * total as f64).round() as usize;
     let mut out = m.clone();
+    let data = out.data_mut();
     for &i in &order[..remove] {
-        let i = i as usize;
-        out.set(i / m.cols(), i % m.cols(), 0.0);
+        data[i as usize] = 0.0;
     }
     out
 }
@@ -188,22 +289,28 @@ pub fn prune_unstructured(m: &Matrix, sparsity: f64) -> Matrix {
 /// # Panics
 /// Panics if the shapes differ.
 pub fn retained_norm_fraction(original: &Matrix, pruned: &Matrix) -> f64 {
+    retained_norm_fraction_with_total(total_sq_norm(original), original, pruned)
+}
+
+/// Total squared-magnitude (energy) of a matrix, accumulated in data
+/// order — the denominator of [`retained_norm_fraction`], exposed so
+/// callers scoring many prunings of one matrix compute it once.
+pub fn total_sq_norm(m: &Matrix) -> f64 {
+    sum_sq(m.data())
+}
+
+/// [`retained_norm_fraction`] with a precomputed [`total_sq_norm`] of
+/// `original`.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn retained_norm_fraction_with_total(total: f64, original: &Matrix, pruned: &Matrix) -> f64 {
     assert_eq!(original.rows(), pruned.rows(), "shape mismatch");
     assert_eq!(original.cols(), pruned.cols(), "shape mismatch");
-    let total: f64 = original
-        .data()
-        .iter()
-        .map(|&v| f64::from(v) * f64::from(v))
-        .sum();
     if total == 0.0 {
         return 1.0;
     }
-    let kept: f64 = pruned
-        .data()
-        .iter()
-        .map(|&v| f64::from(v) * f64::from(v))
-        .sum();
-    kept / total
+    sum_sq(pruned.data()) / total
 }
 
 #[cfg(test)]

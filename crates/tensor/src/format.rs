@@ -18,6 +18,7 @@
 
 use hl_fibertree::spec::Gh;
 
+use crate::bits;
 use crate::matrix::Matrix;
 
 fn ceil_log2(x: usize) -> u32 {
@@ -90,7 +91,14 @@ impl HssCompressed {
             "cols must be a multiple of H1*H0"
         );
         let mut data = Vec::with_capacity(m.rows());
+        // One occupancy bitmap per row: block/group occupancy comes from
+        // masked popcounts and set-bit scans instead of a branch per
+        // element (values are pushed in the same ascending offset order
+        // the per-element scan produced).
+        let mut occ = Vec::new();
         for r in 0..m.rows() {
+            let values = m.row(r);
+            bits::pack_occupancy(values, &mut occ);
             let mut row = HssRow {
                 values: Vec::new(),
                 rank0_cp: Vec::new(),
@@ -103,14 +111,11 @@ impl HssCompressed {
                 for b in 0..h1 {
                     let base = g * group + b * h0;
                     let mut nnz = 0u8;
-                    for i in 0..h0 {
-                        let v = m.get(r, base + i);
-                        if v != 0.0 {
-                            row.values.push(v);
-                            row.rank0_cp.push(i as u8);
-                            nnz += 1;
-                        }
-                    }
+                    bits::for_each_set_bit(&occ, base, h0, |i| {
+                        row.values.push(values[base + i]);
+                        row.rank0_cp.push(i as u8);
+                        nnz += 1;
+                    });
                     if nnz > 0 {
                         row.rank1_cp.push(b as u8);
                         row.block_nnz.push(nnz);
@@ -239,7 +244,17 @@ impl SparseB {
         );
         let (k, n) = (m.rows(), m.cols());
         let mut cols = Vec::with_capacity(n);
+        // Gather each strided column into a contiguous buffer once, then
+        // encode it from a bit-packed occupancy bitmap (same ascending K
+        // order per block as the per-element scan).
+        let data = m.data();
+        let mut colbuf = vec![0.0f32; k];
+        let mut occ = Vec::new();
         for c in 0..n {
+            for (i, slot) in colbuf.iter_mut().enumerate() {
+                *slot = data[i * n + c];
+            }
+            bits::pack_occupancy(&colbuf, &mut occ);
             let mut v = SparseBVector {
                 values: Vec::new(),
                 group_nnz: Vec::new(),
@@ -250,13 +265,10 @@ impl SparseB {
                 let start = v.values.len();
                 for b in 0..h1 {
                     let base = g * group + b * h0;
-                    for i in 0..h0 {
-                        let val = m.get(base + i, c);
-                        if val != 0.0 {
-                            v.values.push(val);
-                            v.rank0_off.push(i as u8);
-                        }
-                    }
+                    bits::for_each_set_bit(&occ, base, h0, |i| {
+                        v.values.push(colbuf[base + i]);
+                        v.rank0_off.push(i as u8);
+                    });
                     v.block_end.push(v.values.len() as u32);
                 }
                 v.group_nnz.push((v.values.len() - start) as u32);

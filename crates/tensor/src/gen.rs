@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::bits;
 use crate::matrix::Matrix;
 
 fn nonzero_value(rng: &mut StdRng) -> f32 {
@@ -104,19 +105,65 @@ fn fill_group(m: &mut Matrix, row: usize, start: usize, ranks: &[Gh], rng: &mut 
 /// Verifies that each row of `m` obeys the N-rank HSS pattern (at most `G`
 /// occupied children per group at every rank). Returns the first violation
 /// as `(row, rank_index_from_highest, group_start)` or `None` if conformant.
+///
+/// Conformant rows — the common case on the hot simulation paths — are
+/// screened with bit-packed occupancy words and popcounts (64 columns per
+/// step instead of one). Only a row the screen rejects re-runs the exact
+/// per-element walk, so the reported violation tuple is identical to the
+/// naive scan's.
 pub fn check_hss(m: &Matrix, ranks: &[Gh]) -> Option<(usize, usize, usize)> {
     let group: usize = ranks.iter().map(|gh| gh.h as usize).product();
     if !m.cols().is_multiple_of(group) {
         return Some((0, 0, 0));
     }
+    let cols = m.cols();
+    let mut occ = Vec::new();
+    let mut collapsed = Vec::new();
     for row in 0..m.rows() {
-        for g in 0..m.cols() / group {
+        bits::pack_occupancy(m.row(row), &mut occ);
+        if row_occupancy_conformant(&mut occ, &mut collapsed, cols, ranks) {
+            continue;
+        }
+        for g in 0..cols / group {
             if let Some((rank, start)) = check_group(m, row, g * group, ranks) {
                 return Some((row, rank, start));
             }
         }
+        unreachable!("popcount screen rejected a row the exact walk accepts");
     }
     None
+}
+
+/// Word-parallel conformance screen over one row's occupancy bitmap:
+/// checks each rank lowest-to-highest by popcounting its `H`-bit groups,
+/// then collapses every group to one "non-empty" bit for the rank above.
+/// `occ` is clobbered; `scratch` is the collapse buffer.
+fn row_occupancy_conformant(
+    occ: &mut [u64],
+    scratch: &mut Vec<u64>,
+    cols: usize,
+    ranks: &[Gh],
+) -> bool {
+    let mut len = cols;
+    let cur = occ;
+    for gh in ranks.iter().rev() {
+        let h = gh.h as usize;
+        let groups = len / h;
+        scratch.clear();
+        scratch.resize(groups.div_ceil(64), 0);
+        for gi in 0..groups {
+            let occupied = bits::popcount_range(cur, gi * h, h);
+            if occupied > gh.g {
+                return false;
+            }
+            if occupied > 0 {
+                scratch[gi / 64] |= 1 << (gi % 64);
+            }
+        }
+        cur[..scratch.len()].copy_from_slice(scratch);
+        len = groups;
+    }
+    true
 }
 
 fn check_group(m: &Matrix, row: usize, start: usize, ranks: &[Gh]) -> Option<(usize, usize)> {

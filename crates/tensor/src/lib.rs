@@ -14,11 +14,15 @@
 //! - [`format`]: the paper's storage formats — the hierarchical offset-based
 //!   coordinate-payload (CP) compression for HSS operand A (Fig. 9) and the
 //!   three-level metadata format for unstructured sparse operand B
-//!   (Fig. 12a) — with exact metadata bit accounting.
+//!   (Fig. 12a) — with exact metadata bit accounting;
+//! - [`bits`]: the bit-packed occupancy words the conformance checks and
+//!   encoders use to process 64 positions per popcount instead of one per
+//!   branch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bits;
 pub mod conv;
 pub mod format;
 pub mod gen;

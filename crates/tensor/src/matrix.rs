@@ -137,6 +137,21 @@ impl Matrix {
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// A mutable view of one row — the bulk-update path kernels use
+    /// instead of per-element [`set`](Self::set) calls.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable row-major backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
     /// Number of nonzero elements.
     pub fn nonzeros(&self) -> usize {
         self.data.iter().filter(|&&v| v != 0.0).count()

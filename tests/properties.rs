@@ -42,6 +42,35 @@ proptest! {
         prop_assert!(retained_norm_fraction(&dense, &un) >= r - 1e-9);
     }
 
+    /// Bit-packed occupancy popcounts equal per-element nonzero counts on
+    /// random matrices, over whole rows and awkward word-crossing spans —
+    /// the invariant `check_hss` and the encoders' packed fast paths rely
+    /// on.
+    #[test]
+    fn packed_popcounts_match_per_element_counts(
+        rows in 1usize..5,
+        cols in 1usize..200,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        use highlight::tensor::bits;
+        let m = gen::random_unstructured(rows, cols, sparsity, seed);
+        let mut occ = Vec::new();
+        for r in 0..rows {
+            let row = m.row(r);
+            bits::pack_occupancy(row, &mut occ);
+            let len = (cols / 3).max(1);
+            for (start, len) in [(0, cols), (cols / 2, len.min(cols - cols / 2)), (cols - len, len)] {
+                let naive = row[start..start + len].iter().filter(|&&v| v != 0.0).count();
+                prop_assert_eq!(bits::popcount_range(&occ, start, len) as usize, naive);
+                let mut visited = Vec::new();
+                bits::for_each_set_bit(&occ, start, len, |i| visited.push(i));
+                prop_assert_eq!(visited.len(), naive);
+                prop_assert!(visited.iter().all(|&i| row[start + i] != 0.0));
+            }
+        }
+    }
+
     /// All three storage formats round-trip arbitrary sparse content.
     #[test]
     fn formats_roundtrip(sparsity in 0.0f64..1.0, seed in 0u64..1000) {
