@@ -1,0 +1,183 @@
+//! The committed baseline of grandfathered findings.
+//!
+//! When a rule lands, pre-existing violations that are real but not
+//! worth churning (e.g. slice indexing all over the event loop) are
+//! recorded in `lint-baseline.txt` instead of being suppressed inline.
+//! A finding matches a baseline entry by `(rule, file, trimmed line
+//! text)` — never by line *number*, so unrelated edits that shift code
+//! don't invalidate the baseline, while editing a grandfathered line
+//! forces the author to either fix it or consciously re-baseline.
+//!
+//! The format is deliberately line-oriented and diff-friendly:
+//!
+//! ```text
+//! rule-name<TAB>path<TAB>count<TAB>trimmed source line
+//! ```
+//!
+//! sorted, one entry per distinct `(rule, file, snippet)` with a
+//! multiplicity. `hl-lint --write-baseline` regenerates it; CI asserts
+//! the committed file only ever shrinks.
+
+use std::collections::HashMap;
+
+use crate::findings::Finding;
+
+/// A parsed baseline: `(rule, file, snippet) → remaining multiplicity`.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: HashMap<(String, String, String), u32>,
+}
+
+/// A malformed baseline line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line in the baseline file.
+    pub line: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl Baseline {
+    /// Parses the `rule<TAB>file<TAB>count<TAB>snippet` format.
+    ///
+    /// # Errors
+    /// Rejects lines that don't split into four fields or whose count
+    /// isn't a positive integer.
+    pub fn parse(text: &str) -> Result<Self, BaselineError> {
+        let mut entries = HashMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i as u32 + 1;
+            if raw.is_empty() || raw.starts_with('#') {
+                continue;
+            }
+            let mut parts = raw.splitn(4, '\t');
+            let (rule, file, count, snippet) =
+                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(r), Some(f), Some(c), Some(s)) => (r, f, c, s),
+                    _ => {
+                        return Err(BaselineError {
+                            line,
+                            message: "expected rule<TAB>file<TAB>count<TAB>snippet".to_string(),
+                        })
+                    }
+                };
+            let count: u32 = count.parse().map_err(|_| BaselineError {
+                line,
+                message: format!("count `{count}` is not a positive integer"),
+            })?;
+            if count == 0 {
+                return Err(BaselineError {
+                    line,
+                    message: "count must be >= 1".to_string(),
+                });
+            }
+            *entries
+                .entry((rule.to_string(), file.to_string(), snippet.to_string()))
+                .or_insert(0) += count;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Consumes one matching entry for `f`, returning whether the
+    /// finding was grandfathered.
+    pub fn absorb(&mut self, f: &Finding) -> bool {
+        let key = (f.rule.to_string(), f.file.clone(), f.snippet.clone());
+        match self.entries.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Total multiplicity still unconsumed (stale entries after a run).
+    pub fn remaining(&self) -> u32 {
+        self.entries.values().sum()
+    }
+
+    /// Serializes findings as a fresh baseline file, sorted and
+    /// deduplicated with multiplicities.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: HashMap<(&str, &str, &str), u32> = HashMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule, f.file.as_str(), f.snippet.as_str()))
+                .or_insert(0) += 1;
+        }
+        let mut lines: Vec<String> = counts
+            .into_iter()
+            .map(|((rule, file, snippet), n)| format!("{rule}\t{file}\t{n}\t{snippet}"))
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# hl-lint baseline: grandfathered findings, one `(rule, file, line-text)`\n\
+             # per entry with a multiplicity. Regenerate with `hl-lint --write-baseline`.\n\
+             # Policy: this file may only shrink; fix or inline-suppress new findings.\n",
+        );
+        for l in &lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total multiplicity recorded in a baseline file's text (used by
+    /// the CI ratchet without consuming entries).
+    pub fn total_of(text: &str) -> Result<u32, BaselineError> {
+        Ok(Self::parse(text)?.remaining())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_matches_by_snippet_not_line_number() {
+        let f1 = finding("r", "a.rs", "x.unwrap();");
+        let f2 = finding("r", "a.rs", "x.unwrap();");
+        let rendered = Baseline::render(&[f1.clone(), f2.clone()]);
+        assert!(rendered.contains("r\ta.rs\t2\tx.unwrap();"));
+        let mut b = Baseline::parse(&rendered).unwrap();
+        let mut moved = f1.clone();
+        moved.line = 99; // unrelated edits shifted the code
+        assert!(b.absorb(&moved));
+        assert!(b.absorb(&f2));
+        assert!(!b.absorb(&f1), "multiplicity is exhausted");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn edited_lines_no_longer_match() {
+        let rendered = Baseline::render(&[finding("r", "a.rs", "x.unwrap();")]);
+        let mut b = Baseline::parse(&rendered).unwrap();
+        assert!(!b.absorb(&finding("r", "a.rs", "x.expect(\"y\");")));
+        assert_eq!(b.remaining(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored_and_errors_are_located() {
+        assert_eq!(
+            Baseline::total_of("# header\n\nr\tf\t3\tsnip\n").unwrap(),
+            3
+        );
+        let err = Baseline::parse("r\tf\tnope\tsnip\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = Baseline::parse("too\tfew\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = Baseline::parse("r\tf\t0\tsnip\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! `hl-lint` — run the project-invariant static analysis over the
+//! workspace.
+//!
+//! ```text
+//! hl-lint [--root DIR] [--deny] [--format text|json] [--list-rules]
+//!         [--baseline PATH | --no-baseline] [--write-baseline]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings without `--deny`), `1` active
+//! findings under `--deny`, `2` usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hl_analysis::baseline::Baseline;
+use hl_analysis::engine;
+use hl_analysis::findings::json_report;
+use hl_analysis::rules::all_rules;
+use hl_analysis::walk;
+
+/// Default baseline location, relative to the workspace root.
+const BASELINE_FILE: &str = "lint-baseline.txt";
+
+const USAGE: &str = "\
+hl-lint: dependency-free static analysis for project invariants
+
+USAGE:
+    hl-lint [OPTIONS]
+
+OPTIONS:
+    --root DIR          Workspace root (default: auto-detect from cwd)
+    --deny              Exit 1 when any active finding remains
+    --format text|json  Report format (default: text)
+    --baseline PATH     Baseline file (default: lint-baseline.txt)
+    --no-baseline       Ignore any baseline file
+    --write-baseline    Rewrite the baseline from current findings and exit
+    --list-rules        Print the rule catalog and exit
+    -h, --help          This help
+";
+
+struct Options {
+    root: Option<PathBuf>,
+    deny: bool,
+    json: bool,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        deny: false,
+        json: false,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--deny" => opts.deny = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--no-baseline" => opts.no_baseline = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("hl-lint: {msg}");
+    }
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => return fail(&msg),
+    };
+
+    if opts.list_rules {
+        for rule in all_rules() {
+            println!("{:36} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match opts.root.or_else(|| walk::find_root(&cwd)) {
+        Some(r) => r,
+        None => return fail("cannot find workspace root (no Cargo.toml + crates/ above cwd)"),
+    };
+
+    let sources = match walk::workspace_sources(&root) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read workspace sources: {e}")),
+    };
+    let mut pre_findings = Vec::new();
+    let ws = engine::load_workspace(sources, &mut pre_findings);
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    if opts.write_baseline {
+        // A fresh baseline grandfathers exactly the findings that are
+        // neither suppressed inline nor meta (bad/unused suppressions
+        // and lex errors must be fixed, not recorded).
+        let outcome = engine::run(&ws, None, pre_findings);
+        let real: Vec<_> = outcome
+            .active
+            .into_iter()
+            .filter(|f| !is_meta(f.rule))
+            .collect();
+        let rendered = Baseline::render(&real);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            return fail(&format!("cannot write {}: {e}", baseline_path.display()));
+        }
+        println!(
+            "hl-lint: wrote {} entries to {}",
+            real.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.no_baseline {
+        None
+    } else {
+        match load_baseline(&baseline_path) {
+            Ok(b) => b,
+            Err(msg) => return fail(&msg),
+        }
+    };
+
+    let outcome = engine::run(&ws, baseline, pre_findings);
+
+    if opts.json {
+        print!(
+            "{}",
+            json_report(&outcome.active, &outcome.suppressed, &outcome.baselined)
+        );
+    } else {
+        for f in &outcome.active {
+            println!("{f}");
+        }
+        println!(
+            "hl-lint: {} active, {} suppressed, {} baselined across {} files",
+            outcome.active.len(),
+            outcome.suppressed.len(),
+            outcome.baselined.len(),
+            ws.files.len()
+        );
+    }
+
+    if opts.deny && !outcome.active.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn is_meta(rule: &str) -> bool {
+    rule == hl_analysis::suppress::BAD_SUPPRESSION
+        || rule == hl_analysis::suppress::UNUSED_SUPPRESSION
+        || rule == engine::LEX_ERROR
+}
+
+fn load_baseline(path: &Path) -> Result<Option<Baseline>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Baseline::parse(&text)
+            .map(Some)
+            .map_err(|e| format!("{}:{}: {}", path.display(), e.line, e.message)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}

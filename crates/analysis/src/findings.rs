@@ -1,0 +1,138 @@
+//! Diagnostics: the [`Finding`] record, text rendering, and the
+//! hand-rolled JSON encoding behind `hl-lint --format json`.
+
+use std::fmt;
+
+/// One diagnostic: a named rule fired at a precise location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (kebab-case, stable — baseline and suppression key).
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (chars).
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The trimmed text of the offending line (baseline matching key).
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes `s` into a JSON string body (quotes not included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full JSON report for `--format json`: every finding with
+/// its disposition, plus summary counts.
+pub fn json_report(
+    active: &[Finding],
+    suppressed: &[(Finding, String)],
+    baselined: &[Finding],
+) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    let mut first = true;
+    let mut push_one = |out: &mut String, f: &Finding, disposition: &str, reason: Option<&str>| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"disposition\":\"{}\",\"message\":\"{}\",\"snippet\":\"{}\"",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            disposition,
+            json_escape(&f.message),
+            json_escape(&f.snippet),
+        ));
+        if let Some(r) = reason {
+            out.push_str(&format!(",\"reason\":\"{}\"", json_escape(r)));
+        }
+        out.push('}');
+    };
+    for f in active {
+        push_one(&mut out, f, "active", None);
+    }
+    for (f, reason) in suppressed {
+        push_one(&mut out, f, "suppressed", Some(reason));
+    }
+    for f in baselined {
+        push_one(&mut out, f, "baselined", None);
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"counts\": {{\"active\": {}, \"suppressed\": {}, \"baselined\": {}}}\n}}\n",
+        active.len(),
+        suppressed.len(),
+        baselined.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "no-panic-in-request-path",
+            file: "crates/serve/src/server.rs".into(),
+            line: 7,
+            col: 3,
+            message: "`unwrap` can panic".into(),
+            snippet: "x.unwrap();".into(),
+        }
+    }
+
+    #[test]
+    fn display_is_clickable_file_line_col() {
+        assert_eq!(
+            finding().to_string(),
+            "crates/serve/src/server.rs:7:3: no-panic-in-request-path: `unwrap` can panic"
+        );
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn json_report_counts_and_dispositions() {
+        let report = json_report(
+            &[finding()],
+            &[(finding(), "known-safe".into())],
+            &[finding()],
+        );
+        assert!(report.contains("\"counts\": {\"active\": 1, \"suppressed\": 1, \"baselined\": 1}"));
+        assert!(report.contains("\"disposition\":\"suppressed\""));
+        assert!(report.contains("\"reason\":\"known-safe\""));
+    }
+}

@@ -1,0 +1,528 @@
+//! A small, span-faithful Rust lexer.
+//!
+//! The rules in this crate only need a *token-level* view of a source
+//! file — enough to tell code from comments and strings, so that a
+//! `partial_cmp` inside a doc comment or a `panic!` inside a string
+//! literal never produces a diagnostic. The lexer therefore recognises
+//! exactly the token classes where naive text search goes wrong:
+//!
+//! - line comments (`//`, `///`, `//!`);
+//! - block comments, **nested** (`/* /* */ */`), including doc forms;
+//! - string literals with escapes (`"a \" b"`), byte strings (`b".."`);
+//! - raw strings with any hash depth (`r"..."`, `r##"..."##`, `br#".."#`);
+//! - char and byte-char literals (`'a'`, `'\n'`, `b'x'`) disambiguated
+//!   from lifetimes (`'a`, `'static`);
+//! - raw identifiers (`r#type`), plain identifiers, numbers, and
+//!   single-character punctuation.
+//!
+//! Every token carries its byte span in the original source, tokens are
+//! emitted in order, never overlap, and the bytes between consecutive
+//! tokens are always pure whitespace — the property the round-trip
+//! suite in `tests/lexer_props.rs` pins down.
+
+/// The class of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String or byte-string literal with escape processing (`"…"`, `b"…"`).
+    Str,
+    /// Raw (byte-)string literal (`r"…"`, `r#"…"#`, `br"…"`).
+    RawStr,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// `// …` comment, to end of line (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting respected (doc comments included).
+    BlockComment,
+    /// A single punctuation character (`.`, `::` is two tokens, …).
+    Punct,
+}
+
+/// One token: a kind plus its byte span (`start..end`) in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// A lexing failure: the tool reports these as `lex-error` findings
+/// rather than silently skipping the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset where lexing failed.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a complete token stream (comments included).
+///
+/// # Errors
+/// Returns a [`LexError`] on unterminated strings/comments/char
+/// literals — truncated input, not style problems.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// The char starting at byte offset `at` (must be a char boundary).
+    fn char_at(&self, at: usize) -> Option<char> {
+        self.src[at..].chars().next()
+    }
+
+    fn error(&self, at: usize, message: &str) -> LexError {
+        LexError {
+            offset: at,
+            message: message.to_string(),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        // Skip whitespace.
+        while let Some(c) = self.char_at(self.pos) {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let start = self.pos;
+        let Some(c) = self.char_at(start) else {
+            return Ok(None);
+        };
+        let kind = match c {
+            '/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            '/' if self.peek(1) == Some(b'*') => self.block_comment(start)?,
+            '"' => self.string(start)?,
+            '\'' => self.char_or_lifetime(start)?,
+            'r' | 'b' if self.raw_or_byte_prefix(start) => self.prefixed_literal(start)?,
+            'r' if self.peek(1) == Some(b'#')
+                && self.char_at(start + 2).is_some_and(is_ident_start) =>
+            {
+                // Raw identifier `r#type`: the prefix check above already
+                // ruled out `r#"…"` raw strings.
+                self.pos += 2;
+                self.ident()
+            }
+            _ if is_ident_start(c) => self.ident(),
+            _ if c.is_ascii_digit() => self.number(),
+            _ => {
+                self.pos += c.len_utf8();
+                TokenKind::Punct
+            }
+        };
+        Ok(Some(Token {
+            kind,
+            start,
+            end: self.pos,
+        }))
+    }
+
+    /// True when the `r`/`b` at `start` opens a literal (`r"`, `r#"`,
+    /// `b"`, `b'`, `br"`, `rb` is not a thing) rather than an identifier.
+    fn raw_or_byte_prefix(&self, start: usize) -> bool {
+        let rest = &self.bytes[start..];
+        match rest {
+            [b'r', b'"', ..] | [b'b', b'"', ..] | [b'b', b'\'', ..] => true,
+            [b'r', b'#', ..] => {
+                // `r#...#"` raw string vs `r#ident` raw identifier: a raw
+                // string has only `#`s between the prefix and the quote.
+                let mut i = 1;
+                while rest.get(i) == Some(&b'#') {
+                    i += 1;
+                }
+                rest.get(i) == Some(&b'"')
+            }
+            [b'b', b'r', b'"', ..] => true,
+            [b'b', b'r', b'#', ..] => {
+                let mut i = 2;
+                while rest.get(i) == Some(&b'#') {
+                    i += 1;
+                }
+                rest.get(i) == Some(&b'"')
+            }
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        self.pos += 2; // `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => return Err(self.error(start, "unterminated block comment")),
+            }
+        }
+        Ok(TokenKind::BlockComment)
+    }
+
+    /// A `"…"` string with escapes; `self.pos` is at the opening quote.
+    fn string(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(TokenKind::Str);
+                }
+                Some(b'\\') => {
+                    // Skip the escape head; `\u{…}`/`\x41` bodies contain
+                    // no quote, so skipping one char is enough.
+                    self.pos += 2;
+                }
+                Some(_) => {
+                    // Advance one full char (strings may hold multibyte
+                    // text; landing mid-char would break slicing).
+                    let c = self
+                        .char_at(self.pos)
+                        .ok_or_else(|| self.error(start, "unterminated string literal"))?;
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.error(start, "unterminated string literal")),
+            }
+        }
+    }
+
+    /// `r"…"`, `r##"…"##`, `b"…"`, `br#"…"#`, `b'x'` — anything the
+    /// `r`/`b` prefix check accepted.
+    fn prefixed_literal(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'\'') {
+            self.pos += 1; // `b`, then reuse the char-literal scanner.
+            let at = self.pos;
+            return self.char_literal(at);
+        }
+        // Byte strings with escapes: `b"…"`.
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'"') {
+            self.pos += 1;
+            return self.string(start);
+        }
+        // Raw forms: optional `b`, then `r`, hashes, quote.
+        if self.peek(0) == Some(b'b') {
+            self.pos += 1;
+        }
+        self.pos += 1; // `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        debug_assert_eq!(self.peek(0), Some(b'"'));
+        self.pos += 1;
+        // Scan for `"` followed by `hashes` hashes.
+        loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    let mut i = 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(i) == Some(b'#') {
+                        seen += 1;
+                        i += 1;
+                    }
+                    if seen == hashes {
+                        self.pos += 1 + hashes;
+                        return Ok(TokenKind::RawStr);
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let c = self
+                        .char_at(self.pos)
+                        .ok_or_else(|| self.error(start, "unterminated raw string"))?;
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.error(start, "unterminated raw string")),
+            }
+        }
+    }
+
+    /// `'a'` vs `'a`: a quote starts a char literal when it is escaped,
+    /// when a single ident-char is followed by a closing quote, or when
+    /// the quoted char cannot start a lifetime at all.
+    fn char_or_lifetime(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        let after = start + 1;
+        match self.char_at(after) {
+            None => Err(self.error(start, "unterminated char literal")),
+            Some('\\') => self.char_literal(start),
+            Some(c) if is_ident_continue(c) => {
+                // `'x'` is a char; `'x` / `'static` is a lifetime.
+                if self.char_at(after + c.len_utf8()) == Some('\'') {
+                    self.char_literal(start)
+                } else {
+                    self.pos = after;
+                    while let Some(c) = self.char_at(self.pos) {
+                        if is_ident_continue(c) {
+                            self.pos += c.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    Ok(TokenKind::Lifetime)
+                }
+            }
+            Some(_) => self.char_literal(start),
+        }
+    }
+
+    /// Scans a char literal starting at its opening quote (`self.pos`
+    /// may differ for `b'…'`, where the prefix is already consumed).
+    fn char_literal(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        self.pos += 1; // opening quote
+        match self.char_at(self.pos) {
+            None => return Err(self.error(start, "unterminated char literal")),
+            Some('\\') => {
+                self.pos += 1;
+                match self.peek(0) {
+                    Some(b'u') => {
+                        // `\u{…}`: skip to the closing brace.
+                        self.pos += 1;
+                        while let Some(c) = self.peek(0) {
+                            self.pos += 1;
+                            if c == b'}' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(b'x') => self.pos += 3, // `\xNN`
+                    Some(_) => self.pos += 1,    // `\n`, `\'`, `\\`, …
+                    None => return Err(self.error(start, "unterminated char literal")),
+                }
+            }
+            Some(c) => self.pos += c.len_utf8(),
+        }
+        if self.peek(0) != Some(b'\'') {
+            return Err(self.error(start, "unterminated char literal"));
+        }
+        self.pos += 1;
+        Ok(TokenKind::Char)
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while let Some(c) = self.char_at(self.pos) {
+            if is_ident_continue(c) {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Hex/octal/binary prefixes take everything alphanumeric.
+        let hexish = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'));
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                    // `1e-5` / `1E+5`: a sign directly after the exponent
+                    // marker belongs to the number (decimal floats only).
+                    let exp = !hexish && (c == b'e' || c == b'E');
+                    self.pos += 1;
+                    if exp
+                        && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                        && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        self.pos += 1;
+                    }
+                }
+                // A dot continues the number only before another digit:
+                // `1.5` yes; `0..n`, `1.max(2)` no.
+                Some(b'.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => self.pos += 1,
+                _ => break,
+            }
+        }
+        TokenKind::Num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_separate_cleanly() {
+        let src = r##"let s = "a // not a comment"; // real comment"##;
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::Ident, "let"));
+        assert_eq!(toks[2], (TokenKind::Punct, "="));
+        assert_eq!(toks[3], (TokenKind::Str, "\"a // not a comment\""));
+        assert_eq!(toks.last().unwrap().0, TokenKind::LineComment);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_at_matching_depth() {
+        let src = "a /* x /* y */ z */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::BlockComment, "/* x /* y */ z */"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_comment_markers() {
+        let src = r####"let x = r#"// "quoted" /* nope */"# ;"####;
+        let toks = kinds(src);
+        assert_eq!(toks[3].0, TokenKind::RawStr);
+        assert_eq!(toks[3].1, r###"r#"// "quoted" /* nope */"#"###);
+    }
+
+    #[test]
+    fn chars_and_lifetimes_disambiguate() {
+        let src = "'a' 'z &'a str 'static '\\n' '\\'' b'x'";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'z", "'a", "'static"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'", "'\\''", "b'x'"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("r#type r#fn rate");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "r#type"),
+                (TokenKind::Ident, "r#fn"),
+                (TokenKind::Ident, "rate"),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_stop_before_ranges_and_method_calls() {
+        let toks = kinds("0..10 1.5 1.max(2) 1e-5 0xFF_u32 1_000.25");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["0", "10", "1.5", "1", "2", "1e-5", "0xFF_u32", "1_000.25"]
+        );
+    }
+
+    #[test]
+    fn spans_are_monotone_contiguous_and_faithful() {
+        let src = "fn main() { let _x = \"s\"; /* c */ }";
+        let toks = lex(src).unwrap();
+        let mut prev_end = 0usize;
+        for t in &toks {
+            assert!(t.start >= prev_end);
+            assert!(src[prev_end..t.start].chars().all(char::is_whitespace));
+            assert!(t.end > t.start);
+            prev_end = t.end;
+        }
+        assert!(src[prev_end..].chars().all(char::is_whitespace));
+    }
+
+    #[test]
+    fn unterminated_forms_error_with_offsets() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("r#\"open").is_err());
+        // `'q` at EOF lexes as a lifetime; an open *escape* cannot.
+        let e = lex("let x = '\\q").unwrap_err();
+        assert_eq!(e.offset, 8);
+        assert_eq!(
+            lex("let x = 'q").unwrap().last().unwrap().kind,
+            TokenKind::Lifetime
+        );
+    }
+
+    #[test]
+    fn multiline_strings_lex_as_one_token() {
+        let src = "let s = \"line one\n  line two\";";
+        let toks = kinds(src);
+        assert_eq!(toks[3], (TokenKind::Str, "\"line one\n  line two\""));
+    }
+}

@@ -1,0 +1,30 @@
+//! `hl-analysis` — the workspace's dependency-free static analysis
+//! library, behind the `hl-lint` binary.
+//!
+//! Three of the first eight PRs fixed whole bug classes by hand-audit:
+//! NaN-unsafe `partial_cmp().unwrap()` comparators (PR 5), panics
+//! reachable from request paths (PR 7), and ad-hoc `eprintln!` replaced
+//! by structured logging (PR 8). Nothing stopped those classes from
+//! regressing. This crate checks them mechanically — the same way
+//! HighLight conformance-checks HSS tensors before accepting them:
+//! invariants are validated by a tool, not by reviewer memory.
+//!
+//! The pipeline: [`walk`] discovers workspace sources, [`lexer`]
+//! tokenizes them (comments/strings/raw strings/char literals handled
+//! faithfully, so prose never produces diagnostics), [`rules`] runs the
+//! catalog of named invariants, and [`engine`] partitions raw findings
+//! through inline [`suppress`]ions (reason mandatory) and the committed
+//! [`baseline`] of grandfathered debt. `src/bin/hl_lint.rs` is the CLI;
+//! CI runs it with `--deny`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+pub mod walk;

@@ -1,0 +1,92 @@
+//! `no-raw-eprintln-in-serve`: serve diagnostics go through the
+//! structured logger.
+//!
+//! PR 8 replaced ad-hoc `eprintln!` with `log::Logger` (JSON lines,
+//! levels, rate limiting) so operators can parse stderr mechanically;
+//! a stray `eprintln!` would interleave free text into that stream.
+//! The rule flags `eprintln!`/`eprint!`/`dbg!` anywhere under
+//! `crates/serve/src/`, CLI binaries included — the binaries waive it
+//! file-wide with a reason (their stderr *is* the user interface, and
+//! boot errors can predate the logger), which keeps the waiver visible
+//! instead of baked into the rule. `#[cfg(test)]` modules are exempt.
+
+use super::{finding_at, under_dir, Rule};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct NoRawEprintlnInServe;
+
+/// The stable rule name.
+pub const NAME: &str = "no-raw-eprintln-in-serve";
+
+/// Banned stderr macros (`println!` stays legal: stdout is payload,
+/// e.g. the CLI tables).
+const BANNED: &[&str] = &["eprintln", "eprint", "dbg"];
+
+impl Rule for NoRawEprintlnInServe {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "no raw `eprintln!`/`eprint!`/`dbg!` in serve; route stderr through `log::Logger`"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !under_dir(&file.path, "crates/serve/src") {
+            return;
+        }
+        let n = file.sig_len();
+        for i in 0..n {
+            let tok = *file.sig_token(i);
+            if file.in_test_code(tok.start) {
+                continue;
+            }
+            let text = tok.text(&file.text);
+            if BANNED.contains(&text) && i + 1 < n && file.sig_is_punct(i + 1, '!') {
+                out.push(finding_at(
+                    file,
+                    &tok,
+                    NAME,
+                    format!(
+                        "raw `{text}!` in serve: stderr is a structured JSON-lines stream; \
+                         emit through `log::Logger` instead"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(path, src).unwrap();
+        let mut out = Vec::new();
+        NoRawEprintlnInServe.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn stderr_macros_fire_in_serve_including_bins() {
+        let src = "fn f() { eprintln!(\"oops\"); dbg!(x); }\n";
+        assert_eq!(run_at("crates/serve/src/server.rs", src).len(), 2);
+        assert_eq!(run_at("crates/serve/src/bin/hl_serve.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn stdout_logger_other_crates_and_tests_are_exempt() {
+        assert!(run_at(
+            "crates/serve/src/server.rs",
+            "fn f() { println!(\"table\"); log.warn(\"x\", &[]); }\n"
+        )
+        .is_empty());
+        assert!(run_at("crates/bench/src/lib.rs", "fn f() { eprintln!(\"x\"); }\n").is_empty());
+        let with_tests =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { eprintln!(\"dbg\"); }\n}\n";
+        assert!(run_at("crates/serve/src/server.rs", with_tests).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! `no-float-partial-cmp-unwrap`: NaN-unsafe comparators.
+//!
+//! `a.partial_cmp(b).unwrap()` (or `.expect(..)`) panics the moment a
+//! NaN reaches the comparator — exactly the class PR 5 chased out of
+//! `prune.rs`, `families.rs` and the fig15 loss sort. `f64::total_cmp`
+//! is total, allocation-free, and deterministic on NaN, so there is no
+//! reason to keep the panicking form anywhere, tests included.
+
+use super::{finding_at, Rule};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct NoFloatPartialCmpUnwrap;
+
+/// The stable rule name.
+pub const NAME: &str = "no-float-partial-cmp-unwrap";
+
+impl Rule for NoFloatPartialCmpUnwrap {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "`partial_cmp(..).unwrap()/.expect(..)` panics on NaN; use `total_cmp`"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let n = file.sig_len();
+        for i in 0..n {
+            if !file.sig_is_ident(i, "partial_cmp") {
+                continue;
+            }
+            // `partial_cmp ( … ) . unwrap|expect`
+            if i + 1 >= n || !file.sig_is_punct(i + 1, '(') {
+                continue;
+            }
+            let Some(close) = file.matching_close(i + 1, '(', ')') else {
+                continue;
+            };
+            if close + 2 < n
+                && file.sig_is_punct(close + 1, '.')
+                && (file.sig_is_ident(close + 2, "unwrap")
+                    || file.sig_is_ident(close + 2, "expect"))
+            {
+                let method = file.sig_text(close + 2).to_string();
+                out.push(finding_at(
+                    file,
+                    file.sig_token(i),
+                    NAME,
+                    format!(
+                        "`partial_cmp(..).{method}(..)` panics on NaN; \
+                         use `f64::total_cmp` (or handle the `None`)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src).unwrap();
+        let mut out = Vec::new();
+        NoFloatPartialCmpUnwrap.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_after_partial_cmp_fire() {
+        let out = run("v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+             v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\"));\n");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].line, 1);
+        assert_eq!(out[1].line, 2);
+    }
+
+    #[test]
+    fn handled_option_and_total_cmp_do_not_fire() {
+        let out = run(
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));\n\
+             v.sort_by(|a, b| a.total_cmp(b));\n\
+             let c = a.partial_cmp(&b);\n\
+             // a.partial_cmp(b).unwrap() in a comment\n\
+             let s = \"a.partial_cmp(b).unwrap()\";\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn multiline_chains_anchor_at_partial_cmp() {
+        let out = run("v.sort_by(|a, b| {\n    a.partial_cmp(b)\n        .unwrap()\n});\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+}

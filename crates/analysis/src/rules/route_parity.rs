@@ -1,0 +1,329 @@
+//! `route-metrics-parity`: every `Route` variant is wired through the
+//! `/v1/metrics` machinery.
+//!
+//! The per-route request counters are stored in an array indexed by
+//! position in `Route::ALL`, named by `Route::label()`, and rendered by
+//! `api.rs` iterating `Route::ALL` — so a variant missing from `ALL`
+//! silently folds its traffic into the `Other` slot, a variant without
+//! a `label()` arm has no family name, and a variant no `resolve()` arm
+//! can produce is a dead family. This cross-file rule parses the enum
+//! in `crates/serve/src/metrics.rs` and checks all three mappings, plus
+//! that `api.rs` still renders families by iterating `Route::ALL`.
+
+use super::{finding_at, Rule, Workspace};
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct RouteMetricsParity;
+
+/// The stable rule name.
+pub const NAME: &str = "route-metrics-parity";
+
+/// Path suffix locating the Route enum.
+const METRICS_FILE: &str = "crates/serve/src/metrics.rs";
+/// Path suffix locating the metrics JSON/Prometheus rendering.
+const API_FILE: &str = "crates/serve/src/api.rs";
+
+impl Rule for RouteMetricsParity {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "every Route variant appears in Route::ALL, label(), resolve(), and api.rs renders ALL"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // Workspaces without the serve crate (rule fixtures for other
+        // rules) have nothing to check.
+        let Some(metrics) = ws.file_ending_with(METRICS_FILE) else {
+            return;
+        };
+        let Some(variants) = enum_variants(metrics, "Route") else {
+            out.push(Finding {
+                rule: NAME,
+                file: metrics.path.clone(),
+                line: 1,
+                col: 1,
+                message: "`enum Route` not found; the parity check has lost its anchor".into(),
+                snippet: String::new(),
+            });
+            return;
+        };
+        let in_all = route_refs_in_const_all(metrics);
+        let in_label = arms_of_fn(metrics, "label");
+        let in_resolve = arms_of_fn(metrics, "resolve");
+        for (name, tok) in &variants {
+            if !in_all.contains(name) {
+                out.push(finding_at(
+                    metrics,
+                    tok,
+                    NAME,
+                    format!(
+                        "Route variant `{name}` is missing from `Route::ALL`; its requests \
+                         land in the `Other` slot and `/v1/metrics` never renders a \
+                         `{name}` family"
+                    ),
+                ));
+            }
+            if !in_label.contains(name) {
+                out.push(finding_at(
+                    metrics,
+                    tok,
+                    NAME,
+                    format!(
+                        "Route variant `{name}` has no `label()` arm; its `/v1/metrics` \
+                         family has no name"
+                    ),
+                ));
+            }
+            if name != "Other" && !in_resolve.contains(name) {
+                out.push(finding_at(
+                    metrics,
+                    tok,
+                    NAME,
+                    format!(
+                        "Route variant `{name}` is never produced by `Route::resolve`; \
+                         its `/v1/metrics` family is dead"
+                    ),
+                ));
+            }
+        }
+        let declared: Vec<&String> = variants.iter().map(|(n, _)| n).collect();
+        for name in &in_all {
+            if !declared.contains(&name) {
+                out.push(Finding {
+                    rule: NAME,
+                    file: metrics.path.clone(),
+                    line: 1,
+                    col: 1,
+                    message: format!("`Route::ALL` references undeclared variant `{name}`"),
+                    snippet: String::new(),
+                });
+            }
+        }
+        match ws.file_ending_with(API_FILE) {
+            Some(api) if has_route_all_ref(api) => {}
+            Some(api) => out.push(Finding {
+                rule: NAME,
+                file: api.path.clone(),
+                line: 1,
+                col: 1,
+                message: "api.rs no longer iterates `Route::ALL`; per-route `/v1/metrics` \
+                          families are not being rendered"
+                    .into(),
+                snippet: String::new(),
+            }),
+            None => out.push(Finding {
+                rule: NAME,
+                file: metrics.path.clone(),
+                line: 1,
+                col: 1,
+                message: "api.rs not found; cannot verify `/v1/metrics` renders per-route \
+                          families"
+                    .into(),
+                snippet: String::new(),
+            }),
+        }
+    }
+}
+
+/// The variants of `enum <name> { … }` with their name tokens.
+fn enum_variants(file: &SourceFile, name: &str) -> Option<Vec<(String, crate::lexer::Token)>> {
+    let n = file.sig_len();
+    let open = (0..n).find(|&i| {
+        file.sig_is_ident(i, "enum")
+            && i + 2 < n
+            && file.sig_is_ident(i + 1, name)
+            && file.sig_is_punct(i + 2, '{')
+    })? + 2;
+    let close = file.matching_close(open, '{', '}')?;
+    let mut out = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        if file.sig_token(j).kind == TokenKind::Ident {
+            out.push((file.sig_text(j).to_string(), *file.sig_token(j)));
+            // Skip any payload and trailing comma: advance to the next
+            // `,` at nesting depth zero relative to the enum body.
+            let mut depth = 0i32;
+            while j < close {
+                let t = file.sig_text(j);
+                match t.chars().next() {
+                    Some('(' | '[' | '{') => depth += 1,
+                    Some(')' | ']' | '}') => depth -= 1,
+                    Some(',') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        j += 1;
+    }
+    Some(out)
+}
+
+/// Variant names referenced as `Route::X` inside `const ALL: … = [ … ];`.
+fn route_refs_in_const_all(file: &SourceFile) -> Vec<String> {
+    let n = file.sig_len();
+    let Some(all) = (0..n)
+        .find(|&i| file.sig_is_ident(i, "const") && i + 1 < n && file.sig_is_ident(i + 1, "ALL"))
+    else {
+        return Vec::new();
+    };
+    // Skip past the type annotation to the initializer: the first `=`
+    // that is not inside brackets.
+    let mut depth = 0i32;
+    let mut eq = None;
+    for i in all..n {
+        match file.sig_text(i).chars().next() {
+            Some('[' | '(' | '{') => depth += 1,
+            Some(']' | ')' | '}') => depth -= 1,
+            Some('=') if depth == 0 => {
+                eq = Some(i);
+                break;
+            }
+            Some(';') if depth == 0 && i > all + 2 => break,
+            _ => {}
+        }
+    }
+    let Some(eq) = eq else { return Vec::new() };
+    let Some(open) = (eq..n).find(|&i| file.sig_is_punct(i, '[')) else {
+        return Vec::new();
+    };
+    let close = file.matching_close(open, '[', ']').unwrap_or(n - 1);
+    route_paths_between(file, open, close)
+}
+
+/// Variant names referenced as `Route::X` inside the body of `fn <name>`.
+fn arms_of_fn(file: &SourceFile, name: &str) -> Vec<String> {
+    let n = file.sig_len();
+    let Some(f) =
+        (0..n).find(|&i| file.sig_is_ident(i, "fn") && i + 1 < n && file.sig_is_ident(i + 1, name))
+    else {
+        return Vec::new();
+    };
+    let Some(open) = (f..n).find(|&i| file.sig_is_punct(i, '{')) else {
+        return Vec::new();
+    };
+    let close = file.matching_close(open, '{', '}').unwrap_or(n - 1);
+    route_paths_between(file, open, close)
+}
+
+/// All `X` with a `Route :: X` token sequence in `(open, close)`.
+fn route_paths_between(file: &SourceFile, open: usize, close: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in open..close.saturating_sub(2) {
+        if file.sig_is_ident(i, "Route")
+            && file.sig_is_punct(i + 1, ':')
+            && file.sig_is_punct(i + 2, ':')
+            && file.sig_token(i + 3).kind == TokenKind::Ident
+        {
+            let name = file.sig_text(i + 3).to_string();
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        }
+    }
+    out
+}
+
+/// True when the file contains a `Route :: ALL` reference.
+fn has_route_all_ref(file: &SourceFile) -> bool {
+    let n = file.sig_len();
+    (0..n.saturating_sub(3)).any(|i| {
+        file.sig_is_ident(i, "Route")
+            && file.sig_is_punct(i + 1, ':')
+            && file.sig_is_punct(i + 2, ':')
+            && file.sig_is_ident(i + 3, "ALL")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_METRICS: &str = "\
+pub enum Route {
+    Healthz,
+    Evaluate,
+    Other,
+}
+impl Route {
+    pub const ALL: [Route; 3] = [Route::Healthz, Route::Evaluate, Route::Other];
+    pub fn resolve(path: &str) -> (Route, bool) {
+        let route = match path {
+            \"/healthz\" => Route::Healthz,
+            \"/evaluate\" => Route::Evaluate,
+            _ => Route::Other,
+        };
+        (route, false)
+    }
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Healthz => \"/v1/healthz\",
+            Route::Evaluate => \"/v1/evaluate\",
+            Route::Other => \"other\",
+        }
+    }
+}
+";
+    const GOOD_API: &str = "fn metrics_json() { for r in Route::ALL { render(r); } }\n";
+
+    fn run(metrics: &str, api: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            files: vec![
+                SourceFile::parse("crates/serve/src/metrics.rs", metrics).unwrap(),
+                SourceFile::parse("crates/serve/src/api.rs", api).unwrap(),
+            ],
+        };
+        let mut out = Vec::new();
+        RouteMetricsParity.check_workspace(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn fully_wired_enum_passes() {
+        assert!(run(GOOD_METRICS, GOOD_API).is_empty());
+    }
+
+    #[test]
+    fn variant_missing_from_all_label_and_resolve_fires_at_its_line() {
+        // `Trace` is declared (line 4) but wired nowhere.
+        let metrics = GOOD_METRICS.replace("    Other,\n", "    Trace,\n    Other,\n");
+        let out = run(&metrics, GOOD_API);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|f| f.line == 4));
+        assert!(out[0].message.contains("missing from `Route::ALL`"));
+        assert!(out[1].message.contains("no `label()` arm"));
+        assert!(out[2]
+            .message
+            .contains("never produced by `Route::resolve`"));
+    }
+
+    #[test]
+    fn undeclared_variant_in_all_and_api_drift_fire() {
+        let metrics = GOOD_METRICS.replace(
+            "[Route::Healthz, Route::Evaluate, Route::Other]",
+            "[Route::Healthz, Route::Evaluate, Route::Other, Route::Ghost]",
+        );
+        let out = run(&metrics, GOOD_API);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("undeclared variant `Ghost`"));
+        let out = run(GOOD_METRICS, "fn metrics_json() { render_nothing(); }\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("no longer iterates"));
+        assert_eq!(out[0].file, "crates/serve/src/api.rs");
+    }
+
+    #[test]
+    fn absent_serve_crate_is_out_of_scope() {
+        let ws = Workspace {
+            files: vec![SourceFile::parse("crates/sim/src/lib.rs", "fn f() {}\n").unwrap()],
+        };
+        let mut out = Vec::new();
+        RouteMetricsParity.check_workspace(&ws, &mut out);
+        assert!(out.is_empty());
+    }
+}

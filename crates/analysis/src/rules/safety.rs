@@ -1,0 +1,115 @@
+//! `safety-comment-on-unsafe`: every `unsafe` site carries a
+//! `// SAFETY:` comment.
+//!
+//! The workspace forbids `unsafe` everywhere except the serve crate's
+//! hand-declared FFI (`epoll`/`eventfd`-style syscalls, `signal(2)`),
+//! and those few sites must each state *why* they are sound. The rule
+//! covers `unsafe` blocks, `unsafe fn`, `unsafe impl`/`trait`, and —
+//! because a wrong hand-declared prototype is UB at the call site —
+//! `extern "C" { … }` FFI declaration blocks. The comment must be on
+//! the same line or in the comment block directly above.
+
+use super::{finding_at, Rule};
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct SafetyCommentOnUnsafe;
+
+/// The stable rule name.
+pub const NAME: &str = "safety-comment-on-unsafe";
+
+impl Rule for SafetyCommentOnUnsafe {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "every `unsafe` block/fn/impl and `extern \"C\"` declaration needs a `// SAFETY:` comment"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let n = file.sig_len();
+        for i in 0..n {
+            let site = if file.sig_is_ident(i, "unsafe") {
+                let next = (i + 1 < n).then(|| file.sig_text(i + 1).to_string());
+                Some(match next.as_deref() {
+                    Some("fn") => "unsafe fn",
+                    Some("impl") => "unsafe impl",
+                    Some("trait") => "unsafe trait",
+                    _ => "unsafe block",
+                })
+            } else if file.sig_is_ident(i, "extern")
+                && i + 2 < n
+                && file.sig_token(i + 1).kind == TokenKind::Str
+                && file.sig_is_punct(i + 2, '{')
+            {
+                // `extern "C" { … }` — declarations, not definitions
+                // (`extern "C" fn` is followed by `fn`, not `{`).
+                Some("extern block (hand-declared FFI)")
+            } else {
+                None
+            };
+            let Some(site) = site else { continue };
+            let (line, _) = file.line_col(file.sig_token(i).start);
+            if !file.comment_above_or_on_line_contains(line, "SAFETY:") {
+                out.push(finding_at(
+                    file,
+                    file.sig_token(i),
+                    NAME,
+                    format!("{site} without a `// SAFETY:` comment explaining why it is sound"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/serve/src/epoll.rs", src).unwrap();
+        let mut out = Vec::new();
+        SafetyCommentOnUnsafe.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_unsafe_and_extern_blocks_fire() {
+        let out = run("fn f() {\n\
+             \x20   unsafe { close(fd) };\n\
+             }\n\
+             extern \"C\" {\n\
+             \x20   fn close(fd: i32) -> i32;\n\
+             }\n\
+             unsafe fn g() {}\n");
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 4, 7]);
+        assert!(out[1].message.contains("extern block"));
+    }
+
+    #[test]
+    fn documented_sites_pass() {
+        let out = run("fn f() {\n\
+             \x20   // SAFETY: fd is owned and closed exactly once.\n\
+             \x20   unsafe { close(fd) };\n\
+             \x20   let x = unsafe { read() }; // SAFETY: buffer outlives call\n\
+             }\n\
+             // SAFETY: prototypes match the platform libc ABI.\n\
+             extern \"C\" {\n\
+             \x20   fn close(fd: i32) -> i32;\n\
+             }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn extern_fn_definitions_and_idents_do_not_fire() {
+        let out = run("// extern \"C\" fn definitions are safe to define.\n\
+             extern \"C\" fn handler(signum: i32) {}\n\
+             #![forbid(unsafe_code)]\n\
+             fn note() { let unsafe_count = 1; }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

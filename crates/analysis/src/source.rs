@@ -1,0 +1,269 @@
+//! A lexed source file plus the derived views rules consume: line/column
+//! lookup, the comment-free "significant token" stream, and the byte
+//! ranges of `#[cfg(test)]` modules (lib-invariant rules skip test code).
+
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// A workspace file: path (repo-relative, `/`-separated), raw text, and
+/// its token stream.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path, always with `/` separators.
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+    /// Complete token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens, in order.
+    pub sig: Vec<usize>,
+    line_starts: Vec<usize>,
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into a file model.
+    ///
+    /// # Errors
+    /// Propagates [`LexError`] from the lexer (truncated literals).
+    pub fn parse(path: impl Into<String>, text: impl Into<String>) -> Result<Self, LexError> {
+        let path = path.into();
+        let text = text.into();
+        let tokens = lex(&text)?;
+        let sig = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let mut file = Self {
+            path,
+            text,
+            tokens,
+            sig,
+            line_starts,
+            test_ranges: Vec::new(),
+        };
+        file.test_ranges = file.find_test_ranges();
+        Ok(file)
+    }
+
+    /// 1-based `(line, column)` of a byte offset (column counts chars).
+    /// Offsets inside a multibyte char round down to its first byte.
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let mut offset = offset.min(self.text.len());
+        while offset > 0 && !self.text.is_char_boundary(offset) {
+            offset -= 1;
+        }
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let col = self.text[self.line_starts[line]..offset].chars().count();
+        (line as u32 + 1, col as u32 + 1)
+    }
+
+    /// The full text of a 1-based line (no trailing newline).
+    pub fn line_text(&self, line: u32) -> &str {
+        let i = (line as usize).saturating_sub(1);
+        let start = self.line_starts.get(i).copied().unwrap_or(0);
+        let end = self
+            .line_starts
+            .get(i + 1)
+            .map_or(self.text.len(), |next| next - 1);
+        self.text[start..end].trim_end_matches('\r')
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> u32 {
+        self.line_starts.len() as u32
+    }
+
+    /// True when `offset` falls inside a `#[cfg(test)] mod { … }` body.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| (start..end).contains(&offset))
+    }
+
+    /// The significant token at stream position `i` (panics past the end;
+    /// rules index via bounds-checked iteration).
+    pub fn sig_token(&self, i: usize) -> &Token {
+        &self.tokens[self.sig[i]]
+    }
+
+    /// Text of the significant token at stream position `i`.
+    pub fn sig_text(&self, i: usize) -> &str {
+        self.sig_token(i).text(&self.text)
+    }
+
+    /// Number of significant tokens.
+    pub fn sig_len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// True when the significant token at `i` is punctuation `ch`.
+    pub fn sig_is_punct(&self, i: usize, ch: char) -> bool {
+        let t = self.sig_token(i);
+        t.kind == TokenKind::Punct && t.text(&self.text).starts_with(ch)
+    }
+
+    /// True when the significant token at `i` is an identifier equal to
+    /// `word`.
+    pub fn sig_is_ident(&self, i: usize, word: &str) -> bool {
+        let t = self.sig_token(i);
+        t.kind == TokenKind::Ident && t.text(&self.text) == word
+    }
+
+    /// Given the sig-stream position of an opening delimiter, returns the
+    /// position of its matching closer (`None` if unbalanced).
+    pub fn matching_close(&self, open_pos: usize, open: char, close: char) -> Option<usize> {
+        let mut depth = 0usize;
+        for i in open_pos..self.sig_len() {
+            if self.sig_is_punct(i, open) {
+                depth += 1;
+            } else if self.sig_is_punct(i, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// All comment tokens (line + block), in order.
+    pub fn comments(&self) -> impl Iterator<Item = &Token> {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+
+    /// True when a comment containing `needle` covers line `line`
+    /// (same-line comment) or sits in the run of comment-only lines
+    /// directly above it — the convention for `// SAFETY:` comments.
+    pub fn comment_above_or_on_line_contains(&self, line: u32, needle: &str) -> bool {
+        // Same line: any comment whose span touches the line.
+        for c in self.comments() {
+            let (c_start, _) = self.line_col(c.start);
+            let (c_end, _) = self.line_col(c.end.saturating_sub(1).max(c.start));
+            if (c_start..=c_end).contains(&line) && c.text(&self.text).contains(needle) {
+                return true;
+            }
+        }
+        // Walk upward through comment-only (or attribute-only) lines.
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let text = self.line_text(l).trim();
+            let is_comment =
+                text.starts_with("//") || text.starts_with("/*") || text.starts_with('*');
+            let is_attr = text.starts_with("#[") || text.starts_with("#![");
+            if is_comment {
+                if text.contains(needle) {
+                    return true;
+                }
+            } else if !is_attr || text.is_empty() {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Byte ranges of `#[cfg(test)] mod name { … }` bodies.
+    fn find_test_ranges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let n = self.sig_len();
+        let mut i = 0usize;
+        while i + 6 < n {
+            // `# [ cfg ( test ) ]`
+            let is_cfg_test = self.sig_is_punct(i, '#')
+                && self.sig_is_punct(i + 1, '[')
+                && self.sig_is_ident(i + 2, "cfg")
+                && self.sig_is_punct(i + 3, '(')
+                && self.sig_is_ident(i + 4, "test")
+                && self.sig_is_punct(i + 5, ')')
+                && self.sig_is_punct(i + 6, ']');
+            if !is_cfg_test {
+                i += 1;
+                continue;
+            }
+            // Skip any further attributes between the cfg and the item.
+            let mut j = i + 7;
+            while j < n && self.sig_is_punct(j, '#') {
+                if j + 1 < n && self.sig_is_punct(j + 1, '[') {
+                    match self.matching_close(j + 1, '[', ']') {
+                        Some(close) => j = close + 1,
+                        None => break,
+                    }
+                } else {
+                    break;
+                }
+            }
+            // `mod name {` — other cfg(test) items (fns, uses) are left
+            // to the per-rule line filters.
+            if j + 1 < n && self.sig_is_ident(j, "mod") {
+                let mut k = j + 1;
+                // `mod name {` (the name is one ident).
+                if k + 1 < n && self.sig_token(k).kind == TokenKind::Ident {
+                    k += 1;
+                }
+                if k < n && self.sig_is_punct(k, '{') {
+                    if let Some(close) = self.matching_close(k, '{', '}') {
+                        out.push((self.sig_token(k).start, self.sig_token(close).end));
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+            i = j;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_and_line_text_agree() {
+        let f = SourceFile::parse("x.rs", "ab\ncd ef\n\nzz").unwrap();
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(6), (2, 4));
+        assert_eq!(f.line_text(2), "cd ef");
+        assert_eq!(f.line_text(3), "");
+        assert_eq!(f.line_text(4), "zz");
+        assert_eq!(f.line_count(), 4);
+    }
+
+    #[test]
+    fn cfg_test_module_bodies_are_marked() {
+        let src = "fn a() { b(); }\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", src).unwrap();
+        let in_tests = src.find("x();").unwrap();
+        let in_lib = src.find("b();").unwrap();
+        let after = src.find("fn c").unwrap();
+        assert!(f.in_test_code(in_tests));
+        assert!(!f.in_test_code(in_lib));
+        assert!(!f.in_test_code(after));
+    }
+
+    #[test]
+    fn safety_comment_lookup_spans_same_line_and_block_above() {
+        let src =
+            "// SAFETY: fine\nunsafe { a() };\n\nlet x = 1; // SAFETY: inline\nunsafe { b() };\n";
+        let f = SourceFile::parse("x.rs", src).unwrap();
+        assert!(f.comment_above_or_on_line_contains(2, "SAFETY:"));
+        assert!(f.comment_above_or_on_line_contains(4, "SAFETY:"));
+        // Line 5's preceding line (4) is code-with-comment, so the walk
+        // stops there — but its own comment isn't on line 5.
+        assert!(!f.comment_above_or_on_line_contains(5, "SAFETY:"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Inline suppressions.
+//!
+//! A finding can be waived where it fires, never silently:
+//!
+//! ```text
+//! // hl-lint: allow(rule-name, why this one is fine)
+//! ```
+//!
+//! covers findings of `rule-name` on the comment's own line and on the
+//! line directly below it (so it can trail the offending statement or
+//! sit on its own line above it). A file-wide waiver uses
+//!
+//! ```text
+//! // hl-lint: allow-file(rule-name, why this whole file is exempt)
+//! ```
+//!
+//! The reason is **mandatory**: a suppression without one (or naming an
+//! unknown rule) is itself reported as `bad-suppression`, and a
+//! suppression that matches nothing is reported as `unused-suppression`
+//! so stale waivers cannot accumulate.
+
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// The meta-rule name for malformed suppressions.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+/// The meta-rule name for suppressions that matched no finding.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule being waived.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Whole-file scope (`allow-file`) vs line scope (`allow`).
+    pub file_scope: bool,
+    /// Set once a finding has been matched (for unused detection).
+    pub used: bool,
+}
+
+/// Extracts suppressions from a file's comments. Malformed ones are
+/// reported straight into `findings`; `known_rules` validates names.
+pub fn collect(
+    file: &SourceFile,
+    known_rules: &[&'static str],
+    findings: &mut Vec<Finding>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for comment in file.comments() {
+        let text = comment.text(&file.text);
+        // Directives live in plain comments only; doc comments are prose
+        // (and may quote directive syntax as examples).
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        if text.starts_with("/**") || text.starts_with("/*!") {
+            continue;
+        }
+        let (line, col) = file.line_col(comment.start);
+        let mut bad = |message: String| {
+            findings.push(Finding {
+                rule: BAD_SUPPRESSION,
+                file: file.path.clone(),
+                line,
+                col,
+                message,
+                snippet: file.line_text(line).trim().to_string(),
+            });
+        };
+        let Some(at) = text.find("hl-lint:") else {
+            continue;
+        };
+        let directive = text[at + "hl-lint:".len()..].trim_start();
+        let file_scope = directive.starts_with("allow-file(");
+        let open = if file_scope {
+            "allow-file("
+        } else if directive.starts_with("allow(") {
+            "allow("
+        } else {
+            bad(
+                "unrecognized hl-lint directive; expected `allow(rule, reason)` \
+                 or `allow-file(rule, reason)`"
+                    .to_string(),
+            );
+            continue;
+        };
+        let body = &directive[open.len()..];
+        let Some(close) = body.rfind(')') else {
+            bad("unclosed hl-lint suppression: missing `)`".to_string());
+            continue;
+        };
+        let body = &body[..close];
+        let (rule, reason) = match body.split_once(',') {
+            Some((rule, reason)) => (rule.trim(), reason.trim()),
+            None => (body.trim(), ""),
+        };
+        if !known_rules.contains(&rule) {
+            bad(format!("suppression names unknown rule `{rule}`"));
+            continue;
+        }
+        if reason.is_empty() {
+            bad(format!(
+                "suppression of `{rule}` has no reason; a justification is mandatory"
+            ));
+            continue;
+        }
+        out.push(Suppression {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            line,
+            file_scope,
+            used: false,
+        });
+    }
+    out
+}
+
+/// True when `s` covers a finding of `rule` at `line`.
+pub fn covers(s: &Suppression, rule: &str, line: u32) -> bool {
+    s.rule == rule && (s.file_scope || line == s.line || line == s.line + 1)
+}
+
+/// Emits `unused-suppression` findings for any suppression never matched.
+pub fn report_unused(file_path: &str, sups: &[Suppression], findings: &mut Vec<Finding>) {
+    for s in sups {
+        if !s.used {
+            findings.push(Finding {
+                rule: UNUSED_SUPPRESSION,
+                file: file_path.to_string(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "suppression of `{}` matched no finding; remove the stale waiver",
+                    s.rule
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["no-panic-in-request-path", "no-raw-eprintln-in-serve"];
+
+    fn parse(src: &str) -> (Vec<Suppression>, Vec<Finding>) {
+        let f = SourceFile::parse("x.rs", src).unwrap();
+        let mut findings = Vec::new();
+        let sups = collect(&f, RULES, &mut findings);
+        (sups, findings)
+    }
+
+    #[test]
+    fn well_formed_suppressions_parse_with_scope() {
+        let (sups, findings) = parse(
+            "// hl-lint: allow-file(no-raw-eprintln-in-serve, CLI stderr is the UI)\n\
+             let x = 1; // hl-lint: allow(no-panic-in-request-path, bounded by check above)\n",
+        );
+        assert!(findings.is_empty());
+        assert_eq!(sups.len(), 2);
+        assert!(sups[0].file_scope);
+        assert_eq!(sups[0].reason, "CLI stderr is the UI");
+        assert!(!sups[1].file_scope);
+        assert_eq!(sups[1].line, 2);
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_bad_suppressions() {
+        let (sups, findings) = parse(
+            "// hl-lint: allow(no-panic-in-request-path)\n\
+             // hl-lint: allow(made-up-rule, because)\n\
+             // hl-lint: deny(no-panic-in-request-path, x)\n",
+        );
+        assert!(sups.is_empty());
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.rule == BAD_SUPPRESSION));
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 2);
+    }
+
+    #[test]
+    fn coverage_is_same_line_next_line_or_whole_file() {
+        let s = Suppression {
+            rule: "r".into(),
+            reason: "x".into(),
+            line: 10,
+            file_scope: false,
+            used: false,
+        };
+        assert!(covers(&s, "r", 10));
+        assert!(covers(&s, "r", 11));
+        assert!(!covers(&s, "r", 12));
+        assert!(!covers(&s, "other", 10));
+        let f = Suppression {
+            file_scope: true,
+            ..s
+        };
+        assert!(covers(&f, "r", 999));
+    }
+
+    #[test]
+    fn unused_suppressions_are_reported() {
+        let sups = vec![Suppression {
+            rule: "r".into(),
+            reason: "x".into(),
+            line: 3,
+            file_scope: false,
+            used: false,
+        }];
+        let mut findings = Vec::new();
+        report_unused("a.rs", &sups, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, UNUSED_SUPPRESSION);
+        assert_eq!(findings[0].line, 3);
+    }
+}

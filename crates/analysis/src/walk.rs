@@ -1,0 +1,97 @@
+//! Workspace file discovery: every `.rs` file the lint analyses.
+//!
+//! The walk covers first-party code — `crates/`, the façade `src/`,
+//! `tests/`, and `examples/` — and skips `target/` (build output) and
+//! `shims/` (vendored API stand-ins for crates.io packages; their idiom
+//! mirrors upstream, not this project). Paths come back repo-relative
+//! with `/` separators, sorted, so runs are deterministic everywhere.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories included in the walk.
+const ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Finds the workspace root by walking up from `start` until a
+/// directory containing both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// All `.rs` files under the lint roots, as `(repo-relative path, text)`
+/// pairs, sorted by path.
+///
+/// # Errors
+/// Propagates I/O failures (unreadable directories or files).
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push((rel, text));
+    }
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("repo root")
+    }
+
+    #[test]
+    fn walk_is_sorted_relative_and_first_party_only() {
+        let sources = workspace_sources(&repo_root()).unwrap();
+        let paths: Vec<&String> = sources.iter().map(|(p, _)| p).collect();
+        assert!(paths.iter().any(|p| p.ends_with("serve/src/server.rs")));
+        assert!(paths
+            .iter()
+            .any(|p| *p == "src/lib.rs" || p.starts_with("src/")));
+        assert!(paths.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        assert!(paths.iter().all(|p| !p.starts_with("shims/")));
+        assert!(paths.iter().all(|p| !p.contains("/target/")));
+        assert!(paths.iter().all(|p| !p.contains('\\')));
+    }
+}

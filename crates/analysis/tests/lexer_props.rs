@@ -1,0 +1,176 @@
+//! Property tests for the `hl-analysis` lexer.
+//!
+//! Sources are *generated* as a sequence of known-kind pieces —
+//! including the cases that break naive tokenizers: strings containing
+//! `//` and `/*`, nested block comments, raw strings with interior
+//! quotes, multibyte characters — and the lexed token stream must
+//! round-trip: one token per piece, with the exact kind and text the
+//! generator wrote, spans strictly increasing, and the inter-token gaps
+//! pure whitespace (so gaps + token texts reconstruct the source
+//! byte-for-byte).
+
+use hl_analysis::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// One generated source fragment and the single token it must lex to.
+struct Piece {
+    text: &'static str,
+    kind: TokenKind,
+}
+
+const fn p(text: &'static str, kind: TokenKind) -> Piece {
+    Piece { text, kind }
+}
+
+/// The generation pool. Every entry lexes to exactly one token; line
+/// comments are newline-terminated by the generator (not the pool).
+const POOL: &[Piece] = &[
+    // Identifiers, including a raw identifier and an underscore start.
+    p("foo", TokenKind::Ident),
+    p("_x9", TokenKind::Ident),
+    p("r#type", TokenKind::Ident),
+    // Numbers: int, float, hex, exponent forms, suffixed.
+    p("0", TokenKind::Num),
+    p("42", TokenKind::Num),
+    p("3.25", TokenKind::Num),
+    p("0x1f", TokenKind::Num),
+    p("1e9", TokenKind::Num),
+    p("2e+7", TokenKind::Num),
+    p("7u64", TokenKind::Num),
+    // Strings whose contents would derail a comment-unaware scanner.
+    p("\"a//b\"", TokenKind::Str),
+    p("\"/* not a comment */\"", TokenKind::Str),
+    p("\"esc \\\" quote\"", TokenKind::Str),
+    p("\"unsafe { x() }\"", TokenKind::Str),
+    p("\"多字节 — text\"", TokenKind::Str),
+    // Raw and byte strings, with hashes and interior quotes.
+    p("r\"raw // still string\"", TokenKind::RawStr),
+    p("r#\"has \" quote\"#", TokenKind::RawStr),
+    p("r##\"deeper \"# still in\"##", TokenKind::RawStr),
+    p("br#\"bytes /* x */\"#", TokenKind::RawStr),
+    p("b\"bytes\"", TokenKind::Str),
+    // Char literals vs lifetimes.
+    p("'a'", TokenKind::Char),
+    p("'\\n'", TokenKind::Char),
+    p("'\\''", TokenKind::Char),
+    p("'\u{2014}'", TokenKind::Char),
+    p("b'x'", TokenKind::Char),
+    p("'a", TokenKind::Lifetime),
+    p("'static", TokenKind::Lifetime),
+    // Block comments, nested and with string-looking interiors.
+    p("/* plain */", TokenKind::BlockComment),
+    p("/* outer /* nested */ back */", TokenKind::BlockComment),
+    p(
+        "/* \"not a string\" // not a line */",
+        TokenKind::BlockComment,
+    ),
+    // Line comments (generator appends the newline separator).
+    p("// trailing // more \" unclosed", TokenKind::LineComment),
+    p("/// doc with 'q and \"str", TokenKind::LineComment),
+    // Punctuation, one token each.
+    p("+", TokenKind::Punct),
+    p(";", TokenKind::Punct),
+    p("(", TokenKind::Punct),
+    p(")", TokenKind::Punct),
+    p("#", TokenKind::Punct),
+    p("[", TokenKind::Punct),
+    p("]", TokenKind::Punct),
+];
+
+const SEPARATORS: &[&str] = &[" ", "\n", "\t", "  ", "\n\n", " \n "];
+
+/// Deterministic per-case stream: splitmix64.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a, T>(&mut self, pool: &'a [T]) -> &'a T {
+        &pool[(self.next() % pool.len() as u64) as usize]
+    }
+}
+
+/// Builds a source of `len` pieces from `seed`; returns the text and the
+/// expected `(kind, text)` stream.
+fn generate(seed: u64, len: usize) -> (String, Vec<(TokenKind, &'static str)>) {
+    let mut mix = Mix(seed);
+    let mut src = String::new();
+    let mut expected = Vec::with_capacity(len);
+    for _ in 0..len {
+        let piece = mix.pick(POOL);
+        src.push_str(piece.text);
+        expected.push((piece.kind, piece.text));
+        // A line comment runs to end of line: terminate it so the next
+        // piece starts a fresh token.
+        if piece.kind == TokenKind::LineComment {
+            src.push('\n');
+        } else {
+            let sep: &&str = mix.pick(SEPARATORS);
+            src.push_str(sep);
+        }
+    }
+    (src, expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated source lexes to exactly the constructed stream,
+    /// with faithful spans.
+    #[test]
+    fn generated_sources_round_trip(seed in 0u64..u64::MAX, len in 1usize..60) {
+        let (src, expected) = generate(seed, len);
+        let tokens = match lex(&src) {
+            Ok(t) => t,
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "lex error at {} in generated source {src:?}: {}",
+                    e.offset, e.message
+                )))
+            }
+        };
+        prop_assert_eq!(tokens.len(), expected.len());
+        let mut cursor = 0usize;
+        for (tok, (kind, text)) in tokens.iter().zip(&expected) {
+            // Kind and text are exactly what the generator wrote.
+            prop_assert_eq!(tok.kind, *kind);
+            prop_assert_eq!(tok.text(&src), *text);
+            // Spans are in-bounds, strictly increasing, and the gap
+            // since the previous token is pure whitespace.
+            prop_assert!(tok.start >= cursor, "overlapping spans");
+            prop_assert!(tok.end <= src.len());
+            prop_assert!(
+                src[cursor..tok.start].chars().all(char::is_whitespace),
+                "non-whitespace between tokens: {:?}",
+                &src[cursor..tok.start]
+            );
+            cursor = tok.end;
+        }
+        // Round trip: gaps + token texts reconstruct the source.
+        prop_assert!(src[cursor..].chars().all(char::is_whitespace));
+        let mut rebuilt = String::new();
+        let mut at = 0usize;
+        for tok in &tokens {
+            rebuilt.push_str(&src[at..tok.start]);
+            rebuilt.push_str(tok.text(&src));
+            at = tok.end;
+        }
+        rebuilt.push_str(&src[at..]);
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    /// Lexing is a pure function of the input: same source, same stream.
+    #[test]
+    fn lexing_is_deterministic(seed in 0u64..u64::MAX) {
+        let (src, _) = generate(seed, 20);
+        let a = lex(&src).expect("generated source lexes");
+        let b = lex(&src).expect("generated source lexes");
+        prop_assert_eq!(a, b);
+    }
+}

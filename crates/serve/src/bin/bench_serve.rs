@@ -86,7 +86,7 @@ impl ModeStats {
 
     fn to_json(&self) -> Json {
         let mut sorted = self.latencies.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let total = sorted.len();
         let mean = sorted.iter().sum::<f64>() / total.max(1) as f64;
         let round = |v: f64| (v * 1e4).round() / 1e4;
@@ -378,7 +378,7 @@ fn main() {
 
     for stats in [&churn, &keepalive, &open] {
         let mut sorted = stats.latencies.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         println!(
             "{:<9} {:>6} requests in {:.3} s  ({:>7.0} req/s, {} errors)  \
              p50 {:.3} ms  p99 {:.3} ms",

@@ -99,6 +99,10 @@ mod imp {
         data: u64,
     }
 
+    // SAFETY: these signatures match the epoll(7), pipe2(2), and
+    // read/write/close(2) prototypes from the always-linked platform
+    // libc exactly (i32 fds/flags, pointer + length buffers, isize
+    // byte counts), so the declarations cannot introduce ABI mismatch.
     extern "C" {
         fn epoll_create1(flags: i32) -> i32;
         fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;

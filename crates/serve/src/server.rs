@@ -1519,6 +1519,7 @@ fn worker_loop(shared: &WorkerShared) {
             if plane.fire(FaultPoint::WorkerPanic) {
                 shared.app.metrics().record_worker_panic();
                 log_fault(&shared.app, FaultPoint::WorkerPanic, &trace_id);
+                // hl-lint: allow(no-panic-in-request-path, deliberate fault injection; the worker supervisor catches the unwind and respawns)
                 panic!("injected worker panic (fault plane)");
             }
         }

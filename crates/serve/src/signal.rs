@@ -42,9 +42,10 @@ mod imp {
         SHUTDOWN.store(true, Ordering::SeqCst);
     }
 
+    // SAFETY: `signal(2)` from the always-linked platform libc;
+    // `sighandler_t` is a pointer-sized function pointer on every
+    // supported unix, so this signature matches the C prototype.
     extern "C" {
-        // `signal(2)` from the always-linked platform libc. `sighandler_t`
-        // is a pointer-sized function pointer on every supported unix.
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
 

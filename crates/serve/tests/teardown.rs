@@ -73,6 +73,9 @@ fn arm_rst(stream: &TcpStream) {
         l_onoff: std::os::raw::c_int,
         l_linger: std::os::raw::c_int,
     }
+    // SAFETY: matches the setsockopt(2) prototype from the
+    // always-linked platform libc (int fd/level/optname, const buffer
+    // pointer + u32 length), so the declaration is ABI-faithful.
     extern "C" {
         fn setsockopt(
             fd: std::os::raw::c_int,
@@ -88,6 +91,9 @@ fn arm_rst(stream: &TcpStream) {
         l_onoff: 1,
         l_linger: 0,
     };
+    // SAFETY: the fd is a live socket owned by `stream`, and optval
+    // points at a properly initialized `Linger` whose size is passed as
+    // optlen, so the kernel reads exactly the bytes we own.
     let rc = unsafe {
         setsockopt(
             stream.as_raw_fd(),
